@@ -1,0 +1,116 @@
+// Command teadump inspects a serialized TEA: statistics, the full state
+// listing in the paper's $$Ti.block notation, or Graphviz output.
+//
+// Decoding needs the program the TEA was recorded on (block metadata is
+// re-discovered and cross-checked against the recorded shapes), so teadump
+// takes the same -bench/-asm selectors as teaprof.
+//
+// Usage:
+//
+//	teadump -bench mcf file.tea              # statistics
+//	teadump -bench mcf file.tea -states      # full state listing
+//	teadump -bench mcf file.tea -dot         # Graphviz digraph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	tea "github.com/lsc-tea/tea"
+	"github.com/lsc-tea/tea/internal/cli"
+	"github.com/lsc-tea/tea/internal/dcfg"
+)
+
+func main() {
+	bench := flag.String("bench", "", "synthetic benchmark the TEA was recorded on")
+	asmFile := flag.String("asm", "", "assembly source file instead of -bench")
+	target := flag.Uint64("target", 1_000_000, "dynamic instruction target for -bench")
+	states := flag.Bool("states", false, "print the full state listing")
+	dot := flag.Bool("dot", false, "print a Graphviz digraph")
+	dcfgDot := flag.Bool("dcfg", false, "print the dynamic CFG (code-replicating view, §3) as Graphviz")
+	traceID := flag.Int("trace", 0, "disassemble one trace by ID (1-based)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "teadump: exactly one TEA file argument is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	prog, err := cli.LoadProgram("teadump", *bench, *asmFile, *target)
+	if err != nil {
+		fail(err)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	a, err := tea.Decode(data, prog)
+	if err != nil {
+		fail(err)
+	}
+
+	switch {
+	case *traceID > 0:
+		var target *tea.Trace
+		for _, tr := range a.Set().Traces {
+			if int(tr.ID) == *traceID {
+				target = tr
+			}
+		}
+		if target == nil {
+			fail(fmt.Errorf("no trace T%d (set has %d traces)", *traceID, a.Set().Len()))
+		}
+		fmt.Printf("%v\n", target)
+		for _, tbb := range target.TBBs {
+			fmt.Printf("%s:\n", tbb.Name())
+			fmt.Print(indent(prog.Disassemble(tbb.Block.Head, tbb.Block.End+1)))
+			for _, label := range tbb.SuccLabels() {
+				fmt.Printf("    --0x%x--> %s\n", label, tbb.Succs[label].Name())
+			}
+		}
+	case *dcfgDot:
+		g := dcfg.FromSet(a.Set())
+		fmt.Print(g.Dot(flag.Arg(0)))
+	case *dot:
+		fmt.Print(tea.Dot(a, flag.Arg(0)))
+	case *states:
+		fmt.Print(tea.Summary(a))
+	default:
+		set := a.Set()
+		fmt.Printf("file:       %s (%d bytes)\n", flag.Arg(0), len(data))
+		fmt.Printf("strategy:   %s\n", set.Strategy)
+		fmt.Printf("traces:     %d\n", set.Len())
+		fmt.Printf("TBB states: %d (+1 NTE)\n", set.NumTBBs())
+		fmt.Printf("in-trace transitions: %d\n", a.NumTrans())
+		fmt.Printf("code replication equivalent: %d bytes (savings %.0f%%)\n",
+			tea.CodeBytes(set), (1-float64(len(data))/float64(tea.CodeBytes(set)))*100)
+
+		// Size histogram of traces.
+		sizes := make([]int, set.Len())
+		for i, t := range set.Traces {
+			sizes[i] = t.Len()
+		}
+		sort.Ints(sizes)
+		if n := len(sizes); n > 0 {
+			fmt.Printf("trace sizes: min %d, median %d, max %d TBBs\n",
+				sizes[0], sizes[n/2], sizes[n-1])
+		}
+	}
+}
+
+// indent prefixes every line with two spaces.
+func indent(s string) string {
+	out := ""
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "teadump: %v\n", err)
+	os.Exit(1)
+}

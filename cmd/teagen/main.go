@@ -1,0 +1,60 @@
+// Command teagen materializes the synthetic SPEC CPU2000 stand-ins as
+// assembly source, so workloads can be inspected, modified and fed back to
+// teaprof/teadump through -asm. The emitted source assembles back to the
+// byte-identical program (asm.Write's round-trip guarantee).
+//
+// Usage:
+//
+//	teagen -bench mcf                       # write 181.mcf.s next to you
+//	teagen -bench gcc -target 500000 -o -   # calibrated for 500k instrs, to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/lsc-tea/tea/internal/asm"
+	"github.com/lsc-tea/tea/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "synthetic benchmark name (e.g. mcf, 176.gcc)")
+	target := flag.Uint64("target", 1_000_000, "dynamic instruction target for calibration")
+	out := flag.String("o", "", "output file (default <name>.s, \"-\" for stdout)")
+	flag.Parse()
+
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "teagen: -bench is required; available:")
+		for _, s := range workload.Benchmarks() {
+			fmt.Fprintf(os.Stderr, "  %s\n", s.Name)
+		}
+		os.Exit(2)
+	}
+	spec, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "teagen: unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	p, err := workload.Generate(spec, *target)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "teagen: %v\n", err)
+		os.Exit(1)
+	}
+	text := asm.Write(p)
+
+	path := *out
+	if path == "" {
+		path = spec.Name + ".s"
+	}
+	if path == "-" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "teagen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "teagen: wrote %s (%d instructions, %d bytes of text)\n",
+		path, p.Len(), len(text))
+}

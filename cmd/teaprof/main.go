@@ -1,0 +1,105 @@
+// Command teaprof is the "pintool" of the paper's evaluation: it records a
+// TEA for a program, or loads a previously recorded TEA and replays (and
+// optionally profiles) it against a fresh execution of the unmodified
+// program.
+//
+// Usage:
+//
+//	teaprof -bench mcf -record out.tea              # record (Table 3 mode)
+//	teaprof -bench mcf -replay out.tea              # replay (Table 2 mode)
+//	teaprof -bench mcf -replay out.tea -profile     # + per-trace profile
+//	teaprof -asm prog.s -record out.tea             # use an assembly file
+//	teaprof -bench gcc -record out.tea -strategy tt # TT instead of MRET
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	tea "github.com/lsc-tea/tea"
+	"github.com/lsc-tea/tea/internal/cli"
+)
+
+func main() {
+	bench := flag.String("bench", "", "synthetic benchmark name (e.g. mcf, 176.gcc)")
+	asmFile := flag.String("asm", "", "assembly source file to run instead of -bench")
+	target := flag.Uint64("target", 1_000_000, "dynamic instruction target for -bench")
+	record := flag.String("record", "", "record a TEA and write it to this file")
+	replay := flag.String("replay", "", "load a TEA from this file and replay it")
+	strategy := flag.String("strategy", "mret", "trace strategy: mret, tt, ctt, mfet")
+	threshold := flag.Int("threshold", 12, "hot threshold")
+	profileFlag := flag.Bool("profile", false, "with -replay: collect and print the trace profile")
+	top := flag.Int("top", 5, "with -profile: how many hottest traces to print")
+	flag.Parse()
+
+	prog, err := cli.LoadProgram("teaprof", *bench, *asmFile, *target)
+	if err != nil {
+		fail(err)
+	}
+
+	switch {
+	case *record != "":
+		a, stats, err := tea.RecordOnline(prog, *strategy, tea.TraceConfig{HotThreshold: *threshold}, tea.ConfigGlobalLocal)
+		if err != nil {
+			fail(err)
+		}
+		data := tea.Encode(a)
+		if err := os.WriteFile(*record, data, 0o644); err != nil {
+			fail(err)
+		}
+		set := a.Set()
+		fmt.Printf("recorded %d traces (%d TBBs) with %s\n", set.Len(), set.NumTBBs(), *strategy)
+		fmt.Printf("recording-run coverage: %.1f%% of %d instructions\n", stats.Coverage()*100, stats.Instrs)
+		fmt.Printf("wrote %s: %d bytes (code replication would take %d bytes, %.0f%% savings)\n",
+			*record, len(data), tea.CodeBytes(set),
+			(1-float64(len(data))/float64(tea.CodeBytes(set)))*100)
+
+	case *replay != "":
+		data, err := os.ReadFile(*replay)
+		if err != nil {
+			fail(err)
+		}
+		a, err := tea.Decode(data, prog)
+		if err != nil {
+			fail(err)
+		}
+		if *profileFlag {
+			prof, stats, err := tea.ProfileReplay(prog, a, tea.ConfigGlobalLocal, nil)
+			if err != nil {
+				fail(err)
+			}
+			printStats(stats)
+			fmt.Printf("\nhottest traces:\n")
+			for _, h := range prof.HottestTraces(*top) {
+				fmt.Printf("  %-28v entered %8d  instrs %10d  exit ratio %.3f\n",
+					h.Trace, h.Enters, h.Instrs, prof.ExitRatio(h.Trace))
+			}
+			return
+		}
+		stats, err := tea.Replay(prog, a, tea.ConfigGlobalLocal)
+		if err != nil {
+			fail(err)
+		}
+		printStats(stats)
+
+	default:
+		fmt.Fprintln(os.Stderr, "teaprof: one of -record or -replay is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printStats(s *tea.ReplayStats) {
+	fmt.Printf("replay coverage: %.1f%% of %d instructions (%d blocks)\n",
+		s.Coverage()*100, s.Instrs, s.Blocks)
+	fmt.Printf("transitions: %d in-trace, %d enters, %d links, %d exits\n",
+		s.InTraceHits, s.TraceEnters, s.TraceLinks, s.TraceExits)
+	fmt.Printf("lookups: %d local hits, %d local misses, %d global (%d hits)\n",
+		s.LocalHits, s.LocalMisses, s.GlobalLookups, s.GlobalHits)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "teaprof: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+package tea_test
+
+import (
+	"fmt"
+
+	tea "github.com/lsc-tea/tea"
+)
+
+// exampleSrc is a small program with one hot loop.
+const exampleSrc = `
+.entry main
+main:
+    movi ebp, 80
+round:
+    movi eax, 0
+    movi esi, 100
+    movi ecx, 64
+loop:
+    load  ebx, [esi+0]
+    add   eax, ebx
+    addi  esi, 1
+    subi  ecx, 1
+    jne   loop
+    subi ebp, 1
+    jgt  round
+    halt
+`
+
+// ExampleBuild shows the paper's Algorithm 1: traces in, automaton out.
+func ExampleBuild() {
+	prog := tea.MustAssemble("sum", exampleSrc)
+	set, err := tea.RecordTraces(prog, "mret", tea.TraceConfig{HotThreshold: 50})
+	if err != nil {
+		panic(err)
+	}
+	a := tea.Build(set)
+	fmt.Println("states:", a.NumStates(), "entries:", len(a.Entries()))
+	// Output:
+	// states: 4 entries: 3
+}
+
+// ExampleReplay shows cross-run replay: the automaton maps a fresh
+// execution of the unmodified program back onto the recorded traces.
+func ExampleReplay() {
+	prog := tea.MustAssemble("sum", exampleSrc)
+	set, _ := tea.RecordTraces(prog, "mret", tea.TraceConfig{HotThreshold: 50})
+	a := tea.Build(set)
+
+	stats, err := tea.Replay(prog, a, tea.ConfigGlobalLocal)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("coverage: %.0f%%\n", stats.Coverage()*100)
+	// Output:
+	// coverage: 100%
+}
+
+// ExampleEncode shows the wire format round-trip: the serialized automaton
+// is a fraction of the replicated-code cost and decodes against the
+// original program.
+func ExampleEncode() {
+	prog := tea.MustAssemble("sum", exampleSrc)
+	set, _ := tea.RecordTraces(prog, "mret", tea.TraceConfig{HotThreshold: 50})
+	a := tea.Build(set)
+
+	data := tea.Encode(a)
+	restored, err := tea.Decode(data, prog)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("round trip ok:", restored.NumStates() == a.NumStates())
+	fmt.Println("smaller than code:", uint64(len(data)) < tea.CodeBytes(set))
+	// Output:
+	// round trip ok: true
+	// smaller than code: true
+}
+
+// ExampleRecordOnline shows Algorithm 2: the TEA is built while the
+// program runs under the instrumentation engine, with no code generation.
+func ExampleRecordOnline() {
+	prog := tea.MustAssemble("sum", exampleSrc)
+	a, stats, err := tea.RecordOnline(prog, "mret",
+		tea.TraceConfig{HotThreshold: 50}, tea.ConfigGlobalLocal)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("traces:", a.Set().Len(), "coverage above 90%:", stats.Coverage() > 0.9)
+	// Output:
+	// traces: 3 coverage above 90%: true
+}

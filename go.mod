@@ -1,0 +1,3 @@
+module github.com/lsc-tea/tea
+
+go 1.22

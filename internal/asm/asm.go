@@ -1,0 +1,358 @@
+// Package asm implements a small two-pass assembler for the synthetic ISA.
+//
+// The source format mirrors the paper's figures so that the motivating
+// examples (the memcopy loop of Figure 1 and the linked-list scan of
+// Figure 2) can be written verbatim:
+//
+//	; word-copy loop from Figure 1(a)
+//	.entry main
+//	.mem 4096
+//	main:
+//	    movi ecx, 100
+//	loop:
+//	    load  eax, [esi+0]
+//	    store [edi+0], eax
+//	    addi  esi, 1
+//	    addi  edi, 1
+//	    subi  ecx, 1
+//	    jne   loop
+//	    halt
+//
+// Directives: ".entry LABEL" names the entry point, ".mem N" sets the data
+// memory size in words, ".data ADDR = VALUE" initializes one data word.
+// Branch targets are labels; encoded instruction sizes never depend on the
+// distance to the target, so one emit pass plus a fixup pass suffices.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/lsc-tea/tea/internal/isa"
+)
+
+// Error describes an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type fixup struct {
+	index int
+	label string
+	line  int
+}
+
+// Assemble translates source text into a laid-out Program.
+func Assemble(name, src string) (*isa.Program, error) {
+	b := isa.NewBuilder(name)
+	var fixups []fixup
+	entry := ""
+	memWords := 1 << 16
+	type dataInit struct{ addr, val int64 }
+	var inits []dataInit
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		lineNo := ln + 1
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+
+		// Directives.
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case ".entry":
+				if len(fields) != 2 {
+					return nil, &Error{lineNo, ".entry takes one label"}
+				}
+				entry = fields[1]
+			case ".mem":
+				if len(fields) != 2 {
+					return nil, &Error{lineNo, ".mem takes one size"}
+				}
+				n, err := parseInt(fields[1])
+				if err != nil || n <= 0 {
+					return nil, &Error{lineNo, "bad .mem size"}
+				}
+				memWords = int(n)
+			case ".data":
+				rest := strings.TrimSpace(strings.TrimPrefix(line, ".data"))
+				parts := strings.SplitN(rest, "=", 2)
+				if len(parts) != 2 {
+					return nil, &Error{lineNo, ".data wants ADDR = VALUE"}
+				}
+				addr, err1 := parseInt(strings.TrimSpace(parts[0]))
+				val, err2 := parseInt(strings.TrimSpace(parts[1]))
+				if err1 != nil || err2 != nil {
+					return nil, &Error{lineNo, "bad .data operands"}
+				}
+				inits = append(inits, dataInit{addr, val})
+			default:
+				return nil, &Error{lineNo, fmt.Sprintf("unknown directive %s", fields[0])}
+			}
+			continue
+		}
+
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t,") {
+				return nil, &Error{lineNo, fmt.Sprintf("bad label %q", label)}
+			}
+			b.Label(label)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		in, labelRef, err := parseInstr(line)
+		if err != nil {
+			return nil, &Error{lineNo, err.Error()}
+		}
+		idx := b.Emit(in)
+		if labelRef != "" {
+			fixups = append(fixups, fixup{idx, labelRef, lineNo})
+		}
+	}
+
+	for _, f := range fixups {
+		addr, ok := b.LabelAddr(f.label)
+		if !ok {
+			return nil, &Error{f.line, fmt.Sprintf("undefined label %q", f.label)}
+		}
+		b.PatchTarget(f.index, addr)
+	}
+
+	p, err := b.Build(entry, memWords)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range inits {
+		p.InitData[d.addr] = d.val
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble for known-good sources; it panics on error.
+func MustAssemble(name, src string) *isa.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// parseInstr parses one instruction line. When the instruction references a
+// label as its branch target, the label is returned for later fixup.
+func parseInstr(line string) (isa.Instr, string, error) {
+	var in isa.Instr
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	ops := splitOperands(rest)
+
+	switch mnemonic {
+	case "nop", "cpuid", "halt", "ret", "repmovs", "repstos":
+		if len(ops) != 0 {
+			return in, "", fmt.Errorf("%s takes no operands", mnemonic)
+		}
+		switch mnemonic {
+		case "nop":
+			in.Op = isa.NOP
+		case "cpuid":
+			in.Op = isa.CPUID
+		case "halt":
+			in.Op = isa.HALT
+		case "ret":
+			in.Op = isa.RET
+		case "repmovs":
+			in.Op = isa.REPMOVS
+		case "repstos":
+			in.Op = isa.REPSTOS
+		}
+		in.Dst, in.Src = isa.NoReg, isa.NoReg
+		return in, "", nil
+
+	case "mov", "add", "sub", "mul", "and", "or", "xor", "cmp", "test":
+		if len(ops) != 2 {
+			return in, "", fmt.Errorf("%s wants dst, src", mnemonic)
+		}
+		dst, ok1 := isa.RegByName(ops[0])
+		src, ok2 := isa.RegByName(ops[1])
+		if !ok1 || !ok2 {
+			return in, "", fmt.Errorf("%s wants two registers", mnemonic)
+		}
+		in.Op = map[string]isa.Op{
+			"mov": isa.MOV, "add": isa.ADD, "sub": isa.SUB, "mul": isa.MUL,
+			"and": isa.AND, "or": isa.OR, "xor": isa.XOR, "cmp": isa.CMP, "test": isa.TEST,
+		}[mnemonic]
+		in.Dst, in.Src = dst, src
+		return in, "", nil
+
+	case "movi", "addi", "subi", "cmpi", "shl", "shr":
+		if len(ops) != 2 {
+			return in, "", fmt.Errorf("%s wants dst, imm", mnemonic)
+		}
+		dst, ok := isa.RegByName(ops[0])
+		if !ok {
+			return in, "", fmt.Errorf("%s wants a register destination", mnemonic)
+		}
+		imm, err := parseInt(ops[1])
+		if err != nil {
+			return in, "", fmt.Errorf("bad immediate %q", ops[1])
+		}
+		in.Op = map[string]isa.Op{
+			"movi": isa.MOVI, "addi": isa.ADDI, "subi": isa.SUBI,
+			"cmpi": isa.CMPI, "shl": isa.SHL, "shr": isa.SHR,
+		}[mnemonic]
+		in.Dst, in.Src, in.Imm = dst, isa.NoReg, imm
+		return in, "", nil
+
+	case "load":
+		if len(ops) != 2 {
+			return in, "", fmt.Errorf("load wants dst, [base+disp]")
+		}
+		dst, ok := isa.RegByName(ops[0])
+		if !ok {
+			return in, "", fmt.Errorf("load wants a register destination")
+		}
+		base, disp, err := parseMem(ops[1])
+		if err != nil {
+			return in, "", err
+		}
+		in.Op, in.Dst, in.Src, in.Disp = isa.LOAD, dst, base, disp
+		return in, "", nil
+
+	case "store":
+		if len(ops) != 2 {
+			return in, "", fmt.Errorf("store wants [base+disp], src")
+		}
+		base, disp, err := parseMem(ops[0])
+		if err != nil {
+			return in, "", err
+		}
+		src, ok := isa.RegByName(ops[1])
+		if !ok {
+			return in, "", fmt.Errorf("store wants a register source")
+		}
+		in.Op, in.Dst, in.Src, in.Disp = isa.STORE, base, src, disp
+		return in, "", nil
+
+	case "jmp", "call":
+		if len(ops) != 1 {
+			return in, "", fmt.Errorf("%s wants one target label", mnemonic)
+		}
+		if mnemonic == "jmp" {
+			in.Op = isa.JMP
+		} else {
+			in.Op = isa.CALL
+		}
+		in.Dst, in.Src = isa.NoReg, isa.NoReg
+		return in, ops[0], nil
+
+	case "jind", "callind", "push":
+		if len(ops) != 1 {
+			return in, "", fmt.Errorf("%s wants one register", mnemonic)
+		}
+		r, ok := isa.RegByName(ops[0])
+		if !ok {
+			return in, "", fmt.Errorf("%s wants a register", mnemonic)
+		}
+		switch mnemonic {
+		case "jind":
+			in.Op = isa.JIND
+		case "callind":
+			in.Op = isa.CALLIND
+		case "push":
+			in.Op = isa.PUSH
+		}
+		in.Dst, in.Src = isa.NoReg, r
+		return in, "", nil
+
+	case "pop":
+		if len(ops) != 1 {
+			return in, "", fmt.Errorf("pop wants one register")
+		}
+		r, ok := isa.RegByName(ops[0])
+		if !ok {
+			return in, "", fmt.Errorf("pop wants a register")
+		}
+		in.Op, in.Dst, in.Src = isa.POP, r, isa.NoReg
+		return in, "", nil
+	}
+
+	// Conditional branches: jeq, jne, jlt, jge, jle, jgt.
+	if strings.HasPrefix(mnemonic, "j") {
+		if c, ok := isa.CondByName(mnemonic[1:]); ok {
+			if len(ops) != 1 {
+				return in, "", fmt.Errorf("%s wants one target label", mnemonic)
+			}
+			in.Op, in.Cond = isa.JCC, c
+			in.Dst, in.Src = isa.NoReg, isa.NoReg
+			return in, ops[0], nil
+		}
+	}
+	return in, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+}
+
+func splitOperands(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+// parseMem parses a "[reg+disp]" / "[reg-disp]" / "[reg]" memory operand.
+func parseMem(s string) (isa.Reg, int32, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return isa.NoReg, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	sign := int64(1)
+	regPart, dispPart := inner, ""
+	if i := strings.IndexAny(inner, "+-"); i > 0 {
+		if inner[i] == '-' {
+			sign = -1
+		}
+		regPart, dispPart = strings.TrimSpace(inner[:i]), strings.TrimSpace(inner[i+1:])
+	}
+	r, ok := isa.RegByName(regPart)
+	if !ok {
+		return isa.NoReg, 0, fmt.Errorf("bad base register in %q", s)
+	}
+	var disp int64
+	if dispPart != "" {
+		d, err := parseInt(dispPart)
+		if err != nil {
+			return isa.NoReg, 0, fmt.Errorf("bad displacement in %q", s)
+		}
+		disp = sign * d
+	}
+	return r, int32(disp), nil
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(s, 0, 64)
+}

@@ -1,0 +1,193 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/isa"
+)
+
+func TestAssembleFigure1Loop(t *testing.T) {
+	// The word-copy loop of the paper's Figure 1(a).
+	src := `
+; Figure 1(a)
+.entry main
+.mem 1024
+main:
+    movi ecx, 100
+    movi esi, 0
+    movi edi, 200
+loop:
+    load  eax, [esi+0]
+    store [edi+0], eax
+    addi  esi, 1
+    addi  edi, 1
+    subi  ecx, 1
+    jne   loop
+    halt
+`
+	p, err := Assemble("fig1", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", p.Len())
+	}
+	loop, ok := p.Labels["loop"]
+	if !ok {
+		t.Fatal("loop label missing")
+	}
+	// The jne must target the loop label.
+	var jcc *isa.Instr
+	for i := 0; i < p.Len(); i++ {
+		if p.Instr(i).Op == isa.JCC {
+			jcc = p.Instr(i)
+		}
+	}
+	if jcc == nil || jcc.Target != loop {
+		t.Fatalf("jne target = %+v, want 0x%x", jcc, loop)
+	}
+	if jcc.Cond != isa.CondNE {
+		t.Errorf("cond = %v, want ne", jcc.Cond)
+	}
+}
+
+func TestAssembleAllForms(t *testing.T) {
+	src := `
+.entry e
+.mem 256
+.data 10 = 42
+.data 0x20 = -7
+e:
+    nop
+    cpuid
+    mov eax, ebx
+    movi ecx, 0x10
+    load edx, [esi-4]
+    store [edi+8], eax
+    add eax, ebx
+    addi eax, 5
+    sub eax, ebx
+    subi eax, 5
+    mul eax, ebx
+    and eax, ebx
+    or eax, ebx
+    xor eax, ebx
+    shl eax, 3
+    shr eax, 3
+    cmp eax, ebx
+    cmpi eax, 0
+    test eax, ebx
+    push ebp
+    pop ebp
+    repmovs
+    repstos
+tgt: jmp over
+over:
+    jeq tgt
+    jne tgt
+    jlt tgt
+    jge tgt
+    jle tgt
+    jgt tgt
+    call fn
+    jind eax
+fn:
+    callind ebx
+    ret
+    halt
+`
+	p, err := Assemble("all", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InitData[10] != 42 || p.InitData[0x20] != -7 {
+		t.Errorf("InitData = %v", p.InitData)
+	}
+	if p.MemWords != 256 {
+		t.Errorf("MemWords = %d", p.MemWords)
+	}
+	if _, ok := p.Labels["fn"]; !ok {
+		t.Error("fn label missing")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "e:\n frob eax\n", "unknown mnemonic"},
+		{"undefined label", ".entry e\ne:\n jmp nowhere\n halt\n", "undefined label"},
+		{"bad register", "e:\n mov eax, r9\n halt\n", "registers"},
+		{"bad mem operand", "e:\n load eax, esi\n halt\n", "memory operand"},
+		{"bad immediate", "e:\n movi eax, xyz\n halt\n", "immediate"},
+		{"bad directive", ".frobnicate 3\ne:\n halt\n", "unknown directive"},
+		{"bad data", ".data 1\ne:\n halt\n", "ADDR = VALUE"},
+		{"operand count", "e:\n mov eax\n halt\n", "wants"},
+		{"missing entry", ".entry gone\ne:\n halt\n", "not defined"},
+		{"bad label", "a b:\n halt\n", "bad label"},
+		{"bad mem size", ".mem -1\ne:\n halt\n", "bad .mem"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble("bad", c.src)
+			if err == nil {
+				t.Fatalf("Assemble accepted %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("bad", "e:\n nop\n frob\n halt\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var ae *Error
+	if !asErr(err, &ae) {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Line != 3 {
+		t.Errorf("Line = %d, want 3", ae.Line)
+	}
+}
+
+func asErr(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p, err := Assemble("c", "; leading comment\n\ne: nop ; trailing\n halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d, want 2", p.Len())
+	}
+}
+
+func TestMultipleLabelsSameLine(t *testing.T) {
+	p, err := Assemble("m", "a: b: nop\n halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["a"] != p.Labels["b"] {
+		t.Error("labels a and b differ")
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble("bad", "frob\n")
+}

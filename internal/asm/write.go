@@ -1,0 +1,90 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/lsc-tea/tea/internal/isa"
+)
+
+// Write renders a program back to assembler source that Assemble accepts
+// and that reproduces the program exactly: same layout, same instruction
+// stream, same entry and initial data. Existing label names are preserved;
+// unnamed branch targets get synthetic "L_<hex>" labels.
+//
+// The round trip holds because instruction sizes are deterministic in the
+// operands (never in label distances), so a re-assembly lays every
+// instruction at its original address.
+func Write(p *isa.Program) string {
+	labels := collectLabels(p)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "; %s — written by asm.Write; assembles back to the identical program.\n", p.Name)
+	if entry := labels[p.Entry]; len(entry) > 0 {
+		fmt.Fprintf(&b, ".entry %s\n", entry[0])
+	}
+	fmt.Fprintf(&b, ".mem %d\n", p.MemWords)
+
+	dataAddrs := make([]int64, 0, len(p.InitData))
+	for a := range p.InitData {
+		dataAddrs = append(dataAddrs, a)
+	}
+	sort.Slice(dataAddrs, func(i, j int) bool { return dataAddrs[i] < dataAddrs[j] })
+	for _, a := range dataAddrs {
+		fmt.Fprintf(&b, ".data %d = %d\n", a, p.InitData[a])
+	}
+
+	for i := 0; i < p.Len(); i++ {
+		in := p.Instr(i)
+		for _, name := range labels[in.Addr] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		b.WriteString("    ")
+		b.WriteString(render(in, labels))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// collectLabels maps every labelled address to its (sorted) names,
+// inventing names for unlabelled branch targets and for the entry.
+func collectLabels(p *isa.Program) map[uint64][]string {
+	out := make(map[uint64][]string)
+	for name, addr := range p.Labels {
+		out[addr] = append(out[addr], name)
+	}
+	need := func(addr uint64) {
+		if len(out[addr]) == 0 {
+			out[addr] = []string{fmt.Sprintf("L_%x", addr)}
+		}
+	}
+	need(p.Entry)
+	for i := 0; i < p.Len(); i++ {
+		in := p.Instr(i)
+		switch in.Op {
+		case isa.JMP, isa.JCC, isa.CALL:
+			need(in.Target)
+		}
+	}
+	for addr := range out {
+		sort.Strings(out[addr])
+	}
+	return out
+}
+
+// render prints one instruction in assembler syntax; direct branches use
+// label names.
+func render(in *isa.Instr, labels map[uint64][]string) string {
+	switch in.Op {
+	case isa.JMP:
+		return fmt.Sprintf("jmp %s", labels[in.Target][0])
+	case isa.CALL:
+		return fmt.Sprintf("call %s", labels[in.Target][0])
+	case isa.JCC:
+		return fmt.Sprintf("j%s %s", in.Cond, labels[in.Target][0])
+	default:
+		// Instr.String already matches the assembler's operand syntax.
+		return in.String()
+	}
+}

@@ -1,0 +1,137 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/cpu"
+	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/workload"
+)
+
+// assertSameProgram compares two programs instruction by instruction.
+func assertSameProgram(t *testing.T, a, b *isa.Program) {
+	t.Helper()
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	if a.Entry != b.Entry {
+		t.Fatalf("entries differ: 0x%x vs 0x%x", a.Entry, b.Entry)
+	}
+	if a.MemWords != b.MemWords {
+		t.Fatalf("mem sizes differ")
+	}
+	for i := 0; i < a.Len(); i++ {
+		x, y := a.Instr(i), b.Instr(i)
+		if *x != *y {
+			t.Fatalf("instruction %d differs:\n  %v (addr 0x%x size %d)\n  %v (addr 0x%x size %d)",
+				i, x, x.Addr, x.Size, y, y.Addr, y.Size)
+		}
+	}
+	if len(a.InitData) != len(b.InitData) {
+		t.Fatalf("init data sizes differ")
+	}
+	for k, v := range a.InitData {
+		if b.InitData[k] != v {
+			t.Fatalf("init data at %d differs", k)
+		}
+	}
+}
+
+func TestWriteRoundTripSimple(t *testing.T) {
+	src := `
+.entry main
+.mem 512
+.data 10 = -7
+.data 11 = 42
+main:
+    movi ecx, 5
+loop:
+    load eax, [esi+0]
+    store [edi-3], eax
+    addi esi, 1
+    subi ecx, 1
+    jne loop
+    call fn
+    halt
+fn:
+    cpuid
+    repmovs
+    push ebp
+    pop ebp
+    jind eax
+`
+	p1 := MustAssemble("rt", src)
+	text := Write(p1)
+	p2, err := Assemble("rt2", text)
+	if err != nil {
+		t.Fatalf("rewritten source does not assemble: %v\n%s", err, text)
+	}
+	assertSameProgram(t, p1, p2)
+}
+
+func TestWriteRoundTripAllBenchmarks(t *testing.T) {
+	// The strongest property: every synthetic SPEC program survives the
+	// write → assemble round trip byte-exactly, and the re-assembled
+	// program executes identically.
+	for _, spec := range workload.Benchmarks() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			spec.WorkScale = 1
+			p1 := workload.Program(spec)
+			p2, err := Assemble(spec.Name, Write(p1))
+			if err != nil {
+				t.Fatalf("round trip failed to assemble: %v", err)
+			}
+			assertSameProgram(t, p1, p2)
+
+			m1, m2 := cpu.New(p1), cpu.New(p2)
+			if err := m1.Run(50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if err := m2.Run(50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if m1.Steps() != m2.Steps() || m1.PinSteps() != m2.PinSteps() {
+				t.Error("round-tripped program executes differently")
+			}
+		})
+	}
+}
+
+func TestWritePreservesLabelNames(t *testing.T) {
+	p := MustAssemble("l", ".entry main\nmain:\n nop\ntarget:\n jmp target\n")
+	text := Write(p)
+	for _, want := range []string{".entry main", "main:", "target:", "jmp target"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWriteInventsLabelsForAnonymousTargets(t *testing.T) {
+	// A program built directly (no label on the branch target) still
+	// round-trips via synthetic labels.
+	b := isa.NewBuilder("anon")
+	b.Label("e")
+	b.Emit(isa.Instr{Op: isa.NOP, Dst: isa.NoReg, Src: isa.NoReg})
+	target := b.PC()
+	b.Emit(isa.Instr{Op: isa.ADDI, Dst: isa.EAX, Src: isa.NoReg, Imm: 1})
+	j := b.Emit(isa.Instr{Op: isa.JMP, Dst: isa.NoReg, Src: isa.NoReg})
+	b.PatchTarget(j, target)
+	b.Emit(isa.Instr{Op: isa.HALT, Dst: isa.NoReg, Src: isa.NoReg})
+	p1, err := b.Build("e", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Write(p1)
+	if !strings.Contains(text, "L_") {
+		t.Errorf("no synthetic label:\n%s", text)
+	}
+	p2, err := Assemble("anon2", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameProgram(t, p1, p2)
+}

@@ -1,0 +1,416 @@
+// Package btree implements a B+ tree keyed by 64-bit addresses.
+//
+// The paper's optimized TEA transition function keeps all trace entry
+// points in "a global B+ tree" consulted whenever execution transfers from
+// cold code to a trace or between traces (§4.2, Table 4). This package is
+// that structure. The tree counts node probes so the experiment harness can
+// charge a realistic cost per lookup, and the fanout is configurable so the
+// ablation bench can sweep it.
+package btree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultOrder is the default maximum number of keys per node.
+const DefaultOrder = 16
+
+// Map is a B+ tree from uint64 keys to values of type V. The zero value is
+// not usable; construct with New.
+type Map[V any] struct {
+	order  int
+	root   node[V]
+	height int
+	size   int
+	probes uint64
+}
+
+type node[V any] interface {
+	// probe-visits are charged by the caller.
+	isNode()
+}
+
+type leaf[V any] struct {
+	keys []uint64
+	vals []V
+	next *leaf[V]
+}
+
+type inner[V any] struct {
+	// keys[i] is the smallest key reachable under kids[i+1].
+	keys []uint64
+	kids []node[V]
+}
+
+func (*leaf[V]) isNode()  {}
+func (*inner[V]) isNode() {}
+
+// New creates an empty tree with the given order (maximum keys per node).
+// Orders below 3 are raised to 3.
+func New[V any](order int) *Map[V] {
+	if order < 3 {
+		order = 3
+	}
+	return &Map[V]{order: order, root: &leaf[V]{}, height: 1}
+}
+
+// Len returns the number of keys stored.
+func (t *Map[V]) Len() int { return t.size }
+
+// Height returns the number of node levels (1 for a single leaf).
+func (t *Map[V]) Height() int { return t.height }
+
+// Probes returns the cumulative number of tree nodes visited by Get, Put
+// and Delete since construction (or the last ResetProbes). The experiment
+// cost model charges lookups by this count.
+func (t *Map[V]) Probes() uint64 { return t.probes }
+
+// ResetProbes zeroes the probe counter.
+func (t *Map[V]) ResetProbes() { t.probes = 0 }
+
+// Get returns the value stored under key.
+func (t *Map[V]) Get(key uint64) (V, bool) {
+	n := t.root
+	for {
+		t.probes++
+		switch x := n.(type) {
+		case *inner[V]:
+			n = x.kids[childIndex(x.keys, key)]
+		case *leaf[V]:
+			i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] >= key })
+			if i < len(x.keys) && x.keys[i] == key {
+				return x.vals[i], true
+			}
+			var zero V
+			return zero, false
+		}
+	}
+}
+
+// Floor returns the largest key <= key and its value. It reports ok=false
+// when every stored key is greater than key.
+//
+// The descent needs no backtracking: an inner node routes key to child i
+// only when the child's subtree minimum (the separator keys[i-1]) is <=
+// key, so a miss inside the located leaf can only happen in the globally
+// leftmost leaf — where there is no floor at all.
+func (t *Map[V]) Floor(key uint64) (uint64, V, bool) {
+	var zero V
+	n := t.root
+	for {
+		t.probes++
+		switch x := n.(type) {
+		case *inner[V]:
+			n = x.kids[childIndex(x.keys, key)]
+		case *leaf[V]:
+			i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] > key })
+			if i > 0 {
+				return x.keys[i-1], x.vals[i-1], true
+			}
+			return 0, zero, false
+		}
+	}
+}
+
+// childIndex returns which child of an inner node covers key.
+func childIndex(keys []uint64, key uint64) int {
+	return sort.Search(len(keys), func(i int) bool { return keys[i] > key })
+}
+
+// Put stores val under key, replacing any previous value.
+func (t *Map[V]) Put(key uint64, val V) {
+	split, sepKey, right := t.put(t.root, key, val)
+	if split {
+		t.root = &inner[V]{keys: []uint64{sepKey}, kids: []node[V]{t.root, right}}
+		t.height++
+	}
+}
+
+func (t *Map[V]) put(n node[V], key uint64, val V) (split bool, sepKey uint64, right node[V]) {
+	t.probes++
+	switch x := n.(type) {
+	case *leaf[V]:
+		i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] >= key })
+		if i < len(x.keys) && x.keys[i] == key {
+			x.vals[i] = val
+			return false, 0, nil
+		}
+		x.keys = append(x.keys, 0)
+		copy(x.keys[i+1:], x.keys[i:])
+		x.keys[i] = key
+		var zero V
+		x.vals = append(x.vals, zero)
+		copy(x.vals[i+1:], x.vals[i:])
+		x.vals[i] = val
+		t.size++
+		if len(x.keys) <= t.order {
+			return false, 0, nil
+		}
+		mid := len(x.keys) / 2
+		r := &leaf[V]{
+			keys: append([]uint64(nil), x.keys[mid:]...),
+			vals: append([]V(nil), x.vals[mid:]...),
+			next: x.next,
+		}
+		x.keys = x.keys[:mid:mid]
+		x.vals = x.vals[:mid:mid]
+		x.next = r
+		return true, r.keys[0], r
+
+	case *inner[V]:
+		ci := childIndex(x.keys, key)
+		childSplit, childSep, childRight := t.put(x.kids[ci], key, val)
+		if !childSplit {
+			return false, 0, nil
+		}
+		x.keys = append(x.keys, 0)
+		copy(x.keys[ci+1:], x.keys[ci:])
+		x.keys[ci] = childSep
+		x.kids = append(x.kids, nil)
+		copy(x.kids[ci+2:], x.kids[ci+1:])
+		x.kids[ci+1] = childRight
+		if len(x.keys) <= t.order {
+			return false, 0, nil
+		}
+		mid := len(x.keys) / 2
+		sep := x.keys[mid]
+		r := &inner[V]{
+			keys: append([]uint64(nil), x.keys[mid+1:]...),
+			kids: append([]node[V](nil), x.kids[mid+1:]...),
+		}
+		x.keys = x.keys[:mid:mid]
+		x.kids = x.kids[: mid+1 : mid+1]
+		return true, sep, r
+	}
+	panic("btree: unreachable")
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Map[V]) Delete(key uint64) bool {
+	removed := t.del(t.root, key)
+	if root, ok := t.root.(*inner[V]); ok && len(root.kids) == 1 {
+		t.root = root.kids[0]
+		t.height--
+	}
+	return removed
+}
+
+// minKeys is the underflow threshold for non-root nodes.
+func (t *Map[V]) minKeys() int { return t.order / 2 }
+
+func (t *Map[V]) del(n node[V], key uint64) bool {
+	t.probes++
+	switch x := n.(type) {
+	case *leaf[V]:
+		i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] >= key })
+		if i >= len(x.keys) || x.keys[i] != key {
+			return false
+		}
+		x.keys = append(x.keys[:i], x.keys[i+1:]...)
+		x.vals = append(x.vals[:i], x.vals[i+1:]...)
+		t.size--
+		return true
+
+	case *inner[V]:
+		ci := childIndex(x.keys, key)
+		removed := t.del(x.kids[ci], key)
+		if removed {
+			t.rebalance(x, ci)
+		}
+		return removed
+	}
+	panic("btree: unreachable")
+}
+
+// rebalance fixes up child ci of parent p after a deletion, borrowing from
+// or merging with a sibling when the child underflowed.
+func (t *Map[V]) rebalance(p *inner[V], ci int) {
+	switch c := p.kids[ci].(type) {
+	case *leaf[V]:
+		if len(c.keys) >= t.minKeys() {
+			return
+		}
+		if ci > 0 {
+			left := p.kids[ci-1].(*leaf[V])
+			if len(left.keys) > t.minKeys() {
+				// Borrow the rightmost entry of the left sibling.
+				n := len(left.keys) - 1
+				c.keys = append([]uint64{left.keys[n]}, c.keys...)
+				c.vals = append([]V{left.vals[n]}, c.vals...)
+				left.keys, left.vals = left.keys[:n], left.vals[:n]
+				p.keys[ci-1] = c.keys[0]
+				return
+			}
+		}
+		if ci < len(p.kids)-1 {
+			right := p.kids[ci+1].(*leaf[V])
+			if len(right.keys) > t.minKeys() {
+				c.keys = append(c.keys, right.keys[0])
+				c.vals = append(c.vals, right.vals[0])
+				right.keys = right.keys[1:]
+				right.vals = right.vals[1:]
+				p.keys[ci] = right.keys[0]
+				return
+			}
+		}
+		// Merge with a sibling.
+		if ci > 0 {
+			left := p.kids[ci-1].(*leaf[V])
+			left.keys = append(left.keys, c.keys...)
+			left.vals = append(left.vals, c.vals...)
+			left.next = c.next
+			removeChild(p, ci)
+		} else {
+			right := p.kids[ci+1].(*leaf[V])
+			c.keys = append(c.keys, right.keys...)
+			c.vals = append(c.vals, right.vals...)
+			c.next = right.next
+			removeChild(p, ci+1)
+		}
+
+	case *inner[V]:
+		if len(c.keys) >= t.minKeys() {
+			return
+		}
+		if ci > 0 {
+			left := p.kids[ci-1].(*inner[V])
+			if len(left.keys) > t.minKeys() {
+				// Rotate through the parent separator.
+				c.keys = append([]uint64{p.keys[ci-1]}, c.keys...)
+				c.kids = append([]node[V]{left.kids[len(left.kids)-1]}, c.kids...)
+				p.keys[ci-1] = left.keys[len(left.keys)-1]
+				left.keys = left.keys[:len(left.keys)-1]
+				left.kids = left.kids[:len(left.kids)-1]
+				return
+			}
+		}
+		if ci < len(p.kids)-1 {
+			right := p.kids[ci+1].(*inner[V])
+			if len(right.keys) > t.minKeys() {
+				c.keys = append(c.keys, p.keys[ci])
+				c.kids = append(c.kids, right.kids[0])
+				p.keys[ci] = right.keys[0]
+				right.keys = right.keys[1:]
+				right.kids = right.kids[1:]
+				return
+			}
+		}
+		if ci > 0 {
+			left := p.kids[ci-1].(*inner[V])
+			left.keys = append(left.keys, p.keys[ci-1])
+			left.keys = append(left.keys, c.keys...)
+			left.kids = append(left.kids, c.kids...)
+			removeChild(p, ci)
+		} else {
+			right := p.kids[ci+1].(*inner[V])
+			c.keys = append(c.keys, p.keys[ci])
+			c.keys = append(c.keys, right.keys...)
+			c.kids = append(c.kids, right.kids...)
+			removeChild(p, ci+1)
+		}
+	}
+}
+
+// removeChild drops child ci and its left separator from p.
+func removeChild[V any](p *inner[V], ci int) {
+	p.keys = append(p.keys[:ci-1], p.keys[ci:]...)
+	p.kids = append(p.kids[:ci], p.kids[ci+1:]...)
+}
+
+// Ascend calls fn for every key in ascending order until fn returns false.
+func (t *Map[V]) Ascend(fn func(key uint64, val V) bool) {
+	n := t.root
+	for {
+		if in, ok := n.(*inner[V]); ok {
+			n = in.kids[0]
+			continue
+		}
+		break
+	}
+	for l := n.(*leaf[V]); l != nil; l = l.next {
+		for i, k := range l.keys {
+			if !fn(k, l.vals[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Check validates the structural invariants of the tree: sorted keys,
+// separator correctness, node occupancy and leaf chaining. It returns an
+// error describing the first violation found. Intended for tests.
+func (t *Map[V]) Check() error {
+	count := 0
+	var prevLeaf *leaf[V]
+	var walk func(n node[V], lo, hi uint64, depth int, root bool) error
+	maxDepth := -1
+	walk = func(n node[V], lo, hi uint64, depth int, root bool) error {
+		switch x := n.(type) {
+		case *leaf[V]:
+			if maxDepth < 0 {
+				maxDepth = depth
+			} else if depth != maxDepth {
+				return fmt.Errorf("btree: leaves at unequal depths %d vs %d", depth, maxDepth)
+			}
+			if !root && len(x.keys) < t.minKeys() {
+				return fmt.Errorf("btree: leaf underflow: %d keys", len(x.keys))
+			}
+			if len(x.keys) > t.order {
+				return fmt.Errorf("btree: leaf overflow: %d keys", len(x.keys))
+			}
+			for i, k := range x.keys {
+				if k < lo || k >= hi {
+					return fmt.Errorf("btree: key %d outside [%d,%d)", k, lo, hi)
+				}
+				if i > 0 && x.keys[i-1] >= k {
+					return fmt.Errorf("btree: unsorted leaf keys")
+				}
+			}
+			if prevLeaf != nil && prevLeaf.next != x {
+				return fmt.Errorf("btree: broken leaf chain")
+			}
+			prevLeaf = x
+			count += len(x.keys)
+			return nil
+		case *inner[V]:
+			if len(x.kids) != len(x.keys)+1 {
+				return fmt.Errorf("btree: inner with %d keys, %d kids", len(x.keys), len(x.kids))
+			}
+			if !root && len(x.keys) < t.minKeys() {
+				return fmt.Errorf("btree: inner underflow: %d keys", len(x.keys))
+			}
+			if len(x.keys) > t.order {
+				return fmt.Errorf("btree: inner overflow: %d keys", len(x.keys))
+			}
+			childLo := lo
+			for i := range x.kids {
+				childHi := hi
+				if i < len(x.keys) {
+					childHi = x.keys[i]
+				}
+				if childLo > childHi {
+					return fmt.Errorf("btree: separator order violation")
+				}
+				if err := walk(x.kids[i], childLo, childHi, depth+1, false); err != nil {
+					return err
+				}
+				if i < len(x.keys) {
+					childLo = x.keys[i]
+				}
+			}
+			return nil
+		}
+		return fmt.Errorf("btree: unknown node type")
+	}
+	if err := walk(t.root, 0, ^uint64(0), 1, true); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: size %d but %d keys reachable", t.size, count)
+	}
+	if maxDepth != t.height {
+		return fmt.Errorf("btree: height %d but leaves at depth %d", t.height, maxDepth)
+	}
+	return nil
+}

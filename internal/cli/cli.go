@@ -1,0 +1,35 @@
+// Package cli holds the program-selection logic shared by the command-line
+// tools: each takes either a synthetic benchmark name or an assembly file.
+package cli
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/lsc-tea/tea/internal/asm"
+	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/workload"
+)
+
+// LoadProgram resolves the -bench/-asm flag pair into a program. Exactly
+// one of bench and asmFile must be set.
+func LoadProgram(tool, bench, asmFile string, target uint64) (*isa.Program, error) {
+	switch {
+	case bench != "" && asmFile != "":
+		return nil, fmt.Errorf("%s: -bench and -asm are mutually exclusive", tool)
+	case bench != "":
+		spec, ok := workload.ByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("%s: unknown benchmark %q (see `teabench` for the list)", tool, bench)
+		}
+		return workload.Generate(spec, target)
+	case asmFile != "":
+		src, err := os.ReadFile(asmFile)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tool, err)
+		}
+		return asm.Assemble(asmFile, string(src))
+	default:
+		return nil, fmt.Errorf("%s: -bench or -asm is required", tool)
+	}
+}

@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadProgramBench(t *testing.T) {
+	p, err := LoadProgram("t", "mcf", "", 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "181.mcf" {
+		t.Errorf("name = %q", p.Name)
+	}
+}
+
+func TestLoadProgramAsm(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.s")
+	if err := os.WriteFile(path, []byte("e: halt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadProgram("t", "", path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 {
+		t.Errorf("Len = %d", p.Len())
+	}
+}
+
+func TestLoadProgramErrors(t *testing.T) {
+	cases := []struct {
+		bench, asm, wantSub string
+	}{
+		{"", "", "required"},
+		{"mcf", "x.s", "mutually exclusive"},
+		{"doom", "", "unknown benchmark"},
+		{"", "/nonexistent/file.s", "no such file"},
+	}
+	for _, c := range cases {
+		_, err := LoadProgram("t", c.bench, c.asm, 1000)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("LoadProgram(%q,%q) err = %v, want %q", c.bench, c.asm, err, c.wantSub)
+		}
+	}
+}
+
+func TestLoadProgramBadAsm(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.s")
+	if err := os.WriteFile(path, []byte("frobnicate\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProgram("t", "", path, 0); err == nil {
+		t.Error("bad assembly accepted")
+	}
+}

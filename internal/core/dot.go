@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the automaton's full logical transition relation as a
+// Graphviz digraph, in the style of the paper's Figure 3(b): one node per
+// state (NTE doubled-circled), edges labeled with the program counter that
+// triggers them, in-trace edges solid and entry/exit edges dashed.
+func Dot(a *Automaton, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=ellipse, fontname=\"Helvetica\"];\n")
+	b.WriteString("  NTE [shape=doublecircle];\n")
+	for i := 1; i < a.NumStates(); i++ {
+		s := a.State(StateID(i))
+		fmt.Fprintf(&b, "  s%d [label=%q];\n", i, s.Name())
+	}
+	for i := 0; i < a.NumStates(); i++ {
+		id := StateID(i)
+		for _, tr := range a.FullTransitions(id) {
+			style := "solid"
+			if !tr.InTrace {
+				style = "dashed"
+			}
+			fmt.Fprintf(&b, "  %s -> %s [label=\"0x%x\", style=%s];\n",
+				dotName(tr.From), dotName(tr.To), tr.Label, style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dotName(id StateID) string {
+	if id == NTE {
+		return "NTE"
+	}
+	return fmt.Sprintf("s%d", id)
+}
+
+// Summary renders a human-readable description of the automaton: the state
+// list with each state's full transitions, in deterministic order. The
+// linked-list example uses it to print the paper's Figure 3.
+func Summary(a *Automaton) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TEA: %d states (incl. NTE), %d in-trace transitions, %d trace entries\n",
+		a.NumStates(), a.NumTrans(), len(a.Entries()))
+	for i := 0; i < a.NumStates(); i++ {
+		s := a.State(StateID(i))
+		fmt.Fprintf(&b, "  %s\n", s.Name())
+		for _, tr := range a.FullTransitions(StateID(i)) {
+			kind := "in-trace"
+			if !tr.InTrace {
+				if tr.To == NTE {
+					kind = "to cold code"
+				} else if tr.From == NTE {
+					kind = "trace entry"
+				} else {
+					kind = "trace link"
+				}
+			}
+			fmt.Fprintf(&b, "    --0x%x--> %-18s (%s)\n", tr.Label, a.State(tr.To).Name(), kind)
+		}
+	}
+	return b.String()
+}

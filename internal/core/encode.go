@@ -1,0 +1,305 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/trace"
+)
+
+// Binary serialization of a TEA, the paper's third use-case: "storing trace
+// shape and profiling information for reuse in future executions". The
+// format stores only *state* — block identities, the in-trace transition
+// structure and a per-TBB profile counter — never code, which is where the
+// size savings of Table 1 come from.
+//
+// Layout (integers are varints; addresses are zig-zag deltas against the
+// previously written address, so nearby code costs ~2 bytes each):
+//
+//	magic "TEA2"
+//	strategy name (len, bytes)
+//	trace count, total state count
+//	per trace:
+//	    TBB count
+//	    per TBB:
+//	        head-address delta
+//	        instruction count, encoded byte size   (block identity check)
+//	        terminator class                       (block identity check)
+//	        profile counter                        (execution count, or 0)
+//	    per TBB: successor count, then per successor:
+//	        label delta (vs the TBB head), absolute target state id
+//
+// Decoding needs the original program (via a cfg.Cache using the same
+// block discipline that recorded the traces) to rebuild full block
+// metadata — exactly the paper's replay scenario, where the unmodified
+// executable is available on the replaying system. The stored instruction
+// count, byte size and terminator class cross-check that the re-discovered
+// block really is the recorded one.
+
+const magic = "TEA2"
+
+// termClass encodes the block terminator kind for decode-time validation.
+func termClass(in *isa.Instr) byte {
+	switch {
+	case in.IsCondBranch():
+		return 1
+	case in.IsCall():
+		return 2
+	case in.IsIndirect():
+		return 3 // ret or indirect jump
+	case in.IsBranch():
+		return 4 // direct jump or halt
+	default:
+		return 5 // Pin-style split (REP/CPUID) or decode fall-off
+	}
+}
+
+// Profiler supplies per-TBB execution counts for serialization; the
+// profile package implements it. A nil Profiler stores zero counts.
+type Profiler interface {
+	CountFor(tbb *trace.TBB) uint64
+}
+
+// Encode serializes the automaton's trace set without profile counts.
+func Encode(a *Automaton) []byte { return EncodeWithProfile(a, nil) }
+
+// EncodeWithProfile serializes the automaton along with per-TBB execution
+// counts from prof (zeros when prof is nil).
+func EncodeWithProfile(a *Automaton, prof Profiler) []byte {
+	out := make([]byte, 0, 64+12*a.NumStates())
+	out = append(out, magic...)
+	set := a.set
+	out = appendUvarint(out, uint64(len(set.Strategy)))
+	out = append(out, set.Strategy...)
+	out = appendUvarint(out, uint64(len(set.Traces)))
+	// Canonical state numbering: traces in order, TBBs in order, from 1
+	// (state 0 is NTE). An online-recorded automaton may have assigned its
+	// ids in a different order (tree extensions arrive late), so the wire
+	// format re-numbers; Decode rebuilds with the same rule.
+	canon := make(map[*trace.TBB]uint64, a.NumStates())
+	next := uint64(1)
+	for _, t := range set.Traces {
+		for _, tbb := range t.TBBs {
+			canon[tbb] = next
+			next++
+		}
+	}
+	out = appendUvarint(out, next)
+	prevAddr := uint64(0)
+	for _, t := range set.Traces {
+		out = appendUvarint(out, uint64(len(t.TBBs)))
+		for _, tbb := range t.TBBs {
+			out = appendZigzag(out, int64(tbb.Block.Head)-int64(prevAddr))
+			prevAddr = tbb.Block.Head
+			out = appendUvarint(out, uint64(tbb.Block.NumInstrs))
+			out = appendUvarint(out, tbb.Block.Bytes)
+			out = append(out, termClass(tbb.Block.Term))
+			var count uint64
+			if prof != nil {
+				count = prof.CountFor(tbb)
+			}
+			out = appendUvarint(out, count)
+		}
+		for _, tbb := range t.TBBs {
+			out = appendUvarint(out, uint64(len(tbb.Succs)))
+			for _, label := range tbb.SuccLabels() {
+				out = appendZigzag(out, int64(label)-int64(tbb.Block.Head))
+				succ := tbb.Succs[label]
+				id, ok := canon[succ]
+				if !ok {
+					panic(fmt.Sprintf("core: TBB %v not in its own set", succ))
+				}
+				out = appendUvarint(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// EncodedSize returns the serialized size in bytes (the "TEA" column of
+// Table 1; trace.Set.CodeBytes is the "DBT" column).
+func EncodedSize(a *Automaton) uint64 { return uint64(len(Encode(a))) }
+
+// DecodedProfile carries the profile counters read back by Decode, keyed
+// by state id.
+type DecodedProfile map[StateID]uint64
+
+// Decode reconstructs an automaton from Encode's output. Blocks are
+// re-discovered from the program through cache, which must use the block
+// discipline the traces were recorded under.
+func Decode(data []byte, cache *cfg.Cache) (*Automaton, error) {
+	a, _, err := DecodeWithProfile(data, cache)
+	return a, err
+}
+
+// DecodeWithProfile additionally returns the stored per-state profile
+// counters.
+func DecodeWithProfile(data []byte, cache *cfg.Cache) (*Automaton, DecodedProfile, error) {
+	d := &decoder{data: data}
+	if string(d.take(len(magic))) != magic {
+		return nil, nil, fmt.Errorf("core: bad magic")
+	}
+	nameLen := d.uvarint()
+	if d.err != nil || nameLen > uint64(len(d.data)) {
+		return nil, nil, fmt.Errorf("core: corrupt strategy name")
+	}
+	strategy := string(d.take(int(nameLen)))
+	set := trace.NewSet(strategy, cache.Program())
+	nTraces := d.uvarint()
+	nStates := d.uvarint()
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	prof := make(DecodedProfile)
+	prevAddr := uint64(0)
+	nextState := uint64(1) // state 0 is NTE
+	type pendingLink struct {
+		from   *trace.TBB
+		label  uint64
+		target uint64 // absolute state id
+	}
+	stateTBB := make(map[uint64]*trace.TBB)
+	var links []pendingLink
+
+	for ti := uint64(0); ti < nTraces; ti++ {
+		nTBBs := d.uvarint()
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		if nTBBs == 0 {
+			return nil, nil, fmt.Errorf("core: trace %d has no TBBs", ti+1)
+		}
+		var tr *trace.Trace
+		tbbs := make([]*trace.TBB, nTBBs)
+		for i := uint64(0); i < nTBBs; i++ {
+			delta := d.zigzag()
+			head := uint64(int64(prevAddr) + delta)
+			prevAddr = head
+			nInstr := d.uvarint()
+			nBytes := d.uvarint()
+			tclass := d.take(1)
+			count := d.uvarint()
+			if d.err != nil {
+				return nil, nil, d.err
+			}
+			b, err := cache.BlockAt(head)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: trace %d TBB %d: %v", ti+1, i, err)
+			}
+			if uint64(b.NumInstrs) != nInstr || b.Bytes != nBytes || termClass(b.Term) != tclass[0] {
+				return nil, nil, fmt.Errorf("core: trace %d TBB %d: block at 0x%x does not match recorded shape", ti+1, i, head)
+			}
+			if i == 0 {
+				tr, err = set.NewTrace(b)
+				if err != nil {
+					return nil, nil, fmt.Errorf("core: trace %d: %v", ti+1, err)
+				}
+				tbbs[0] = tr.Head()
+			} else {
+				tbbs[i] = tr.Append(b)
+			}
+			stateTBB[nextState] = tbbs[i]
+			if count > 0 {
+				prof[StateID(nextState)] = count
+			}
+			nextState++
+		}
+		for i := uint64(0); i < nTBBs; i++ {
+			nSucc := d.uvarint()
+			if d.err != nil {
+				return nil, nil, d.err
+			}
+			for k := uint64(0); k < nSucc; k++ {
+				delta := d.zigzag()
+				target := d.uvarint()
+				if d.err != nil {
+					return nil, nil, d.err
+				}
+				label := uint64(int64(tbbs[i].Block.Head) + delta)
+				links = append(links, pendingLink{tbbs[i], label, target})
+			}
+		}
+	}
+	if nextState != nStates {
+		return nil, nil, fmt.Errorf("core: header says %d states, stream has %d", nStates, nextState)
+	}
+	for _, l := range links {
+		succ, ok := stateTBB[l.target]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: transition to unknown state %d", l.target)
+		}
+		if succ.Trace != l.from.Trace {
+			return nil, nil, fmt.Errorf("core: cross-trace transition %v -> %v", l.from, succ)
+		}
+		if succ.Block.Head != l.label {
+			return nil, nil, fmt.Errorf("core: label 0x%x does not match target head 0x%x", l.label, succ.Block.Head)
+		}
+		l.from.Link(succ)
+	}
+	if d.pos != len(d.data) {
+		return nil, nil, fmt.Errorf("core: %d trailing bytes", len(d.data)-d.pos)
+	}
+	a := Build(set)
+	if err := a.Check(); err != nil {
+		return nil, nil, err
+	}
+	return a, prof, nil
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || d.pos+n > len(d.data) {
+		d.fail()
+		return []byte{0}
+	}
+	out := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return out
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) zigzag() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("core: truncated or corrupt TEA stream at offset %d", d.pos)
+	}
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendZigzag(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}

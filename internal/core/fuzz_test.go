@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/cpu"
+	"github.com/lsc-tea/tea/internal/progs"
+	"github.com/lsc-tea/tea/internal/trace"
+)
+
+// FuzzDecode hammers the wire-format decoder: arbitrary bytes must decode
+// to an error or to an automaton that passes Check — never panic, never
+// return an inconsistent automaton. (go test runs the seed corpus; `go
+// test -fuzz=FuzzDecode ./internal/core` explores further.)
+func FuzzDecode(f *testing.F) {
+	p := progs.Figure2(60, 200)
+	cache := cfg.NewCache(p, cfg.StarDBT)
+
+	// Seeds: a valid stream for each strategy, plus junk.
+	for _, strategy := range []string{"mret", "tt", "ctt"} {
+		s, _ := trace.NewStrategy(strategy, p, trace.Config{HotThreshold: 30})
+		set, _, err := trace.Record(cpu.New(p), cfg.StarDBT, s, 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(Encode(Build(set)))
+	}
+	f.Add([]byte{})
+	f.Add([]byte("TEA2"))
+	f.Add([]byte("TEA2\x00\x00\x00"))
+	f.Add([]byte("garbage that is long enough to walk through several fields"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := Decode(data, cache)
+		if err != nil {
+			return
+		}
+		if cerr := a.Check(); cerr != nil {
+			t.Fatalf("decoded automaton fails Check: %v", cerr)
+		}
+		// A decoded automaton must re-encode decodably.
+		again := Encode(a)
+		if _, err := Decode(again, cache); err != nil {
+			t.Fatalf("re-encoded stream does not decode: %v", err)
+		}
+	})
+}

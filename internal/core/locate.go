@@ -1,0 +1,63 @@
+package core
+
+import (
+	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/trace"
+)
+
+// Instruction-granularity mapping. The paper's abstract promises a map
+// from executing *instructions* — not just blocks — to their counterparts
+// in recorded traces: "a DFA that maps executing instructions to
+// instructions or basic blocks in previously recorded traces". The
+// block-level states already determine the instruction-level map: within a
+// TBB, the instruction at pc corresponds to the same-offset instruction of
+// the TBB's block. Locate makes that explicit; it needs the program (as
+// the replay site always has it) to walk instruction boundaries.
+
+// Location identifies one instruction instance inside a trace.
+type Location struct {
+	// State is the TBB state covering the instruction.
+	State StateID
+	// TBB is the trace basic block instance.
+	TBB *trace.TBB
+	// Index is the instruction's position within the block (0-based).
+	Index int
+	// Instr is the program instruction.
+	Instr *isa.Instr
+}
+
+// Locate maps a program counter inside the currently executing block to
+// its trace-instruction instance. It reports false when the cursor is at
+// NTE, when pc lies outside the current TBB's block, or when pc is not an
+// instruction boundary.
+func (r *Replayer) Locate(prog *isa.Program, pc uint64) (Location, bool) {
+	return r.a.LocateIn(prog, r.cur, pc)
+}
+
+// LocateIn is Locate for an explicit state, independent of any replayer.
+func (a *Automaton) LocateIn(prog *isa.Program, s StateID, pc uint64) (Location, bool) {
+	if s == NTE {
+		return Location{}, false
+	}
+	tbb := a.State(s).TBB
+	b := tbb.Block
+	if pc < b.Head || pc > b.End {
+		return Location{}, false
+	}
+	target, ok := prog.At(pc)
+	if !ok {
+		return Location{}, false
+	}
+	addr := b.Head
+	for i := 0; i < b.NumInstrs; i++ {
+		if addr == pc {
+			return Location{State: s, TBB: tbb, Index: i, Instr: target}, true
+		}
+		in, ok := prog.At(addr)
+		if !ok {
+			return Location{}, false
+		}
+		addr = in.Next()
+	}
+	return Location{}, false
+}

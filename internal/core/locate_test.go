@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/cpu"
+	"github.com/lsc-tea/tea/internal/progs"
+	"github.com/lsc-tea/tea/internal/trace"
+)
+
+func TestLocateMapsEveryInstructionOfEveryTBB(t *testing.T) {
+	p := progs.Figure2(60, 200)
+	set := recordSet(t, p, "mret", trace.Config{HotThreshold: 50})
+	a := Build(set)
+
+	for _, tr := range set.Traces {
+		for _, tbb := range tr.TBBs {
+			id, _ := a.StateFor(tbb)
+			// Walk the block's instructions through the program and check
+			// each locates to the right index.
+			addr := tbb.Block.Head
+			for i := 0; i < tbb.Block.NumInstrs; i++ {
+				loc, ok := a.LocateIn(p, id, addr)
+				if !ok {
+					t.Fatalf("%v: instruction %d at 0x%x not located", tbb, i, addr)
+				}
+				if loc.Index != i || loc.TBB != tbb || loc.State != id {
+					t.Fatalf("%v: Locate(0x%x) = %+v, want index %d", tbb, addr, loc, i)
+				}
+				if loc.Instr.Addr != addr {
+					t.Fatalf("wrong instruction resolved")
+				}
+				addr = loc.Instr.Next()
+			}
+			// One past the block end is out of range.
+			if _, ok := a.LocateIn(p, id, tbb.Block.End+uint64(tbb.Block.Term.Size)); ok {
+				t.Fatalf("%v: located past block end", tbb)
+			}
+		}
+	}
+}
+
+func TestLocateRejections(t *testing.T) {
+	p := progs.Figure2(60, 200)
+	set := recordSet(t, p, "mret", trace.Config{HotThreshold: 50})
+	a := Build(set)
+	r := NewReplayer(a, ConfigGlobalLocal)
+
+	// NTE never locates.
+	if _, ok := r.Locate(p, p.Entry); ok {
+		t.Error("located while at NTE")
+	}
+
+	// Mid-instruction addresses never locate.
+	tbb := set.Traces[0].TBBs[0]
+	id, _ := a.StateFor(tbb)
+	if tbb.Block.NumInstrs > 0 && tbb.Block.Head+1 <= tbb.Block.End {
+		if _, ok := a.LocateIn(p, id, tbb.Block.Head+1); ok {
+			// Head+1 might coincidentally be a boundary only if the first
+			// instruction is 1 byte; our programs' first block instrs are
+			// multi-byte, but guard anyway.
+			if in, valid := p.At(tbb.Block.Head + 1); !valid || in == nil {
+				t.Error("located a mid-instruction address")
+			}
+		}
+	}
+}
+
+func TestLocateDuringReplay(t *testing.T) {
+	// While replaying, the cursor plus the machine PC identify the exact
+	// trace instruction about to execute.
+	p := progs.Figure2(60, 200)
+	set := recordSet(t, p, "mret", trace.Config{HotThreshold: 50})
+	a := Build(set)
+	r := NewReplayer(a, ConfigGlobalLocal)
+
+	m := cpu.New(p)
+	run := cfg.NewRunner(m, cfg.StarDBT)
+	located := 0
+	var prev uint64
+	for {
+		e, ok, err := run.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || e.To == nil {
+			break
+		}
+		instrs := m.Steps() - prev
+		prev = m.Steps()
+		st := r.Advance(e.To.Head, instrs)
+		if st != NTE {
+			loc, ok := r.Locate(p, e.To.Head)
+			if !ok || loc.Index != 0 {
+				t.Fatalf("block head did not locate to index 0: %+v ok=%v", loc, ok)
+			}
+			located++
+		}
+	}
+	if located == 0 {
+		t.Fatal("never located during replay")
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/trace"
+)
+
+// RecState is the recording state machine's state (the paper's
+// Algorithm 2): Initial → Executing ⇄ Creating.
+type RecState int
+
+const (
+	// RecInitial runs once before real execution: it sets up the empty TEA.
+	RecInitial RecState = iota
+	// RecExecuting means the program runs cold code or previously created
+	// traces; the TEA cursor advances on every transition and the trace
+	// selector watches for a recording trigger.
+	RecExecuting
+	// RecCreating means a trace is being recorded; each transition appends
+	// a TBB until the selector decides the trace is done.
+	RecCreating
+)
+
+func (s RecState) String() string {
+	switch s {
+	case RecInitial:
+		return "Initial"
+	case RecExecuting:
+		return "Executing"
+	case RecCreating:
+		return "Creating"
+	}
+	return "?"
+}
+
+// Recorder builds a TEA online while the program executes — the paper's
+// §3.2: trace recording without constructing any trace code. It is invoked
+// once per block transition (after the previous TBB finished, before the
+// next begins), exactly like Algorithm 2, with the trace-selection policy
+// (MRET, TT, CTT, ...) plugged in as the TriggerTraceRecording /
+// AddTBBToTrace / DoneTraceRecording rules.
+type Recorder struct {
+	strat trace.Strategy
+	auto  *Automaton
+	rep   *Replayer
+	state RecState
+}
+
+// NewRecorder creates a recorder around the selection strategy, with the
+// transition function configured by cfg (the paper records with
+// Global/Local, its fastest configuration).
+func NewRecorder(strat trace.Strategy, cfg LookupConfig) *Recorder {
+	r := &Recorder{strat: strat, state: RecInitial}
+	// Algorithm 2, "Initial": InitializeTEA.
+	r.auto = NewAutomaton(strat.Set())
+	r.rep = NewReplayer(r.auto, cfg)
+	return r
+}
+
+// Automaton returns the TEA built so far.
+func (r *Recorder) Automaton() *Automaton { return r.auto }
+
+// Replayer returns the recorder's cursor/statistics (coverage of the
+// recording run itself, Table 3).
+func (r *Recorder) Replayer() *Replayer { return r.rep }
+
+// Set returns the recorded trace set.
+func (r *Recorder) Set() *trace.Set { return r.strat.Set() }
+
+// State returns the recording state machine's current state.
+func (r *Recorder) State() RecState { return r.state }
+
+// Observe consumes one block transition: Current = e.From just finished
+// executing instrs dynamic instructions, Next = e.To is about to begin.
+func (r *Recorder) Observe(e cfg.Edge, instrs uint64) {
+	if r.state == RecInitial {
+		// InitializeTEA happened at construction; enter Executing.
+		r.state = RecExecuting
+	}
+
+	switch r.state {
+	case RecExecuting:
+		// ChangeState(TEA, Current, Next).
+		if e.To != nil {
+			r.rep.Advance(e.To.Head, instrs)
+		} else if instrs > 0 {
+			r.rep.AccountOnly(instrs)
+		}
+		// TriggerTraceRecording / StartCreatingTrace.
+		if changed := r.strat.Observe(e); changed != nil {
+			r.sync(changed)
+		}
+		if r.strat.Recording() {
+			r.state = RecCreating
+		}
+
+	case RecCreating:
+		// Algorithm 2 performs no ChangeState while creating; the executed
+		// instructions still count toward the run's totals.
+		if instrs > 0 {
+			r.rep.AccountOnly(instrs)
+		}
+		// AddTBBToTrace / DoneTraceRecording / FinishTrace.
+		if changed := r.strat.Observe(e); changed != nil {
+			r.sync(changed)
+		}
+		if !r.strat.Recording() {
+			r.state = RecExecuting
+			// The cursor went stale while creating; resume from NTE. If the
+			// next transition enters a trace the global lookup re-acquires it.
+			r.rep.ForceState(NTE)
+		}
+	}
+}
+
+// sync folds a created or extended trace into the automaton and the
+// replayer's global container.
+func (r *Recorder) sync(t *trace.Trace) {
+	r.auto.SyncTrace(t)
+	if head, ok := r.auto.EntryFor(t.EntryAddr()); ok {
+		r.rep.AddEntry(t.EntryAddr(), head)
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+// Replayer walks a TEA along the dynamic block stream of an unmodified
+// program execution, maintaining the precise map from the current program
+// counter to the TBB being "executed" — the paper's trace replaying
+// use-case (§4, Table 2).
+//
+// The transition function is the performance-critical piece the paper
+// ablates in Table 4: in-trace transitions resolve against the current
+// state's own (tiny) transition table; every other transition — trace
+// entry from cold code, or trace-to-trace linking at an exit — must search
+// the global trace container, optionally front-ended by the current
+// state's local cache.
+type Replayer struct {
+	a     *Automaton
+	cfg   LookupConfig
+	index EntryIndex
+
+	caches []*localCache
+	cur    StateID
+	stats  Stats
+}
+
+// Stats aggregates the counters of one replayed (or recorded) execution.
+type Stats struct {
+	// Blocks and Instrs total the observed execution.
+	Blocks uint64
+	Instrs uint64
+	// TraceBlocks and TraceInstrs total execution mapped to a TBB state.
+	// TraceInstrs/Instrs is the paper's "coverage".
+	TraceBlocks uint64
+	TraceInstrs uint64
+
+	// InTraceHits counts transitions resolved inside a state's own table.
+	InTraceHits uint64
+	// LocalHits and LocalMisses count local-cache consultations.
+	LocalHits   uint64
+	LocalMisses uint64
+	// GlobalLookups counts searches of the global trace container;
+	// GlobalHits those that found a trace.
+	GlobalLookups uint64
+	GlobalHits    uint64
+
+	// TraceEnters counts NTE→trace transitions, TraceLinks trace→trace
+	// transitions, and TraceExits trace→NTE transitions.
+	TraceEnters uint64
+	TraceLinks  uint64
+	TraceExits  uint64
+}
+
+// Coverage returns the fraction of dynamic instructions executed while
+// inside a trace (the "Coverage" column of Tables 2 and 3).
+func (s *Stats) Coverage() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return float64(s.TraceInstrs) / float64(s.Instrs)
+}
+
+// NewReplayer prepares a replayer over automaton a with the given
+// transition-function configuration. The global container is populated
+// from the automaton's entry table.
+func NewReplayer(a *Automaton, cfg LookupConfig) *Replayer {
+	cfg = cfg.withDefaults()
+	r := &Replayer{a: a, cfg: cfg, index: newEntryIndex(cfg), cur: NTE}
+	for _, e := range a.Entries() {
+		r.index.Insert(e.Addr, e.State)
+	}
+	r.index.ResetProbes()
+	return r
+}
+
+// Automaton returns the automaton being replayed.
+func (r *Replayer) Automaton() *Automaton { return r.a }
+
+// Config returns the transition-function configuration.
+func (r *Replayer) Config() LookupConfig { return r.cfg }
+
+// Index exposes the global container (for probe accounting).
+func (r *Replayer) Index() EntryIndex { return r.index }
+
+// Cur returns the current state.
+func (r *Replayer) Cur() StateID { return r.cur }
+
+// CurState returns the current state object.
+func (r *Replayer) CurState() *State { return r.a.State(r.cur) }
+
+// Stats returns the accumulated counters.
+func (r *Replayer) Stats() *Stats { return &r.stats }
+
+// Reset rewinds the cursor to NTE and zeroes the statistics. The global
+// container and local caches are kept.
+func (r *Replayer) Reset() {
+	r.cur = NTE
+	r.stats = Stats{}
+}
+
+// AddEntry registers a trace entry created after the replayer was built
+// (used by the online recorder as traces finish). All local caches are
+// flushed: they may hold negative entries for the new trace's address.
+func (r *Replayer) AddEntry(addr uint64, s StateID) {
+	r.index.Insert(addr, s)
+	r.caches = nil
+}
+
+// Advance consumes one edge of the dynamic block stream: the previous block
+// finished after executing instrs dynamic instructions, and control
+// transferred to the block headed at label. The instructions are accounted
+// to the state that covered the finished block (the current state), then
+// the automaton transitions on label. It returns the new state.
+func (r *Replayer) Advance(label uint64, instrs uint64) StateID {
+	r.account(r.cur, instrs)
+	from := r.cur
+	var next StateID
+	if from != NTE {
+		if t, ok := r.a.State(from).Next(label); ok {
+			r.stats.InTraceHits++
+			next = t
+		} else {
+			next = r.resolve(from, label)
+			if next == NTE {
+				r.stats.TraceExits++
+			} else {
+				r.stats.TraceLinks++
+			}
+		}
+	} else {
+		next = r.lookupGlobal(label)
+		if next != NTE {
+			r.stats.TraceEnters++
+		}
+	}
+	r.cur = next
+	return next
+}
+
+// AccountOnly records instrs executed without advancing the automaton;
+// the online recorder uses it while a trace is being created (Algorithm 2
+// performs no ChangeState in the Creating state).
+func (r *Replayer) AccountOnly(instrs uint64) {
+	r.account(r.cur, instrs)
+}
+
+// ForceState repositions the cursor (used by the recorder after trace
+// creation finishes and the automaton has changed underneath the cursor).
+func (r *Replayer) ForceState(s StateID) { r.cur = s }
+
+func (r *Replayer) account(state StateID, instrs uint64) {
+	if instrs == 0 {
+		// The initial pseudo-edge carries no finished block.
+		return
+	}
+	r.stats.Blocks++
+	r.stats.Instrs += instrs
+	if state != NTE {
+		r.stats.TraceBlocks++
+		r.stats.TraceInstrs += instrs
+	}
+}
+
+// resolve handles a transition that leaves state from on label: the target
+// is either another trace's entry or cold code. The state's local cache is
+// consulted first when enabled; the global container otherwise. Negative
+// results (exits to cold code) are cached too — that is what lets the
+// paper's "No Global / Local" configuration beat "Global / No Local" on
+// average: once warm, trace-side transitions never search the global
+// container at all, leaving only the (cache-less) NTE state's lookups.
+// AddEntry flushes the caches, so a negative entry can never mask a trace
+// created later by the online recorder.
+func (r *Replayer) resolve(from StateID, label uint64) StateID {
+	if r.cfg.Local {
+		c := r.cacheFor(from)
+		if t, ok := c.get(label); ok {
+			r.stats.LocalHits++
+			return t
+		}
+		r.stats.LocalMisses++
+		t := r.lookupGlobal(label)
+		c.put(label, t)
+		return t
+	}
+	return r.lookupGlobal(label)
+}
+
+func (r *Replayer) lookupGlobal(label uint64) StateID {
+	r.stats.GlobalLookups++
+	t, ok := r.index.Lookup(label)
+	if !ok {
+		return NTE
+	}
+	r.stats.GlobalHits++
+	return t
+}
+
+// cacheFor lazily allocates the local cache of a state. The cache slice
+// grows with the automaton so the online recorder can keep using the same
+// replayer as states are added.
+func (r *Replayer) cacheFor(s StateID) *localCache {
+	if int(s) >= len(r.caches) {
+		grown := make([]*localCache, r.a.NumStates())
+		copy(grown, r.caches)
+		r.caches = grown
+	}
+	c := r.caches[s]
+	if c == nil {
+		c = newLocalCache(r.cfg.LocalSize)
+		r.caches[s] = c
+	}
+	return c
+}

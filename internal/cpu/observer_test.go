@@ -1,0 +1,149 @@
+package cpu
+
+import (
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/asm"
+	"github.com/lsc-tea/tea/internal/isa"
+)
+
+// recordingObserver captures everything delivered to it.
+type recordingObserver struct {
+	retired []isa.Op
+	mems    [][]MemEvent
+	takens  []bool
+}
+
+func (o *recordingObserver) Retire(in *isa.Instr, mem []MemEvent, taken bool) {
+	o.retired = append(o.retired, in.Op)
+	cp := make([]MemEvent, len(mem))
+	copy(cp, mem)
+	o.mems = append(o.mems, cp)
+	o.takens = append(o.takens, taken)
+}
+
+func TestObserverSeesEveryInstruction(t *testing.T) {
+	p := asm.MustAssemble("o", `
+.data 100 = 7
+e:
+    movi esi, 100
+    load eax, [esi+0]
+    store [esi+1], eax
+    push eax
+    pop ebx
+    cmpi ebx, 7
+    jeq ok
+    nop
+ok: halt
+`)
+	m := New(p)
+	obs := &recordingObserver{}
+	m.SetObserver(obs)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(obs.retired)) != m.Steps() {
+		t.Fatalf("observed %d retires, machine ran %d", len(obs.retired), m.Steps())
+	}
+	// Memory events, in program order: load(read), store(write),
+	// push(write), pop(read).
+	var events []MemEvent
+	for _, es := range obs.mems {
+		events = append(events, es...)
+	}
+	want := []MemEvent{
+		{Addr: 100, Write: false},
+		{Addr: 101, Write: true},
+		{Addr: int64(p.MemWords) - 1, Write: true},
+		{Addr: int64(p.MemWords) - 1, Write: false},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v, want %+v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+	// The jeq was taken.
+	takenSeen := false
+	for i, op := range obs.retired {
+		if op == isa.JCC && obs.takens[i] {
+			takenSeen = true
+		}
+	}
+	if !takenSeen {
+		t.Error("taken branch not reported")
+	}
+}
+
+func TestObserverRepEventsCapped(t *testing.T) {
+	p := asm.MustAssemble("rep", `
+e:
+    movi ecx, 500
+    movi esi, 1000
+    movi edi, 3000
+    repmovs
+    halt
+`)
+	m := New(p)
+	obs := &recordingObserver{}
+	m.SetObserver(obs)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	var repEvents int
+	for i, op := range obs.retired {
+		if op == isa.REPMOVS {
+			repEvents = len(obs.mems[i])
+		}
+	}
+	if repEvents == 0 || repEvents > MaxObservedRepEvents {
+		t.Errorf("rep delivered %d events; cap is %d", repEvents, MaxObservedRepEvents)
+	}
+	// The copy itself is complete despite the event cap.
+	if m.Mem(3000+499) != m.Mem(1000+499) {
+		t.Error("rep copy truncated")
+	}
+}
+
+func TestObserverDetach(t *testing.T) {
+	p := asm.MustAssemble("d", "e:\n nop\n nop\n halt\n")
+	m := New(p)
+	obs := &recordingObserver{}
+	m.SetObserver(obs)
+	if _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	m.SetObserver(nil)
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.retired) != 1 {
+		t.Errorf("observer saw %d retires after detach, want 1", len(obs.retired))
+	}
+}
+
+func TestObserverDoesNotChangeExecution(t *testing.T) {
+	p := asm.MustAssemble("x", `
+e:
+    movi ecx, 50
+l:
+    addi eax, 3
+    subi ecx, 1
+    jgt l
+    halt
+`)
+	m1 := New(p)
+	if err := m1.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	m2 := New(p)
+	m2.SetObserver(&recordingObserver{})
+	if err := m2.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m1.Reg(isa.EAX) != m2.Reg(isa.EAX) || m1.Steps() != m2.Steps() {
+		t.Error("observer perturbed execution")
+	}
+}

@@ -1,0 +1,244 @@
+// Package difftest differentially tests the production interpreter
+// (internal/cpu) against an independent reference implementation, on
+// randomly seeded synthetic programs. It lives outside internal/cpu only
+// because the workload generator imports cpu.
+package difftest
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/lsc-tea/tea/internal/cpu"
+	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/workload"
+)
+
+// refMachine is an independent re-implementation of the ISA semantics used
+// only for differential testing: sparse map memory instead of a slice, a
+// saved comparison value instead of flag bits, and a recursive-descent
+// style evaluator. Divergence between the two implementations on any
+// program is a bug in one of them.
+type refMachine struct {
+	prog *isa.Program
+	pc   uint64
+	regs map[isa.Reg]int64
+	mem  map[int64]int64
+	cmp  int64 // last flag-setting result
+	halt bool
+}
+
+func newRef(p *isa.Program) *refMachine {
+	r := &refMachine{
+		prog: p,
+		pc:   p.Entry,
+		regs: make(map[isa.Reg]int64),
+		mem:  make(map[int64]int64),
+	}
+	for a, v := range p.InitData {
+		r.mem[r.wrap(a)] = v
+	}
+	r.regs[isa.ESP] = int64(p.MemWords)
+	return r
+}
+
+func (r *refMachine) wrap(a int64) int64 {
+	n := int64(r.prog.MemWords)
+	return ((a % n) + n) % n
+}
+
+func (r *refMachine) load(a int64) int64     { return r.mem[r.wrap(a)] }
+func (r *refMachine) store(a, v int64)       { r.mem[r.wrap(a)] = v }
+func (r *refMachine) get(x isa.Reg) int64    { return r.regs[x] }
+func (r *refMachine) set(x isa.Reg, v int64) { r.regs[x] = v }
+
+func (r *refMachine) cond(c isa.Cond) bool {
+	switch c {
+	case isa.CondEQ:
+		return r.cmp == 0
+	case isa.CondNE:
+		return r.cmp != 0
+	case isa.CondLT:
+		return r.cmp < 0
+	case isa.CondGE:
+		return r.cmp >= 0
+	case isa.CondLE:
+		return r.cmp <= 0
+	case isa.CondGT:
+		return r.cmp > 0
+	}
+	return false
+}
+
+// step executes one instruction; errors mirror the production machine's
+// fault conditions approximately (good enough for differential runs on
+// fault-free programs).
+func (r *refMachine) step() error {
+	if r.halt {
+		return fmt.Errorf("halted")
+	}
+	in, ok := r.prog.At(r.pc)
+	if !ok {
+		return fmt.Errorf("no instruction at 0x%x", r.pc)
+	}
+	next := in.Next()
+	flag := func(v int64) { r.cmp = v }
+	switch in.Op {
+	case isa.NOP, isa.CPUID:
+	case isa.MOV:
+		r.set(in.Dst, r.get(in.Src))
+	case isa.MOVI:
+		r.set(in.Dst, in.Imm)
+	case isa.LOAD:
+		r.set(in.Dst, r.load(r.get(in.Src)+int64(in.Disp)))
+	case isa.STORE:
+		r.store(r.get(in.Dst)+int64(in.Disp), r.get(in.Src))
+	case isa.ADD:
+		r.set(in.Dst, r.get(in.Dst)+r.get(in.Src))
+		flag(r.get(in.Dst))
+	case isa.ADDI:
+		r.set(in.Dst, r.get(in.Dst)+in.Imm)
+		flag(r.get(in.Dst))
+	case isa.SUB:
+		r.set(in.Dst, r.get(in.Dst)-r.get(in.Src))
+		flag(r.get(in.Dst))
+	case isa.SUBI:
+		r.set(in.Dst, r.get(in.Dst)-in.Imm)
+		flag(r.get(in.Dst))
+	case isa.MUL:
+		r.set(in.Dst, r.get(in.Dst)*r.get(in.Src))
+	case isa.AND:
+		r.set(in.Dst, r.get(in.Dst)&r.get(in.Src))
+		flag(r.get(in.Dst))
+	case isa.OR:
+		r.set(in.Dst, r.get(in.Dst)|r.get(in.Src))
+		flag(r.get(in.Dst))
+	case isa.XOR:
+		r.set(in.Dst, r.get(in.Dst)^r.get(in.Src))
+		flag(r.get(in.Dst))
+	case isa.SHL:
+		r.set(in.Dst, r.get(in.Dst)<<(uint64(in.Imm)&63))
+	case isa.SHR:
+		r.set(in.Dst, r.get(in.Dst)>>(uint64(in.Imm)&63))
+	case isa.CMP:
+		flag(r.get(in.Dst) - r.get(in.Src))
+	case isa.CMPI:
+		flag(r.get(in.Dst) - in.Imm)
+	case isa.TEST:
+		flag(r.get(in.Dst) & r.get(in.Src))
+	case isa.JMP:
+		next = in.Target
+	case isa.JCC:
+		if r.cond(in.Cond) {
+			next = in.Target
+		}
+	case isa.JIND:
+		next = uint64(r.get(in.Src))
+	case isa.CALL, isa.CALLIND:
+		sp := r.get(isa.ESP) - 1
+		r.set(isa.ESP, sp)
+		r.mem[sp] = int64(in.Next())
+		if in.Op == isa.CALL {
+			next = in.Target
+		} else {
+			next = uint64(r.get(in.Src))
+		}
+	case isa.RET:
+		sp := r.get(isa.ESP)
+		r.set(isa.ESP, sp+1)
+		next = uint64(r.mem[sp])
+	case isa.PUSH:
+		sp := r.get(isa.ESP) - 1
+		r.set(isa.ESP, sp)
+		r.mem[sp] = r.get(in.Src)
+	case isa.POP:
+		sp := r.get(isa.ESP)
+		r.set(isa.ESP, sp+1)
+		r.set(in.Dst, r.mem[sp])
+	case isa.REPMOVS:
+		n := r.get(isa.ECX)
+		if n < 0 {
+			n = 0
+		}
+		if max := int64(r.prog.MemWords); n > max {
+			n = max
+		}
+		src, dst := r.get(isa.ESI), r.get(isa.EDI)
+		for i := int64(0); i < n; i++ {
+			r.store(dst+i, r.load(src+i))
+		}
+		r.set(isa.ESI, src+n)
+		r.set(isa.EDI, dst+n)
+		r.set(isa.ECX, 0)
+	case isa.REPSTOS:
+		n := r.get(isa.ECX)
+		if n < 0 {
+			n = 0
+		}
+		if max := int64(r.prog.MemWords); n > max {
+			n = max
+		}
+		dst := r.get(isa.EDI)
+		for i := int64(0); i < n; i++ {
+			r.store(dst+i, r.get(isa.EAX))
+		}
+		r.set(isa.EDI, dst+n)
+		r.set(isa.ECX, 0)
+	case isa.HALT:
+		r.halt = true
+		return nil
+	}
+	r.pc = next
+	return nil
+}
+
+// TestDifferentialAgainstReference runs the production interpreter and the
+// reference side by side on randomly seeded synthetic programs, comparing
+// PC and the full register file after every instruction.
+func TestDifferentialAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		spec, _ := workload.ByName("181.mcf")
+		spec.Seed = seed
+		spec.WorkScale = 2
+		p := workload.Program(spec)
+
+		m := cpu.New(p)
+		ref := newRef(p)
+		const maxSteps = 100_000
+		for i := 0; i < maxSteps && !m.Halted(); i++ {
+			if _, err := m.Step(); err != nil {
+				t.Logf("seed %d: machine fault: %v", seed, err)
+				return false
+			}
+			if err := ref.step(); err != nil {
+				t.Logf("seed %d: reference fault: %v", seed, err)
+				return false
+			}
+			if m.PC() != ref.pc {
+				t.Logf("seed %d step %d: PC 0x%x vs 0x%x", seed, i, m.PC(), ref.pc)
+				return false
+			}
+			for r := isa.Reg(0); r < isa.NumRegs; r++ {
+				if m.Reg(r) != ref.get(r) {
+					t.Logf("seed %d step %d: %v = %d vs %d", seed, i, r, m.Reg(r), ref.get(r))
+					return false
+				}
+			}
+		}
+		if m.Halted() != ref.halt {
+			t.Logf("seed %d: halt disagreement", seed)
+			return false
+		}
+		// Spot-check data memory agreement over the interesting regions.
+		for a := int64(0); a < 12; a++ {
+			if m.Mem(a) != ref.load(a) {
+				t.Logf("seed %d: mem[%d] = %d vs %d", seed, a, m.Mem(a), ref.load(a))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package expr is the experiment harness: it regenerates the paper's
+// Tables 1-4 end to end on the synthetic SPEC workloads.
+//
+// Wall-clock seconds on the paper's Core i7 are not reproducible from a
+// simulator, so runtime results are reported in *simulated time units*
+// (one unit = one natively executed instruction) composed from the event
+// counters of the engines: interpreter steps, Pin block dispatches and
+// analysis-routine calls, and the TEA transition function's in-trace hits,
+// local-cache probes and global-container searches. All of Table 4 is
+// normalized to native exactly as the paper normalizes, so only the
+// *relative* model matters. The model constants live in TransModel and
+// pin.CostModel; EXPERIMENTS.md records the calibration.
+package expr
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/pin"
+	"github.com/lsc-tea/tea/internal/trace"
+	"github.com/lsc-tea/tea/internal/workload"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Target is the dynamic instruction budget per benchmark (default 2M).
+	Target uint64
+	// TraceCfg configures trace selection (default: threshold 50, the
+	// paper-era Dynamo default).
+	TraceCfg trace.Config
+	// Benchmarks narrows the workload list (default: all 26).
+	Benchmarks []workload.Spec
+	// Parallel bounds worker goroutines (default: GOMAXPROCS).
+	Parallel int
+}
+
+// DefaultHotThreshold is the hot threshold the harness uses when none is
+// given. The paper-era Dynamo default was 50 on runs of 10^10-10^11
+// instructions; our workloads are ~10^5 times shorter, so the threshold is
+// scaled down to keep trace-selection warm-up the same negligible fraction
+// of the run it was in the paper's experiments.
+const DefaultHotThreshold = 12
+
+func (o Options) withDefaults() Options {
+	if o.Target == 0 {
+		o.Target = 5_000_000
+	}
+	if o.TraceCfg.HotThreshold == 0 {
+		o.TraceCfg.HotThreshold = DefaultHotThreshold
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = workload.Benchmarks()
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Bench is one generated, calibrated benchmark program.
+type Bench struct {
+	Spec workload.Spec
+	Prog *isa.Program
+}
+
+// GenBenchmarks generates and calibrates every benchmark in opts.
+func GenBenchmarks(opts Options) ([]Bench, error) {
+	opts = opts.withDefaults()
+	out := make([]Bench, len(opts.Benchmarks))
+	err := forEach(opts, func(i int) error {
+		p, err := workload.Generate(opts.Benchmarks[i], opts.Target)
+		if err != nil {
+			return err
+		}
+		out[i] = Bench{Spec: opts.Benchmarks[i], Prog: p}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// forEach runs fn over the benchmark indices with bounded parallelism,
+// returning the first error.
+func forEach(opts Options, fn func(i int) error) error {
+	sem := make(chan struct{}, opts.Parallel)
+	errs := make([]error, len(opts.Benchmarks))
+	var wg sync.WaitGroup
+	for i := range opts.Benchmarks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("%s: %w", opts.Benchmarks[i].Name, err)
+		}
+	}
+	return nil
+}
+
+// TransModel carries the simulated costs of the TEA transition function,
+// in units of one natively executed instruction. The split reflects the
+// paper's own analysis (§4.2): in-trace transitions are nearly free; every
+// trace entry, trace-to-trace link or exit must search the global
+// container (a fixed call overhead plus per-node probes); and switching to
+// cold code does *extra* bookkeeping, which is why the Empty configuration
+// is slower than a loaded automaton.
+type TransModel struct {
+	// InTrace is the cost of a transition resolved in the state's own
+	// transition table.
+	InTrace float64
+	// LocalHit is the cost of a local-cache hit; LocalMiss the wasted probe
+	// before falling through to the global container.
+	LocalHit  float64
+	LocalMiss float64
+	// GlobalFixed is the per-search overhead of the global container
+	// (function call, argument marshalling); BTreeProbe the per-node visit
+	// cost of the B+ tree (binary search within a node); ListProbe the
+	// per-element cost of chasing the linked list.
+	GlobalFixed float64
+	BTreeProbe  float64
+	ListProbe   float64
+	// ColdMiss is the additional work of switching to cold code after a
+	// failed search (restoring the NTE bookkeeping).
+	ColdMiss float64
+}
+
+// DefaultTransModel returns the calibrated constants; the calibration
+// against the paper's Table 4 geomeans is recorded in EXPERIMENTS.md.
+func DefaultTransModel() TransModel {
+	return TransModel{
+		InTrace:     2,
+		LocalHit:    4,
+		LocalMiss:   3,
+		GlobalFixed: 109,
+		BTreeProbe:  65,
+		ListProbe:   4,
+		ColdMiss:    26,
+	}
+}
+
+// teaRun is one TEA pintool execution: the Pin engine result plus the
+// tool's replay statistics, the global container's probe count and the
+// lookup configuration that produced them.
+type teaRun struct {
+	engine *pin.Result
+	stats  *core.Stats
+	probes uint64
+	lc     core.LookupConfig
+}
+
+// timeUnits composes the simulated run time of a TEA pintool execution.
+func timeUnits(r teaRun, ec pin.CostModel, tm TransModel) float64 {
+	t := r.engine.EngineUnits
+	t += float64(r.engine.Edges) * ec.PerCall
+	s := r.stats
+	t += float64(s.InTraceHits) * tm.InTrace
+	t += float64(s.LocalHits) * tm.LocalHit
+	t += float64(s.LocalMisses) * tm.LocalMiss
+	t += float64(s.GlobalLookups) * tm.GlobalFixed
+	probeCost := tm.BTreeProbe
+	if r.lc.Global == core.GlobalList {
+		probeCost = tm.ListProbe
+	}
+	t += float64(r.probes) * probeCost
+	t += float64(s.GlobalLookups-s.GlobalHits) * tm.ColdMiss
+	return t
+}

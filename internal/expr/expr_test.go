@@ -1,0 +1,216 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/pin"
+	"github.com/lsc-tea/tea/internal/workload"
+)
+
+// smallOpts keeps harness tests fast: two contrasting benchmarks at a tiny
+// dynamic budget.
+func smallOpts() Options {
+	swim, _ := workload.ByName("171.swim")
+	gcc, _ := workload.ByName("176.gcc")
+	return Options{
+		Target:     200_000,
+		Benchmarks: []workload.Spec{swim, gcc},
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Target != 5_000_000 {
+		t.Errorf("Target = %d", o.Target)
+	}
+	if o.TraceCfg.HotThreshold != DefaultHotThreshold {
+		t.Errorf("threshold = %d", o.TraceCfg.HotThreshold)
+	}
+	if len(o.Benchmarks) != 26 || o.Parallel <= 0 {
+		t.Errorf("benchmarks=%d parallel=%d", len(o.Benchmarks), o.Parallel)
+	}
+}
+
+func TestGenBenchmarksDeterministic(t *testing.T) {
+	opts := smallOpts()
+	b1, err := GenBenchmarks(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := GenBenchmarks(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b1 {
+		if b1[i].Prog.Len() != b2[i].Prog.Len() {
+			t.Errorf("%s regenerated differently", b1[i].Spec.Name)
+		}
+	}
+}
+
+func TestTable1SmallRun(t *testing.T) {
+	res, err := RunTable1(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for _, strat := range res.Strategies {
+			c := row.Cells[strat]
+			if c.DBTBytes == 0 || c.TEABytes == 0 || c.Traces == 0 {
+				t.Errorf("%s/%s empty cell: %+v", row.Name, strat, c)
+			}
+			if s := c.Savings(); s < 0.6 || s > 0.95 {
+				t.Errorf("%s/%s savings %.2f out of band", row.Name, strat, s)
+			}
+		}
+	}
+	// gcc's trace set dwarfs swim's under every strategy.
+	for _, strat := range res.Strategies {
+		if res.Rows[1].Cells[strat].DBTBytes < 4*res.Rows[0].Cells[strat].DBTBytes {
+			t.Errorf("%s: gcc (%d) not >> swim (%d)", strat,
+				res.Rows[1].Cells[strat].DBTBytes, res.Rows[0].Cells[strat].DBTBytes)
+		}
+	}
+	if g := res.GeoSavings("mret"); g < 0.6 || g > 0.95 {
+		t.Errorf("geo savings %.2f", g)
+	}
+	out := res.Render()
+	for _, want := range []string{"171.swim", "176.gcc", "GeoMean", "mret-Sav"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestTable2SmallRun(t *testing.T) {
+	res, err := RunTable2(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "replay" {
+		t.Errorf("mode = %q", res.Mode)
+	}
+	for _, row := range res.Rows {
+		if row.TEACov <= 0 || row.TEACov > 1 || row.DBTCov <= 0 {
+			t.Errorf("%s: coverages %f/%f", row.Name, row.TEACov, row.DBTCov)
+		}
+		// Replay coverage >= recording coverage (no warm-up).
+		if row.TEACov+0.02 < row.DBTCov {
+			t.Errorf("%s: TEA %.3f well below DBT %.3f", row.Name, row.TEACov, row.DBTCov)
+		}
+		// The TEA tool is much slower than the DBT (the paper's ~12x).
+		if row.TEATime < 3*row.DBTTime {
+			t.Errorf("%s: TEA time %.1f not >> DBT %.1f", row.Name, row.TEATime, row.DBTTime)
+		}
+	}
+	a, b, c, d := res.GeoMeans()
+	if a == 0 || b == 0 || c == 0 || d == 0 {
+		t.Error("zero geomeans")
+	}
+	if !strings.Contains(res.Render(), "GeoMean") {
+		t.Error("render missing GeoMean")
+	}
+}
+
+func TestTable3SmallRun(t *testing.T) {
+	res, err := RunTable3(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "record" {
+		t.Errorf("mode = %q", res.Mode)
+	}
+	for _, row := range res.Rows {
+		// Recording coverage tracks the DBT's closely (same selection).
+		if diff := row.TEACov - row.DBTCov; diff > 0.05 || diff < -0.05 {
+			t.Errorf("%s: recording coverage %.3f far from DBT %.3f", row.Name, row.TEACov, row.DBTCov)
+		}
+	}
+}
+
+func TestTable4SmallRun(t *testing.T) {
+	res, err := RunTable4(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Native != 1 {
+			t.Errorf("%s native = %f", row.Name, row.Native)
+		}
+		if row.WithoutPintool < 1 || row.WithoutPintool > 6 {
+			t.Errorf("%s w/o pintool = %.2f", row.Name, row.WithoutPintool)
+		}
+		// The paper's orderings that must hold per benchmark:
+		// loaded Global/Local beats Global/NoLocal, and Empty is slower
+		// than Global/Local.
+		if row.GlobalLocal > row.GlobalNoLocal {
+			t.Errorf("%s: Glob/Loc %.2f > Glob/NoLoc %.2f", row.Name, row.GlobalLocal, row.GlobalNoLocal)
+		}
+		if row.Empty < row.GlobalLocal {
+			t.Errorf("%s: Empty %.2f faster than loaded %.2f", row.Name, row.Empty, row.GlobalLocal)
+		}
+	}
+	// gcc blows up on the list where swim does not.
+	swim, gcc := res.Rows[0], res.Rows[1]
+	if gcc.NoGlobalLocal/gcc.GlobalLocal < 1.5 {
+		t.Errorf("gcc list blowup only %.2fx", gcc.NoGlobalLocal/gcc.GlobalLocal)
+	}
+	if swim.NoGlobalLocal/swim.GlobalLocal > gcc.NoGlobalLocal/gcc.GlobalLocal {
+		t.Error("swim suffers more from the list than gcc")
+	}
+	g := res.GeoMeans()
+	if g.Name != "GeoMean" || g.GlobalLocal <= 1 {
+		t.Errorf("geomeans: %+v", g)
+	}
+	if !strings.Contains(res.Render(), "Glob/Loc") {
+		t.Error("render missing columns")
+	}
+}
+
+func TestTimeUnitsComposition(t *testing.T) {
+	// timeUnits must be monotone in every counter.
+	tm := DefaultTransModel()
+	ec := pin.DefaultCostModel()
+	base := mkRun(100, 10, 5, 3, 2, 8, 6, 20)
+	baseT := timeUnits(base, ec, tm)
+	bump := func(mod func(*teaRun)) float64 {
+		r := mkRun(100, 10, 5, 3, 2, 8, 6, 20)
+		mod(&r)
+		return timeUnits(r, ec, tm)
+	}
+	if bump(func(r *teaRun) { r.engine.Edges += 10 }) <= baseT {
+		t.Error("not monotone in edges")
+	}
+	if bump(func(r *teaRun) { r.stats.GlobalLookups += 5 }) <= baseT {
+		t.Error("not monotone in global lookups")
+	}
+	if bump(func(r *teaRun) { r.probes += 5 }) <= baseT {
+		t.Error("not monotone in probes")
+	}
+	// List probes are cheaper than B+ tree probes per element.
+	lr := mkRun(100, 10, 5, 3, 2, 8, 6, 20)
+	lr.lc.Global = core.GlobalList
+	if timeUnits(lr, ec, tm) >= baseT {
+		t.Error("list probe not cheaper than btree probe")
+	}
+}
+
+func mkRun(engineUnits float64, edges, inTrace, lh, lm, gl, gh, probes uint64) teaRun {
+	return teaRun{
+		engine: &pin.Result{EngineUnits: engineUnits, Edges: edges},
+		stats: &core.Stats{
+			InTraceHits:   inTrace,
+			LocalHits:     lh,
+			LocalMisses:   lm,
+			GlobalLookups: gl,
+			GlobalHits:    gh,
+		},
+		probes: probes,
+		lc:     core.LookupConfig{Global: core.GlobalBTree},
+	}
+}

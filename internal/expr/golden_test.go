@@ -1,0 +1,75 @@
+package expr
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenOpts pins every knob so the rendered tables are bit-stable.
+func goldenOpts() Options {
+	names := []string{"171.swim", "181.mcf", "256.bzip2"}
+	var specs []workload.Spec
+	for _, n := range names {
+		s, _ := workload.ByName(n)
+		specs = append(specs, s)
+	}
+	return Options{Target: 200_000, Benchmarks: specs}
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/expr -run TestGolden -update`): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenTables locks the fully deterministic pipeline end to end:
+// workload generation, trace selection, automaton construction, size
+// accounting, the cost model and the renderer. Any behavioural drift —
+// intended or not — shows up as a golden diff.
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden tables run the harness; skipped with -short")
+	}
+	opts := goldenOpts()
+
+	t1, err := RunTable1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1", t1.Render())
+
+	t2, err := RunTable2(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table2", t2.Render())
+
+	t4, err := RunTable4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table4", t4.Render())
+}

@@ -1,0 +1,67 @@
+package expr
+
+import (
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/dbt"
+	"github.com/lsc-tea/tea/internal/pin"
+	"github.com/lsc-tea/tea/internal/teatool"
+	"github.com/lsc-tea/tea/internal/trace"
+	"github.com/lsc-tea/tea/internal/workload"
+)
+
+// TestFullPipelineEveryBenchmark pushes every one of the 26 synthetic
+// benchmarks through the complete cross-environment pipeline at a small
+// scale: DBT-record → Algorithm 1 build → invariant check → serialize →
+// decode → Pin replay, asserting the end-to-end contracts on each.
+func TestFullPipelineEveryBenchmark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix; skipped with -short")
+	}
+	for _, spec := range workload.Benchmarks() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			p, err := workload.Generate(spec, 150_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := dbt.New().Run(p, "mret", trace.Config{HotThreshold: 12}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.Set.Len() == 0 {
+				t.Fatal("no traces recorded")
+			}
+			a := core.Build(d.Set)
+			if err := a.Check(); err != nil {
+				t.Fatal(err)
+			}
+
+			data := core.Encode(a)
+			if uint64(len(data)) >= d.TraceBytes {
+				t.Errorf("TEA (%dB) not smaller than replicated code (%dB)", len(data), d.TraceBytes)
+			}
+			b, err := core.Decode(data, cfg.NewCache(p, cfg.StarDBT))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tool := teatool.NewReplayTool(b, core.ConfigGlobalLocal)
+			res, err := pin.New().Run(p, tool, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := tool.Stats()
+			if st.Instrs != res.PinSteps {
+				t.Errorf("accounted %d of %d instructions", st.Instrs, res.PinSteps)
+			}
+			// Replay coverage at least matches the recording run's.
+			if st.Coverage()+0.02 < d.Coverage() {
+				t.Errorf("replay coverage %.3f well below DBT %.3f", st.Coverage(), d.Coverage())
+			}
+		})
+	}
+}

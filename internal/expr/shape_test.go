@@ -1,0 +1,100 @@
+package expr
+
+import (
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/workload"
+)
+
+// TestPaperShape runs a six-benchmark slice of the full harness and
+// asserts the qualitative results the paper reports. It is the automated
+// version of EXPERIMENTS.md's comparison; the full 26-benchmark numbers
+// come from cmd/teabench.
+func TestPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test runs the harness; skipped with -short")
+	}
+	names := []string{"171.swim", "189.lucas", "181.mcf", "176.gcc", "256.bzip2", "252.eon"}
+	var specs []workload.Spec
+	for _, n := range names {
+		s, ok := workload.ByName(n)
+		if !ok {
+			t.Fatalf("missing %s", n)
+		}
+		specs = append(specs, s)
+	}
+	opts := Options{Target: 600_000, Benchmarks: specs}
+
+	t.Run("table1", func(t *testing.T) {
+		res, err := RunTable1(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Savings land in the paper's band for every strategy.
+		for _, s := range res.Strategies {
+			if g := res.GeoSavings(s); g < 0.70 || g > 0.90 {
+				t.Errorf("%s geomean savings %.2f outside [0.70, 0.90]", s, g)
+			}
+		}
+		// TT blows up relative to MRET on the branchy integer codes.
+		for _, row := range res.Rows {
+			if row.Name == "256.bzip2" || row.Name == "176.gcc" {
+				if row.Cells["tt"].DBTBytes < 4*row.Cells["mret"].DBTBytes {
+					t.Errorf("%s: TT (%d) not ≫ MRET (%d)", row.Name,
+						row.Cells["tt"].DBTBytes, row.Cells["mret"].DBTBytes)
+				}
+			}
+		}
+	})
+
+	t.Run("table2", func(t *testing.T) {
+		res, err := RunTable2(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		teaCov, teaTime, dbtCov, dbtTime := res.GeoMeans()
+		if teaCov < dbtCov-0.01 {
+			t.Errorf("TEA coverage %.3f below DBT %.3f", teaCov, dbtCov)
+		}
+		ratio := teaTime / dbtTime
+		// The paper's ~12x; anything in 5-25x preserves the conclusion.
+		if ratio < 5 || ratio > 25 {
+			t.Errorf("TEA/DBT time ratio %.1f outside [5, 25]", ratio)
+		}
+	})
+
+	t.Run("table4", func(t *testing.T) {
+		res, err := RunTable4(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := res.GeoMeans()
+		// The paper's orderings.
+		if !(g.GlobalLocal < g.NoGlobalLocal && g.GlobalLocal < g.GlobalNoLocal) {
+			t.Errorf("Global/Local (%.1f) is not the fastest loaded config (%+v)", g.GlobalLocal, g)
+		}
+		if g.Empty < g.GlobalLocal {
+			t.Errorf("Empty (%.1f) faster than loaded (%.1f) — the §4.2 anomaly is gone", g.Empty, g.GlobalLocal)
+		}
+		if g.WithoutPintool < 1.05 || g.WithoutPintool > 4 {
+			t.Errorf("Without-Pintool %.2f implausible", g.WithoutPintool)
+		}
+		// gcc blows up without the global index; swim does not.
+		var swim, gcc Table4Row
+		for _, row := range res.Rows {
+			switch row.Name {
+			case "171.swim":
+				swim = row
+			case "176.gcc":
+				gcc = row
+			}
+		}
+		if gcc.NoGlobalLocal < 1.5*gcc.GlobalLocal {
+			t.Errorf("gcc list blowup missing: %.1f vs %.1f", gcc.NoGlobalLocal, gcc.GlobalLocal)
+		}
+		if swim.NoGlobalLocal > swim.GlobalNoLocal*1.2 {
+			t.Errorf("swim should not suffer from the list: %.1f vs %.1f",
+				swim.NoGlobalLocal, swim.GlobalNoLocal)
+		}
+	})
+}

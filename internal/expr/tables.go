@@ -1,0 +1,353 @@
+package expr
+
+import (
+	"fmt"
+
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/dbt"
+	"github.com/lsc-tea/tea/internal/pin"
+	"github.com/lsc-tea/tea/internal/stats"
+	"github.com/lsc-tea/tea/internal/teatool"
+	"github.com/lsc-tea/tea/internal/trace"
+)
+
+// SizeCell is one (strategy × benchmark) cell of Table 1.
+type SizeCell struct {
+	// DBTBytes is the code-replication cost; TEABytes the serialized TEA.
+	DBTBytes uint64
+	TEABytes uint64
+	// Traces and TBBs describe the recorded set.
+	Traces int
+	TBBs   int
+}
+
+// Savings is the fraction of memory saved by TEA over code replication.
+func (c SizeCell) Savings() float64 {
+	if c.DBTBytes == 0 {
+		return 0
+	}
+	return 1 - float64(c.TEABytes)/float64(c.DBTBytes)
+}
+
+// Table1Row holds one benchmark's cells keyed by strategy name.
+type Table1Row struct {
+	Name  string
+	Cells map[string]SizeCell
+}
+
+// Table1Result is the full Table 1.
+type Table1Result struct {
+	Strategies []string
+	Rows       []Table1Row
+}
+
+// RunTable1 reproduces Table 1: trace-representation size, DBT (code
+// replication) versus TEA, for the MRET, CTT and TT strategies.
+func RunTable1(opts Options) (*Table1Result, error) {
+	opts = opts.withDefaults()
+	benches, err := GenBenchmarks(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{
+		Strategies: trace.StrategyNames(),
+		Rows:       make([]Table1Row, len(benches)),
+	}
+	err = forEach(opts, func(i int) error {
+		row := Table1Row{Name: benches[i].Spec.Name, Cells: make(map[string]SizeCell)}
+		for _, strat := range res.Strategies {
+			r, err := dbt.New().Run(benches[i].Prog, strat, opts.TraceCfg, 0)
+			if err != nil {
+				return err
+			}
+			a := core.Build(r.Set)
+			row.Cells[strat] = SizeCell{
+				DBTBytes: r.TraceBytes,
+				TEABytes: core.EncodedSize(a),
+				Traces:   r.Set.Len(),
+				TBBs:     r.Set.NumTBBs(),
+			}
+		}
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// GeoSavings returns the geometric-mean savings for one strategy.
+func (r *Table1Result) GeoSavings(strategy string) float64 {
+	var xs []float64
+	for _, row := range r.Rows {
+		xs = append(xs, row.Cells[strategy].Savings())
+	}
+	return stats.GeoMean(xs)
+}
+
+// Render prints Table 1 in the paper's layout (sizes in KB).
+func (r *Table1Result) Render() string {
+	header := []string{"benchmark"}
+	for _, s := range r.Strategies {
+		header = append(header, s+"-DBT", s+"-TEA", s+"-Sav")
+	}
+	t := stats.NewTable(header...)
+	for _, row := range r.Rows {
+		cells := []string{row.Name}
+		for _, s := range r.Strategies {
+			c := row.Cells[s]
+			cells = append(cells, stats.KB(c.DBTBytes), stats.KB(c.TEABytes),
+				fmt.Sprintf("%.0f%%", c.Savings()*100))
+		}
+		t.AddRow(cells...)
+	}
+	t.AddSeparator()
+	geo := []string{"GeoMean"}
+	for _, s := range r.Strategies {
+		geo = append(geo, "", "", fmt.Sprintf("%.0f%%", r.GeoSavings(s)*100))
+	}
+	t.AddRow(geo...)
+	return t.String()
+}
+
+// RuntimeRow is one benchmark of Table 2 (replaying) or Table 3
+// (recording): TEA coverage and time versus the DBT baseline. Times are
+// simulated mega-units (1 unit = 1 native instruction).
+type RuntimeRow struct {
+	Name    string
+	TEACov  float64
+	TEATime float64
+	DBTCov  float64
+	DBTTime float64
+}
+
+// RuntimeResult is a full Table 2 or Table 3.
+type RuntimeResult struct {
+	// Mode is "replay" (Table 2) or "record" (Table 3).
+	Mode string
+	Rows []RuntimeRow
+}
+
+// replayRun executes p under Pin with the replay pintool.
+func replayRun(b Bench, a *core.Automaton, lc core.LookupConfig) (teaRun, error) {
+	tool := teatool.NewReplayTool(a, lc)
+	res, err := pin.New().Run(b.Prog, tool, 0)
+	if err != nil {
+		return teaRun{}, err
+	}
+	return teaRun{engine: res, stats: tool.Stats(), probes: tool.Replayer().Index().Probes(), lc: lc}, nil
+}
+
+// RunTable2 reproduces Table 2: traces are recorded by the DBT, then
+// replayed by the TEA pintool on the unmodified program; coverage and time
+// are compared against the DBT's own recording run.
+func RunTable2(opts Options) (*RuntimeResult, error) {
+	opts = opts.withDefaults()
+	benches, err := GenBenchmarks(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &RuntimeResult{Mode: "replay", Rows: make([]RuntimeRow, len(benches))}
+	tm := DefaultTransModel()
+	ec := pin.DefaultCostModel()
+	err = forEach(opts, func(i int) error {
+		d, err := dbt.New().Run(benches[i].Prog, "mret", opts.TraceCfg, 0)
+		if err != nil {
+			return err
+		}
+		run, err := replayRun(benches[i], core.Build(d.Set), core.ConfigGlobalLocal)
+		if err != nil {
+			return err
+		}
+		res.Rows[i] = RuntimeRow{
+			Name:    benches[i].Spec.Name,
+			TEACov:  run.stats.Coverage(),
+			TEATime: timeUnits(run, ec, tm) / 1e6,
+			DBTCov:  d.Coverage(),
+			DBTTime: d.TimeUnits / 1e6,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunTable3 reproduces Table 3: the TEA pintool records traces online
+// (Algorithm 2, MRET strategy) while the DBT records the same program.
+func RunTable3(opts Options) (*RuntimeResult, error) {
+	opts = opts.withDefaults()
+	benches, err := GenBenchmarks(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &RuntimeResult{Mode: "record", Rows: make([]RuntimeRow, len(benches))}
+	tm := DefaultTransModel()
+	ec := pin.DefaultCostModel()
+	err = forEach(opts, func(i int) error {
+		strat, _ := trace.NewStrategy("mret", benches[i].Prog, opts.TraceCfg)
+		tool := teatool.NewRecordTool(strat, core.ConfigGlobalLocal)
+		pr, err := pin.New().Run(benches[i].Prog, tool, 0)
+		if err != nil {
+			return err
+		}
+		run := teaRun{engine: pr, stats: tool.Stats(), probes: tool.Recorder().Replayer().Index().Probes(), lc: core.ConfigGlobalLocal}
+
+		d, err := dbt.New().Run(benches[i].Prog, "mret", opts.TraceCfg, 0)
+		if err != nil {
+			return err
+		}
+		res.Rows[i] = RuntimeRow{
+			Name:    benches[i].Spec.Name,
+			TEACov:  run.stats.Coverage(),
+			TEATime: timeUnits(run, ec, tm) / 1e6,
+			DBTCov:  d.Coverage(),
+			DBTTime: d.TimeUnits / 1e6,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// GeoMeans returns the geometric means of the four columns.
+func (r *RuntimeResult) GeoMeans() (teaCov, teaTime, dbtCov, dbtTime float64) {
+	var a, b, c, d []float64
+	for _, row := range r.Rows {
+		a = append(a, row.TEACov)
+		b = append(b, row.TEATime)
+		c = append(c, row.DBTCov)
+		d = append(d, row.DBTTime)
+	}
+	return stats.GeoMean(a), stats.GeoMean(b), stats.GeoMean(c), stats.GeoMean(d)
+}
+
+// Render prints the table in the paper's layout.
+func (r *RuntimeResult) Render() string {
+	t := stats.NewTable("benchmark", "TEA-Cov", "TEA-Time", "DBT-Cov", "DBT-Time")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, stats.Pct(row.TEACov), fmt.Sprintf("%.1f", row.TEATime),
+			stats.Pct(row.DBTCov), fmt.Sprintf("%.1f", row.DBTTime))
+	}
+	t.AddSeparator()
+	a, b, c, d := r.GeoMeans()
+	t.AddRow("GeoMean", stats.Pct(a), fmt.Sprintf("%.1f", b), stats.Pct(c), fmt.Sprintf("%.1f", d))
+	return t.String()
+}
+
+// Table4Row is one benchmark of Table 4: slowdown relative to native for
+// the six configurations.
+type Table4Row struct {
+	Name           string
+	Native         float64
+	WithoutPintool float64
+	Empty          float64
+	NoGlobalLocal  float64
+	GlobalNoLocal  float64
+	GlobalLocal    float64
+}
+
+// Table4Result is the full Table 4.
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// RunTable4 reproduces Table 4: TEA overhead under the transition-function
+// configurations. Each benchmark uses the same trace set (recorded once by
+// the DBT with MRET) for the three loaded configurations; the Empty column
+// replays an automaton with no traces using the global B+ tree and no
+// local caches, exactly as the paper describes.
+func RunTable4(opts Options) (*Table4Result, error) {
+	opts = opts.withDefaults()
+	benches, err := GenBenchmarks(opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{Rows: make([]Table4Row, len(benches))}
+	tm := DefaultTransModel()
+	ec := pin.DefaultCostModel()
+	err = forEach(opts, func(i int) error {
+		b := benches[i]
+		// Native: the bare interpreter.
+		noTool, err := pin.New().Run(b.Prog, nil, 0)
+		if err != nil {
+			return err
+		}
+		native := float64(noTool.Steps) // 1 unit per instruction
+
+		d, err := dbt.New().Run(b.Prog, "mret", opts.TraceCfg, 0)
+		if err != nil {
+			return err
+		}
+		full := core.Build(d.Set)
+		empty := core.Build(trace.NewSet("mret", b.Prog))
+
+		row := Table4Row{Name: b.Spec.Name, Native: 1}
+		row.WithoutPintool = noTool.EngineUnits / native
+
+		configs := []struct {
+			out *float64
+			a   *core.Automaton
+			lc  core.LookupConfig
+		}{
+			{&row.Empty, empty, core.ConfigGlobalNoLocal},
+			{&row.NoGlobalLocal, full, core.ConfigNoGlobalLocal},
+			{&row.GlobalNoLocal, full, core.ConfigGlobalNoLocal},
+			{&row.GlobalLocal, full, core.ConfigGlobalLocal},
+		}
+		for _, c := range configs {
+			run, err := replayRun(b, c.a, c.lc)
+			if err != nil {
+				return err
+			}
+			*c.out = timeUnits(run, ec, tm) / native
+		}
+		res.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// GeoMeans returns the geometric mean of each column.
+func (r *Table4Result) GeoMeans() Table4Row {
+	cols := func(f func(Table4Row) float64) float64 {
+		var xs []float64
+		for _, row := range r.Rows {
+			xs = append(xs, f(row))
+		}
+		return stats.GeoMean(xs)
+	}
+	return Table4Row{
+		Name:           "GeoMean",
+		Native:         1,
+		WithoutPintool: cols(func(r Table4Row) float64 { return r.WithoutPintool }),
+		Empty:          cols(func(r Table4Row) float64 { return r.Empty }),
+		NoGlobalLocal:  cols(func(r Table4Row) float64 { return r.NoGlobalLocal }),
+		GlobalNoLocal:  cols(func(r Table4Row) float64 { return r.GlobalNoLocal }),
+		GlobalLocal:    cols(func(r Table4Row) float64 { return r.GlobalLocal }),
+	}
+}
+
+// Render prints Table 4 in the paper's layout.
+func (r *Table4Result) Render() string {
+	t := stats.NewTable("benchmark", "Native", "W/oPintool", "Empty",
+		"NoGlob/Loc", "Glob/NoLoc", "Glob/Loc")
+	add := func(row Table4Row) {
+		t.AddRow(row.Name, stats.Ratio(row.Native), stats.Ratio(row.WithoutPintool),
+			stats.Ratio(row.Empty), stats.Ratio(row.NoGlobalLocal),
+			stats.Ratio(row.GlobalNoLocal), stats.Ratio(row.GlobalLocal))
+	}
+	for _, row := range r.Rows {
+		add(row)
+	}
+	t.AddSeparator()
+	add(r.GeoMeans())
+	return t.String()
+}

@@ -1,0 +1,105 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestEncodeInstrSizeAgreement: for every encodable instruction shape, the
+// byte encoding's length equals EncodedSize.
+func TestEncodeInstrSizeAgreement(t *testing.T) {
+	cases := []Instr{
+		{Op: NOP}, {Op: RET}, {Op: HALT}, {Op: CPUID},
+		{Op: REPMOVS}, {Op: REPSTOS},
+		{Op: MOV, Dst: EAX, Src: EBX},
+		{Op: ADD, Dst: ECX, Src: EDX},
+		{Op: MUL, Dst: EAX, Src: EBX},
+		{Op: SHL, Dst: EAX, Imm: 5},
+		{Op: SHR, Dst: EAX, Imm: 63},
+		{Op: MOVI, Dst: EDI, Imm: 1},
+		{Op: MOVI, Dst: EDI, Imm: -1},
+		{Op: MOVI, Dst: EDI, Imm: 1 << 40},
+		{Op: ADDI, Dst: EAX, Imm: 100},
+		{Op: ADDI, Dst: EAX, Imm: 100000},
+		{Op: SUBI, Dst: EAX, Imm: -128},
+		{Op: CMPI, Dst: EAX, Imm: 127},
+		{Op: LOAD, Dst: EAX, Src: ESI},
+		{Op: LOAD, Dst: EAX, Src: ESI, Disp: 100},
+		{Op: LOAD, Dst: EAX, Src: ESI, Disp: -5000},
+		{Op: STORE, Dst: EDI, Src: EAX, Disp: 1},
+		{Op: PUSH, Src: EBP}, {Op: POP, Dst: EBP},
+		{Op: JIND, Src: EAX}, {Op: CALLIND, Src: EBX},
+	}
+	for _, in := range cases {
+		in := in
+		in.Addr = BaseAddr
+		in.Size = EncodedSize(&in)
+		got := EncodeInstr(nil, &in)
+		if len(got) != int(in.Size) {
+			t.Errorf("%v: encoded %d bytes, size %d", &in, len(got), in.Size)
+		}
+	}
+	// Branches need valid layout for rel32 computation.
+	b := NewBuilder("enc")
+	b.Label("e")
+	j := b.Emit(Instr{Op: JMP})
+	k := b.Emit(Instr{Op: JCC, Cond: CondNE})
+	c := b.Emit(Instr{Op: CALL})
+	b.Emit(Instr{Op: HALT})
+	entry, _ := b.LabelAddr("e")
+	for _, idx := range []int{j, k, c} {
+		b.PatchTarget(idx, entry)
+	}
+	p, err := b.Build("e", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{j, k, c} {
+		in := p.Instr(idx)
+		got := EncodeInstr(nil, in)
+		if len(got) != int(in.Size) {
+			t.Errorf("%v: encoded %d bytes, size %d", in, len(got), in.Size)
+		}
+	}
+}
+
+// TestQuickEncodeImmediates: immediate-carrying forms always encode to
+// exactly their declared size, for arbitrary immediates.
+func TestQuickEncodeImmediates(t *testing.T) {
+	f := func(imm int64, disp int32, op uint8) bool {
+		ops := []Op{MOVI, ADDI, SUBI, CMPI, LOAD, STORE}
+		in := Instr{Op: ops[int(op)%len(ops)], Dst: EAX, Src: EBX, Imm: imm, Disp: disp}
+		in.Size = EncodedSize(&in)
+		return len(EncodeInstr(nil, &in)) == int(in.Size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodeRangeMatchesBlockBytes: a range encoding is byte-for-byte as
+// long as the size accounting says.
+func TestEncodeRangeMatchesBlockBytes(t *testing.T) {
+	b := NewBuilder("r")
+	b.Label("e")
+	b.Emit(Instr{Op: MOVI, Dst: ECX, Imm: 7})
+	b.Label("l")
+	b.Emit(Instr{Op: ADDI, Dst: EAX, Imm: 1})
+	b.Emit(Instr{Op: SUBI, Dst: ECX, Imm: 1})
+	j := b.Emit(Instr{Op: JCC, Cond: CondGT})
+	b.Emit(Instr{Op: HALT})
+	loop, _ := b.LabelAddr("l")
+	b.PatchTarget(j, loop)
+	p, err := b.Build("e", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := p.EncodeRange(p.Entry, p.Entry+p.StaticBytes())
+	if uint64(len(img)) != p.StaticBytes() {
+		t.Errorf("image %d bytes, static %d", len(img), p.StaticBytes())
+	}
+	// Distinct instructions produce distinct prefixes (opcode first).
+	if img[0] == img[5] && p.Instr(0).Op != p.Instr(1).Op {
+		t.Error("suspicious encoding collision")
+	}
+}

@@ -1,0 +1,193 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BaseAddr is the address at which program text is laid out by default. A
+// non-zero base keeps address arithmetic honest (zero is never a valid PC).
+const BaseAddr uint64 = 0x08048000
+
+// Program is an immutable laid-out program: a code image plus entry point,
+// symbol table and initial data memory. Programs are built either by the
+// assembler (internal/asm) or by the workload generator.
+type Program struct {
+	Name  string
+	Entry uint64
+
+	instrs []Instr
+	index  map[uint64]int
+
+	// Labels maps symbol names to code addresses (filled by the assembler).
+	Labels map[string]uint64
+
+	// MemWords is the size of data memory in 64-bit words. The stack
+	// occupies the top of this region.
+	MemWords int
+
+	// InitData holds initial values for data memory, keyed by word address.
+	InitData map[int64]int64
+}
+
+// Builder accumulates instructions and lays them out into a Program.
+type Builder struct {
+	name   string
+	base   uint64
+	next   uint64
+	instrs []Instr
+	labels map[string]uint64
+}
+
+// NewBuilder returns a Builder laying out code from BaseAddr.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, base: BaseAddr, next: BaseAddr, labels: make(map[string]uint64)}
+}
+
+// PC returns the address the next appended instruction will occupy.
+func (b *Builder) PC() uint64 { return b.next }
+
+// Label records a symbol at the current PC.
+func (b *Builder) Label(name string) { b.labels[name] = b.next }
+
+// Emit appends an instruction, assigning its address and encoded size.
+// Branch targets may be patched later via PatchTarget.
+func (b *Builder) Emit(i Instr) int {
+	i.Addr = b.next
+	i.Size = EncodedSize(&i)
+	b.next += uint64(i.Size)
+	b.instrs = append(b.instrs, i)
+	return len(b.instrs) - 1
+}
+
+// PatchTarget rewrites the branch target of a previously emitted
+// instruction (two-pass assembly of forward references).
+func (b *Builder) PatchTarget(idx int, target uint64) {
+	b.instrs[idx].Target = target
+}
+
+// LabelAddr reports the address of a previously recorded label.
+func (b *Builder) LabelAddr(name string) (uint64, bool) {
+	a, ok := b.labels[name]
+	return a, ok
+}
+
+// Build finalizes the program. Entry defaults to the base address when the
+// named entry label is empty or absent.
+func (b *Builder) Build(entry string, memWords int) (*Program, error) {
+	p := &Program{
+		Name:     b.name,
+		Entry:    b.base,
+		instrs:   b.instrs,
+		index:    make(map[uint64]int, len(b.instrs)),
+		Labels:   b.labels,
+		MemWords: memWords,
+		InitData: make(map[int64]int64),
+	}
+	for i := range p.instrs {
+		p.index[p.instrs[i].Addr] = i
+	}
+	if entry != "" {
+		a, ok := b.labels[entry]
+		if !ok {
+			return nil, fmt.Errorf("isa: entry label %q not defined", entry)
+		}
+		p.Entry = a
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Program) validate() error {
+	if len(p.instrs) == 0 {
+		return fmt.Errorf("isa: program %q has no instructions", p.Name)
+	}
+	for i := range p.instrs {
+		in := &p.instrs[i]
+		switch in.Op {
+		case JMP, JCC, CALL:
+			if _, ok := p.index[in.Target]; !ok {
+				return fmt.Errorf("isa: %s at 0x%x targets 0x%x which is not an instruction boundary", in.Op, in.Addr, in.Target)
+			}
+		}
+	}
+	if _, ok := p.index[p.Entry]; !ok {
+		return fmt.Errorf("isa: entry 0x%x is not an instruction boundary", p.Entry)
+	}
+	return nil
+}
+
+// At returns the instruction at the exact address.
+func (p *Program) At(addr uint64) (*Instr, bool) {
+	i, ok := p.index[addr]
+	if !ok {
+		return nil, false
+	}
+	return &p.instrs[i], true
+}
+
+// MustAt is At for addresses known to be valid; it panics otherwise.
+func (p *Program) MustAt(addr uint64) *Instr {
+	in, ok := p.At(addr)
+	if !ok {
+		panic(fmt.Sprintf("isa: no instruction at 0x%x in %s", addr, p.Name))
+	}
+	return in
+}
+
+// Len returns the static instruction count.
+func (p *Program) Len() int { return len(p.instrs) }
+
+// Instr returns the i-th instruction in layout order.
+func (p *Program) Instr(i int) *Instr { return &p.instrs[i] }
+
+// IndexOf returns the layout index of the instruction at addr.
+func (p *Program) IndexOf(addr uint64) (int, bool) {
+	i, ok := p.index[addr]
+	return i, ok
+}
+
+// StaticBytes returns the total encoded size of the program text.
+func (p *Program) StaticBytes() uint64 {
+	if len(p.instrs) == 0 {
+		return 0
+	}
+	last := &p.instrs[len(p.instrs)-1]
+	return last.Addr + uint64(last.Size) - p.instrs[0].Addr
+}
+
+// SymbolFor returns the name of the label at addr, if any. When several
+// labels share an address the lexicographically smallest is returned, so
+// output is deterministic.
+func (p *Program) SymbolFor(addr uint64) (string, bool) {
+	var names []string
+	for n, a := range p.Labels {
+		if a == addr {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return "", false
+	}
+	sort.Strings(names)
+	return names[0], true
+}
+
+// Disassemble renders the instructions in [lo, hi) as text, one per line,
+// with addresses and any labels.
+func (p *Program) Disassemble(lo, hi uint64) string {
+	out := ""
+	for i := range p.instrs {
+		in := &p.instrs[i]
+		if in.Addr < lo || in.Addr >= hi {
+			continue
+		}
+		if sym, ok := p.SymbolFor(in.Addr); ok {
+			out += fmt.Sprintf("%s:\n", sym)
+		}
+		out += fmt.Sprintf("  0x%08x  %s\n", in.Addr, in)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package optim
+
+import "github.com/lsc-tea/tea/internal/trace"
+
+// Merge unions trace sets recorded on different runs (for instance with
+// different inputs) of the *same* program into one set — the multi-run
+// half of the paper's "reuse in future executions" use case: the merged
+// TEA covers the hot code of every profiled input.
+//
+// Entry conflicts (two sets anchoring a trace at the same address) keep
+// the larger trace: more TBBs means more recorded paths through that
+// region. Sets recorded under different strategies may be merged; the
+// result carries the first set's strategy label.
+func Merge(sets ...*trace.Set) *trace.Set {
+	if len(sets) == 0 {
+		return trace.NewSet("merged", nil)
+	}
+	out := trace.NewSet(sets[0].Strategy, sets[0])
+
+	// Pick, per entry address, the biggest trace across all sets,
+	// preserving first-seen order for determinism.
+	var order []uint64
+	best := make(map[uint64]*trace.Trace)
+	for _, s := range sets {
+		for _, t := range s.Traces {
+			e := t.EntryAddr()
+			if prev, ok := best[e]; !ok {
+				best[e] = t
+				order = append(order, e)
+			} else if t.Len() > prev.Len() {
+				best[e] = t
+			}
+		}
+	}
+	for _, e := range order {
+		if _, err := copyTrace(out, best[e]); err != nil {
+			panic("optim: merge copy: " + err.Error())
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package profile
+
+import (
+	"github.com/lsc-tea/tea/internal/core"
+)
+
+// InstrProfile counts executions per *instruction instance* — the finest
+// labelling the paper's §2 motivation asks for: after trace duplication,
+// every copy of every instruction gets its own counter, which is exactly
+// the specialized profile an unroller consumes. It implements
+// core.InstrProfiler so the counts serialize with the instruction-level
+// wire format (core.EncodeInstrLevelWithProfile).
+type InstrProfile struct {
+	a      *core.Automaton
+	counts map[instrKey]uint64
+	byTBB  map[interface{ Name() string }]core.StateID
+}
+
+type instrKey struct {
+	state core.StateID
+	index int
+}
+
+var _ core.InstrProfiler = (*InstrProfile)(nil)
+
+// NewInstrProfile creates an empty instruction-level profile over a.
+func NewInstrProfile(a *core.Automaton) *InstrProfile {
+	return &InstrProfile{a: a, counts: make(map[instrKey]uint64)}
+}
+
+// Observe records one execution of instruction `index` of the TBB covered
+// by state. NTE executions are ignored (cold instructions have no trace
+// instance to label).
+func (p *InstrProfile) Observe(state core.StateID, index int) {
+	if state == core.NTE {
+		return
+	}
+	p.counts[instrKey{state, index}]++
+}
+
+// Count returns the executions of instruction `index` in the given state.
+func (p *InstrProfile) Count(state core.StateID, index int) uint64 {
+	return p.counts[instrKey{state, index}]
+}
+
+// CountForInstr implements core.InstrProfiler: tbb is resolved back to its
+// state through a lazily built reverse index.
+func (p *InstrProfile) CountForInstr(tbb interface{ Name() string }, index int) uint64 {
+	if p.byTBB == nil {
+		p.byTBB = make(map[interface{ Name() string }]core.StateID, p.a.NumStates())
+		for i := 1; i < p.a.NumStates(); i++ {
+			id := core.StateID(i)
+			if t := p.a.State(id).TBB; t != nil {
+				p.byTBB[t] = id
+			}
+		}
+	}
+	id, ok := p.byTBB[tbb]
+	if !ok {
+		return 0
+	}
+	return p.counts[instrKey{id, index}]
+}

@@ -1,0 +1,124 @@
+package profile
+
+// Phase detection from trace stability, after Wimmer et al. [PPPJ'09],
+// which the paper cites as a further application of traces (§5): a program
+// is inside a stable phase while its traces rarely take side exits; rising
+// exit ratios mark the transition between phases.
+
+// PhaseKind labels a detected region of execution.
+type PhaseKind int
+
+const (
+	// Stable means execution cycles inside traces (low exit ratio).
+	Stable PhaseKind = iota
+	// Unstable means execution keeps leaving traces (between phases).
+	Unstable
+)
+
+func (k PhaseKind) String() string {
+	if k == Stable {
+		return "stable"
+	}
+	return "unstable"
+}
+
+// Phase is one maximal run of windows with the same stability.
+type Phase struct {
+	Kind PhaseKind
+	// StartEdge and EndEdge delimit the phase in observed transitions
+	// [StartEdge, EndEdge).
+	StartEdge uint64
+	EndEdge   uint64
+	// MeanExitRatio averages the per-window exit ratios of the phase.
+	MeanExitRatio float64
+}
+
+// PhaseDetector slices the transition stream into fixed windows, computes
+// the trace exit ratio of each, and merges consecutive windows of equal
+// stability into phases.
+type PhaseDetector struct {
+	window    uint64
+	threshold float64
+
+	edges     uint64
+	winEvents uint64
+	winExits  uint64
+
+	phases []Phase
+}
+
+// NewPhaseDetector creates a detector with the given window (transitions
+// per window; default 4096) and exit-ratio threshold separating stable from
+// unstable windows (default 0.15).
+func NewPhaseDetector(window uint64, threshold float64) *PhaseDetector {
+	if window == 0 {
+		window = 4096
+	}
+	if threshold <= 0 {
+		threshold = 0.15
+	}
+	return &PhaseDetector{window: window, threshold: threshold}
+}
+
+// Observe consumes one transition: inTrace reports whether the automaton
+// was inside a trace before the transition, exit whether the transition
+// left the trace (to NTE or to another trace).
+func (d *PhaseDetector) Observe(inTrace, exit bool) {
+	d.edges++
+	if inTrace {
+		d.winEvents++
+		if exit {
+			d.winExits++
+		}
+	} else {
+		// Cold execution counts as instability: no trace covers it.
+		d.winEvents++
+		d.winExits++
+	}
+	if d.edges%d.window == 0 {
+		d.closeWindow()
+	}
+}
+
+func (d *PhaseDetector) closeWindow() {
+	if d.winEvents == 0 {
+		return
+	}
+	ratio := float64(d.winExits) / float64(d.winEvents)
+	kind := Stable
+	if ratio > d.threshold {
+		kind = Unstable
+	}
+	start := d.edges - d.window
+	if n := len(d.phases); n > 0 && d.phases[n-1].Kind == kind && d.phases[n-1].EndEdge == start {
+		// Extend the current phase, averaging the ratio by window count.
+		ph := &d.phases[n-1]
+		windows := float64(ph.EndEdge-ph.StartEdge) / float64(d.window)
+		ph.MeanExitRatio = (ph.MeanExitRatio*windows + ratio) / (windows + 1)
+		ph.EndEdge = d.edges
+	} else {
+		d.phases = append(d.phases, Phase{Kind: kind, StartEdge: start, EndEdge: d.edges, MeanExitRatio: ratio})
+	}
+	d.winEvents, d.winExits = 0, 0
+}
+
+// Phases returns the phases detected so far (the trailing partial window is
+// not included until it fills).
+func (d *PhaseDetector) Phases() []Phase { return d.phases }
+
+// StableFraction returns the fraction of observed transitions spent in
+// stable phases.
+func (d *PhaseDetector) StableFraction() float64 {
+	var stable, total uint64
+	for _, p := range d.phases {
+		n := p.EndEdge - p.StartEdge
+		total += n
+		if p.Kind == Stable {
+			stable += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(stable) / float64(total)
+}

@@ -1,0 +1,154 @@
+// Package progs holds the example programs from the paper's figures,
+// shared by tests, examples and documentation.
+package progs
+
+import (
+	"fmt"
+
+	"github.com/lsc-tea/tea/internal/asm"
+	"github.com/lsc-tea/tea/internal/isa"
+)
+
+// Figure1 builds the paper's Figure 1(a): an optimized loop copying n words
+// from the array at src to the array at dst, repeated rounds times so the
+// loop becomes hot. The hot loop is labeled "loop".
+func Figure1(n, rounds int) *isa.Program {
+	src := fmt.Sprintf(`
+; Figure 1(a): copy %[1]d words from [esi] to [edi], %[2]d rounds.
+.entry main
+.mem 8192
+main:
+    movi ebp, %[2]d
+round:
+    movi ecx, %[1]d
+    movi esi, 1000
+    movi edi, 4000
+loop:
+    load  eax, [esi+0]
+    store [edi+0], eax
+    addi  esi, 1
+    addi  edi, 1
+    subi  ecx, 1
+    jne   loop
+    subi ebp, 1
+    jgt  round
+    halt
+`, n, rounds)
+	p := asm.MustAssemble("figure1", src)
+	for i := int64(0); i < int64(n); i++ {
+		p.InitData[1000+i] = i * 7
+	}
+	return p
+}
+
+// Figure2 builds the paper's Figure 2(a): scan a linked list pointed to by
+// edx and count in eax how many nodes carry the value in ecx. The program
+// first builds a list of `nodes` nodes whose values cycle 0..3, then scans
+// it `rounds` times looking for the value 1. The basic blocks carry the
+// paper's labels: begin, header, inc, next, end (inc and next merge into
+// one dynamic block, as the paper notes DBTs usually do).
+func Figure2(nodes, rounds int) *isa.Program {
+	src := fmt.Sprintf(`
+; Figure 2(a): count occurrences of ecx in the list at edx.
+.entry main
+.mem 16384
+main:
+    ; Build a %[1]d-node list at address 100; node = [value, next].
+    movi edi, 100
+    movi ebx, %[1]d
+build:
+    mov  esi, edi
+    addi esi, 2
+    store [edi+1], esi
+    mov  ecx, ebx
+    movi ebp, 3
+    and  ecx, ebp
+    store [edi+0], ecx
+    mov  edi, esi
+    subi ebx, 1
+    jgt  build
+    ; Scan it %[2]d times (the terminator node has value 0, next 0).
+    movi ebp, %[2]d
+outer:
+begin:
+    movi eax, 0
+    movi ecx, 1
+    movi edx, 100
+header:
+    cmpi edx, 0
+    jeq  end
+cmpv:
+    load ebx, [edx+0]
+    cmp  ebx, ecx
+    jne  next
+inc:
+    addi eax, 1
+next:
+    load edx, [edx+1]
+    jmp  header
+end:
+    subi ebp, 1
+    jgt  outer
+    halt
+`, nodes, rounds)
+	return asm.MustAssemble("figure2", src)
+}
+
+// RepDemo builds a small program mixing REP string operations and CPUID
+// with an ordinary hot loop; it exercises the StarDBT/Pin block-discipline
+// differences of §4.1.
+func RepDemo(rounds int) *isa.Program {
+	src := fmt.Sprintf(`
+.entry main
+.mem 8192
+main:
+    movi ebp, %d
+loop:
+    movi ecx, 16
+    movi esi, 1000
+    movi edi, 2000
+    repmovs
+    cpuid
+    movi eax, 1
+    movi ecx, 8
+    movi edi, 3000
+    repstos
+    subi ebp, 1
+    jgt  loop
+    halt
+`, rounds)
+	p := asm.MustAssemble("repdemo", src)
+	for i := int64(0); i < 16; i++ {
+		p.InitData[1000+i] = i
+	}
+	return p
+}
+
+// CallDemo builds a program with a hot loop calling two small functions
+// through both direct and indirect calls; it exercises call/return control
+// flow in the selectors and the replayer.
+func CallDemo(rounds int) *isa.Program {
+	src := fmt.Sprintf(`
+.entry main
+.mem 8192
+main:
+    movi ebp, %d
+    movi esi, 300
+loop:
+    call f1
+    load ebx, [esi+0]
+    callind ebx
+    subi ebp, 1
+    jgt  loop
+    halt
+f1:
+    addi eax, 1
+    ret
+f2:
+    addi eax, 2
+    ret
+`, rounds)
+	p := asm.MustAssemble("calldemo", src)
+	p.InitData[300] = int64(p.Labels["f2"])
+	return p
+}

@@ -1,0 +1,71 @@
+package teatool
+
+import (
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/pin"
+	"github.com/lsc-tea/tea/internal/profile"
+)
+
+// ProfileTool replays a TEA and collects a per-state execution profile —
+// the paper's §2 workflow: gather accurate profile information for trace
+// instances (including duplicated blocks) without building any trace code.
+// It optionally feeds a phase detector.
+type ProfileTool struct {
+	rep    *core.Replayer
+	prof   *profile.Profile
+	phases *profile.PhaseDetector
+}
+
+var _ pin.Tool = (*ProfileTool)(nil)
+
+// NewProfileTool creates the profiling pintool. phases may be nil.
+func NewProfileTool(a *core.Automaton, cfg core.LookupConfig, phases *profile.PhaseDetector) *ProfileTool {
+	return &ProfileTool{
+		rep:    core.NewReplayer(a, cfg),
+		prof:   profile.New(a),
+		phases: phases,
+	}
+}
+
+// Edge implements pin.Tool.
+func (t *ProfileTool) Edge(e cfg.Edge, instrs uint64) {
+	from := t.rep.Cur()
+	if e.To == nil {
+		t.rep.AccountOnly(instrs)
+		t.prof.Observe(from, core.NTE, instrs)
+		return
+	}
+	to := t.rep.Advance(e.To.Head, instrs)
+	t.prof.Observe(from, to, instrs)
+	if t.phases != nil {
+		inTrace := from != core.NTE
+		exit := inTrace && (to == core.NTE || leftTrace(t.rep.Automaton(), from, to))
+		t.phases.Observe(inTrace, exit)
+	}
+}
+
+// leftTrace reports whether the transition moved to a different trace.
+func leftTrace(a *core.Automaton, from, to core.StateID) bool {
+	if to == core.NTE {
+		return true
+	}
+	f, t := a.State(from).TBB, a.State(to).TBB
+	return f != nil && t != nil && f.Trace != t.Trace
+}
+
+// Fini implements pin.Tool.
+func (t *ProfileTool) Fini(instrs uint64) {
+	if instrs > 0 {
+		t.rep.AccountOnly(instrs)
+	}
+}
+
+// Profile returns the collected profile.
+func (t *ProfileTool) Profile() *profile.Profile { return t.prof }
+
+// Replayer exposes the automaton cursor and coverage statistics.
+func (t *ProfileTool) Replayer() *core.Replayer { return t.rep }
+
+// Phases returns the attached phase detector (nil if none).
+func (t *ProfileTool) Phases() *profile.PhaseDetector { return t.phases }

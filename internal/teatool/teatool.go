@@ -1,0 +1,83 @@
+// Package teatool implements the paper's pintool: the Pin analysis tool
+// that loads a TEA from a file and replays trace execution on an unmodified
+// program (Table 2), or records a TEA online while the program runs
+// (Table 3).
+package teatool
+
+import (
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/pin"
+	"github.com/lsc-tea/tea/internal/trace"
+)
+
+// ReplayTool replays a previously recorded TEA: each instrumented edge
+// advances the automaton, labelling the upcoming code with the TBB it
+// corresponds to.
+type ReplayTool struct {
+	rep *core.Replayer
+}
+
+var _ pin.Tool = (*ReplayTool)(nil)
+
+// NewReplayTool creates the replay pintool over automaton a with the given
+// transition-function configuration.
+func NewReplayTool(a *core.Automaton, cfg core.LookupConfig) *ReplayTool {
+	return &ReplayTool{rep: core.NewReplayer(a, cfg)}
+}
+
+// Edge implements pin.Tool.
+func (t *ReplayTool) Edge(e cfg.Edge, instrs uint64) {
+	if e.To != nil {
+		t.rep.Advance(e.To.Head, instrs)
+		return
+	}
+	t.rep.AccountOnly(instrs)
+}
+
+// Fini implements pin.Tool.
+func (t *ReplayTool) Fini(instrs uint64) {
+	if instrs > 0 {
+		t.rep.AccountOnly(instrs)
+	}
+}
+
+// Replayer exposes the underlying automaton cursor.
+func (t *ReplayTool) Replayer() *core.Replayer { return t.rep }
+
+// Stats returns the replay statistics (coverage, lookup counters).
+func (t *ReplayTool) Stats() *core.Stats { return t.rep.Stats() }
+
+// RecordTool records a TEA online (Algorithm 2) while the program runs
+// under Pin, using any trace-selection strategy.
+type RecordTool struct {
+	rec *core.Recorder
+}
+
+var _ pin.Tool = (*RecordTool)(nil)
+
+// NewRecordTool creates the recording pintool around a selection strategy.
+func NewRecordTool(strat trace.Strategy, cfg core.LookupConfig) *RecordTool {
+	return &RecordTool{rec: core.NewRecorder(strat, cfg)}
+}
+
+// Edge implements pin.Tool.
+func (t *RecordTool) Edge(e cfg.Edge, instrs uint64) {
+	t.rec.Observe(e, instrs)
+}
+
+// Fini implements pin.Tool.
+func (t *RecordTool) Fini(instrs uint64) {
+	if instrs > 0 {
+		t.rec.Replayer().AccountOnly(instrs)
+	}
+}
+
+// Recorder exposes the underlying recorder.
+func (t *RecordTool) Recorder() *core.Recorder { return t.rec }
+
+// Automaton returns the TEA recorded so far.
+func (t *RecordTool) Automaton() *core.Automaton { return t.rec.Automaton() }
+
+// Stats returns the recording run's statistics.
+func (t *RecordTool) Stats() *core.Stats { return t.rec.Replayer().Stats() }

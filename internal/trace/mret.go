@@ -1,0 +1,135 @@
+package trace
+
+import "github.com/lsc-tea/tea/internal/cfg"
+
+// MRET implements Most Recently Executed Tail selection — the NET strategy
+// of Dynamo [Bala et al. 2000; Duesterwald & Bala 2000] that the paper uses
+// for its recording experiment (Table 3). Potential trace heads are the
+// targets of taken backward branches and the targets of exits from existing
+// traces; when a head's execution counter crosses the hot threshold, the
+// very next executed path is recorded as a linear trace (a superblock)
+// until it closes a cycle, reaches another trace, takes an indirect branch,
+// or hits the length cap.
+type MRET struct {
+	cfg Config
+	set *Set
+
+	counters map[uint64]int
+
+	// pos tracks the TBB we would be executing if the recorded traces were
+	// live; it detects trace exits so exit targets can be counted as head
+	// candidates, mirroring Dynamo.
+	pos *TBB
+
+	recording bool
+	cur       *Trace
+	last      *TBB
+}
+
+// NewMRET creates an MRET selector.
+func NewMRET(prog programSymbols, c Config) *MRET {
+	return &MRET{
+		cfg:      c.withDefaults(),
+		set:      NewSet("mret", prog),
+		counters: make(map[uint64]int),
+	}
+}
+
+// Name implements Strategy.
+func (m *MRET) Name() string { return "mret" }
+
+// Set implements Strategy.
+func (m *MRET) Set() *Set { return m.set }
+
+// Observe implements Strategy.
+func (m *MRET) Observe(e cfg.Edge) *Trace {
+	if e.To == nil {
+		// Program end: a trace still being recorded is finished as-is.
+		if m.recording {
+			return m.finish()
+		}
+		return nil
+	}
+	if m.recording {
+		return m.extend(e)
+	}
+
+	exitTarget := m.track(e)
+
+	candidate := backwardTaken(e) || exitTarget
+	if !candidate {
+		return nil
+	}
+	head := e.To.Head
+	if _, exists := m.set.ByEntry(head); exists {
+		return nil
+	}
+	m.counters[head]++
+	if m.counters[head] < m.cfg.HotThreshold {
+		return nil
+	}
+	if m.cfg.MaxSetBlocks > 0 && m.set.NumTBBs() >= m.cfg.MaxSetBlocks {
+		return nil
+	}
+	t, err := m.set.NewTrace(e.To)
+	if err != nil {
+		return nil
+	}
+	delete(m.counters, head)
+	m.recording = true
+	m.cur = t
+	m.last = t.Head()
+	m.pos = nil
+	return nil
+}
+
+// track follows execution through already-recorded traces and reports
+// whether this edge exits one (making e.To a trace-exit target and hence a
+// head candidate).
+func (m *MRET) track(e cfg.Edge) bool {
+	wasIn := m.pos != nil
+	if m.pos != nil {
+		if next, ok := m.pos.Succs[e.To.Head]; ok {
+			m.pos = next
+			return false
+		}
+		m.pos = nil
+	}
+	if t, ok := m.set.ByEntry(e.To.Head); ok {
+		m.pos = t.Head()
+		return false
+	}
+	return wasIn
+}
+
+// extend appends the next executed block to the trace under construction,
+// or ends the trace per the MRET stop rules.
+func (m *MRET) extend(e cfg.Edge) *Trace {
+	// Cycle closed back to the trace head: link and finish.
+	if e.To.Head == m.cur.EntryAddr() {
+		m.last.Link(m.cur.Head())
+		return m.finish()
+	}
+	// Reached another trace or took a backward branch (end of loop body):
+	// finish without the new block. Indirect branches are recorded through,
+	// as Dynamo does — the next executed target simply becomes the next TBB.
+	if _, other := m.set.ByEntry(e.To.Head); other ||
+		backwardTaken(e) ||
+		m.cur.Len() >= m.cfg.MaxTraceBlocks {
+		return m.finish()
+	}
+	tbb := m.cur.Append(e.To)
+	m.last.Link(tbb)
+	m.last = tbb
+	return nil
+}
+
+func (m *MRET) finish() *Trace {
+	t := m.cur
+	m.recording = false
+	m.cur, m.last = nil, nil
+	return t
+}
+
+// Recording implements Strategy.
+func (m *MRET) Recording() bool { return m.recording }

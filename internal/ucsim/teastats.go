@@ -1,0 +1,103 @@
+package ucsim
+
+import (
+	"sort"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/cpu"
+	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/trace"
+)
+
+// TraceStats attributes simulated cycles to one trace.
+type TraceStats struct {
+	Trace *trace.Trace
+	Stats Stats
+}
+
+// Result is one simulated, TEA-attributed execution.
+type Result struct {
+	// Total covers the whole run; Cold the share spent outside any trace.
+	Total Stats
+	Cold  Stats
+	// PerTrace is sorted by descending cycles.
+	PerTrace []TraceStats
+}
+
+// SimulateTEA re-executes the unmodified program on the timing simulator
+// while walking the TEA, attributing every block's cycles to the trace
+// instance the automaton maps it to — the paper's "collect statistics for
+// traces by replaying them on a cycle accurate simulator" (§1). The traces
+// themselves were typically recorded on a different system (the DBT).
+func SimulateTEA(p *isa.Program, a *core.Automaton, lc core.LookupConfig, cfg_ Config) (*Result, error) {
+	m := cpu.New(p)
+	sim := New(cfg_)
+	m.SetObserver(sim)
+	run := cfg.NewRunner(m, cfg.StarDBT)
+	rep := core.NewReplayer(a, lc)
+
+	res := &Result{}
+	perState := make(map[core.StateID]*Stats)
+	var prev Stats
+
+	for {
+		e, ok, err := run.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		// The block that just finished is covered by the replayer's
+		// current state (set when we transitioned into it).
+		total := sim.Total()
+		delta := Stats{
+			Instrs:      total.Instrs - prev.Instrs,
+			Cycles:      total.Cycles - prev.Cycles,
+			IMisses:     total.IMisses - prev.IMisses,
+			DMisses:     total.DMisses - prev.DMisses,
+			L2Misses:    total.L2Misses - prev.L2Misses,
+			Mispredicts: total.Mispredicts - prev.Mispredicts,
+		}
+		prev = total
+		if delta.Instrs > 0 {
+			st := perState[rep.Cur()]
+			if st == nil {
+				st = &Stats{}
+				perState[rep.Cur()] = st
+			}
+			st.Add(delta)
+		}
+		if e.To == nil {
+			break
+		}
+		rep.Advance(e.To.Head, delta.Instrs)
+	}
+
+	res.Total = sim.Total()
+	byTrace := make(map[*trace.Trace]*Stats)
+	for id, st := range perState {
+		tbb := a.State(id).TBB
+		if tbb == nil {
+			res.Cold.Add(*st)
+			continue
+		}
+		agg := byTrace[tbb.Trace]
+		if agg == nil {
+			agg = &Stats{}
+			byTrace[tbb.Trace] = agg
+		}
+		agg.Add(*st)
+	}
+	for t, st := range byTrace {
+		res.PerTrace = append(res.PerTrace, TraceStats{Trace: t, Stats: *st})
+	}
+	sort.Slice(res.PerTrace, func(i, j int) bool {
+		if res.PerTrace[i].Stats.Cycles != res.PerTrace[j].Stats.Cycles {
+			return res.PerTrace[i].Stats.Cycles > res.PerTrace[j].Stats.Cycles
+		}
+		return res.PerTrace[i].Trace.ID < res.PerTrace[j].Trace.ID
+	})
+	return res, nil
+}

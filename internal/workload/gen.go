@@ -1,0 +1,486 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/lsc-tea/tea/internal/cpu"
+	"github.com/lsc-tea/tea/internal/isa"
+)
+
+// Generated-program memory layout (word addresses). The data window and
+// REP windows sit far below the stack, and every computed address is
+// masked into the data window, so random stores can never corrupt return
+// addresses.
+const (
+	randAddr  = 8    // LCG state
+	tableBase = 16   // function-pointer and jump tables
+	dataBase  = 4096 // computed loads/stores: [dataBase, dataBase+dataMask]
+	dataMask  = 0xFFF
+	repBase   = 8192 // REP source/destination windows
+	memWords  = 1 << 16
+)
+
+// lcg constants (Knuth's MMIX multiplier); the generated programs carry
+// their own pseudo-random stream so branch outcomes are data-dependent yet
+// fully deterministic.
+const (
+	lcgMul = 6364136223846793005
+	lcgAdd = 1442695040888963407
+)
+
+// funcBudgetPerStmt bounds a function body's expected dynamic cost:
+// budget = Stmts × funcBudgetPerStmt. The budget is what keeps the acyclic
+// call graph from multiplying into exponential run time.
+const funcBudgetPerStmt = 1200
+
+// Program generates the benchmark program for spec at its current
+// WorkScale (minimum 1). Generation is deterministic in the spec.
+func Program(spec Spec) *isa.Program {
+	if spec.WorkScale < 1 {
+		spec.WorkScale = 1
+	}
+	g := &generator{
+		spec: spec,
+		b:    isa.NewBuilder(spec.Name),
+		rng:  rand.New(rand.NewSource(spec.Seed)),
+		est:  make([]float64, spec.Funcs),
+	}
+	return g.run()
+}
+
+// DefaultMinOuter is the minimum number of main-loop repetitions Generate
+// allows: enough for the scaled hot thresholds to fire on inner loop
+// headers many times over, keeping trace-selection warm-up a small
+// fraction of the run.
+const DefaultMinOuter = 32
+
+// Generate builds the benchmark and calibrates WorkScale so the program
+// executes roughly target dynamic instructions (at least DefaultMinOuter
+// main-loop repetitions, so trace selection always has hot code to find).
+func Generate(spec Spec, target uint64) (*isa.Program, error) {
+	spec.WorkScale = 1
+	probe := Program(spec)
+	m := cpu.New(probe)
+	if err := m.Run(200_000_000); err != nil {
+		return nil, fmt.Errorf("workload %s: calibration run: %w", spec.Name, err)
+	}
+	perIter := m.Steps()
+	if perIter == 0 {
+		return nil, fmt.Errorf("workload %s: empty calibration run", spec.Name)
+	}
+	scale := target / perIter
+	if scale < DefaultMinOuter {
+		scale = DefaultMinOuter
+	}
+	spec.WorkScale = int(scale)
+	return Program(spec), nil
+}
+
+type fixup struct {
+	idx   int
+	label string
+}
+
+type slotPatch struct {
+	slot  int64
+	label string
+}
+
+type generator struct {
+	spec Spec
+	b    *isa.Builder
+	rng  *rand.Rand
+
+	fixups   []fixup
+	slots    []slotPatch
+	nextSlot int64
+
+	est      []float64 // expected dynamic cost per function
+	labelSeq int
+	curFn    int
+}
+
+func (g *generator) run() *isa.Program {
+	g.nextSlot = tableBase
+	g.genMain()
+	// Generate functions bottom-up (leaves first) so call sites know their
+	// callees' expected costs and can respect their budgets.
+	for i := g.spec.Funcs - 1; i >= 0; i-- {
+		g.genFunc(i)
+	}
+	for _, f := range g.fixups {
+		addr, ok := g.b.LabelAddr(f.label)
+		if !ok {
+			// Generation bugs are programming errors, not runtime conditions.
+			panic(fmt.Sprintf("workload %s: undefined label %s", g.spec.Name, f.label))
+		}
+		g.b.PatchTarget(f.idx, addr)
+	}
+	p, err := g.b.Build("main", memWords)
+	if err != nil {
+		panic(fmt.Sprintf("workload %s: %v", g.spec.Name, err))
+	}
+	for _, s := range g.slots {
+		addr, ok := g.b.LabelAddr(s.label)
+		if !ok {
+			panic(fmt.Sprintf("workload %s: undefined table label %s", g.spec.Name, s.label))
+		}
+		p.InitData[s.slot] = int64(addr)
+	}
+	return p
+}
+
+// --- emission helpers ---
+
+func (g *generator) emit(in isa.Instr) int { return g.b.Emit(in) }
+
+func (g *generator) movi(dst isa.Reg, imm int64) {
+	g.emit(isa.Instr{Op: isa.MOVI, Dst: dst, Src: isa.NoReg, Imm: imm})
+}
+
+func (g *generator) rr(op isa.Op, dst, src isa.Reg) {
+	g.emit(isa.Instr{Op: op, Dst: dst, Src: src})
+}
+
+func (g *generator) ri(op isa.Op, dst isa.Reg, imm int64) {
+	g.emit(isa.Instr{Op: op, Dst: dst, Src: isa.NoReg, Imm: imm})
+}
+
+func (g *generator) jcc(c isa.Cond, label string) {
+	idx := g.emit(isa.Instr{Op: isa.JCC, Cond: c, Dst: isa.NoReg, Src: isa.NoReg})
+	g.fixups = append(g.fixups, fixup{idx, label})
+}
+
+func (g *generator) jmp(label string) {
+	idx := g.emit(isa.Instr{Op: isa.JMP, Dst: isa.NoReg, Src: isa.NoReg})
+	g.fixups = append(g.fixups, fixup{idx, label})
+}
+
+func (g *generator) call(label string) {
+	idx := g.emit(isa.Instr{Op: isa.CALL, Dst: isa.NoReg, Src: isa.NoReg})
+	g.fixups = append(g.fixups, fixup{idx, label})
+}
+
+func (g *generator) newLabel(hint string) string {
+	g.labelSeq++
+	return fmt.Sprintf("f%d_%s%d", g.curFn, hint, g.labelSeq)
+}
+
+// slot allocates a table word initialized to the address of label.
+func (g *generator) slot(label string) int64 {
+	s := g.nextSlot
+	if s >= dataBase {
+		panic("workload: table region overflow")
+	}
+	g.nextSlot++
+	g.slots = append(g.slots, slotPatch{s, label})
+	return s
+}
+
+// rand emits the inline LCG advance, leaving the new value in eax.
+// Clobbers eax, ebx, ecx.
+func (g *generator) rand() float64 {
+	g.movi(isa.EBX, randAddr)
+	g.emit(isa.Instr{Op: isa.LOAD, Dst: isa.EAX, Src: isa.EBX})
+	g.movi(isa.ECX, lcgMul)
+	g.rr(isa.MUL, isa.EAX, isa.ECX)
+	g.ri(isa.ADDI, isa.EAX, lcgAdd%1000003) // keep the additive term in imm32 range
+	g.emit(isa.Instr{Op: isa.STORE, Dst: isa.EBX, Src: isa.EAX})
+	return 6
+}
+
+// --- program structure ---
+
+func (g *generator) genMain() {
+	g.b.Label("main")
+	// Seed the program's own PRNG.
+	g.movi(isa.EAX, g.spec.Seed*2654435761+1)
+	g.movi(isa.EBX, randAddr)
+	g.emit(isa.Instr{Op: isa.STORE, Dst: isa.EBX, Src: isa.EAX})
+	// Main loop: WorkScale rounds, each calling every function once (the
+	// acyclic call graph adds further calls between them).
+	g.movi(isa.EBP, int64(g.spec.WorkScale))
+	g.b.Label("outer")
+	for i := 0; i < g.spec.Funcs; i++ {
+		g.call(fmt.Sprintf("f%d", i))
+	}
+	g.ri(isa.SUBI, isa.EBP, 1)
+	g.jcc(isa.CondGT, "outer")
+	g.emit(isa.Instr{Op: isa.HALT, Dst: isa.NoReg, Src: isa.NoReg})
+}
+
+// coldBudgetDivisor shrinks the bodies of the cold three quarters of the
+// functions. Real programs obey a 90/10 rule — most dynamic time in a small
+// fraction of the code — and without the skew the synthetic benchmarks
+// spread execution so evenly that trace coverage cannot approach the
+// 97-100% the paper reports.
+const coldBudgetDivisor = 16
+
+// genFunc emits function i and records its expected cost. Main calls every
+// function each round, so all functions are reachable without chaining.
+// The first quarter of the functions are "hot": they carry the loop nests
+// where the program spends its time; the rest are cold glue.
+func (g *generator) genFunc(i int) {
+	g.curFn = i
+	g.b.Label(fmt.Sprintf("f%d", i))
+	budget := float64(g.spec.Stmts * funcBudgetPerStmt)
+	if hotFuncs := (g.spec.Funcs + 3) / 4; i >= hotFuncs {
+		budget /= coldBudgetDivisor
+	}
+	cost := g.genStmts(g.spec.Stmts, 0, budget)
+	g.emit(isa.Instr{Op: isa.RET, Dst: isa.NoReg, Src: isa.NoReg})
+	g.est[i] = cost + 1
+}
+
+// genStmts emits n statements within the expected-cost budget and returns
+// their total expected dynamic cost.
+func (g *generator) genStmts(n, depth int, budget float64) float64 {
+	total := 0.0
+	for s := 0; s < n; s++ {
+		total += g.genStmt(depth, budget/float64(n))
+	}
+	return total
+}
+
+// maxNest caps total statement nesting (ifs, loops, switch arms). Without
+// it, nested ifs form a supercritical branching process and generation
+// diverges.
+const maxNest = 4
+
+// genStmt picks one statement kind per the spec's probabilities, degrading
+// to straight-line work whenever the budget or nesting forbids the roll.
+func (g *generator) genStmt(depth int, budget float64) float64 {
+	sp := g.spec
+	if depth >= maxNest {
+		return g.genWork(budget)
+	}
+	const loopProb = 0.25
+	// The spec's probabilities are weights; normalize when they overflow so
+	// no statement kind is starved (e.g. branchy, call-heavy specs).
+	total := sp.BranchProb + loopProb + sp.CallProb + sp.RepProb + sp.SwitchProb
+	if total < 1 {
+		total = 1
+	}
+	roll := g.rng.Float64() * total
+
+	switch {
+	case roll < sp.BranchProb:
+		return g.genIf(depth, budget)
+	case roll < sp.BranchProb+loopProb:
+		if depth < sp.LoopDepth && budget >= 40 {
+			return g.genLoop(depth, budget)
+		}
+		return g.genWork(budget)
+	case roll < sp.BranchProb+loopProb+sp.CallProb:
+		return g.genCall(budget)
+	case roll < sp.BranchProb+loopProb+sp.CallProb+sp.RepProb:
+		return g.genRep()
+	case roll < sp.BranchProb+loopProb+sp.CallProb+sp.RepProb+sp.SwitchProb:
+		if budget >= 30 {
+			return g.genSwitch(depth, budget)
+		}
+		return g.genWork(budget)
+	default:
+		return g.genWork(budget)
+	}
+}
+
+// genWork emits 2-7 straight-line instructions of register and (masked)
+// memory arithmetic.
+func (g *generator) genWork(budget float64) float64 {
+	n := 2 + g.rng.Intn(6)
+	cost := 0.0
+	for i := 0; i < n; i++ {
+		switch g.rng.Intn(8) {
+		case 0:
+			g.ri(isa.ADDI, isa.EDX, int64(g.rng.Intn(200)-100))
+		case 1:
+			g.rr(isa.ADD, isa.EDX, isa.EAX)
+		case 2:
+			g.rr(isa.XOR, isa.EDX, isa.EBX)
+		case 3:
+			g.ri(isa.SHL, isa.EDX, int64(1+g.rng.Intn(5)))
+		case 4:
+			// Masked load from the data window.
+			g.rr(isa.MOV, isa.EBX, isa.EAX)
+			g.movi(isa.ECX, dataMask)
+			g.rr(isa.AND, isa.EBX, isa.ECX)
+			g.emit(isa.Instr{Op: isa.LOAD, Dst: isa.EDX, Src: isa.EBX, Disp: dataBase})
+			cost += 3
+		case 5:
+			// Masked store into the data window.
+			g.rr(isa.MOV, isa.EBX, isa.EAX)
+			g.movi(isa.ECX, dataMask)
+			g.rr(isa.AND, isa.EBX, isa.ECX)
+			g.emit(isa.Instr{Op: isa.STORE, Dst: isa.EBX, Src: isa.EDX, Disp: dataBase})
+			cost += 3
+		case 6:
+			g.rr(isa.SUB, isa.EDX, isa.EBX)
+		case 7:
+			if g.rng.Float64() < 0.05 {
+				g.emit(isa.Instr{Op: isa.CPUID, Dst: isa.NoReg, Src: isa.NoReg})
+			} else {
+				g.rr(isa.OR, isa.EDX, isa.ECX)
+			}
+		}
+		cost++
+	}
+	_ = budget
+	return cost
+}
+
+// genIf emits a data-dependent two-sided branch. The rare side is taken
+// with probability 2^-BiasBits.
+func (g *generator) genIf(depth int, budget float64) float64 {
+	rare := g.newLabel("rare")
+	join := g.newLabel("join")
+	cost := g.rand()
+	g.rr(isa.MOV, isa.EBX, isa.EAX)
+	g.ri(isa.SHR, isa.EBX, int64(3+g.rng.Intn(30)))
+	mask := int64(1<<g.spec.BiasBits) - 1
+	g.movi(isa.ECX, mask)
+	g.rr(isa.AND, isa.EBX, isa.ECX)
+	g.emit(isa.Instr{Op: isa.CMPI, Dst: isa.EBX, Src: isa.NoReg, Imm: 0})
+	g.jcc(isa.CondEQ, rare)
+	cost += 5
+
+	pRare := 1.0 / float64(int64(1)<<g.spec.BiasBits)
+	sideBudget := budget / 2
+	commonCost := g.genInner(depth, sideBudget)
+	g.jmp(join)
+	g.b.Label(rare)
+	rareCost := g.genInner(depth, sideBudget)
+	g.b.Label(join)
+	g.emit(isa.Instr{Op: isa.NOP, Dst: isa.NoReg, Src: isa.NoReg})
+	return cost + (1-pRare)*(commonCost+1) + pRare*rareCost + 1
+}
+
+// genInner emits the small body of an if side or switch arm.
+func (g *generator) genInner(depth int, budget float64) float64 {
+	n := 1 + g.rng.Intn(2)
+	return g.genStmts(n, depth+1, budget)
+}
+
+// genLoop emits a counted loop; the counter lives in ebp, saved around the
+// loop so nesting and calls are safe.
+func (g *generator) genLoop(depth int, budget float64) float64 {
+	iters := g.spec.LoopIters/2 + g.rng.Intn(g.spec.LoopIters+1)
+	if iters < 2 {
+		iters = 2
+	}
+	bodyBudget := budget/float64(iters) - 2
+	if bodyBudget < 8 {
+		iters = int(budget / 10)
+		if iters < 2 {
+			iters = 2
+		}
+		bodyBudget = budget/float64(iters) - 2
+		if bodyBudget < 8 {
+			bodyBudget = 8
+		}
+	}
+	top := g.newLabel("loop")
+	g.emit(isa.Instr{Op: isa.PUSH, Dst: isa.NoReg, Src: isa.EBP})
+	g.movi(isa.EBP, int64(iters))
+	g.b.Label(top)
+	nBody := 1 + g.rng.Intn(3)
+	bodyCost := g.genStmts(nBody, depth+1, bodyBudget)
+	g.ri(isa.SUBI, isa.EBP, 1)
+	g.jcc(isa.CondGT, top)
+	g.emit(isa.Instr{Op: isa.POP, Dst: isa.EBP, Src: isa.NoReg})
+	return 3 + float64(iters)*(bodyCost+2)
+}
+
+// genCall emits a direct or indirect call to a later function whose
+// expected cost fits the budget. Falls back to work when no callee fits.
+func (g *generator) genCall(budget float64) float64 {
+	var candidates []int
+	cheapest, cheapestCost := -1, 0.0
+	for j := g.curFn + 1; j < g.spec.Funcs; j++ {
+		if g.est[j] <= 0 {
+			continue
+		}
+		if g.est[j] <= budget {
+			candidates = append(candidates, j)
+		}
+		if cheapest < 0 || g.est[j] < cheapestCost {
+			cheapest, cheapestCost = j, g.est[j]
+		}
+	}
+	if len(candidates) == 0 {
+		// No callee fits the budget exactly; tolerate the cheapest one up
+		// to a 4x overrun rather than flattening the call graph entirely.
+		if cheapest >= 0 && cheapestCost <= 4*budget {
+			candidates = append(candidates, cheapest)
+		} else {
+			return g.genWork(budget)
+		}
+	}
+	if g.rng.Float64() < g.spec.IndirectProb && len(candidates) >= 2 {
+		// Indirect call through a two-entry function-pointer table,
+		// selecting the target with a pseudo-random bit.
+		a := candidates[g.rng.Intn(len(candidates))]
+		b := candidates[g.rng.Intn(len(candidates))]
+		s0 := g.slot(fmt.Sprintf("f%d", a))
+		g.slot(fmt.Sprintf("f%d", b)) // occupies s0+1
+		cost := g.rand()
+		g.movi(isa.ECX, 1)
+		g.rr(isa.AND, isa.EAX, isa.ECX)
+		g.movi(isa.EBX, s0)
+		g.rr(isa.ADD, isa.EBX, isa.EAX)
+		g.emit(isa.Instr{Op: isa.LOAD, Dst: isa.EBX, Src: isa.EBX})
+		g.emit(isa.Instr{Op: isa.CALLIND, Dst: isa.NoReg, Src: isa.EBX})
+		return cost + 6 + (g.est[a]+g.est[b])/2
+	}
+	j := candidates[g.rng.Intn(len(candidates))]
+	g.call(fmt.Sprintf("f%d", j))
+	return 1 + g.est[j]
+}
+
+// genRep emits a REP string operation over the dedicated REP windows.
+func (g *generator) genRep() float64 {
+	count := int64(4 + g.rng.Intn(24))
+	g.movi(isa.ECX, count)
+	if g.rng.Intn(2) == 0 {
+		g.movi(isa.ESI, repBase+int64(g.rng.Intn(1024)))
+		g.movi(isa.EDI, repBase+1536+int64(g.rng.Intn(1024)))
+		g.emit(isa.Instr{Op: isa.REPMOVS, Dst: isa.NoReg, Src: isa.NoReg})
+	} else {
+		g.movi(isa.EDI, repBase+1536+int64(g.rng.Intn(1024)))
+		g.emit(isa.Instr{Op: isa.REPSTOS, Dst: isa.NoReg, Src: isa.NoReg})
+	}
+	return 4
+}
+
+// genSwitch emits a computed-goto dispatch through a four-entry jump table.
+func (g *generator) genSwitch(depth int, budget float64) float64 {
+	const arms = 4
+	join := g.newLabel("sjoin")
+	labels := make([]string, arms)
+	for i := range labels {
+		labels[i] = g.newLabel(fmt.Sprintf("arm%d", i))
+	}
+	base := g.nextSlot
+	for _, l := range labels {
+		g.slot(l)
+	}
+	cost := g.rand()
+	g.movi(isa.ECX, arms-1)
+	g.rr(isa.AND, isa.EAX, isa.ECX)
+	g.movi(isa.EBX, base)
+	g.rr(isa.ADD, isa.EBX, isa.EAX)
+	g.emit(isa.Instr{Op: isa.LOAD, Dst: isa.EBX, Src: isa.EBX})
+	g.emit(isa.Instr{Op: isa.JIND, Dst: isa.NoReg, Src: isa.EBX})
+	cost += 6
+	armBudget := budget / arms
+	armCost := 0.0
+	for _, l := range labels {
+		g.b.Label(l)
+		armCost += g.genInner(depth, armBudget) + 1
+		g.jmp(join)
+	}
+	g.b.Label(join)
+	g.emit(isa.Instr{Op: isa.NOP, Dst: isa.NoReg, Src: isa.NoReg})
+	return cost + armCost/arms + 1
+}

@@ -1,0 +1,119 @@
+// Package workload generates the 26 synthetic benchmark programs standing
+// in for SPEC CPU2000, the paper's workload (Tables 1-4).
+//
+// Real SPEC binaries and inputs are not available here, so each benchmark
+// is a seeded, deterministic program whose *structural* parameters — loop
+// nesting, trip counts, branch density and bias, call-graph size, indirect
+// branching, REP usage — are chosen to reproduce the qualitative behaviour
+// that drives the paper's results: the floating-point codes are small sets
+// of deep, well-biased loop nests (few traces, ~100% coverage); gcc, crafty,
+// perlbmk and vortex have large, branchy code bases (trace-set blowups,
+// long global-container scans); gzip and bzip2 have hot loops with evenly
+// biased inner branches (the Trace-Tree tail-duplication explosion of
+// Table 1's TT column).
+package workload
+
+import "fmt"
+
+// Suite labels a benchmark as SPECfp- or SPECint-like.
+type Suite string
+
+// The two SPEC CPU2000 suites.
+const (
+	FP  Suite = "fp"
+	INT Suite = "int"
+)
+
+// Spec parameterizes one synthetic benchmark.
+type Spec struct {
+	// Name is the SPEC-style benchmark name ("176.gcc").
+	Name string
+	// Suite is FP or INT.
+	Suite Suite
+	// Seed makes generation deterministic per benchmark.
+	Seed int64
+
+	// Funcs is the number of functions; the call graph is acyclic with
+	// function i calling only functions j > i.
+	Funcs int
+	// Stmts is the number of top-level statements per function body.
+	Stmts int
+	// LoopDepth is the maximum loop-nest depth inside a function.
+	LoopDepth int
+	// LoopIters is the typical loop trip count (randomized ±50%).
+	LoopIters int
+	// BranchProb is the probability a statement is a data-dependent
+	// if/else rather than straight-line work.
+	BranchProb float64
+	// BiasBits sets conditional-branch bias: the rare side of an if runs
+	// with probability 2^-BiasBits. 1 = even, 4 = heavily biased.
+	BiasBits int
+	// CallProb is the probability a statement is a call.
+	CallProb float64
+	// IndirectProb is the fraction of calls made through a function-pointer
+	// table rather than directly.
+	IndirectProb float64
+	// RepProb is the probability a statement is a REP string operation.
+	RepProb float64
+	// SwitchProb is the probability a statement is a computed-goto style
+	// dispatch through a jump table.
+	SwitchProb float64
+
+	// WorkScale is the number of main-loop repetitions; Generate calibrates
+	// it to hit a dynamic-size target.
+	WorkScale int
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s(%s)", s.Name, s.Suite)
+}
+
+// Benchmarks returns the 26 benchmark specs in the paper's Table 1 order:
+// the 14 SPECfp-like programs first, then the 12 SPECint-like ones.
+func Benchmarks() []Spec {
+	return []Spec{
+		// SPECfp: deep biased loop nests, small code, few calls.
+		{Name: "168.wupwise", Suite: FP, Seed: 1680, Funcs: 5, Stmts: 8, LoopDepth: 2, LoopIters: 24, BranchProb: 0.25, BiasBits: 4, CallProb: 0.25, RepProb: 0.04},
+		{Name: "171.swim", Suite: FP, Seed: 1710, Funcs: 4, Stmts: 7, LoopDepth: 3, LoopIters: 16, BranchProb: 0.15, BiasBits: 5, CallProb: 0.15, RepProb: 0.12},
+		{Name: "172.mgrid", Suite: FP, Seed: 1720, Funcs: 4, Stmts: 8, LoopDepth: 3, LoopIters: 20, BranchProb: 0.18, BiasBits: 5, CallProb: 0.15, RepProb: 0.10},
+		{Name: "173.applu", Suite: FP, Seed: 1730, Funcs: 6, Stmts: 8, LoopDepth: 3, LoopIters: 14, BranchProb: 0.20, BiasBits: 4, CallProb: 0.20, RepProb: 0.05},
+		{Name: "177.mesa", Suite: FP, Seed: 1770, Funcs: 12, Stmts: 8, LoopDepth: 2, LoopIters: 16, BranchProb: 0.40, BiasBits: 3, CallProb: 0.35, RepProb: 0.02},
+		{Name: "178.galgel", Suite: FP, Seed: 1780, Funcs: 9, Stmts: 10, LoopDepth: 2, LoopIters: 18, BranchProb: 0.40, BiasBits: 2, CallProb: 0.25},
+		{Name: "179.art", Suite: FP, Seed: 1790, Funcs: 4, Stmts: 6, LoopDepth: 2, LoopIters: 22, BranchProb: 0.35, BiasBits: 3, CallProb: 0.20},
+		{Name: "183.equake", Suite: FP, Seed: 1830, Funcs: 5, Stmts: 7, LoopDepth: 2, LoopIters: 20, BranchProb: 0.30, BiasBits: 3, CallProb: 0.20},
+		{Name: "187.facerec", Suite: FP, Seed: 1870, Funcs: 7, Stmts: 8, LoopDepth: 2, LoopIters: 18, BranchProb: 0.35, BiasBits: 3, CallProb: 0.25},
+		{Name: "188.ammp", Suite: FP, Seed: 1880, Funcs: 8, Stmts: 8, LoopDepth: 2, LoopIters: 18, BranchProb: 0.35, BiasBits: 3, CallProb: 0.25},
+		{Name: "189.lucas", Suite: FP, Seed: 1890, Funcs: 3, Stmts: 6, LoopDepth: 3, LoopIters: 30, BranchProb: 0.12, BiasBits: 5, CallProb: 0.15},
+		{Name: "191.fma3d", Suite: FP, Seed: 1910, Funcs: 14, Stmts: 10, LoopDepth: 2, LoopIters: 14, BranchProb: 0.40, BiasBits: 3, CallProb: 0.35},
+		{Name: "200.sixtrack", Suite: FP, Seed: 2000, Funcs: 16, Stmts: 12, LoopDepth: 2, LoopIters: 14, BranchProb: 0.40, BiasBits: 3, CallProb: 0.30},
+		{Name: "301.apsi", Suite: FP, Seed: 3010, Funcs: 12, Stmts: 10, LoopDepth: 2, LoopIters: 16, BranchProb: 0.35, BiasBits: 3, CallProb: 0.30},
+
+		// SPECint: branchy, call-heavy, bigger code bases.
+		{Name: "164.gzip", Suite: INT, Seed: 1640, Funcs: 10, Stmts: 10, LoopDepth: 2, LoopIters: 26, BranchProb: 0.55, BiasBits: 2, CallProb: 0.25, RepProb: 0.03},
+		{Name: "175.vpr", Suite: INT, Seed: 1750, Funcs: 12, Stmts: 10, LoopDepth: 2, LoopIters: 18, BranchProb: 0.50, BiasBits: 2, CallProb: 0.30},
+		{Name: "176.gcc", Suite: INT, Seed: 1760, Funcs: 44, Stmts: 12, LoopDepth: 2, LoopIters: 16, BranchProb: 0.60, BiasBits: 2, CallProb: 0.50, IndirectProb: 0.30, SwitchProb: 0.12},
+		{Name: "181.mcf", Suite: INT, Seed: 1810, Funcs: 5, Stmts: 6, LoopDepth: 2, LoopIters: 24, BranchProb: 0.50, BiasBits: 2, CallProb: 0.20},
+		{Name: "186.crafty", Suite: INT, Seed: 1860, Funcs: 24, Stmts: 12, LoopDepth: 2, LoopIters: 16, BranchProb: 0.60, BiasBits: 2, CallProb: 0.40, IndirectProb: 0.15, SwitchProb: 0.10},
+		{Name: "197.parser", Suite: INT, Seed: 1970, Funcs: 20, Stmts: 10, LoopDepth: 2, LoopIters: 14, BranchProb: 0.55, BiasBits: 2, CallProb: 0.40, IndirectProb: 0.10},
+		{Name: "252.eon", Suite: INT, Seed: 2520, Funcs: 28, Stmts: 12, LoopDepth: 2, LoopIters: 14, BranchProb: 0.50, BiasBits: 2, CallProb: 0.50, IndirectProb: 0.20},
+		{Name: "253.perlbmk", Suite: INT, Seed: 2530, Funcs: 36, Stmts: 12, LoopDepth: 2, LoopIters: 14, BranchProb: 0.55, BiasBits: 2, CallProb: 0.45, IndirectProb: 0.40, SwitchProb: 0.18},
+		{Name: "254.gap", Suite: INT, Seed: 2540, Funcs: 18, Stmts: 10, LoopDepth: 2, LoopIters: 14, BranchProb: 0.50, BiasBits: 2, CallProb: 0.40, IndirectProb: 0.20},
+		{Name: "255.vortex", Suite: INT, Seed: 2550, Funcs: 30, Stmts: 12, LoopDepth: 2, LoopIters: 16, BranchProb: 0.50, BiasBits: 2, CallProb: 0.50, IndirectProb: 0.10},
+		{Name: "256.bzip2", Suite: INT, Seed: 2560, Funcs: 8, Stmts: 10, LoopDepth: 2, LoopIters: 30, BranchProb: 0.60, BiasBits: 2, CallProb: 0.20},
+		{Name: "300.twolf", Suite: INT, Seed: 3000, Funcs: 14, Stmts: 10, LoopDepth: 2, LoopIters: 16, BranchProb: 0.50, BiasBits: 2, CallProb: 0.30},
+	}
+}
+
+// ByName returns the spec with the given name (with or without the numeric
+// prefix, so both "176.gcc" and "gcc" resolve).
+func ByName(name string) (Spec, bool) {
+	for _, s := range Benchmarks() {
+		if s.Name == name {
+			return s, true
+		}
+		if i := len(s.Name) - len(name); i > 0 && s.Name[i-1] == '.' && s.Name[i:] == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

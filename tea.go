@@ -1,0 +1,300 @@
+// Package tea is the public API of the Trace Execution Automata library, a
+// from-scratch reproduction of "Trace Execution Automata in Dynamic Binary
+// Translation" (Porto, Araujo, Borin, Wu — ISCA/AMAS-BT 2010).
+//
+// A TEA is a deterministic finite automaton that maps the executing
+// program counter to the Trace Basic Block (TBB) of a previously recorded
+// trace — storing traces implicitly, without replicating code. The library
+// bundles everything the paper's evaluation needs: a synthetic x86-like
+// ISA with assembler and interpreter, a StarDBT-like translator, a
+// Pin-like instrumentation engine, the MRET/TT/CTT trace selectors, the
+// automaton itself with its global-B+ tree/local-cache transition
+// function, serialization, profiling and phase detection.
+//
+// Quick start:
+//
+//	prog, err := tea.Assemble("copy", src)        // or tea.Benchmark("176.gcc", 2_000_000)
+//	set, _, err := tea.RecordTraces(prog, "mret", tea.TraceConfig{HotThreshold: 50})
+//	a := tea.Build(set)                            // Algorithm 1
+//	data := tea.Encode(a)                          // store for reuse
+//	stats, err := tea.Replay(prog, a, tea.ConfigGlobalLocal)
+//	fmt.Printf("coverage: %.1f%%\n", stats.Coverage()*100)
+//
+// The deeper machinery is exported through aliases below; see the package
+// documentation of the internal packages for the full design discussion.
+package tea
+
+import (
+	"github.com/lsc-tea/tea/internal/asm"
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/cpu"
+	"github.com/lsc-tea/tea/internal/dbt"
+	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/optim"
+	"github.com/lsc-tea/tea/internal/pin"
+	"github.com/lsc-tea/tea/internal/profile"
+	"github.com/lsc-tea/tea/internal/teatool"
+	"github.com/lsc-tea/tea/internal/trace"
+	"github.com/lsc-tea/tea/internal/ucsim"
+	"github.com/lsc-tea/tea/internal/workload"
+)
+
+// Core model types.
+type (
+	// Program is a laid-out program for the synthetic ISA.
+	Program = isa.Program
+	// Machine is the functional interpreter executing a Program.
+	Machine = cpu.Machine
+	// Block is a dynamic basic block.
+	Block = cfg.Block
+	// BlockStyle selects the dynamic block discipline (StarDBT vs Pin).
+	BlockStyle = cfg.Style
+	// Trace is a recorded hot-code region; TBB one block instance in it.
+	Trace = trace.Trace
+	// TBB is a Trace Basic Block (paper Definition 2).
+	TBB = trace.TBB
+	// TraceSet is the collection of traces recorded for one run.
+	TraceSet = trace.Set
+	// TraceConfig carries trace-selection knobs.
+	TraceConfig = trace.Config
+	// Strategy is a pluggable trace-selection policy.
+	Strategy = trace.Strategy
+
+	// Automaton is the TEA itself.
+	Automaton = core.Automaton
+	// State is one automaton state; StateID its index (NTE is 0).
+	State = core.State
+	// StateID identifies a state.
+	StateID = core.StateID
+	// LookupConfig selects the transition-function configuration (Table 4).
+	LookupConfig = core.LookupConfig
+	// Replayer walks a TEA along a dynamic block stream.
+	Replayer = core.Replayer
+	// Recorder builds a TEA online (Algorithm 2).
+	Recorder = core.Recorder
+	// ReplayStats carries coverage and lookup counters.
+	ReplayStats = core.Stats
+
+	// Profile holds per-TBB-instance execution counts.
+	Profile = profile.Profile
+	// PhaseDetector finds stable/unstable phases from trace exit ratios.
+	PhaseDetector = profile.PhaseDetector
+
+	// SimConfig configures the micro-architectural timing simulator.
+	SimConfig = ucsim.Config
+	// SimStats carries simulated cycles, cache misses and mispredictions.
+	SimStats = ucsim.Stats
+	// SimResult is a TEA-attributed simulation of one execution.
+	SimResult = ucsim.Result
+)
+
+// NTE is the "No Trace being Executed" state.
+const NTE = core.NTE
+
+// Block disciplines (paper §4.1).
+const (
+	StyleStarDBT = cfg.StarDBT
+	StylePin     = cfg.Pin
+)
+
+// The transition-function configurations of Table 4.
+var (
+	ConfigGlobalLocal   = core.ConfigGlobalLocal
+	ConfigGlobalNoLocal = core.ConfigGlobalNoLocal
+	ConfigNoGlobalLocal = core.ConfigNoGlobalLocal
+)
+
+// Assemble translates assembly source into a Program.
+func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, src) }
+
+// MustAssemble is Assemble for known-good sources; it panics on error.
+func MustAssemble(name, src string) *Program { return asm.MustAssemble(name, src) }
+
+// NewMachine creates an interpreter for the program.
+func NewMachine(p *Program) *Machine { return cpu.New(p) }
+
+// Benchmark generates one of the 26 synthetic SPEC CPU2000 stand-ins,
+// calibrated to roughly target dynamic instructions. Names accept either
+// form: "176.gcc" or "gcc".
+func Benchmark(name string, target uint64) (*Program, error) {
+	spec, ok := workload.ByName(name)
+	if !ok {
+		return nil, &UnknownBenchmarkError{Name: name}
+	}
+	return workload.Generate(spec, target)
+}
+
+// BenchmarkNames lists the available synthetic benchmarks in Table 1 order.
+func BenchmarkNames() []string {
+	specs := workload.Benchmarks()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// UnknownBenchmarkError reports a benchmark name that is not in the suite.
+type UnknownBenchmarkError struct{ Name string }
+
+func (e *UnknownBenchmarkError) Error() string {
+	return "tea: unknown benchmark " + e.Name
+}
+
+// NewStrategy constructs a trace selector by name: "mret", "tt", "ctt" or
+// "mfet". It reports false for unknown names.
+func NewStrategy(name string, p *Program, c TraceConfig) (Strategy, bool) {
+	return trace.NewStrategy(name, p, c)
+}
+
+// RecordTraces executes the program to completion under the StarDBT block
+// discipline and records traces with the named strategy.
+func RecordTraces(p *Program, strategy string, c TraceConfig) (*TraceSet, error) {
+	s, ok := trace.NewStrategy(strategy, p, c)
+	if !ok {
+		return nil, &UnknownStrategyError{Name: strategy}
+	}
+	set, _, err := trace.Record(cpu.New(p), cfg.StarDBT, s, 0)
+	return set, err
+}
+
+// UnknownStrategyError reports an unrecognized strategy name.
+type UnknownStrategyError struct{ Name string }
+
+func (e *UnknownStrategyError) Error() string {
+	return "tea: unknown trace strategy " + e.Name
+}
+
+// Build converts a trace set into its TEA (the paper's Algorithm 1).
+func Build(set *TraceSet) *Automaton { return core.Build(set) }
+
+// NewReplayer prepares a transition-function cursor over the automaton.
+func NewReplayer(a *Automaton, c LookupConfig) *Replayer { return core.NewReplayer(a, c) }
+
+// NewInstrReplayer prepares an instruction-granularity cursor (the
+// "instructions" variant of the paper's DFA): feed it every executed PC.
+func NewInstrReplayer(a *Automaton, c LookupConfig, p *Program) *core.InstrReplayer {
+	return core.NewInstrReplayer(a, c, p)
+}
+
+// NewRecorder prepares an online TEA recorder (the paper's Algorithm 2).
+func NewRecorder(s Strategy, c LookupConfig) *Recorder { return core.NewRecorder(s, c) }
+
+// Encode serializes the automaton; EncodeWithProfile additionally stores
+// per-TBB execution counts.
+func Encode(a *Automaton) []byte { return core.Encode(a) }
+
+// EncodeWithProfile serializes the automaton with profile counters.
+func EncodeWithProfile(a *Automaton, p *Profile) []byte {
+	return core.EncodeWithProfile(a, p)
+}
+
+// Decode reconstructs an automaton serialized by Encode. The program must
+// be available so blocks can be re-discovered (the paper's replay setting).
+func Decode(data []byte, p *Program) (*Automaton, error) {
+	return core.Decode(data, cfg.NewCache(p, cfg.StarDBT))
+}
+
+// Dot renders the automaton as a Graphviz digraph (Figure 3 style).
+func Dot(a *Automaton, title string) string { return core.Dot(a, title) }
+
+// Summary renders a human-readable view of the automaton.
+func Summary(a *Automaton) string { return core.Summary(a) }
+
+// Replay re-executes the unmodified program under the Pin-like engine with
+// the TEA replay tool attached and returns the replay statistics — the
+// paper's Table 2 workflow.
+func Replay(p *Program, a *Automaton, c LookupConfig) (*ReplayStats, error) {
+	tool := teatool.NewReplayTool(a, c)
+	if _, err := pin.New().Run(p, tool, 0); err != nil {
+		return nil, err
+	}
+	return tool.Stats(), nil
+}
+
+// RecordOnline runs the program under the Pin-like engine while building a
+// TEA online with the named strategy — the paper's Table 3 workflow. It
+// returns the automaton and the recording run's statistics.
+func RecordOnline(p *Program, strategy string, tc TraceConfig, lc LookupConfig) (*Automaton, *ReplayStats, error) {
+	s, ok := trace.NewStrategy(strategy, p, tc)
+	if !ok {
+		return nil, nil, &UnknownStrategyError{Name: strategy}
+	}
+	tool := teatool.NewRecordTool(s, lc)
+	if _, err := pin.New().Run(p, tool, 0); err != nil {
+		return nil, nil, err
+	}
+	return tool.Automaton(), tool.Stats(), nil
+}
+
+// ProfileReplay replays the program while collecting a per-TBB-instance
+// profile; det may be nil. This is the paper's §2 workflow: accurate
+// profile for trace instances without generating trace code.
+func ProfileReplay(p *Program, a *Automaton, c LookupConfig, det *PhaseDetector) (*Profile, *ReplayStats, error) {
+	tool := teatool.NewProfileTool(a, c, det)
+	if _, err := pin.New().Run(p, tool, 0); err != nil {
+		return nil, nil, err
+	}
+	return tool.Profile(), tool.Replayer().Stats(), nil
+}
+
+// NewPhaseDetector creates a phase detector (window in transitions,
+// exit-ratio threshold; zero values select defaults).
+func NewPhaseDetector(window uint64, threshold float64) *PhaseDetector {
+	return profile.NewPhaseDetector(window, threshold)
+}
+
+// DuplicateTrace returns a new set in which the identified simple-cycle
+// trace appears duplicated (Figure 1(d)), plus the duplicated trace.
+func DuplicateTrace(s *TraceSet, id int32) (*TraceSet, *Trace, error) {
+	return optim.Duplicate(s, trace.ID(id))
+}
+
+// ProfileByCopy splits a duplicated trace's profile per copy — the
+// specialized counts an unroller consumes (Figure 1(c)).
+func ProfileByCopy(p *Profile, dup *Trace) (*optim.CopyProfile, error) {
+	return optim.ProfileByCopy(p, dup)
+}
+
+// Merge unions trace sets recorded on different runs of the same program
+// into one set; entry conflicts keep the larger trace.
+func Merge(sets ...*TraceSet) *TraceSet { return optim.Merge(sets...) }
+
+// Prune returns a new trace set keeping only traces whose heads executed
+// at least minEnters times in the profiled run — the consumer side of
+// "storing trace shape and profiling information for reuse in future
+// executions": the next run loads a smaller TEA with the same hot-code
+// coverage.
+func Prune(s *TraceSet, p *Profile, minEnters uint64) *TraceSet {
+	return optim.Prune(s, p, minEnters)
+}
+
+// CodeBytes returns the code-replication cost of representing the set as
+// real trace code (Table 1's DBT column); EncodedSize the TEA cost.
+func CodeBytes(s *TraceSet) uint64 { return s.CodeBytes() }
+
+// EncodedSize returns the serialized TEA size in bytes.
+func EncodedSize(a *Automaton) uint64 { return core.EncodedSize(a) }
+
+// DefaultSimConfig returns the default timing-simulator model.
+func DefaultSimConfig() SimConfig { return ucsim.DefaultConfig() }
+
+// Simulate re-executes the unmodified program on the timing simulator
+// while walking the TEA, attributing cycles, cache misses and branch
+// mispredictions to each trace — the paper's cross-system statistics
+// use case (§1).
+func Simulate(p *Program, a *Automaton, lc LookupConfig, sc SimConfig) (*SimResult, error) {
+	return ucsim.SimulateTEA(p, a, lc, sc)
+}
+
+// RunDBT executes the program under the StarDBT-like translator, recording
+// traces — the baseline system of the paper's evaluation. It returns the
+// recorded set, the trace code-replication bytes, and the coverage.
+func RunDBT(p *Program, strategy string, c TraceConfig) (*TraceSet, uint64, float64, error) {
+	res, err := dbt.New().Run(p, strategy, c, 0)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return res.Set, res.TraceBytes, res.Coverage(), nil
+}
