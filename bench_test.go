@@ -327,11 +327,18 @@ func BenchmarkEncode(b *testing.B) {
 	b.Run("encode", func(b *testing.B) {
 		var n int
 		for i := 0; i < b.N; i++ {
-			n = len(core.Encode(a))
+			enc, err := core.Encode(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = len(enc)
 		}
 		b.ReportMetric(float64(n)/float64(d.Set.NumTBBs()), "B/tbb")
 	})
-	data := core.Encode(a)
+	data, err := core.Encode(a)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Run("decode", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			cache := newStarDBTCache(p)

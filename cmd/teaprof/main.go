@@ -44,7 +44,10 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		data := tea.Encode(a)
+		data, err := tea.Encode(a)
+		if err != nil {
+			fail(err)
+		}
 		if err := os.WriteFile(*record, data, 0o644); err != nil {
 			fail(err)
 		}

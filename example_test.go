@@ -63,7 +63,10 @@ func ExampleEncode() {
 	set, _ := tea.RecordTraces(prog, "mret", tea.TraceConfig{HotThreshold: 50})
 	a := tea.Build(set)
 
-	data := tea.Encode(a)
+	data, err := tea.Encode(a)
+	if err != nil {
+		panic(err)
+	}
 	restored, err := tea.Decode(data, prog)
 	if err != nil {
 		panic(err)

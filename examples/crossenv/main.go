@@ -31,7 +31,10 @@ func main() {
 
 	// Serialize the TEA to a file, as the paper's pintool loads it.
 	a := tea.Build(set)
-	data := tea.Encode(a)
+	data, err := tea.Encode(a)
+	if err != nil {
+		log.Fatal(err)
+	}
 	path := filepath.Join(os.TempDir(), "mcf.tea")
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		log.Fatal(err)

@@ -55,7 +55,11 @@ func main() {
 		(1-float64(tea.EncodedSize(a))/float64(tea.CodeBytes(set)))*100)
 
 	// 4. Round-trip through the wire format, as a different system would.
-	restored, err := tea.Decode(tea.Encode(a), prog)
+	data, err := tea.Encode(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := tea.Decode(data, prog)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -25,6 +25,16 @@ func recordSet(t *testing.T, p *isa.Program, strategy string, c trace.Config) *t
 	return set
 }
 
+// mustEncode serializes an automaton that is known to be encodable.
+func mustEncode(t testing.TB, a *Automaton) []byte {
+	t.Helper()
+	data, err := Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
 func TestBuildSatisfiesProperties(t *testing.T) {
 	for _, strategy := range []string{"mret", "tt", "ctt", "mfet"} {
 		t.Run(strategy, func(t *testing.T) {
@@ -256,7 +266,7 @@ func TestRecorderMatchesOfflineBuild(t *testing.T) {
 		t.Errorf("online %d entries, offline %d", len(online.Entries()), len(offline.Entries()))
 	}
 	// Identical serialized form.
-	if string(Encode(online)) != string(Encode(offline)) {
+	if string(mustEncode(t, online)) != string(mustEncode(t, offline)) {
 		t.Error("online and offline automata serialize differently")
 	}
 }
@@ -313,7 +323,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			p := progs.Figure2(60, 200)
 			set := recordSet(t, p, strategy, trace.Config{HotThreshold: 20})
 			a := Build(set)
-			data := Encode(a)
+			data := mustEncode(t, a)
 			if uint64(len(data)) != EncodedSize(a) {
 				t.Error("EncodedSize disagrees with Encode")
 			}
@@ -327,7 +337,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 					b.NumStates(), b.NumTrans(), a.NumStates(), a.NumTrans())
 			}
 			// Re-encoding is byte-identical.
-			if string(Encode(b)) != string(data) {
+			if string(mustEncode(t, b)) != string(data) {
 				t.Error("re-encode differs")
 			}
 			// The decoded set's strategy survives.
@@ -342,7 +352,7 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	p := progs.Figure2(60, 200)
 	set := recordSet(t, p, "mret", trace.Config{HotThreshold: 30})
 	a := Build(set)
-	data := Encode(a)
+	data := mustEncode(t, a)
 	cache := cfg.NewCache(p, cfg.StarDBT)
 
 	if _, err := Decode([]byte("BOGUS"), cache); err == nil {
@@ -494,7 +504,7 @@ func TestRecorderTreeStrategiesMatchOffline(t *testing.T) {
 
 			set := recordSet(t, p, strategy, trace.Config{HotThreshold: 20})
 			offline := Build(set)
-			if string(Encode(online)) != string(Encode(offline)) {
+			if string(mustEncode(t, online)) != string(mustEncode(t, offline)) {
 				t.Errorf("%s online and offline automata differ (%d vs %d states)",
 					strategy, online.NumStates(), offline.NumStates())
 			}

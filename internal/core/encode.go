@@ -37,8 +37,42 @@ import (
 // executable is available on the replaying system. The stored instruction
 // count, byte size and terminator class cross-check that the re-discovered
 // block really is the recorded one.
+//
+// Failure semantics: Decode treats its input as hostile. Every rejection —
+// truncation, forged counts, identity mismatches against the program,
+// malformed transition structure — returns a *DecodeError naming the wire
+// field, the byte offset, and the reason. Decode never panics and never
+// sizes an allocation from an unvalidated count.
 
 const magic = "TEA2"
+
+// minTBBBytes is the smallest possible wire size of one TBB record: one
+// byte each for head delta, instruction count, byte size, terminator class
+// and profile counter. Counts claiming more TBBs than the remaining bytes
+// could hold are rejected before any allocation.
+const minTBBBytes = 5
+
+// minTraceBytes is the smallest possible wire size of one trace: a TBB
+// count, one TBB record, and one successor count.
+const minTraceBytes = minTBBBytes + 2
+
+// DecodeError reports why a serialized TEA was rejected: the wire-format
+// field being read, the byte offset where decoding stopped, and the reason.
+// Every rejection path of Decode returns a *DecodeError; Decode never
+// panics, however hostile the input.
+type DecodeError struct {
+	// Offset is the byte offset into the stream where decoding failed (for
+	// record-level checks, the start of the offending record).
+	Offset int
+	// Field names the wire-format field being decoded.
+	Field string
+	// Reason says what was wrong with it.
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("core: decode %s at offset %d: %s", e.Field, e.Offset, e.Reason)
+}
 
 // termClass encodes the block terminator kind for decode-time validation.
 func termClass(in *isa.Instr) byte {
@@ -62,12 +96,14 @@ type Profiler interface {
 	CountFor(tbb *trace.TBB) uint64
 }
 
-// Encode serializes the automaton's trace set without profile counts.
-func Encode(a *Automaton) []byte { return EncodeWithProfile(a, nil) }
+// Encode serializes the automaton's trace set without profile counts. It
+// returns an error when the set is malformed (a TBB links to a TBB that is
+// not part of the set).
+func Encode(a *Automaton) ([]byte, error) { return EncodeWithProfile(a, nil) }
 
 // EncodeWithProfile serializes the automaton along with per-TBB execution
 // counts from prof (zeros when prof is nil).
-func EncodeWithProfile(a *Automaton, prof Profiler) []byte {
+func EncodeWithProfile(a *Automaton, prof Profiler) ([]byte, error) {
 	out := make([]byte, 0, 64+12*a.NumStates())
 	out = append(out, magic...)
 	set := a.set
@@ -109,18 +145,25 @@ func EncodeWithProfile(a *Automaton, prof Profiler) []byte {
 				succ := tbb.Succs[label]
 				id, ok := canon[succ]
 				if !ok {
-					panic(fmt.Sprintf("core: TBB %v not in its own set", succ))
+					return nil, fmt.Errorf("core: cannot encode: %v links to %v, which is not in the set", tbb, succ)
 				}
 				out = appendUvarint(out, id)
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // EncodedSize returns the serialized size in bytes (the "TEA" column of
-// Table 1; trace.Set.CodeBytes is the "DBT" column).
-func EncodedSize(a *Automaton) uint64 { return uint64(len(Encode(a))) }
+// Table 1; trace.Set.CodeBytes is the "DBT" column). It returns 0 for an
+// automaton whose set cannot be encoded.
+func EncodedSize(a *Automaton) uint64 {
+	data, err := Encode(a)
+	if err != nil {
+		return 0
+	}
+	return uint64(len(data))
+}
 
 // DecodedProfile carries the profile counters read back by Decode, keyed
 // by state id.
@@ -128,7 +171,8 @@ type DecodedProfile map[StateID]uint64
 
 // Decode reconstructs an automaton from Encode's output. Blocks are
 // re-discovered from the program through cache, which must use the block
-// discipline the traces were recorded under.
+// discipline the traces were recorded under. Any rejection is reported as
+// a *DecodeError.
 func Decode(data []byte, cache *cfg.Cache) (*Automaton, error) {
 	a, _, err := DecodeWithProfile(data, cache)
 	return a, err
@@ -138,24 +182,41 @@ func Decode(data []byte, cache *cfg.Cache) (*Automaton, error) {
 // counters.
 func DecodeWithProfile(data []byte, cache *cfg.Cache) (*Automaton, DecodedProfile, error) {
 	d := &decoder{data: data}
-	if string(d.take(len(magic))) != magic {
-		return nil, nil, fmt.Errorf("core: bad magic")
+	if string(d.take(len(magic), "magic")) != magic {
+		return nil, nil, &DecodeError{Offset: 0, Field: "magic", Reason: "bad magic"}
 	}
-	nameLen := d.uvarint()
-	if d.err != nil || nameLen > uint64(len(d.data)) {
-		return nil, nil, fmt.Errorf("core: corrupt strategy name")
+	nameLen := d.uvarint("strategy length")
+	if d.err == nil && nameLen > uint64(d.remaining()) {
+		d.setErr(&DecodeError{Offset: d.pos, Field: "strategy length",
+			Reason: fmt.Sprintf("claims %d bytes, %d remain", nameLen, d.remaining())})
 	}
-	strategy := string(d.take(int(nameLen)))
-	set := trace.NewSet(strategy, cache.Program())
-	nTraces := d.uvarint()
-	nStates := d.uvarint()
 	if d.err != nil {
 		return nil, nil, d.err
+	}
+	strategy := string(d.take(int(nameLen), "strategy name"))
+	set := trace.NewSet(strategy, cache.Program())
+	nTraces := d.uvarint("trace count")
+	nStates := d.uvarint("state count")
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	// Forged counts must not size allocations or drive long loops: every
+	// trace costs at least minTraceBytes on the wire and every state (TBB)
+	// at least minTBBBytes, so counts beyond what the remaining bytes can
+	// hold are rejected here.
+	if nTraces > uint64(d.remaining())/minTraceBytes {
+		return nil, nil, &DecodeError{Offset: d.pos, Field: "trace count",
+			Reason: fmt.Sprintf("claims %d traces, only %d bytes remain", nTraces, d.remaining())}
+	}
+	if nStates == 0 || nStates-1 > uint64(d.remaining())/minTBBBytes {
+		return nil, nil, &DecodeError{Offset: d.pos, Field: "state count",
+			Reason: fmt.Sprintf("claims %d states, only %d bytes remain", nStates, d.remaining())}
 	}
 	prof := make(DecodedProfile)
 	prevAddr := uint64(0)
 	nextState := uint64(1) // state 0 is NTE
 	type pendingLink struct {
+		off    int
 		from   *trace.TBB
 		label  uint64
 		target uint64 // absolute state id
@@ -164,37 +225,47 @@ func DecodeWithProfile(data []byte, cache *cfg.Cache) (*Automaton, DecodedProfil
 	var links []pendingLink
 
 	for ti := uint64(0); ti < nTraces; ti++ {
-		nTBBs := d.uvarint()
+		countOff := d.pos
+		nTBBs := d.uvarint("TBB count")
 		if d.err != nil {
 			return nil, nil, d.err
 		}
 		if nTBBs == 0 {
-			return nil, nil, fmt.Errorf("core: trace %d has no TBBs", ti+1)
+			return nil, nil, &DecodeError{Offset: countOff, Field: "TBB count",
+				Reason: fmt.Sprintf("trace %d has no TBBs", ti+1)}
+		}
+		if nTBBs > uint64(d.remaining())/minTBBBytes {
+			return nil, nil, &DecodeError{Offset: countOff, Field: "TBB count",
+				Reason: fmt.Sprintf("trace %d claims %d TBBs, only %d bytes remain", ti+1, nTBBs, d.remaining())}
 		}
 		var tr *trace.Trace
 		tbbs := make([]*trace.TBB, nTBBs)
 		for i := uint64(0); i < nTBBs; i++ {
-			delta := d.zigzag()
+			recOff := d.pos
+			delta := d.zigzag("block head delta")
 			head := uint64(int64(prevAddr) + delta)
 			prevAddr = head
-			nInstr := d.uvarint()
-			nBytes := d.uvarint()
-			tclass := d.take(1)
-			count := d.uvarint()
+			nInstr := d.uvarint("instruction count")
+			nBytes := d.uvarint("block bytes")
+			tclass := d.take(1, "terminator class")
+			count := d.uvarint("profile counter")
 			if d.err != nil {
 				return nil, nil, d.err
 			}
 			b, err := cache.BlockAt(head)
 			if err != nil {
-				return nil, nil, fmt.Errorf("core: trace %d TBB %d: %v", ti+1, i, err)
+				return nil, nil, &DecodeError{Offset: recOff, Field: "block head",
+					Reason: fmt.Sprintf("trace %d TBB %d: %v", ti+1, i, err)}
 			}
 			if uint64(b.NumInstrs) != nInstr || b.Bytes != nBytes || termClass(b.Term) != tclass[0] {
-				return nil, nil, fmt.Errorf("core: trace %d TBB %d: block at 0x%x does not match recorded shape", ti+1, i, head)
+				return nil, nil, &DecodeError{Offset: recOff, Field: "block identity",
+					Reason: fmt.Sprintf("trace %d TBB %d: block at 0x%x does not match recorded shape", ti+1, i, head)}
 			}
 			if i == 0 {
 				tr, err = set.NewTrace(b)
 				if err != nil {
-					return nil, nil, fmt.Errorf("core: trace %d: %v", ti+1, err)
+					return nil, nil, &DecodeError{Offset: recOff, Field: "trace entry",
+						Reason: fmt.Sprintf("trace %d: %v", ti+1, err)}
 				}
 				tbbs[0] = tr.Head()
 			} else {
@@ -207,43 +278,57 @@ func DecodeWithProfile(data []byte, cache *cfg.Cache) (*Automaton, DecodedProfil
 			nextState++
 		}
 		for i := uint64(0); i < nTBBs; i++ {
-			nSucc := d.uvarint()
+			countOff := d.pos
+			nSucc := d.uvarint("successor count")
 			if d.err != nil {
 				return nil, nil, d.err
 			}
+			// One successor costs at least a label delta and a target id.
+			if nSucc > uint64(d.remaining())/2 {
+				return nil, nil, &DecodeError{Offset: countOff, Field: "successor count",
+					Reason: fmt.Sprintf("trace %d TBB %d claims %d successors, only %d bytes remain", ti+1, i, nSucc, d.remaining())}
+			}
 			for k := uint64(0); k < nSucc; k++ {
-				delta := d.zigzag()
-				target := d.uvarint()
+				recOff := d.pos
+				delta := d.zigzag("successor label delta")
+				target := d.uvarint("successor target")
 				if d.err != nil {
 					return nil, nil, d.err
 				}
 				label := uint64(int64(tbbs[i].Block.Head) + delta)
-				links = append(links, pendingLink{tbbs[i], label, target})
+				links = append(links, pendingLink{recOff, tbbs[i], label, target})
 			}
 		}
 	}
 	if nextState != nStates {
-		return nil, nil, fmt.Errorf("core: header says %d states, stream has %d", nStates, nextState)
+		return nil, nil, &DecodeError{Offset: d.pos, Field: "state count",
+			Reason: fmt.Sprintf("header says %d states, stream has %d", nStates, nextState)}
 	}
 	for _, l := range links {
 		succ, ok := stateTBB[l.target]
 		if !ok {
-			return nil, nil, fmt.Errorf("core: transition to unknown state %d", l.target)
+			return nil, nil, &DecodeError{Offset: l.off, Field: "transition",
+				Reason: fmt.Sprintf("transition to unknown state %d", l.target)}
 		}
 		if succ.Trace != l.from.Trace {
-			return nil, nil, fmt.Errorf("core: cross-trace transition %v -> %v", l.from, succ)
+			return nil, nil, &DecodeError{Offset: l.off, Field: "transition",
+				Reason: fmt.Sprintf("cross-trace transition %v -> %v", l.from, succ)}
 		}
 		if succ.Block.Head != l.label {
-			return nil, nil, fmt.Errorf("core: label 0x%x does not match target head 0x%x", l.label, succ.Block.Head)
+			return nil, nil, &DecodeError{Offset: l.off, Field: "transition",
+				Reason: fmt.Sprintf("label 0x%x does not match target head 0x%x", l.label, succ.Block.Head)}
 		}
-		l.from.Link(succ)
+		if err := l.from.Link(succ); err != nil {
+			return nil, nil, &DecodeError{Offset: l.off, Field: "transition", Reason: err.Error()}
+		}
 	}
 	if d.pos != len(d.data) {
-		return nil, nil, fmt.Errorf("core: %d trailing bytes", len(d.data)-d.pos)
+		return nil, nil, &DecodeError{Offset: d.pos, Field: "trailing bytes",
+			Reason: fmt.Sprintf("%d trailing bytes", len(d.data)-d.pos)}
 	}
 	a := Build(set)
 	if err := a.Check(); err != nil {
-		return nil, nil, err
+		return nil, nil, &DecodeError{Offset: len(d.data), Field: "automaton", Reason: err.Error()}
 	}
 	return a, prof, nil
 }
@@ -254,9 +339,19 @@ type decoder struct {
 	err  error
 }
 
-func (d *decoder) take(n int) []byte {
-	if d.err != nil || d.pos+n > len(d.data) {
-		d.fail()
+// remaining returns the unread byte count.
+func (d *decoder) remaining() int { return len(d.data) - d.pos }
+
+// setErr records the first error; later reads become no-ops.
+func (d *decoder) setErr(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) take(n int, field string) []byte {
+	if d.err != nil || n < 0 || d.pos+n > len(d.data) {
+		d.setErr(&DecodeError{Offset: d.pos, Field: field, Reason: "truncated"})
 		return []byte{0}
 	}
 	out := d.data[d.pos : d.pos+n]
@@ -264,36 +359,30 @@ func (d *decoder) take(n int) []byte {
 	return out
 }
 
-func (d *decoder) uvarint() uint64 {
+func (d *decoder) uvarint(field string) uint64 {
 	if d.err != nil {
 		return 0
 	}
 	v, n := binary.Uvarint(d.data[d.pos:])
 	if n <= 0 {
-		d.fail()
+		d.setErr(&DecodeError{Offset: d.pos, Field: field, Reason: "truncated or malformed varint"})
 		return 0
 	}
 	d.pos += n
 	return v
 }
 
-func (d *decoder) zigzag() int64 {
+func (d *decoder) zigzag(field string) int64 {
 	if d.err != nil {
 		return 0
 	}
 	v, n := binary.Varint(d.data[d.pos:])
 	if n <= 0 {
-		d.fail()
+		d.setErr(&DecodeError{Offset: d.pos, Field: field, Reason: "truncated or malformed varint"})
 		return 0
 	}
 	d.pos += n
 	return v
-}
-
-func (d *decoder) fail() {
-	if d.err == nil {
-		d.err = fmt.Errorf("core: truncated or corrupt TEA stream at offset %d", d.pos)
-	}
 }
 
 func appendUvarint(b []byte, v uint64) []byte {

@@ -1,13 +1,21 @@
 package core
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/lsc-tea/tea/internal/cfg"
 	"github.com/lsc-tea/tea/internal/cpu"
+	"github.com/lsc-tea/tea/internal/faultinject"
 	"github.com/lsc-tea/tea/internal/progs"
 	"github.com/lsc-tea/tea/internal/trace"
 )
+
+// corpusDir holds regression inputs for FuzzDecode and TestDecodeCorpus:
+// faultinject-generated mutants of valid encodings, checked in so every
+// decoder fix stays covered (regenerate with go run ./scripts/gencorpus).
+const corpusDir = "testdata/decode_corpus"
 
 // FuzzDecode hammers the wire-format decoder: arbitrary bytes must decode
 // to an error or to an automaton that passes Check — never panic, never
@@ -17,19 +25,38 @@ func FuzzDecode(f *testing.F) {
 	p := progs.Figure2(60, 200)
 	cache := cfg.NewCache(p, cfg.StarDBT)
 
-	// Seeds: a valid stream for each strategy, plus junk.
+	// Seeds: a valid stream for each strategy, deterministic fault-injected
+	// mutants of each, plus hand-picked junk.
 	for _, strategy := range []string{"mret", "tt", "ctt"} {
 		s, _ := trace.NewStrategy(strategy, p, trace.Config{HotThreshold: 30})
 		set, _, err := trace.Record(cpu.New(p), cfg.StarDBT, s, 0)
 		if err != nil {
 			f.Fatal(err)
 		}
-		f.Add(Encode(Build(set)))
+		data, err := Encode(Build(set))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		for _, mut := range faultinject.Corpus(1, data, 16) {
+			f.Add(mut)
+		}
 	}
 	f.Add([]byte{})
 	f.Add([]byte("TEA2"))
 	f.Add([]byte("TEA2\x00\x00\x00"))
 	f.Add([]byte("garbage that is long enough to walk through several fields"))
+
+	// Checked-in regression corpus.
+	if files, err := filepath.Glob(filepath.Join(corpusDir, "*.bin")); err == nil {
+		for _, name := range files {
+			data, err := os.ReadFile(name)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		a, err := Decode(data, cache)
@@ -40,9 +67,40 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("decoded automaton fails Check: %v", cerr)
 		}
 		// A decoded automaton must re-encode decodably.
-		again := Encode(a)
+		again, err := Encode(a)
+		if err != nil {
+			t.Fatalf("decoded automaton does not re-encode: %v", err)
+		}
 		if _, err := Decode(again, cache); err != nil {
 			t.Fatalf("re-encoded stream does not decode: %v", err)
 		}
 	})
+}
+
+// TestDecodeCorpus runs every checked-in corpus file through the decoder
+// under the FuzzDecode invariants, so the regression corpus is exercised
+// by plain `go test` too.
+func TestDecodeCorpus(t *testing.T) {
+	p := progs.Figure2(60, 200)
+	cache := cfg.NewCache(p, cfg.StarDBT)
+	files, err := filepath.Glob(filepath.Join(corpusDir, "*.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no corpus files in %s; run go run ./scripts/gencorpus", corpusDir)
+	}
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Decode(data, cache)
+		if err != nil {
+			continue
+		}
+		if cerr := a.Check(); cerr != nil {
+			t.Errorf("%s: decoded automaton fails Check: %v", filepath.Base(name), cerr)
+		}
+	}
 }

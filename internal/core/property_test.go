@@ -78,7 +78,11 @@ func TestQuickEncodeRoundTrip(t *testing.T) {
 			return true
 		}
 		a := Build(set)
-		data := Encode(a)
+		data, err := Encode(a)
+		if err != nil {
+			t.Logf("seed %d %s: encode: %v", seed, strategy, err)
+			return false
+		}
 
 		spec, _ := workload.ByName("181.mcf")
 		spec.Seed = seed
@@ -89,7 +93,12 @@ func TestQuickEncodeRoundTrip(t *testing.T) {
 			t.Logf("seed %d %s: decode: %v", seed, strategy, err)
 			return false
 		}
-		if string(Encode(b)) != string(data) {
+		again, err := Encode(b)
+		if err != nil {
+			t.Logf("seed %d %s: re-encode: %v", seed, strategy, err)
+			return false
+		}
+		if string(again) != string(data) {
 			t.Logf("seed %d %s: re-encode differs", seed, strategy)
 			return false
 		}
@@ -106,7 +115,7 @@ func TestQuickEncodeRoundTrip(t *testing.T) {
 func TestDecodeNeverPanics(t *testing.T) {
 	set := randomSet(t, 1, "mret", 8)
 	a := Build(set)
-	data := Encode(a)
+	data := mustEncode(t, a)
 	spec, _ := workload.ByName("181.mcf")
 	spec.Seed = 1
 	spec.WorkScale = 8

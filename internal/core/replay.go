@@ -1,5 +1,7 @@
 package core
 
+import "github.com/lsc-tea/tea/internal/trace"
+
 // Replayer walks a TEA along the dynamic block stream of an unmodified
 // program execution, maintaining the precise map from the current program
 // counter to the TBB being "executed" — the paper's trace replaying
@@ -16,9 +18,10 @@ type Replayer struct {
 	cfg   LookupConfig
 	index EntryIndex
 
-	caches []*localCache
-	cur    StateID
-	stats  Stats
+	caches   []*localCache
+	cur      StateID
+	desynced bool
+	stats    Stats
 }
 
 // Stats aggregates the counters of one replayed (or recorded) execution.
@@ -46,7 +49,23 @@ type Stats struct {
 	TraceEnters uint64
 	TraceLinks  uint64
 	TraceExits  uint64
+
+	// Desyncs counts stream labels that are impossible successors of the
+	// current state's block — evidence that the automaton does not describe
+	// the observed execution (a stale or foreign TEA, a perturbed program,
+	// or a lossy block stream). The replayer degrades gracefully: it falls
+	// back toward NTE and keeps consuming the stream instead of attributing
+	// garbage coverage. Resyncs counts trace re-acquisitions after a
+	// desync. A replay with Desyncs > 0 completed, but its automaton and
+	// program disagree; coverage for the desynced spans is attributed to
+	// cold code.
+	Desyncs uint64
+	Resyncs uint64
 }
+
+// Desynced reports whether the replay has ever observed an impossible
+// transition (Desyncs > 0).
+func (s *Stats) Desynced() bool { return s.Desyncs > 0 }
 
 // Coverage returns the fraction of dynamic instructions executed while
 // inside a trace (the "Coverage" column of Tables 2 and 3).
@@ -88,10 +107,17 @@ func (r *Replayer) CurState() *State { return r.a.State(r.cur) }
 // Stats returns the accumulated counters.
 func (r *Replayer) Stats() *Stats { return &r.stats }
 
+// Desynced reports whether the cursor is currently desynchronized: an
+// impossible transition was observed and no trace has been re-acquired
+// since. While desynced, the cursor sits at (or near) NTE and coverage is
+// attributed to cold code.
+func (r *Replayer) Desynced() bool { return r.desynced }
+
 // Reset rewinds the cursor to NTE and zeroes the statistics. The global
 // container and local caches are kept.
 func (r *Replayer) Reset() {
 	r.cur = NTE
+	r.desynced = false
 	r.stats = Stats{}
 }
 
@@ -117,6 +143,16 @@ func (r *Replayer) Advance(label uint64, instrs uint64) StateID {
 			r.stats.InTraceHits++
 			next = t
 		} else {
+			// A label that is not even a *possible* successor of the current
+			// block means the automaton and the observed execution have
+			// diverged (stale/foreign TEA, perturbed program, lossy stream).
+			// Record the desync and degrade: the transition below falls back
+			// toward NTE (or re-enters whatever trace anchors at label), and
+			// the replay keeps going instead of producing garbage coverage.
+			if !plausibleSuccessor(r.a.State(from).TBB, label) {
+				r.stats.Desyncs++
+				r.desynced = true
+			}
 			next = r.resolve(from, label)
 			if next == NTE {
 				r.stats.TraceExits++
@@ -130,8 +166,31 @@ func (r *Replayer) Advance(label uint64, instrs uint64) StateID {
 			r.stats.TraceEnters++
 		}
 	}
+	if next != NTE && r.desynced {
+		// Back on a recorded trace after a desync: the cursor is trustworthy
+		// again from here.
+		r.desynced = false
+		r.stats.Resyncs++
+	}
 	r.cur = next
 	return next
+}
+
+// plausibleSuccessor reports whether control leaving tbb's block could
+// possibly arrive at label: the branch target, the fall-through address, or
+// anywhere at all after an indirect terminator. Labels outside this set are
+// proof the automaton's block no longer matches the executing program.
+func plausibleSuccessor(tbb *trace.TBB, label uint64) bool {
+	b := tbb.Block
+	t := b.Term
+	if t.IsIndirect() {
+		return true
+	}
+	if t.IsBranch() && label == t.Target {
+		return true
+	}
+	ft, ok := b.FallThrough()
+	return ok && label == ft
 }
 
 // AccountOnly records instrs executed without advancing the automaton;

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/cpu"
+	"github.com/lsc-tea/tea/internal/faultinject"
+	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/progs"
+	"github.com/lsc-tea/tea/internal/trace"
+)
+
+// TestReplayerDesyncOnImpossibleLabel: feeding a label that cannot follow
+// the current block (here, an address nowhere near the program) records a
+// desync, degrades to NTE, and keeps the replayer usable; re-entering the
+// trace records a resync.
+func TestReplayerDesyncOnImpossibleLabel(t *testing.T) {
+	p := progs.Figure2(60, 200)
+	set := recordSet(t, p, "mret", trace.Config{HotThreshold: 20})
+	a := Build(set)
+	r := NewReplayer(a, ConfigGlobalLocal)
+
+	entry := a.Entries()[0].Addr
+	if got := r.Advance(entry, 0); got == NTE {
+		t.Fatal("did not enter trace at its own entry")
+	}
+	if r.Desynced() {
+		t.Fatal("desynced before any fault")
+	}
+
+	// An address outside the program cannot be any block's successor.
+	if got := r.Advance(0xDEAD0000, 3); got != NTE {
+		t.Fatalf("impossible label resolved to state %d", got)
+	}
+	if r.Stats().Desyncs != 1 || !r.Desynced() || !r.Stats().Desynced() {
+		t.Fatalf("desync not recorded: %+v", r.Stats())
+	}
+
+	// Re-acquiring the trace clears the flag and counts a resync.
+	if got := r.Advance(entry, 2); got == NTE {
+		t.Fatal("could not re-enter trace after desync")
+	}
+	if r.Desynced() || r.Stats().Resyncs != 1 {
+		t.Fatalf("resync not recorded: %+v", r.Stats())
+	}
+
+	// Reset clears the flag along with the stats.
+	r.Advance(0xDEAD0000, 1)
+	r.Reset()
+	if r.Desynced() || r.Stats().Desyncs != 0 {
+		t.Error("Reset left desync state behind")
+	}
+}
+
+// TestReplayerCleanRunHasNoDesyncs: replaying the recording program's own
+// stream never trips the plausibility check — the desync counters are
+// evidence of mismatch, not noise.
+func TestReplayerCleanRunHasNoDesyncs(t *testing.T) {
+	for _, strategy := range []string{"mret", "tt", "ctt"} {
+		p := progs.Figure2(60, 200)
+		set := recordSet(t, p, strategy, trace.Config{HotThreshold: 20})
+		a := Build(set)
+		r := NewReplayer(a, ConfigGlobalLocal)
+		m := cpu.New(p)
+		run := cfg.NewRunner(m, cfg.StarDBT)
+		var prev uint64
+		for {
+			e, ok, err := run.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok || e.To == nil {
+				break
+			}
+			instrs := m.Steps() - prev
+			prev = m.Steps()
+			r.Advance(e.To.Head, instrs)
+		}
+		if r.Stats().Desyncs != 0 || r.Stats().Resyncs != 0 {
+			t.Errorf("%s: clean replay desynced: %+v", strategy, r.Stats())
+		}
+	}
+}
+
+// replayStream drives a replayer over a recorded event stream and returns
+// its stats.
+func replayStream(a *Automaton, events []faultinject.BlockEvent) *Stats {
+	r := NewReplayer(a, ConfigGlobalLocal)
+	for _, e := range events {
+		r.Advance(e.Label, e.Instrs)
+	}
+	return r.Stats()
+}
+
+// recordStream captures a program's dynamic block stream as BlockEvents.
+func recordStream(t *testing.T, p *isa.Program) []faultinject.BlockEvent {
+	t.Helper()
+	m := cpu.New(p)
+	run := cfg.NewRunner(m, cfg.StarDBT)
+	var events []faultinject.BlockEvent
+	var prev uint64
+	for {
+		e, ok, err := run.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || e.To == nil {
+			break
+		}
+		instrs := m.Steps() - prev
+		prev = m.Steps()
+		events = append(events, faultinject.BlockEvent{Label: e.To.Head, Instrs: instrs})
+	}
+	return events
+}
+
+// TestReplayerSurvivesPerturbedStreams: dropped, duplicated and reordered
+// block streams complete without panicking; lossy variants surface as
+// desyncs rather than garbage coverage.
+func TestReplayerSurvivesPerturbedStreams(t *testing.T) {
+	p := progs.Figure2(60, 200)
+	set := recordSet(t, p, "mret", trace.Config{HotThreshold: 20})
+	a := Build(set)
+	events := recordStream(t, p)
+	if len(events) < 10 {
+		t.Fatalf("stream too short: %d events", len(events))
+	}
+
+	clean := replayStream(a, events)
+	if clean.Desyncs != 0 {
+		t.Fatalf("clean stream desynced: %+v", clean)
+	}
+
+	for seed := int64(1); seed <= 10; seed++ {
+		j := faultinject.New(seed)
+		for name, mut := range map[string][]faultinject.BlockEvent{
+			"drop":      j.DropEvents(events, 5),
+			"duplicate": j.DuplicateEvents(events, 5),
+			"swap":      j.SwapEvents(events, 5),
+			"mixed":     j.PerturbStream(events),
+		} {
+			st := replayStream(a, mut)
+			if st.Blocks == 0 {
+				t.Errorf("seed %d %s: replay consumed nothing", seed, name)
+			}
+			// Desyncs may be zero (a fault can land on an indirect-terminated
+			// or NTE-covered span), but Instrs must still reconcile: the
+			// replay consumed the whole stream.
+			var want uint64
+			for _, e := range mut {
+				want += e.Instrs
+			}
+			if st.Instrs != want {
+				t.Errorf("seed %d %s: accounted %d of %d instrs", seed, name, st.Instrs, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/lsc-tea/tea/internal/asm"
+)
+
+// spin is a program that never halts: the adversarial input RunContext
+// exists to survive.
+const spin = `
+e:
+    addi eax, 1
+    jmp  e
+`
+
+func TestRunContextCancel(t *testing.T) {
+	p, err := asm.Assemble("spin", spin)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("pre-canceled", func(t *testing.T) {
+		m := New(p)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := m.RunContext(ctx, 0); !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		// The machine stays inspectable after a cancelled run.
+		if m.Halted() {
+			t.Error("machine reports halted after cancellation")
+		}
+	})
+
+	t.Run("deadline", func(t *testing.T) {
+		m := New(p)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+		defer cancel()
+		if err := m.RunContext(ctx, 0); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		}
+		if m.Steps() == 0 {
+			t.Error("no progress before the deadline")
+		}
+	})
+
+	t.Run("step-cap", func(t *testing.T) {
+		m := New(p)
+		if err := m.RunContext(context.Background(), 5000); !errors.Is(err, ErrFuel) {
+			t.Fatal("step cap did not return ErrFuel")
+		}
+		if m.Steps() < 5000 {
+			t.Errorf("stopped after %d steps, cap was 5000", m.Steps())
+		}
+	})
+
+	t.Run("nil-context", func(t *testing.T) {
+		m := New(p)
+		if err := m.RunContext(nil, 100); !errors.Is(err, ErrFuel) { //nolint:staticcheck
+			t.Fatal("nil context with step cap did not return ErrFuel")
+		}
+	})
+}
+
+func TestRunContextHaltsNormally(t *testing.T) {
+	p, err := asm.Assemble("ok", "e:\n movi eax, 7\n halt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(p)
+	if err := m.RunContext(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Error("machine did not halt")
+	}
+}

@@ -13,6 +13,7 @@
 package dbt
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/lsc-tea/tea/internal/cfg"
@@ -119,6 +120,19 @@ func (t *Translator) Run(p *isa.Program, strategy string, c trace.Config, maxSte
 
 // RunWith executes p under the translator with an explicit selector.
 func (t *Translator) RunWith(p *isa.Program, sel trace.Strategy, maxSteps uint64) (*Result, error) {
+	return t.RunWithContext(context.Background(), p, sel, maxSteps)
+}
+
+// ctxCheckMask batches context polls to one per 1024 block edges.
+const ctxCheckMask = 1<<10 - 1
+
+// RunWithContext is RunWith with cancellation: a program that never halts
+// cannot hang the caller when the context carries a deadline or is
+// cancelled. The partial Result is returned alongside ctx.Err().
+func (t *Translator) RunWithContext(ctx context.Context, p *isa.Program, sel trace.Strategy, maxSteps uint64) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	m := cpu.New(p)
 	r := cfg.NewRunner(m, cfg.StarDBT)
 	res := &Result{}
@@ -139,10 +153,23 @@ func (t *Translator) RunWith(p *isa.Program, sel trace.Strategy, maxSteps uint64
 	set := sel.Set()
 
 	var prevSteps uint64
+	var canceled error
+	var iter uint64
 	for {
 		if maxSteps > 0 && m.Steps() >= maxSteps {
 			break
 		}
+		if iter&ctxCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				canceled = ctx.Err()
+			default:
+			}
+			if canceled != nil {
+				break
+			}
+		}
+		iter++
 		e, ok, err := r.Next()
 		if err != nil {
 			return nil, err
@@ -171,7 +198,11 @@ func (t *Translator) RunWith(p *isa.Program, sel trace.Strategy, maxSteps uint64
 		if !translated[e.To.Head] {
 			translated[e.To.Head] = true
 			res.TimeUnits += t.cost.TranslateBlock + t.cost.TranslatePerInstr*float64(e.To.NumInstrs)
-			res.CodeImage = append(res.CodeImage, p.EncodeRange(e.To.Head, e.To.Term.Next())...)
+			code, err := p.EncodeRange(e.To.Head, e.To.Term.Next())
+			if err != nil {
+				return nil, err
+			}
+			res.CodeImage = append(res.CodeImage, code...)
 			res.CodeImage = append(res.CodeImage, make([]byte, BlockStubBytes)...)
 			res.BlockCacheBytes += e.To.Bytes + BlockStubBytes
 		}
@@ -213,5 +244,5 @@ func (t *Translator) RunWith(p *isa.Program, sel trace.Strategy, maxSteps uint64
 	res.Info.Blocks = r.Cache().Len()
 	res.TraceBytes = set.CodeBytes()
 	res.TimeUnits += t.cost.PerInstr * float64(res.Instrs)
-	return res, nil
+	return res, canceled
 }

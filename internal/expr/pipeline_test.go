@@ -40,7 +40,10 @@ func TestFullPipelineEveryBenchmark(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			data := core.Encode(a)
+			data, err := core.Encode(a)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if uint64(len(data)) >= d.TraceBytes {
 				t.Errorf("TEA (%dB) not smaller than replicated code (%dB)", len(data), d.TraceBytes)
 			}

@@ -1,0 +1,112 @@
+// Package faultinject deterministically perturbs the inputs of the TEA
+// decode/replay pipeline so robustness tests can exercise — and reproduce —
+// every failure mode the library promises to survive:
+//
+//   - serialized TEA bytes: truncation, bit flips, varint corruption
+//     (faultinject.go);
+//   - program images: mutated or NOP-erased blocks, shifted layout
+//     (program.go);
+//   - dynamic block streams: dropped, duplicated or reordered blocks
+//     (stream.go).
+//
+// Every perturbation is driven by a PRNG seeded explicitly at construction:
+// the same seed applied to the same input always yields the same fault, so
+// a failing case found by a sweep is replayed as a regression test by its
+// seed alone. Corpus bundles that determinism into ready-made mutation
+// batches for fuzz seeding and testdata corpora.
+//
+// The package never imports internal/core: it perturbs plain bytes,
+// programs and label streams, which keeps it usable from any layer's tests
+// without import cycles.
+package faultinject
+
+import "math/rand"
+
+// Injector produces deterministic faults from a seed.
+type Injector struct {
+	seed int64
+	rng  *rand.Rand
+}
+
+// New creates an Injector; equal seeds yield equal fault sequences.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the seed the injector was built with, for reporting a
+// reproducer alongside a failure.
+func (j *Injector) Seed() int64 { return j.seed }
+
+// Truncate returns data cut short at a random length in [0, len(data)).
+// Truncation is the fault a crashed writer or a partial read leaves behind.
+func (j *Injector) Truncate(data []byte) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	return clone(data[:j.rng.Intn(len(data))])
+}
+
+// FlipBits returns a copy of data with n random single-bit flips — the
+// classic storage/transport corruption model.
+func (j *Injector) FlipBits(data []byte, n int) []byte {
+	out := clone(data)
+	if len(out) == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		pos := j.rng.Intn(len(out))
+		out[pos] ^= 1 << uint(j.rng.Intn(8))
+	}
+	return out
+}
+
+// CorruptVarint returns a copy of data with one varint-shaped corruption at
+// a random offset: either a continuation bit forced on (turning a short
+// varint into one that swallows following fields, or runs off the end), or
+// a hostile maximal varint (0xFF... run) spliced in, the shape that makes a
+// naive decoder allocate unboundedly from a forged count.
+func (j *Injector) CorruptVarint(data []byte) []byte {
+	out := clone(data)
+	if len(out) == 0 {
+		return out
+	}
+	pos := j.rng.Intn(len(out))
+	if j.rng.Intn(2) == 0 {
+		out[pos] |= 0x80
+		return out
+	}
+	for i := 0; i < 9 && pos+i < len(out); i++ {
+		out[pos+i] = 0xFF
+	}
+	return out
+}
+
+// Mutate applies one randomly chosen byte-level fault (truncation, bit
+// flips, or varint corruption) and returns the mutant.
+func (j *Injector) Mutate(data []byte) []byte {
+	switch j.rng.Intn(3) {
+	case 0:
+		return j.Truncate(data)
+	case 1:
+		return j.FlipBits(data, 1+j.rng.Intn(4))
+	default:
+		return j.CorruptVarint(data)
+	}
+}
+
+// Corpus returns n deterministic mutants of data derived from seed — the
+// building block for fuzz seed corpora and checked-in regression inputs.
+func Corpus(seed int64, data []byte, n int) [][]byte {
+	j := New(seed)
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = j.Mutate(data)
+	}
+	return out
+}
+
+func clone(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

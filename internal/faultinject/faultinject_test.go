@@ -1,0 +1,329 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/progs"
+)
+
+var sample = []byte("TEA2 sample payload with enough bytes to mutate interestingly")
+
+// TestDeterminism: the whole point of the injector — equal seeds yield
+// equal fault sequences, across every mutation class.
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 20; i++ {
+		if !bytes.Equal(a.Mutate(sample), b.Mutate(sample)) {
+			t.Fatalf("mutation %d diverged between equal-seed injectors", i)
+		}
+	}
+	c1 := Corpus(3, sample, 12)
+	c2 := Corpus(3, sample, 12)
+	if len(c1) != 12 {
+		t.Fatalf("Corpus returned %d mutants, want 12", len(c1))
+	}
+	for i := range c1 {
+		if !bytes.Equal(c1[i], c2[i]) {
+			t.Fatalf("Corpus mutant %d not reproducible", i)
+		}
+	}
+	if bytes.Equal(New(1).Mutate(sample), New(2).Mutate(sample)) &&
+		bytes.Equal(New(1).Mutate(sample), New(3).Mutate(sample)) {
+		t.Error("three different seeds produced identical first mutants")
+	}
+	if New(9).Seed() != 9 {
+		t.Error("Seed() does not report the construction seed")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	j := New(1)
+	for i := 0; i < 50; i++ {
+		out := j.Truncate(sample)
+		if len(out) >= len(sample) {
+			t.Fatalf("truncation did not shorten: %d >= %d", len(out), len(sample))
+		}
+		if !bytes.Equal(out, sample[:len(out)]) {
+			t.Fatal("truncation altered the retained prefix")
+		}
+	}
+	if j.Truncate(nil) != nil {
+		t.Error("truncating empty input should yield nil")
+	}
+}
+
+func TestFlipBits(t *testing.T) {
+	j := New(1)
+	for i := 0; i < 50; i++ {
+		out := j.FlipBits(sample, 1)
+		if len(out) != len(sample) {
+			t.Fatal("bit flip changed length")
+		}
+		diff := 0
+		for k := range out {
+			diff += popcount(out[k] ^ sample[k])
+		}
+		if diff != 1 {
+			t.Fatalf("FlipBits(_, 1) flipped %d bits", diff)
+		}
+	}
+	// n flips may collide on the same bit, but never exceed n.
+	out := j.FlipBits(sample, 8)
+	diff := 0
+	for k := range out {
+		diff += popcount(out[k] ^ sample[k])
+	}
+	if diff == 0 || diff > 8 {
+		t.Errorf("FlipBits(_, 8) flipped %d bits", diff)
+	}
+	if got := j.FlipBits(nil, 3); len(got) != 0 {
+		t.Error("flipping bits of empty input should yield empty output")
+	}
+}
+
+func TestCorruptVarint(t *testing.T) {
+	j := New(1)
+	changed := 0
+	for i := 0; i < 50; i++ {
+		out := j.CorruptVarint(sample)
+		if len(out) != len(sample) {
+			t.Fatal("varint corruption changed length")
+		}
+		if !bytes.Equal(out, sample) {
+			changed++
+		}
+	}
+	// The continuation-bit fault is a no-op on a byte that already has the
+	// high bit set, but on this ASCII sample every corruption must show.
+	if changed != 50 {
+		t.Errorf("only %d/50 corruptions altered the data", changed)
+	}
+}
+
+// TestMutateNeverAliases: mutants are copies; the original input is never
+// written through.
+func TestMutateNeverAliases(t *testing.T) {
+	orig := append([]byte(nil), sample...)
+	j := New(5)
+	for i := 0; i < 100; i++ {
+		j.Mutate(sample)
+	}
+	if !bytes.Equal(orig, sample) {
+		t.Fatal("Mutate wrote through to its input")
+	}
+}
+
+func TestPerturbProgram(t *testing.T) {
+	p := progs.Figure2(60, 200)
+
+	t.Run("shift-layout", func(t *testing.T) {
+		j := New(1)
+		np, err := j.PerturbProgram(p, ShiftLayout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shift := np.Entry - p.Entry
+		if shift < 1 || shift > 8 {
+			t.Fatalf("entry shifted by %d, want 1..8", shift)
+		}
+		for name, addr := range p.Labels {
+			if np.Labels[name] != addr+shift {
+				t.Errorf("label %s not remapped", name)
+			}
+		}
+		if np.StaticBytes() != p.StaticBytes()+shift {
+			t.Errorf("static size %d, want %d", np.StaticBytes(), p.StaticBytes()+shift)
+		}
+	})
+
+	t.Run("mutate-block", func(t *testing.T) {
+		j := New(2)
+		np, err := j.PerturbProgram(p, MutateBlock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if np.StaticBytes() != p.StaticBytes() {
+			t.Fatal("mutation changed the byte layout")
+		}
+		jinds := 0
+		for i := 0; i < np.Len(); i++ {
+			if np.Instr(i).Op == isa.JIND && p.Instr(i).Op != isa.JIND {
+				jinds++
+			}
+		}
+		if jinds != 1 {
+			t.Errorf("found %d new JINDs, want exactly 1", jinds)
+		}
+	})
+
+	t.Run("mutate-block-no-candidates", func(t *testing.T) {
+		b := isa.NewBuilder("no-alu")
+		b.Emit(isa.Instr{Op: isa.HALT})
+		small, err := b.Build("", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := New(1).PerturbProgram(small, MutateBlock); err == nil {
+			t.Error("MutateBlock on an ALU-free program should error")
+		}
+	})
+
+	t.Run("erase-block", func(t *testing.T) {
+		j := New(3)
+		np, err := j.PerturbProgram(p, EraseBlock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if np.StaticBytes() != p.StaticBytes() {
+			t.Fatal("erasure changed the byte layout")
+		}
+		nops := 0
+		for i := 0; i < np.Len(); i++ {
+			if np.Instr(i).Op == isa.NOP {
+				nops++
+			}
+		}
+		if nops == 0 {
+			t.Error("erasure introduced no NOP filler")
+		}
+	})
+
+	t.Run("unknown-kind", func(t *testing.T) {
+		if _, err := New(1).PerturbProgram(p, ProgramFault(99)); err == nil {
+			t.Error("unknown fault kind should error")
+		}
+	})
+
+	t.Run("deterministic", func(t *testing.T) {
+		for _, kind := range []ProgramFault{ShiftLayout, MutateBlock, EraseBlock} {
+			a, err := New(4).PerturbProgram(p, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := New(4).PerturbProgram(p, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Entry != b.Entry || a.Len() != b.Len() {
+				t.Errorf("%s: not reproducible", kind)
+			}
+			for i := 0; i < a.Len(); i++ {
+				if a.Instr(i).Op != b.Instr(i).Op {
+					t.Errorf("%s: instr %d differs between equal seeds", kind, i)
+					break
+				}
+			}
+		}
+	})
+}
+
+func testStream(n int) []BlockEvent {
+	s := make([]BlockEvent, n)
+	for i := range s {
+		s[i] = BlockEvent{Label: uint64(0x1000 + 4*i), Instrs: uint64(1 + i%5)}
+	}
+	return s
+}
+
+func TestStreamFaults(t *testing.T) {
+	s := testStream(200)
+	orig := append([]BlockEvent(nil), s...)
+
+	t.Run("drop", func(t *testing.T) {
+		out := New(1).DropEvents(s, 5)
+		if len(out) != len(s)-5 {
+			t.Fatalf("dropped to %d events, want %d", len(out), len(s)-5)
+		}
+	})
+
+	t.Run("duplicate", func(t *testing.T) {
+		out := New(1).DuplicateEvents(s, 5)
+		if len(out) != len(s)+5 {
+			t.Fatalf("duplicated to %d events, want %d", len(out), len(s)+5)
+		}
+		// Each insertion repeats its neighbor in place, so at least one
+		// adjacent pair must be identical.
+		pairs := 0
+		for i := 1; i < len(out); i++ {
+			if out[i] == out[i-1] {
+				pairs++
+			}
+		}
+		if pairs == 0 {
+			t.Error("no adjacent duplicate found after DuplicateEvents")
+		}
+	})
+
+	t.Run("swap", func(t *testing.T) {
+		out := New(1).SwapEvents(s, 5)
+		if len(out) != len(s) {
+			t.Fatal("swap changed length")
+		}
+		// Reordering preserves the multiset of events.
+		count := map[BlockEvent]int{}
+		for _, e := range s {
+			count[e]++
+		}
+		for _, e := range out {
+			count[e]--
+		}
+		for e, c := range count {
+			if c != 0 {
+				t.Fatalf("event %+v count off by %d after swap", e, c)
+			}
+		}
+	})
+
+	t.Run("perturb", func(t *testing.T) {
+		for seed := int64(1); seed <= 6; seed++ {
+			out := New(seed).PerturbStream(s)
+			same := len(out) == len(s)
+			if same {
+				same = true
+				for i := range out {
+					if out[i] != s[i] {
+						same = false
+						break
+					}
+				}
+			}
+			if same {
+				t.Errorf("seed %d: PerturbStream applied no fault", seed)
+			}
+		}
+	})
+
+	t.Run("inputs-untouched", func(t *testing.T) {
+		for i := range s {
+			if s[i] != orig[i] {
+				t.Fatal("stream faults wrote through to their input")
+			}
+		}
+	})
+
+	t.Run("short-streams", func(t *testing.T) {
+		j := New(1)
+		if got := j.DropEvents(nil, 3); len(got) != 0 {
+			t.Error("dropping from empty stream")
+		}
+		if got := j.DuplicateEvents(nil, 3); len(got) != 0 {
+			t.Error("duplicating in empty stream")
+		}
+		if got := j.SwapEvents(testStream(1), 3); len(got) != 1 {
+			t.Error("swapping a 1-event stream changed it")
+		}
+		if got := j.PerturbStream(nil); len(got) > 1 {
+			t.Errorf("perturbing empty stream grew it to %d", len(got))
+		}
+	})
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,145 @@
+package faultinject
+
+import (
+	"fmt"
+
+	"github.com/lsc-tea/tea/internal/isa"
+)
+
+// ProgramFault selects a perturbation of a program image. These model the
+// ways the executable available at replay time can differ from the one the
+// TEA was recorded on: a rebuilt binary with shifted layout, a patched
+// instruction, or code that is simply gone.
+type ProgramFault int
+
+const (
+	// ShiftLayout prepends NOPs to the text so every address moves; direct
+	// branch targets, labels and the entry point are remapped, so the
+	// program is self-consistent but no recorded address matches it.
+	ShiftLayout ProgramFault = iota
+	// MutateBlock rewrites one same-size ALU instruction into an indirect
+	// jump, so the block containing it now terminates early: the block at
+	// the recorded head exists but its identity fields (instruction count,
+	// byte size, terminator class) no longer match.
+	MutateBlock
+	// EraseBlock NOP-fills a short run of instructions, dissolving the
+	// blocks that contained them: recorded heads may stop being block heads
+	// and identities shift downstream.
+	EraseBlock
+)
+
+func (f ProgramFault) String() string {
+	switch f {
+	case ShiftLayout:
+		return "shift-layout"
+	case MutateBlock:
+		return "mutate-block"
+	case EraseBlock:
+		return "erase-block"
+	}
+	return fmt.Sprintf("program-fault?%d", int(f))
+}
+
+// PerturbProgram returns a perturbed copy of p. The result is a valid
+// Program (it passes layout validation) but deliberately disagrees with any
+// TEA recorded on p; decoding or replaying against it must degrade
+// gracefully, never panic.
+func (j *Injector) PerturbProgram(p *isa.Program, kind ProgramFault) (*isa.Program, error) {
+	switch kind {
+	case ShiftLayout:
+		return j.shiftLayout(p)
+	case MutateBlock:
+		return j.mutateBlock(p)
+	case EraseBlock:
+		return j.eraseBlock(p)
+	}
+	return nil, fmt.Errorf("faultinject: unknown program fault %d", int(kind))
+}
+
+// shiftLayout prepends 1..8 NOPs (1 byte each) and remaps every address.
+func (j *Injector) shiftLayout(p *isa.Program) (*isa.Program, error) {
+	shift := uint64(1 + j.rng.Intn(8))
+	return rebuild(p, shift, func(in isa.Instr) []isa.Instr { return []isa.Instr{in} })
+}
+
+// mutateBlock swaps one 2-byte register-register instruction for JIND,
+// which encodes to the same 2 bytes, preserving the layout of everything
+// after it while changing the shape of every block that ran through it.
+func (j *Injector) mutateBlock(p *isa.Program) (*isa.Program, error) {
+	var candidates []int
+	for i := 0; i < p.Len(); i++ {
+		switch p.Instr(i).Op {
+		case isa.MOV, isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.CMP, isa.TEST:
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("faultinject: %s has no 2-byte ALU instruction to mutate", p.Name)
+	}
+	victim := candidates[j.rng.Intn(len(candidates))]
+	return rebuild(p, 0, func(in isa.Instr) []isa.Instr {
+		if in.Addr == p.Instr(victim).Addr {
+			in.Op = isa.JIND
+		}
+		return []isa.Instr{in}
+	})
+}
+
+// eraseBlock replaces a short run of instructions with NOP filler of the
+// same total byte size, so the rest of the layout is untouched.
+func (j *Injector) eraseBlock(p *isa.Program) (*isa.Program, error) {
+	start := j.rng.Intn(p.Len())
+	n := 1 + j.rng.Intn(4)
+	lo := p.Instr(start).Addr
+	hi := lo
+	for i := start; i < p.Len() && i < start+n; i++ {
+		hi = p.Instr(i).Addr + uint64(p.Instr(i).Size)
+	}
+	return rebuild(p, 0, func(in isa.Instr) []isa.Instr {
+		if in.Addr < lo || in.Addr >= hi {
+			return []isa.Instr{in}
+		}
+		fill := make([]isa.Instr, in.Size)
+		for i := range fill {
+			fill[i] = isa.Instr{Op: isa.NOP}
+		}
+		return fill
+	})
+}
+
+// rebuild lays the transformed instruction stream back out with the
+// Builder, remapping direct branch targets, labels and the entry point by
+// shift bytes. xform maps each original instruction to its replacement
+// sequence; replacements must preserve total byte size so that addresses
+// after the transformed region stay put (ShiftLayout moves everything
+// uniformly instead).
+func rebuild(p *isa.Program, shift uint64, xform func(isa.Instr) []isa.Instr) (*isa.Program, error) {
+	b := isa.NewBuilder(p.Name + "+fault")
+	for i := uint64(0); i < shift; i++ {
+		b.Emit(isa.Instr{Op: isa.NOP})
+	}
+	for i := 0; i < p.Len(); i++ {
+		in := *p.Instr(i)
+		switch in.Op {
+		case isa.JMP, isa.JCC, isa.CALL:
+			in.Target += shift
+		}
+		for _, out := range xform(in) {
+			b.Emit(out)
+		}
+	}
+	np, err := b.Build("", p.MemWords)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: rebuild %s: %w", p.Name, err)
+	}
+	np.Entry = p.Entry + shift
+	labels := make(map[string]uint64, len(p.Labels))
+	for name, addr := range p.Labels {
+		labels[name] = addr + shift
+	}
+	np.Labels = labels
+	for k, v := range p.InitData {
+		np.InitData[k] = v
+	}
+	return np, nil
+}

@@ -1,0 +1,70 @@
+package faultinject
+
+// BlockEvent is one observed edge of a dynamic block stream: control
+// arrived at the block headed at Label after the previously executing block
+// retired Instrs dynamic instructions. It is the minimal currency a
+// replayer consumes (core.Replayer.Advance takes exactly these two values),
+// so stream faults stay decoupled from the automaton packages.
+type BlockEvent struct {
+	Label  uint64
+	Instrs uint64
+}
+
+// DropEvents returns a copy of the stream with n random events removed —
+// the shape of a lossy trace transport or a sampling profiler that skipped
+// callbacks. The replayer sees control "teleport" across the gap.
+func (j *Injector) DropEvents(s []BlockEvent, n int) []BlockEvent {
+	out := cloneEvents(s)
+	for i := 0; i < n && len(out) > 0; i++ {
+		pos := j.rng.Intn(len(out))
+		out = append(out[:pos], out[pos+1:]...)
+	}
+	return out
+}
+
+// DuplicateEvents returns a copy of the stream with n random events
+// repeated in place — a retransmitting transport or a re-entrant callback.
+func (j *Injector) DuplicateEvents(s []BlockEvent, n int) []BlockEvent {
+	out := cloneEvents(s)
+	for i := 0; i < n && len(out) > 0; i++ {
+		pos := j.rng.Intn(len(out))
+		out = append(out, BlockEvent{})
+		copy(out[pos+1:], out[pos:len(out)-1])
+	}
+	return out
+}
+
+// SwapEvents returns a copy of the stream with n random adjacent pairs
+// exchanged — mild reordering, as from an unsynchronized multi-buffer
+// collector.
+func (j *Injector) SwapEvents(s []BlockEvent, n int) []BlockEvent {
+	out := cloneEvents(s)
+	for i := 0; i < n && len(out) > 1; i++ {
+		pos := j.rng.Intn(len(out) - 1)
+		out[pos], out[pos+1] = out[pos+1], out[pos]
+	}
+	return out
+}
+
+// PerturbStream applies a random mix of drop/duplicate/swap faults sized to
+// the stream (roughly 1% of events, at least one fault).
+func (j *Injector) PerturbStream(s []BlockEvent) []BlockEvent {
+	n := len(s) / 100
+	if n < 1 {
+		n = 1
+	}
+	switch j.rng.Intn(3) {
+	case 0:
+		return j.DropEvents(s, n)
+	case 1:
+		return j.DuplicateEvents(s, n)
+	default:
+		return j.SwapEvents(s, n)
+	}
+}
+
+func cloneEvents(s []BlockEvent) []BlockEvent {
+	out := make([]BlockEvent, len(s))
+	copy(out, s)
+	return out
+}

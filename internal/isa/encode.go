@@ -17,8 +17,11 @@ import "fmt"
 //	        width EncodedSize chose (imm8/imm32/imm64, rel32)
 
 // EncodeInstr appends the instruction's encoding to dst and returns the
-// extended slice. The number of bytes appended always equals in.Size.
-func EncodeInstr(dst []byte, in *Instr) []byte {
+// extended slice. The number of bytes appended always equals in.Size. An
+// instruction with an unknown opcode, or whose Size disagrees with its
+// encoding (a hand-built or corrupted Instr), is rejected with an error
+// and dst is returned unchanged.
+func EncodeInstr(dst []byte, in *Instr) ([]byte, error) {
 	start := len(dst)
 	dst = append(dst, byte(in.Op))
 	switch in.Op {
@@ -66,12 +69,12 @@ func EncodeInstr(dst []byte, in *Instr) []byte {
 		dst = append(dst, byte(in.Cond))
 		dst = appendLE(dst, in.Target-in.Next(), 4)
 	default:
-		panic(fmt.Sprintf("isa: cannot encode op %v", in.Op))
+		return dst[:start], fmt.Errorf("isa: cannot encode op %v", in.Op)
 	}
 	if got := len(dst) - start; got != int(in.Size) {
-		panic(fmt.Sprintf("isa: encoded %v to %d bytes, size says %d", in, got, in.Size))
+		return dst[:start], fmt.Errorf("isa: encoded %v to %d bytes, size says %d", in, got, in.Size)
 	}
-	return dst
+	return dst, nil
 }
 
 // regByte packs Dst (low nibble) and Src (high nibble); NoReg packs as 0xF.
@@ -95,14 +98,18 @@ func appendLE(dst []byte, v uint64, n int) []byte {
 
 // EncodeRange encodes the instructions of [lo, hi) (program addresses)
 // into a fresh byte slice — what a DBT copies when it replicates a block.
-func (p *Program) EncodeRange(lo, hi uint64) []byte {
+func (p *Program) EncodeRange(lo, hi uint64) ([]byte, error) {
 	var out []byte
 	for i := 0; i < len(p.instrs); i++ {
 		in := &p.instrs[i]
 		if in.Addr < lo || in.Addr >= hi {
 			continue
 		}
-		out = EncodeInstr(out, in)
+		var err error
+		out, err = EncodeInstr(out, in)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }

@@ -34,7 +34,11 @@ func TestEncodeInstrSizeAgreement(t *testing.T) {
 		in := in
 		in.Addr = BaseAddr
 		in.Size = EncodedSize(&in)
-		got := EncodeInstr(nil, &in)
+		got, err := EncodeInstr(nil, &in)
+		if err != nil {
+			t.Errorf("%v: %v", &in, err)
+			continue
+		}
 		if len(got) != int(in.Size) {
 			t.Errorf("%v: encoded %d bytes, size %d", &in, len(got), in.Size)
 		}
@@ -56,7 +60,11 @@ func TestEncodeInstrSizeAgreement(t *testing.T) {
 	}
 	for _, idx := range []int{j, k, c} {
 		in := p.Instr(idx)
-		got := EncodeInstr(nil, in)
+		got, err := EncodeInstr(nil, in)
+		if err != nil {
+			t.Errorf("%v: %v", in, err)
+			continue
+		}
 		if len(got) != int(in.Size) {
 			t.Errorf("%v: encoded %d bytes, size %d", in, len(got), in.Size)
 		}
@@ -70,7 +78,8 @@ func TestQuickEncodeImmediates(t *testing.T) {
 		ops := []Op{MOVI, ADDI, SUBI, CMPI, LOAD, STORE}
 		in := Instr{Op: ops[int(op)%len(ops)], Dst: EAX, Src: EBX, Imm: imm, Disp: disp}
 		in.Size = EncodedSize(&in)
-		return len(EncodeInstr(nil, &in)) == int(in.Size)
+		enc, err := EncodeInstr(nil, &in)
+		return err == nil && len(enc) == int(in.Size)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -94,7 +103,10 @@ func TestEncodeRangeMatchesBlockBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	img := p.EncodeRange(p.Entry, p.Entry+p.StaticBytes())
+	img, err := p.EncodeRange(p.Entry, p.Entry+p.StaticBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if uint64(len(img)) != p.StaticBytes() {
 		t.Errorf("image %d bytes, static %d", len(img), p.StaticBytes())
 	}

@@ -11,9 +11,9 @@ import "github.com/lsc-tea/tea/internal/trace"
 // the larger trace: more TBBs means more recorded paths through that
 // region. Sets recorded under different strategies may be merged; the
 // result carries the first set's strategy label.
-func Merge(sets ...*trace.Set) *trace.Set {
+func Merge(sets ...*trace.Set) (*trace.Set, error) {
 	if len(sets) == 0 {
-		return trace.NewSet("merged", nil)
+		return trace.NewSet("merged", nil), nil
 	}
 	out := trace.NewSet(sets[0].Strategy, sets[0])
 
@@ -34,8 +34,8 @@ func Merge(sets ...*trace.Set) *trace.Set {
 	}
 	for _, e := range order {
 		if _, err := copyTrace(out, best[e]); err != nil {
-			panic("optim: merge copy: " + err.Error())
+			return nil, err
 		}
 	}
-	return out
+	return out, nil
 }

@@ -33,7 +33,10 @@ func twoRunSets(t *testing.T) (*trace.Set, *trace.Set) {
 
 func TestMergeUnionsEntries(t *testing.T) {
 	a, b := twoRunSets(t)
-	m := Merge(a, b)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	entries := make(map[uint64]bool)
 	for _, e := range m.Entries() {
@@ -57,7 +60,10 @@ func TestMergeUnionsEntries(t *testing.T) {
 
 func TestMergeKeepsLargerTrace(t *testing.T) {
 	a, b := twoRunSets(t)
-	m := Merge(a, b)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, tr := range m.Traces {
 		ta, okA := a.ByEntry(tr.EntryAddr())
 		tb, okB := b.ByEntry(tr.EntryAddr())
@@ -76,20 +82,41 @@ func TestMergeKeepsLargerTrace(t *testing.T) {
 
 func TestMergeDeterministic(t *testing.T) {
 	a, b := twoRunSets(t)
-	m1 := Merge(a, b)
-	m2 := Merge(a, b)
-	if string(core.Encode(core.Build(m1))) != string(core.Encode(core.Build(m2))) {
+	m1, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := core.Encode(core.Build(m1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := core.Encode(core.Build(m2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(e1) != string(e2) {
 		t.Error("merge not deterministic")
 	}
 }
 
 func TestMergeEmpty(t *testing.T) {
-	m := Merge()
+	m, err := Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.Len() != 0 {
 		t.Error("empty merge not empty")
 	}
 	a, _ := twoRunSets(t)
-	if got := Merge(a); got.Len() != a.Len() {
+	got, err := Merge(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != a.Len() {
 		t.Error("single-set merge changed the set")
 	}
 }

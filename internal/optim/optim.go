@@ -89,7 +89,9 @@ func copyTrace(out *trace.Set, t *trace.Trace) (*trace.Trace, error) {
 	}
 	for i, tbb := range t.TBBs {
 		for _, succ := range tbb.Succs {
-			clones[i].Link(clones[succ.Index])
+			if err := clones[i].Link(clones[succ.Index]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return nt, nil
@@ -108,7 +110,9 @@ func duplicateCycle(out *trace.Set, t *trace.Trace) (*trace.Trace, error) {
 		clones[i] = nt.Append(t.TBBs[i%n].Block)
 	}
 	for i := 0; i < 2*n; i++ {
-		clones[i].Link(clones[(i+1)%(2*n)])
+		if err := clones[i].Link(clones[(i+1)%(2*n)]); err != nil {
+			return nil, err
+		}
 	}
 	return nt, nil
 }

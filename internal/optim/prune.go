@@ -12,7 +12,7 @@ import (
 // returns a new set containing only the traces whose heads executed at
 // least minEnters times. A later run loads the pruned, smaller TEA and
 // pays less global-container pressure for the same hot-code coverage.
-func Prune(s *trace.Set, p *profile.Profile, minEnters uint64) *trace.Set {
+func Prune(s *trace.Set, p *profile.Profile, minEnters uint64) (*trace.Set, error) {
 	a := p.Automaton()
 	out := trace.NewSet(s.Strategy, s)
 	for _, t := range s.Traces {
@@ -20,17 +20,16 @@ func Prune(s *trace.Set, p *profile.Profile, minEnters uint64) *trace.Set {
 		if !ok || p.StateCount(id) < minEnters {
 			continue
 		}
-		// copyTrace cannot fail here: entries were unique in the input.
 		if _, err := copyTrace(out, t); err != nil {
-			panic("optim: prune copy: " + err.Error())
+			return nil, err
 		}
 	}
-	return out
+	return out, nil
 }
 
 // PruneDecoded is Prune for profiles read back from a serialized TEA
 // (core.DecodeWithProfile), keyed by state id rather than live profile.
-func PruneDecoded(a *core.Automaton, counts core.DecodedProfile, minEnters uint64) *trace.Set {
+func PruneDecoded(a *core.Automaton, counts core.DecodedProfile, minEnters uint64) (*trace.Set, error) {
 	s := a.Set()
 	out := trace.NewSet(s.Strategy, s)
 	for _, t := range s.Traces {
@@ -39,8 +38,8 @@ func PruneDecoded(a *core.Automaton, counts core.DecodedProfile, minEnters uint6
 			continue
 		}
 		if _, err := copyTrace(out, t); err != nil {
-			panic("optim: prune copy: " + err.Error())
+			return nil, err
 		}
 	}
-	return out
+	return out, nil
 }

@@ -39,7 +39,10 @@ func TestPruneDropsColdTraces(t *testing.T) {
 	prof := tool.Profile()
 
 	const minEnters = 24
-	pruned := Prune(set, prof, minEnters)
+	pruned, err := Prune(set, prof, minEnters)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pruned.Len() >= set.Len() {
 		t.Fatalf("pruning removed nothing: %d -> %d traces", set.Len(), pruned.Len())
 	}
@@ -87,7 +90,10 @@ func replayCoverage(t *testing.T, p *isa.Program, a *core.Automaton) float64 {
 
 func TestPruneThresholdZeroKeepsEverything(t *testing.T) {
 	_, set, tool := profiledRun(t)
-	pruned := Prune(set, tool.Profile(), 0)
+	pruned, err := Prune(set, tool.Profile(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pruned.Len() != set.Len() || pruned.NumTBBs() != set.NumTBBs() {
 		t.Errorf("threshold 0 changed the set: %d/%d vs %d/%d",
 			pruned.Len(), pruned.NumTBBs(), set.Len(), set.NumTBBs())
@@ -100,14 +106,23 @@ func TestPruneDecodedMatchesLivePrune(t *testing.T) {
 	a := tool.Replayer().Automaton()
 
 	// Serialize automaton + profile; decode on the "next run".
-	data := core.EncodeWithProfile(a, prof)
+	data, err := core.EncodeWithProfile(a, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
 	b, counts, err := core.DecodeWithProfile(data, cfg.NewCache(p, cfg.StarDBT))
 	if err != nil {
 		t.Fatal(err)
 	}
 	const min = 50
-	live := Prune(set, prof, min)
-	decoded := PruneDecoded(b, counts, min)
+	live, err := Prune(set, prof, min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := PruneDecoded(b, counts, min)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if live.Len() != decoded.Len() {
 		t.Errorf("live prune kept %d traces, decoded prune %d", live.Len(), decoded.Len())
 	}

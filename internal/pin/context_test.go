@@ -1,0 +1,62 @@
+package pin
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/asm"
+	"github.com/lsc-tea/tea/internal/isa"
+)
+
+// spinProg never halts; cancellation is the only way out.
+func spinProg(t *testing.T) *isa.Program {
+	t.Helper()
+	p, err := asm.Assemble("spin", "e:\n addi eax, 1\n jmp e\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunContextCanceled(t *testing.T) {
+	p := spinProg(t)
+	tool := &countingTool{}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	res, err := New().RunContext(ctx, p, tool, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result returned on cancellation")
+	}
+	// The tool contract holds even on a cancelled run: Fini is delivered
+	// exactly once with the unreported tail.
+	if tool.finis != 1 {
+		t.Errorf("Fini called %d times on cancellation, want 1", tool.finis)
+	}
+}
+
+func TestRunContextStepCap(t *testing.T) {
+	p := spinProg(t)
+	res, err := New().RunContext(context.Background(), p, nil, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps < 2000 {
+		t.Errorf("stopped after %d steps, cap was 2000", res.Steps)
+	}
+	// The cap bounds the run: the spin program would otherwise never return.
+	if res.Steps > 2000+4096 {
+		t.Errorf("ran %d steps past a 2000-step cap", res.Steps)
+	}
+}
+
+func TestRunContextNil(t *testing.T) {
+	p := spinProg(t)
+	if _, err := New().RunContext(nil, p, nil, 100); err != nil { //nolint:staticcheck
+		t.Fatalf("nil context: %v", err)
+	}
+}

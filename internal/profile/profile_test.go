@@ -124,7 +124,10 @@ func TestDumpListsEveryTBB(t *testing.T) {
 func TestSerializeProfileRoundTrip(t *testing.T) {
 	p := progs.Figure2(60, 300)
 	a, prof := buildAndProfile(t, p, 50)
-	data := core.EncodeWithProfile(a, prof)
+	data, err := core.EncodeWithProfile(a, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
 	b, decProf, err := core.DecodeWithProfile(data, cfg.NewCache(p, cfg.StarDBT))
 	if err != nil {
 		t.Fatal(err)

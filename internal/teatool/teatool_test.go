@@ -23,7 +23,11 @@ func recordInDBT(t *testing.T, p *isa.Program, strategy string, c trace.Config) 
 	if res.Set.Len() == 0 {
 		t.Fatal("DBT recorded no traces")
 	}
-	return core.Encode(core.Build(res.Set))
+	data, err := core.Encode(core.Build(res.Set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
 }
 
 func TestCrossEnvironmentReplay(t *testing.T) {

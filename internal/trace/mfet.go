@@ -88,7 +88,7 @@ func (m *MFET) form(head *cfg.Block) *Trace {
 		}
 		// Cycle back into the trace: link and stop.
 		if prev, ok := seen[nextHead]; ok {
-			last.Link(prev)
+			mustLink(last, prev)
 			break
 		}
 		// Reached another trace: stop at its entry.
@@ -100,7 +100,7 @@ func (m *MFET) form(head *cfg.Block) *Trace {
 			break
 		}
 		tbb := t.Append(b)
-		last.Link(tbb)
+		mustLink(last, tbb)
 		seen[nextHead] = tbb
 		last = tbb
 	}

@@ -107,7 +107,7 @@ func (m *MRET) track(e cfg.Edge) bool {
 func (m *MRET) extend(e cfg.Edge) *Trace {
 	// Cycle closed back to the trace head: link and finish.
 	if e.To.Head == m.cur.EntryAddr() {
-		m.last.Link(m.cur.Head())
+		mustLink(m.last, m.cur.Head())
 		return m.finish()
 	}
 	// Reached another trace or took a backward branch (end of loop body):
@@ -119,7 +119,7 @@ func (m *MRET) extend(e cfg.Edge) *Trace {
 		return m.finish()
 	}
 	tbb := m.cur.Append(e.To)
-	m.last.Link(tbb)
+	mustLink(m.last, tbb)
 	m.last = tbb
 	return nil
 }

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"context"
+
 	"github.com/lsc-tea/tea/internal/cfg"
 	"github.com/lsc-tea/tea/internal/cpu"
 )
@@ -103,12 +105,39 @@ type RunInfo struct {
 // discipline, and feeds every edge to the strategy. It returns the recorded
 // trace set. maxSteps caps the run; 0 means unbounded.
 func Record(m *cpu.Machine, style cfg.Style, s Strategy, maxSteps uint64) (*Set, *RunInfo, error) {
+	return RecordContext(context.Background(), m, style, s, maxSteps)
+}
+
+// ctxCheckMask batches the recorder's context polls to one per 1024 block
+// edges, keeping the cancellation guard off the per-block hot path.
+const ctxCheckMask = 1<<10 - 1
+
+// RecordContext is Record with cancellation: a program that never halts
+// cannot hang the caller when the context carries a deadline or is
+// cancelled. The partial set and run info are returned alongside ctx.Err().
+func RecordContext(ctx context.Context, m *cpu.Machine, style cfg.Style, s Strategy, maxSteps uint64) (*Set, *RunInfo, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r := cfg.NewRunner(m, style)
 	info := &RunInfo{}
+	var canceled error
+	var iter uint64
 	for {
 		if maxSteps > 0 && m.Steps() >= maxSteps {
 			break
 		}
+		if iter&ctxCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				canceled = ctx.Err()
+			default:
+			}
+			if canceled != nil {
+				break
+			}
+		}
+		iter++
 		e, ok, err := r.Next()
 		if err != nil {
 			return nil, nil, err
@@ -127,7 +156,7 @@ func Record(m *cpu.Machine, style cfg.Style, s Strategy, maxSteps uint64) (*Set,
 	info.Steps = m.Steps()
 	info.PinSteps = m.PinSteps()
 	info.Blocks = r.Cache().Len()
-	return s.Set(), info, nil
+	return s.Set(), info, canceled
 }
 
 // backwardTaken reports whether the edge is a taken direct branch to an

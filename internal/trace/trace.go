@@ -50,16 +50,29 @@ func (t *TBB) String() string { return t.Name() }
 
 // Link records that this TBB flows to succ when control reaches succ's
 // block head. Linking is idempotent for the same label and requires succ to
-// belong to the same trace; linking across traces is a programming error
-// (cross-trace transfers are resolved through the entry table instead).
-func (t *TBB) Link(succ *TBB) {
+// belong to the same trace: cross-trace transfers are resolved through the
+// entry table instead, so linking across traces is rejected with an error.
+// Callers that construct both TBBs themselves (the selection strategies)
+// may use mustLink, which turns the same check into an invariant.
+func (t *TBB) Link(succ *TBB) error {
 	if succ.Trace != t.Trace {
-		panic("trace: Link across traces")
+		return fmt.Errorf("trace: cannot link %v -> %v across traces", t, succ)
 	}
 	if t.Succs == nil {
 		t.Succs = make(map[uint64]*TBB, 2)
 	}
 	t.Succs[succ.Block.Head] = succ
+	return nil
+}
+
+// mustLink links two TBBs the caller just created inside the same trace.
+// The same-trace property is a true internal invariant there (both ends
+// come from the same Append/NewTrace sequence), so a violation is a bug in
+// this package and panics rather than returning an error.
+func mustLink(from, to *TBB) {
+	if err := from.Link(to); err != nil {
+		panic("trace: " + err.Error())
+	}
 }
 
 // SuccLabels returns the in-trace successor labels in ascending order.

@@ -232,7 +232,7 @@ func TestNewTraceRejectsDuplicateEntry(t *testing.T) {
 	}
 }
 
-func TestLinkAcrossTracesPanics(t *testing.T) {
+func TestLinkAcrossTracesErrors(t *testing.T) {
 	p := progs.Figure1(10, 1)
 	c := cfg.NewCache(p, cfg.StarDBT)
 	b, _ := c.BlockAt(p.Entry)
@@ -240,12 +240,20 @@ func TestLinkAcrossTracesPanics(t *testing.T) {
 	set := NewSet("x", p)
 	t1, _ := set.NewTrace(b)
 	t2, _ := set.NewTrace(b2)
-	defer func() {
-		if recover() == nil {
-			t.Error("cross-trace Link did not panic")
-		}
-	}()
-	t1.Head().Link(t2.Head())
+	if err := t1.Head().Link(t2.Head()); err == nil {
+		t.Error("cross-trace Link did not error")
+	}
+	if len(t1.Head().Succs) != 0 {
+		t.Error("failed Link mutated the TBB")
+	}
+	// Same-trace linking still works and is idempotent.
+	tb := t1.Append(b2)
+	if err := t1.Head().Link(tb); err != nil {
+		t.Fatalf("same-trace Link: %v", err)
+	}
+	if err := t1.Head().Link(tb); err != nil {
+		t.Fatalf("repeated Link: %v", err)
+	}
 }
 
 func TestRunInfoCounts(t *testing.T) {

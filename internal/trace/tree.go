@@ -102,13 +102,13 @@ func (t *treeSelector) Observe(e cfg.Edge) *Trace {
 func (t *treeSelector) grow(e cfg.Edge) *Trace {
 	// Path closes at the anchor.
 	if e.To.Head == t.cur.EntryAddr() {
-		t.last.Link(t.cur.Head())
+		mustLink(t.last, t.cur.Head())
 		return t.finishPath()
 	}
 	// CTT: the path may also close at any loop header already in the tree.
 	if t.compact {
 		if tb, ok := t.headerTBBs[t.cur][e.To.Head]; ok {
-			t.last.Link(tb)
+			mustLink(t.last, tb)
 			return t.finishPath()
 		}
 	}
@@ -120,7 +120,7 @@ func (t *treeSelector) grow(e cfg.Edge) *Trace {
 		return t.finishPath()
 	}
 	tbb := t.cur.Append(e.To)
-	t.last.Link(tbb)
+	mustLink(t.last, tbb)
 	t.last = tbb
 	t.registerHeader(t.cur, tbb)
 	return nil
@@ -154,13 +154,13 @@ func (t *treeSelector) sideExit(tree *Trace, exitFrom *TBB, e cfg.Edge) *Trace {
 	// A transfer straight back to the anchor — or, for CTT, to a loop
 	// header already in the tree — needs no duplication: link immediately.
 	if e.To.Head == tree.EntryAddr() {
-		exitFrom.Link(tree.Head())
+		mustLink(exitFrom, tree.Head())
 		t.pos = tree.Head()
 		return tree
 	}
 	if t.compact {
 		if tb, ok := t.headerTBBs[tree][e.To.Head]; ok {
-			exitFrom.Link(tb)
+			mustLink(exitFrom, tb)
 			t.pos = tb
 			return tree
 		}
@@ -187,7 +187,7 @@ func (t *treeSelector) sideExit(tree *Trace, exitFrom *TBB, e cfg.Edge) *Trace {
 	}
 	// Start growing a new branch: duplicate e.To into the tree.
 	tbb := tree.Append(e.To)
-	exitFrom.Link(tbb)
+	mustLink(exitFrom, tbb)
 	t.recording = true
 	t.cur = tree
 	t.last = tbb

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Repository verification gate: static checks, the full test suite under the
+# race detector, and a short fuzz run over the wire-format decoder (the
+# robustness surface most exposed to hostile input). Run from the repo root:
+#
+#   ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./...
+go test -run='^$' -fuzz=FuzzDecode -fuzztime=10s ./internal/core

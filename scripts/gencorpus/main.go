@@ -1,0 +1,63 @@
+// Command gencorpus regenerates the decoder regression corpus at
+// internal/core/testdata/decode_corpus: deterministic fault-injected
+// mutants (truncations, bit flips, varint corruption) of valid TEA
+// encodings, one file per mutant. FuzzDecode and TestDecodeCorpus read
+// the files back, so every class of corruption the decoder must reject
+// stays covered by plain `go test`.
+//
+// Usage: go run ./scripts/gencorpus
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/cpu"
+	"github.com/lsc-tea/tea/internal/faultinject"
+	"github.com/lsc-tea/tea/internal/progs"
+	"github.com/lsc-tea/tea/internal/trace"
+)
+
+const outDir = "internal/core/testdata/decode_corpus"
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gencorpus:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	// The same program FuzzDecode decodes against.
+	p := progs.Figure2(60, 200)
+	for _, strategy := range []string{"mret", "tt", "ctt"} {
+		s, _ := trace.NewStrategy(strategy, p, trace.Config{HotThreshold: 30})
+		set, _, err := trace.Record(cpu.New(p), cfg.StarDBT, s, 0)
+		if err != nil {
+			return err
+		}
+		data, err := core.Encode(core.Build(set))
+		if err != nil {
+			return err
+		}
+		if err := write(strategy+"-valid", data); err != nil {
+			return err
+		}
+		for i, mut := range faultinject.Corpus(42, data, 24) {
+			if err := write(fmt.Sprintf("%s-mut%02d", strategy, i), mut); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func write(name string, data []byte) error {
+	return os.WriteFile(filepath.Join(outDir, name+".bin"), data, 0o644)
+}

@@ -14,17 +14,24 @@
 // Quick start:
 //
 //	prog, err := tea.Assemble("copy", src)        // or tea.Benchmark("176.gcc", 2_000_000)
-//	set, _, err := tea.RecordTraces(prog, "mret", tea.TraceConfig{HotThreshold: 50})
+//	set, err := tea.RecordTraces(prog, "mret", tea.TraceConfig{HotThreshold: 50})
 //	a := tea.Build(set)                            // Algorithm 1
-//	data := tea.Encode(a)                          // store for reuse
+//	data, err := tea.Encode(a)                     // store for reuse
 //	stats, err := tea.Replay(prog, a, tea.ConfigGlobalLocal)
 //	fmt.Printf("coverage: %.1f%%\n", stats.Coverage()*100)
+//
+// Failure semantics: exported functions report all input-dependent
+// failures as errors — a corrupt serialized TEA surfaces as a
+// *DecodeError, never a panic — and the long-running entry points have
+// *Context variants that honor cancellation and deadlines.
 //
 // The deeper machinery is exported through aliases below; see the package
 // documentation of the internal packages for the full design discussion.
 package tea
 
 import (
+	"context"
+
 	"github.com/lsc-tea/tea/internal/asm"
 	"github.com/lsc-tea/tea/internal/cfg"
 	"github.com/lsc-tea/tea/internal/core"
@@ -151,11 +158,19 @@ func NewStrategy(name string, p *Program, c TraceConfig) (Strategy, bool) {
 // RecordTraces executes the program to completion under the StarDBT block
 // discipline and records traces with the named strategy.
 func RecordTraces(p *Program, strategy string, c TraceConfig) (*TraceSet, error) {
+	return RecordTracesContext(context.Background(), p, strategy, c, 0)
+}
+
+// RecordTracesContext is RecordTraces with resource guards: the run stops
+// early when ctx is cancelled (returning the partial set alongside
+// ctx.Err()) or when maxSteps dynamic instructions have executed
+// (0 = unbounded).
+func RecordTracesContext(ctx context.Context, p *Program, strategy string, c TraceConfig, maxSteps uint64) (*TraceSet, error) {
 	s, ok := trace.NewStrategy(strategy, p, c)
 	if !ok {
 		return nil, &UnknownStrategyError{Name: strategy}
 	}
-	set, _, err := trace.Record(cpu.New(p), cfg.StarDBT, s, 0)
+	set, _, err := trace.RecordContext(ctx, cpu.New(p), cfg.StarDBT, s, maxSteps)
 	return set, err
 }
 
@@ -182,16 +197,25 @@ func NewInstrReplayer(a *Automaton, c LookupConfig, p *Program) *core.InstrRepla
 func NewRecorder(s Strategy, c LookupConfig) *Recorder { return core.NewRecorder(s, c) }
 
 // Encode serializes the automaton; EncodeWithProfile additionally stores
-// per-TBB execution counts.
-func Encode(a *Automaton) []byte { return core.Encode(a) }
+// per-TBB execution counts. Encoding fails only on an automaton that was
+// not produced by Build (states missing from the canonical numbering).
+func Encode(a *Automaton) ([]byte, error) { return core.Encode(a) }
 
 // EncodeWithProfile serializes the automaton with profile counters.
-func EncodeWithProfile(a *Automaton, p *Profile) []byte {
+func EncodeWithProfile(a *Automaton, p *Profile) ([]byte, error) {
 	return core.EncodeWithProfile(a, p)
 }
 
+// DecodeError describes why Decode rejected a serialized TEA: the byte
+// offset, the wire-format field being read, and the reason. Every
+// malformed input — truncation, corrupted varints, hostile counts, blocks
+// that do not match the program — yields a *DecodeError (via errors.As),
+// never a panic.
+type DecodeError = core.DecodeError
+
 // Decode reconstructs an automaton serialized by Encode. The program must
-// be available so blocks can be re-discovered (the paper's replay setting).
+// be available so blocks can be re-discovered (the paper's replay setting);
+// each decoded block's identity is cross-checked against it.
 func Decode(data []byte, p *Program) (*Automaton, error) {
 	return core.Decode(data, cfg.NewCache(p, cfg.StarDBT))
 }
@@ -205,10 +229,22 @@ func Summary(a *Automaton) string { return core.Summary(a) }
 // Replay re-executes the unmodified program under the Pin-like engine with
 // the TEA replay tool attached and returns the replay statistics — the
 // paper's Table 2 workflow.
+//
+// Replaying an automaton against a program it does not describe (a stale
+// or foreign TEA) does not fail: the replayer detects impossible
+// transitions, falls back to NTE, and counts the events in the returned
+// stats' Desyncs/Resyncs fields.
 func Replay(p *Program, a *Automaton, c LookupConfig) (*ReplayStats, error) {
+	return ReplayContext(context.Background(), p, a, c, 0)
+}
+
+// ReplayContext is Replay with resource guards: the run stops early when
+// ctx is cancelled (returning the partial stats alongside ctx.Err()) or
+// when maxSteps dynamic instructions have executed (0 = unbounded).
+func ReplayContext(ctx context.Context, p *Program, a *Automaton, c LookupConfig, maxSteps uint64) (*ReplayStats, error) {
 	tool := teatool.NewReplayTool(a, c)
-	if _, err := pin.New().Run(p, tool, 0); err != nil {
-		return nil, err
+	if _, err := pin.New().RunContext(ctx, p, tool, maxSteps); err != nil {
+		return tool.Stats(), err
 	}
 	return tool.Stats(), nil
 }
@@ -217,13 +253,21 @@ func Replay(p *Program, a *Automaton, c LookupConfig) (*ReplayStats, error) {
 // TEA online with the named strategy — the paper's Table 3 workflow. It
 // returns the automaton and the recording run's statistics.
 func RecordOnline(p *Program, strategy string, tc TraceConfig, lc LookupConfig) (*Automaton, *ReplayStats, error) {
+	return RecordOnlineContext(context.Background(), p, strategy, tc, lc, 0)
+}
+
+// RecordOnlineContext is RecordOnline with resource guards: the run stops
+// early when ctx is cancelled (returning the partial automaton and stats
+// alongside ctx.Err()) or when maxSteps dynamic instructions have executed
+// (0 = unbounded).
+func RecordOnlineContext(ctx context.Context, p *Program, strategy string, tc TraceConfig, lc LookupConfig, maxSteps uint64) (*Automaton, *ReplayStats, error) {
 	s, ok := trace.NewStrategy(strategy, p, tc)
 	if !ok {
 		return nil, nil, &UnknownStrategyError{Name: strategy}
 	}
 	tool := teatool.NewRecordTool(s, lc)
-	if _, err := pin.New().Run(p, tool, 0); err != nil {
-		return nil, nil, err
+	if _, err := pin.New().RunContext(ctx, p, tool, maxSteps); err != nil {
+		return tool.Automaton(), tool.Stats(), err
 	}
 	return tool.Automaton(), tool.Stats(), nil
 }
@@ -259,14 +303,14 @@ func ProfileByCopy(p *Profile, dup *Trace) (*optim.CopyProfile, error) {
 
 // Merge unions trace sets recorded on different runs of the same program
 // into one set; entry conflicts keep the larger trace.
-func Merge(sets ...*TraceSet) *TraceSet { return optim.Merge(sets...) }
+func Merge(sets ...*TraceSet) (*TraceSet, error) { return optim.Merge(sets...) }
 
 // Prune returns a new trace set keeping only traces whose heads executed
 // at least minEnters times in the profiled run — the consumer side of
 // "storing trace shape and profiling information for reuse in future
 // executions": the next run loads a smaller TEA with the same hot-code
 // coverage.
-func Prune(s *TraceSet, p *Profile, minEnters uint64) *TraceSet {
+func Prune(s *TraceSet, p *Profile, minEnters uint64) (*TraceSet, error) {
 	return optim.Prune(s, p, minEnters)
 }
 

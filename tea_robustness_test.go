@@ -1,0 +1,240 @@
+package tea_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	tea "github.com/lsc-tea/tea"
+	"github.com/lsc-tea/tea/internal/faultinject"
+)
+
+// progA is a hot two-block loop; progB executes the same addresses except
+// that the loop's jmp is retargeted through an appended detour block. The
+// shared prefix has identical layout (jmp targets are immediates of fixed
+// size), so a TEA recorded on A finds its entry addresses in B — and then
+// observes transitions A's blocks cannot produce.
+const progA = `
+.entry main
+main:
+    movi ecx, 40
+loop:
+    addi eax, 1
+    add  eax, ecx
+    jmp  mid
+mid:
+    subi ecx, 1
+    jgt  loop
+    halt
+`
+
+const progB = `
+.entry main
+main:
+    movi ecx, 40
+loop:
+    addi eax, 1
+    add  eax, ecx
+    jmp  detour
+mid:
+    subi ecx, 1
+    jgt  loop
+    halt
+detour:
+    addi ebx, 1
+    jmp  mid
+`
+
+// TestReplayMismatchedProgramDegrades is the acceptance criterion of the
+// fault-injection issue: replaying a TEA against a program it does not
+// describe completes without error and reports the mismatch through the
+// desync counters instead of attributing garbage coverage.
+func TestReplayMismatchedProgramDegrades(t *testing.T) {
+	a := tea.MustAssemble("a", progA)
+	b := tea.MustAssemble("b", progB)
+
+	set, err := tea.RecordTraces(a, "mret", tea.TraceConfig{HotThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	automaton := tea.Build(set)
+
+	// Control: replaying the recording program itself never desyncs.
+	clean, err := tea.Replay(a, automaton, tea.ConfigGlobalLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Desyncs != 0 || clean.Resyncs != 0 {
+		t.Fatalf("same-program replay desynced: %+v", clean)
+	}
+
+	// Mismatch: the replay must complete (err == nil) and flag the divergence.
+	stats, err := tea.Replay(b, automaton, tea.ConfigGlobalLocal)
+	if err != nil {
+		t.Fatalf("mismatched replay failed instead of degrading: %v", err)
+	}
+	if stats.Desyncs == 0 {
+		t.Fatalf("mismatched replay reported no desyncs: %+v", stats)
+	}
+	if stats.Resyncs == 0 {
+		t.Fatalf("replay never re-acquired a trace after desync: %+v", stats)
+	}
+	if !stats.Desynced() {
+		t.Error("Stats.Desynced() is false despite Desyncs > 0")
+	}
+	if stats.Instrs == 0 || stats.Blocks == 0 {
+		t.Errorf("mismatched replay consumed nothing: %+v", stats)
+	}
+}
+
+// TestReplayPerturbedPrograms replays a recorded TEA against every
+// faultinject program perturbation: each run either completes or stops on a
+// structured guest-CPU fault (a mutated program may genuinely crash), never
+// a panic — and layout shifts (where no recorded address exists anymore)
+// yield zero trace coverage rather than false attribution.
+func TestReplayPerturbedPrograms(t *testing.T) {
+	p := tea.MustAssemble("victim", progB)
+	set, err := tea.RecordTraces(p, "mret", tea.TraceConfig{HotThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tea.Build(set)
+
+	for _, kind := range []faultinject.ProgramFault{
+		faultinject.ShiftLayout, faultinject.MutateBlock, faultinject.EraseBlock,
+	} {
+		for seed := int64(1); seed <= 5; seed++ {
+			pp, err := faultinject.New(seed).PerturbProgram(p, kind)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", kind, seed, err)
+			}
+			stats, err := tea.ReplayContext(context.Background(), pp, a, tea.ConfigGlobalLocal, 100000)
+			if kind == faultinject.ShiftLayout {
+				// A shifted program is self-consistent and must run to
+				// completion; no recorded address exists, so nothing may be
+				// attributed to traces.
+				if err != nil {
+					t.Fatalf("shift seed %d: replay failed instead of degrading: %v", seed, err)
+				}
+				if stats.TraceInstrs != 0 {
+					t.Errorf("shifted layout attributed %d instrs to traces", stats.TraceInstrs)
+				}
+				continue
+			}
+			// A mutated or erased program may genuinely crash the guest
+			// (e.g. an indirect jump through a garbage register, or control
+			// running off the erased region); that surfaces as an error —
+			// reaching this line at all means no panic escaped.
+			if err != nil {
+				t.Logf("%v seed %d degraded with: %v", kind, seed, err)
+			}
+		}
+	}
+}
+
+// TestReplayContextGuards exercises the resource guards on the public
+// replay/record entry points: cancellation surfaces ctx.Err() alongside
+// partial results, and a step cap bounds the run.
+func TestReplayContextGuards(t *testing.T) {
+	p := tea.MustAssemble("a", progA)
+	set, err := tea.RecordTraces(p, "mret", tea.TraceConfig{HotThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tea.Build(set)
+
+	full, err := tea.Replay(p, a, tea.ConfigGlobalLocal)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("replay-canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		stats, err := tea.ReplayContext(ctx, p, a, tea.ConfigGlobalLocal, 0)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if stats == nil {
+			t.Fatal("no partial stats returned on cancellation")
+		}
+	})
+
+	t.Run("replay-step-cap", func(t *testing.T) {
+		stats, err := tea.ReplayContext(context.Background(), p, a, tea.ConfigGlobalLocal, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Instrs >= full.Instrs {
+			t.Errorf("capped replay ran to completion: %d instrs", stats.Instrs)
+		}
+	})
+
+	t.Run("record-canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		set, err := tea.RecordTracesContext(ctx, p, "mret", tea.TraceConfig{HotThreshold: 5}, 0)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if set == nil {
+			t.Fatal("no partial set returned on cancellation")
+		}
+	})
+
+	t.Run("record-online-canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		automaton, stats, err := tea.RecordOnlineContext(ctx, p, "mret",
+			tea.TraceConfig{HotThreshold: 5}, tea.ConfigGlobalLocal, 0)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if automaton == nil || stats == nil {
+			t.Fatal("no partial results returned on cancellation")
+		}
+	})
+
+	t.Run("nil-context", func(t *testing.T) {
+		if _, err := tea.ReplayContext(nil, p, a, tea.ConfigGlobalLocal, 0); err != nil { //nolint:staticcheck
+			t.Fatalf("nil context: %v", err)
+		}
+	})
+}
+
+// TestDecodeAgainstPerturbedProgram: a serialized TEA decoded against a
+// perturbed image either fails with a structured *DecodeError or yields a
+// consistent automaton — never a panic, never silent nonsense.
+func TestDecodeAgainstPerturbedProgram(t *testing.T) {
+	p := tea.MustAssemble("victim", progB)
+	set, err := tea.RecordTraces(p, "mret", tea.TraceConfig{HotThreshold: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tea.Encode(tea.Build(set))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, kind := range []faultinject.ProgramFault{
+		faultinject.ShiftLayout, faultinject.MutateBlock, faultinject.EraseBlock,
+	} {
+		for seed := int64(1); seed <= 5; seed++ {
+			pp, err := faultinject.New(seed).PerturbProgram(p, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := tea.Decode(data, pp)
+			if err != nil {
+				var de *tea.DecodeError
+				if !errors.As(err, &de) {
+					t.Fatalf("%v seed %d: %T is not *DecodeError: %v", kind, seed, err, err)
+				}
+				continue
+			}
+			if a.NumStates() == 0 {
+				t.Errorf("%v seed %d: decode returned an empty automaton without error", kind, seed)
+			}
+		}
+	}
+}

@@ -50,7 +50,10 @@ func TestPublicEndToEnd(t *testing.T) {
 	}
 
 	// Serialize, decode, replay.
-	data := Encode(a)
+	data, err := Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
 	b, err := Decode(data, p)
 	if err != nil {
 		t.Fatal(err)
@@ -175,7 +178,10 @@ func TestPublicMergePruneSimulate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	merged := Merge(setA, setB)
+	merged, err := Merge(setA, setB)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if merged.Len() < setA.Len() {
 		t.Error("merge lost traces")
 	}
@@ -184,7 +190,10 @@ func TestPublicMergePruneSimulate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned := Prune(merged, prof, 1)
+	pruned, err := Prune(merged, prof, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pruned.Len() == 0 {
 		t.Error("prune removed everything at threshold 1")
 	}
@@ -237,8 +246,14 @@ func TestPublicConstructors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	withProf := EncodeWithProfile(a, prof)
-	plain := Encode(a)
+	withProf, err := EncodeWithProfile(a, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Encode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(withProf) <= len(plain) {
 		t.Error("profile counters did not grow the encoding")
 	}
