@@ -53,6 +53,15 @@ func prog(b *testing.B, name string) *tea.Program {
 
 var benchTraceCfg = trace.Config{HotThreshold: 12}
 
+// reportPerEdge attaches the replay hot path's headline metric: wall-clock
+// nanoseconds per consumed stream edge across the whole timed region.
+func reportPerEdge(b *testing.B, edges uint64) {
+	b.Helper()
+	if edges > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(edges), "ns/edge")
+	}
+}
+
 // BenchmarkTable1SizeSavings regenerates Table 1's cells for a light and a
 // heavy benchmark under each strategy; the %savings metric is the table's
 // "Savings" column.
@@ -90,16 +99,21 @@ func BenchmarkTable2Replay(b *testing.B) {
 			}
 			a := core.Build(d.Set)
 			var cov float64
+			var edges uint64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				tool := teatool.NewReplayTool(a, core.ConfigGlobalLocal)
-				if _, err := pin.New().Run(p, tool, 0); err != nil {
+				res, err := pin.New().Run(p, tool, 0)
+				if err != nil {
 					b.Fatal(err)
 				}
+				edges += res.Edges
 				cov = tool.Stats().Coverage()
 			}
 			b.ReportMetric(cov*100, "%coverage")
 			b.ReportMetric((cov-d.Coverage())*100, "%cov-vs-dbt")
+			reportPerEdge(b, edges)
 		})
 	}
 }
@@ -112,17 +126,22 @@ func BenchmarkTable3Record(b *testing.B) {
 			p := prog(b, wl)
 			var cov float64
 			var traces int
+			var edges uint64
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				strat, _ := trace.NewStrategy("mret", p, benchTraceCfg)
 				tool := teatool.NewRecordTool(strat, core.ConfigGlobalLocal)
-				if _, err := pin.New().Run(p, tool, 0); err != nil {
+				res, err := pin.New().Run(p, tool, 0)
+				if err != nil {
 					b.Fatal(err)
 				}
+				edges += res.Edges
 				cov = tool.Stats().Coverage()
 				traces = tool.Recorder().Set().Len()
 			}
 			b.ReportMetric(cov*100, "%coverage")
 			b.ReportMetric(float64(traces), "traces")
+			reportPerEdge(b, edges)
 		})
 	}
 }
@@ -167,12 +186,17 @@ func BenchmarkTable4Configs(b *testing.B) {
 	}
 	for _, c := range configs {
 		b.Run(c.name, func(b *testing.B) {
+			var edges uint64
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tool := teatool.NewReplayTool(c.a, c.lc)
-				if _, err := pin.New().Run(p, tool, 0); err != nil {
+				res, err := pin.New().Run(p, tool, 0)
+				if err != nil {
 					b.Fatal(err)
 				}
+				edges += res.Edges
 			}
+			reportPerEdge(b, edges)
 		})
 	}
 }
@@ -189,15 +213,19 @@ func BenchmarkBTreeFanout(b *testing.B) {
 	for _, fanout := range []int{4, 8, 16, 32, 64, 128} {
 		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
 			lc := core.LookupConfig{Global: core.GlobalBTree, Fanout: fanout}
-			var probes uint64
+			var probes, edges uint64
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tool := teatool.NewReplayTool(a, lc)
-				if _, err := pin.New().Run(p, tool, 0); err != nil {
+				res, err := pin.New().Run(p, tool, 0)
+				if err != nil {
 					b.Fatal(err)
 				}
+				edges += res.Edges
 				probes = tool.Replayer().Index().Probes()
 			}
 			b.ReportMetric(float64(probes), "probes")
+			reportPerEdge(b, edges)
 		})
 	}
 }
@@ -214,17 +242,22 @@ func BenchmarkLocalCacheSize(b *testing.B) {
 		b.Run(fmt.Sprintf("entries=%d", size), func(b *testing.B) {
 			lc := core.LookupConfig{Global: core.GlobalBTree, Local: true, LocalSize: size}
 			var hitRate float64
+			var edges uint64
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tool := teatool.NewReplayTool(a, lc)
-				if _, err := pin.New().Run(p, tool, 0); err != nil {
+				res, err := pin.New().Run(p, tool, 0)
+				if err != nil {
 					b.Fatal(err)
 				}
+				edges += res.Edges
 				s := tool.Stats()
 				if t := s.LocalHits + s.LocalMisses; t > 0 {
 					hitRate = float64(s.LocalHits) / float64(t)
 				}
 			}
 			b.ReportMetric(hitRate*100, "%hit")
+			reportPerEdge(b, edges)
 		})
 	}
 }
@@ -240,12 +273,128 @@ func BenchmarkGlobalContainers(b *testing.B) {
 	a := core.Build(d.Set)
 	for _, g := range []core.GlobalKind{core.GlobalList, core.GlobalBTree, core.GlobalHash} {
 		b.Run(g.String(), func(b *testing.B) {
+			var edges uint64
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tool := teatool.NewReplayTool(a, core.LookupConfig{Global: g})
-				if _, err := pin.New().Run(p, tool, 0); err != nil {
+				res, err := pin.New().Run(p, tool, 0)
+				if err != nil {
 					b.Fatal(err)
 				}
+				edges += res.Edges
 			}
+			reportPerEdge(b, edges)
+		})
+	}
+}
+
+// streamFixture is a captured dynamic block stream plus the automaton that
+// describes it, shared by the compiled-replay benches.
+type streamFixture struct {
+	a      *core.Automaton
+	stream []core.Edge
+}
+
+var (
+	streamFixOnce sync.Once
+	streamFix     map[string]*streamFixture
+)
+
+func streamFor(b *testing.B, name string) *streamFixture {
+	b.Helper()
+	streamFixOnce.Do(func() { streamFix = make(map[string]*streamFixture) })
+	if f, ok := streamFix[name]; ok {
+		return f
+	}
+	p := prog(b, name)
+	d, err := dbt.New().Run(p, "mret", benchTraceCfg, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, _, err := tea.CaptureStream(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &streamFixture{a: core.Build(d.Set), stream: stream}
+	streamFix[name] = f
+	return f
+}
+
+// BenchmarkCompiledReplay is the tentpole's headline: the raw transition
+// function over a pre-captured stream (no engine in the timed region),
+// reference replayer versus the compiled flat automaton, single-edge and
+// batched. allocs/op must read 0 for the compiled paths in steady state;
+// ns/edge is the comparable across configurations.
+func BenchmarkCompiledReplay(b *testing.B) {
+	for _, wl := range []string{"181.mcf", "176.gcc"} {
+		f := streamFor(b, wl)
+		compiled := core.Compile(f.a, core.ConfigGlobalLocal)
+		b.Run(wl+"/reference-hash", func(b *testing.B) {
+			r := core.NewReplayer(f.a, core.LookupConfig{Global: core.GlobalHash, Local: true})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reset()
+				for _, e := range f.stream {
+					r.Advance(e.Label, e.Instrs)
+				}
+			}
+			reportPerEdge(b, uint64(b.N)*uint64(len(f.stream)))
+		})
+		b.Run(wl+"/reference-btree", func(b *testing.B) {
+			r := core.NewReplayer(f.a, core.ConfigGlobalLocal)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reset()
+				for _, e := range f.stream {
+					r.Advance(e.Label, e.Instrs)
+				}
+			}
+			reportPerEdge(b, uint64(b.N)*uint64(len(f.stream)))
+		})
+		b.Run(wl+"/compiled", func(b *testing.B) {
+			r := core.NewCompiledReplayer(compiled)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reset()
+				for _, e := range f.stream {
+					r.Advance(e.Label, e.Instrs)
+				}
+			}
+			reportPerEdge(b, uint64(b.N)*uint64(len(f.stream)))
+		})
+		b.Run(wl+"/compiled-batch", func(b *testing.B) {
+			r := core.NewCompiledReplayer(compiled)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reset()
+				r.AdvanceBatch(f.stream)
+			}
+			reportPerEdge(b, uint64(b.N)*uint64(len(f.stream)))
+		})
+	}
+}
+
+// BenchmarkParallelReplay shards the captured stream across goroutines. The
+// equality guard makes the bench double as a correctness check: every shard
+// count must produce the sequential replay's exact stats.
+func BenchmarkParallelReplay(b *testing.B) {
+	f := streamFor(b, "176.gcc")
+	compiled := core.Compile(f.a, core.ConfigGlobalNoLocal)
+	want, wantCur := core.SequentialReplay(compiled, f.stream)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, cur := core.ParallelReplay(compiled, f.stream, shards)
+				if st != want || cur != wantCur {
+					b.Fatalf("shards=%d diverged from sequential replay", shards)
+				}
+			}
+			reportPerEdge(b, uint64(b.N)*uint64(len(f.stream)))
 		})
 	}
 }

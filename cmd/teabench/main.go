@@ -11,6 +11,7 @@
 //	teabench -target 500000      # dynamic instructions per benchmark
 //	teabench -bench gcc,swim     # subset of benchmarks
 //	teabench -threshold 50       # hot threshold
+//	teabench -replaybench BENCH_replay.json  # replay hot-path ns/edge + allocs/edge
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines (default GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
 	list := flag.Bool("list", false, "list the synthetic benchmarks and exit")
+	replayBench := flag.String("replaybench", "", "run the replay micro-benchmark and write machine-readable results to this file (e.g. BENCH_replay.json)")
 	flag.Parse()
 	emitJSON = *jsonOut
 
@@ -61,6 +63,27 @@ func main() {
 			}
 			opts.Benchmarks = append(opts.Benchmarks, spec)
 		}
+	}
+
+	if *replayBench != "" {
+		res, err := expr.RunReplayBench(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*replayBench, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== Replay hot path: ns/edge and allocs/edge ===\n")
+		fmt.Println(res.Render())
+		fmt.Fprintf(os.Stderr, "teabench: wrote %s\n", *replayBench)
+		return
 	}
 
 	want := func(n string) bool { return *table == "all" || *table == n }

@@ -8,6 +8,8 @@
 //	teaprof -bench mcf -record out.tea              # record (Table 3 mode)
 //	teaprof -bench mcf -replay out.tea              # replay (Table 2 mode)
 //	teaprof -bench mcf -replay out.tea -profile     # + per-trace profile
+//	teaprof -bench mcf -replay out.tea -compiled    # batched compiled replay
+//	teaprof -bench mcf -replay out.tea -shards 4    # sharded parallel replay
 //	teaprof -asm prog.s -record out.tea             # use an assembly file
 //	teaprof -bench gcc -record out.tea -strategy tt # TT instead of MRET
 package main
@@ -31,6 +33,8 @@ func main() {
 	threshold := flag.Int("threshold", 12, "hot threshold")
 	profileFlag := flag.Bool("profile", false, "with -replay: collect and print the trace profile")
 	top := flag.Int("top", 5, "with -profile: how many hottest traces to print")
+	compiled := flag.Bool("compiled", false, "with -replay: replay through the compiled flat automaton")
+	shards := flag.Int("shards", 1, "with -replay: capture the block stream and replay it in N parallel shards")
 	flag.Parse()
 
 	prog, err := cli.LoadProgram("teaprof", *bench, *asmFile, *target)
@@ -66,6 +70,26 @@ func main() {
 		a, err := tea.Decode(data, prog)
 		if err != nil {
 			fail(err)
+		}
+		if *shards > 1 {
+			stream, tail, err := tea.CaptureStream(prog)
+			if err != nil {
+				fail(err)
+			}
+			c := tea.Compile(a, tea.ConfigGlobalLocal)
+			stats, final := tea.ParallelReplay(c, stream, *shards)
+			stats.AccountTail(final, tail)
+			fmt.Printf("parallel replay: %d edges in %d shards\n", len(stream), *shards)
+			printStats(&stats)
+			return
+		}
+		if *compiled {
+			stats, err := tea.ReplayCompiled(prog, a, tea.ConfigGlobalLocal)
+			if err != nil {
+				fail(err)
+			}
+			printStats(stats)
+			return
 		}
 		if *profileFlag {
 			prof, stats, err := tea.ProfileReplay(prog, a, tea.ConfigGlobalLocal, nil)

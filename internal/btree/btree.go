@@ -55,6 +55,110 @@ func New[V any](order int) *Map[V] {
 	return &Map[V]{order: order, root: &leaf[V]{}, height: 1}
 }
 
+// Bulk builds a tree of the given order directly from strictly ascending
+// keys and their values — the freeze path used when an automaton's whole
+// entry table is known up front. Leaves are packed to the maximum occupancy
+// (a frozen tree is read-mostly, so density beats insert headroom), built
+// left to right with the sibling chain threaded as they are laid down, and
+// the inner levels are derived bottom-up from the subtree minima. The
+// result is a valid tree by Check's invariants and remains fully mutable:
+// Put and Delete work normally afterwards, which is what lets the online
+// recorder keep extending a bulk-loaded container.
+//
+// Unsorted or duplicate keys fall back to repeated Put, so Bulk is always
+// safe to call; the fast path just requires the caller's natural case
+// (entry tables are produced in ascending address order).
+func Bulk[V any](order int, keys []uint64, vals []V) *Map[V] {
+	if order < 3 {
+		order = 3
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t := New[V](order)
+			for j := range keys {
+				t.Put(keys[j], vals[j])
+			}
+			return t
+		}
+	}
+	if len(keys) == 0 {
+		return New[V](order)
+	}
+
+	t := &Map[V]{order: order, size: len(keys)}
+
+	// Lay down the leaf level. Chunk sizes are the full order except that a
+	// final underflowing chunk borrows from its left neighbour so every
+	// non-root leaf holds at least minKeys.
+	sizes := bulkChunks(len(keys), order, t.minKeys())
+	leaves := make([]node[V], 0, len(sizes))
+	mins := make([]uint64, 0, len(sizes))
+	var prev *leaf[V]
+	off := 0
+	for _, n := range sizes {
+		l := &leaf[V]{
+			keys: append([]uint64(nil), keys[off:off+n]...),
+			vals: append([]V(nil), vals[off:off+n]...),
+		}
+		if prev != nil {
+			prev.next = l
+		}
+		prev = l
+		leaves = append(leaves, l)
+		mins = append(mins, l.keys[0])
+		off += n
+	}
+
+	// Build inner levels until one node remains. An inner node with k kids
+	// carries k-1 separators, so the per-node capacity is order+1 kids and
+	// the non-root minimum is minKeys+1 kids.
+	level, levelMins := leaves, mins
+	t.height = 1
+	for len(level) > 1 {
+		sizes := bulkChunks(len(level), order+1, t.minKeys()+1)
+		up := make([]node[V], 0, len(sizes))
+		upMins := make([]uint64, 0, len(sizes))
+		off := 0
+		for _, n := range sizes {
+			in := &inner[V]{
+				keys: append([]uint64(nil), levelMins[off+1:off+n]...),
+				kids: append([]node[V](nil), level[off:off+n]...),
+			}
+			up = append(up, in)
+			upMins = append(upMins, levelMins[off])
+			off += n
+		}
+		level, levelMins = up, upMins
+		t.height++
+	}
+	t.root = level[0]
+	return t
+}
+
+// bulkChunks splits n items into runs of at most max items where every run
+// but a lone first one holds at least min items: full runs, with the final
+// remainder rebalanced against its left neighbour when it would underflow.
+func bulkChunks(n, max, min int) []int {
+	var out []int
+	for n > 0 {
+		take := max
+		if n < take {
+			take = n
+		}
+		rest := n - take
+		if rest > 0 && rest < min {
+			// The next (final) chunk would underflow; even this one out.
+			take = (n + 1) / 2
+			if take > max {
+				take = max
+			}
+		}
+		out = append(out, take)
+		n -= take
+	}
+	return out
+}
+
 // Len returns the number of keys stored.
 func (t *Map[V]) Len() int { return t.size }
 

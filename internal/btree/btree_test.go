@@ -240,3 +240,90 @@ func BenchmarkPut(b *testing.B) {
 		m.Put(uint64(i), i)
 	}
 }
+
+func TestBulkMatchesPut(t *testing.T) {
+	for _, order := range []int{3, 4, 8, 16, 64} {
+		for _, n := range []int{0, 1, 2, 3, 7, 15, 16, 17, 100, 1000} {
+			keys := make([]uint64, n)
+			vals := make([]int, n)
+			for i := range keys {
+				keys[i] = uint64(i)*37 + 0x8048000
+				vals[i] = i
+			}
+			bulk := Bulk(order, keys, vals)
+			if err := bulk.Check(); err != nil {
+				t.Fatalf("order=%d n=%d: %v", order, n, err)
+			}
+			if bulk.Len() != n {
+				t.Fatalf("order=%d n=%d: Len = %d", order, n, bulk.Len())
+			}
+			for i, k := range keys {
+				if v, ok := bulk.Get(k); !ok || v != vals[i] {
+					t.Fatalf("order=%d n=%d: Get(%d) = %d, %v", order, n, k, v, ok)
+				}
+			}
+			if _, ok := bulk.Get(0xdead); ok {
+				t.Fatalf("order=%d n=%d: Get on absent key succeeded", order, n)
+			}
+			// Same ascending content as an insert-built tree.
+			ref := New[int](order)
+			for i := range keys {
+				ref.Put(keys[i], vals[i])
+			}
+			var got, want []uint64
+			bulk.Ascend(func(k uint64, _ int) bool { got = append(got, k); return true })
+			ref.Ascend(func(k uint64, _ int) bool { want = append(want, k); return true })
+			if len(got) != len(want) {
+				t.Fatalf("order=%d n=%d: Ascend lengths %d vs %d", order, n, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("order=%d n=%d: Ascend[%d] = %d, want %d", order, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBulkThenMutate(t *testing.T) {
+	keys := make([]uint64, 500)
+	vals := make([]int, 500)
+	for i := range keys {
+		keys[i] = uint64(i) * 3
+		vals[i] = i
+	}
+	m := Bulk(8, keys, vals)
+	// Inserts between and beyond the frozen keys must keep the invariants.
+	for i := uint64(0); i < 200; i++ {
+		m.Put(i*3+1, int(i))
+		if err := m.Check(); err != nil {
+			t.Fatalf("after Put(%d): %v", i*3+1, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if !m.Delete(keys[i]) {
+			t.Fatalf("Delete(%d) missed", keys[i])
+		}
+		if err := m.Check(); err != nil {
+			t.Fatalf("after Delete(%d): %v", keys[i], err)
+		}
+	}
+	if m.Len() != 500+200-100 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestBulkUnsortedFallsBack(t *testing.T) {
+	keys := []uint64{5, 1, 9, 1} // unsorted and duplicated
+	vals := []int{50, 10, 90, 11}
+	m := Bulk(4, keys, vals)
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (duplicate collapsed)", m.Len())
+	}
+	if v, ok := m.Get(1); !ok || v != 11 {
+		t.Fatalf("Get(1) = %d, %v; want last write 11", v, ok)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+// Edge is one event of a dynamic block stream in replay currency: the
+// previously executing block retired Instrs dynamic instructions and
+// control arrived at the block headed at Label — exactly the argument pair
+// of Replayer.Advance, reified so streams can be captured, sharded and
+// batched. faultinject.BlockEvent is the same shape on the test side.
+type Edge struct {
+	Label  uint64
+	Instrs uint64
+}
+
+// CompiledReplayer is the cursor over a Compiled automaton. It reproduces
+// the reference Replayer's observable behaviour exactly — the same Stats
+// counters, including Desyncs/Resyncs, for the same stream and the same
+// Local configuration — but runs on the flat arrays: no interface dispatch,
+// no per-state cache allocation, and a batched entry point that amortizes
+// call and bookkeeping overhead across whole stream slices.
+//
+// All mutable state (cursor, desync flag, stats, local-cache words) lives
+// here; the Compiled itself is shared and read-only.
+type CompiledReplayer struct {
+	c *Compiled
+
+	// cache holds the embedded per-state local caches: localSize
+	// direct-mapped slots per state in one flat allocation, made once at
+	// construction, label and target interleaved per slot. Zeroed slots
+	// behave exactly like the reference's fresh caches (label 0 mapping to
+	// NTE).
+	cache []cacheSlot
+
+	cur      StateID
+	desynced bool
+	stats    Stats
+
+	one [1]Edge // backing for the single-edge Advance, keeping it alloc-free
+}
+
+// cacheSlot is one direct-mapped local-cache entry. The zero value (label 0
+// → NTE) is exactly the reference localCache's pristine slot.
+type cacheSlot struct {
+	label uint64
+	tgt   StateID
+}
+
+// NewCompiledReplayer prepares a cursor over c. The returned replayer
+// performs no further heap allocation: steady-state replay is 0 allocs/edge.
+func NewCompiledReplayer(c *Compiled) *CompiledReplayer {
+	r := &CompiledReplayer{c: c, cur: NTE}
+	if c.localSize > 0 {
+		r.cache = make([]cacheSlot, c.NumStates()*c.localSize)
+	}
+	return r
+}
+
+// Compiled returns the frozen automaton being replayed.
+func (r *CompiledReplayer) Compiled() *Compiled { return r.c }
+
+// Cur returns the current state.
+func (r *CompiledReplayer) Cur() StateID { return r.cur }
+
+// Stats returns the accumulated counters.
+func (r *CompiledReplayer) Stats() *Stats { return &r.stats }
+
+// Desynced reports whether the cursor is currently desynchronized.
+func (r *CompiledReplayer) Desynced() bool { return r.desynced }
+
+// Reset rewinds the cursor to NTE and zeroes the statistics, keeping the
+// (warm) local caches — the same contract as Replayer.Reset.
+func (r *CompiledReplayer) Reset() {
+	r.cur = NTE
+	r.desynced = false
+	r.stats = Stats{}
+}
+
+// Advance consumes one edge; it is AdvanceBatch over a single-element batch.
+func (r *CompiledReplayer) Advance(label, instrs uint64) StateID {
+	r.one[0] = Edge{Label: label, Instrs: instrs}
+	return r.AdvanceBatch(r.one[:])
+}
+
+// AccountOnly records instrs executed without advancing the automaton
+// (the trailing instructions a pin.Tool receives in Fini).
+func (r *CompiledReplayer) AccountOnly(instrs uint64) {
+	r.stats.AccountTail(r.cur, instrs)
+}
+
+// AdvanceBatch consumes a slice of stream edges and returns the final
+// state. It allocates nothing and keeps the cursor, desync flag and stats
+// in locals across the whole batch, writing them back once — the amortized
+// form of calling Advance per edge, with identical results.
+func (r *CompiledReplayer) AdvanceBatch(edges []Edge) StateID {
+	c := r.c
+	cur, desynced := r.cur, r.desynced
+	st := r.stats
+	localSize := c.localSize
+	var localMask uint64
+	if localSize > 0 {
+		localMask = uint64(localSize - 1)
+	}
+	// Hoist the arrays into locals: the in-loop stores to the cache slice
+	// would otherwise force the compiler to reload every slice header on
+	// each iteration (the stores could alias them).
+	states := c.state
+	cache := r.cache
+
+	for k := range edges {
+		label, instrs := edges[k].Label, edges[k].Instrs
+
+		// Account the finished block to the state that covered it. The
+		// initial pseudo-edge carries no finished block (instrs == 0).
+		if instrs != 0 {
+			st.Blocks++
+			st.Instrs += instrs
+			if cur != NTE {
+				st.TraceBlocks++
+				st.TraceInstrs += instrs
+			}
+		}
+
+		var next StateID
+		if cur != NTE {
+			// In-trace fast path: the two inlined successor slots.
+			rec := &states[cur]
+			if rec.lab0 == label {
+				st.InTraceHits++
+				next = rec.tgt0
+			} else if rec.lab1 == label {
+				st.InTraceHits++
+				next = rec.tgt1
+			} else if t, ok := c.nextSlow(cur, label); ok {
+				st.InTraceHits++
+				next = t
+			} else {
+				if !rec.plausible(label) {
+					st.Desyncs++
+					desynced = true
+				}
+				// Trace exit or trace-to-trace link: local cache (when
+				// compiled in) in front of the flat entry table, caching
+				// negative results exactly like the reference resolve.
+				if localSize > 0 {
+					slot := &cache[int(cur)*localSize+int((label>>1)&localMask)]
+					if slot.label == label {
+						st.LocalHits++
+						next = slot.tgt
+					} else {
+						st.LocalMisses++
+						st.GlobalLookups++
+						if t, ok := c.entry(label); ok {
+							st.GlobalHits++
+							next = t
+						} else {
+							next = NTE
+						}
+						slot.label = label
+						slot.tgt = next
+					}
+				} else {
+					st.GlobalLookups++
+					if t, ok := c.entry(label); ok {
+						st.GlobalHits++
+						next = t
+					} else {
+						next = NTE
+					}
+				}
+				if next == NTE {
+					st.TraceExits++
+				} else {
+					st.TraceLinks++
+				}
+			}
+		} else {
+			// From NTE every transition searches the global container.
+			st.GlobalLookups++
+			if t, ok := c.entry(label); ok {
+				st.GlobalHits++
+				next = t
+				st.TraceEnters++
+			} else {
+				next = NTE
+			}
+		}
+
+		if next != NTE && desynced {
+			desynced = false
+			st.Resyncs++
+		}
+		cur = next
+	}
+
+	r.cur, r.desynced = cur, desynced
+	r.stats = st
+	return cur
+}
+
+// nextSlow scans the tail of a state's transition span; only states with
+// more than two in-trace successors (indirect-branch TBBs) ever have one.
+func (c *Compiled) nextSlow(s StateID, label uint64) (StateID, bool) {
+	lo, hi := c.off[s], c.off[s+1]
+	if hi-lo <= 2 {
+		return NTE, false
+	}
+	for j := lo + 2; j < hi; j++ {
+		if c.labels[j] == label {
+			return c.targets[j], true
+		}
+	}
+	return NTE, false
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/asm"
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/cpu"
+	"github.com/lsc-tea/tea/internal/trace"
+)
+
+// compileTestProg exercises a loop nest with a conditional branch so the
+// recorded traces have both branch-target and fall-through successors.
+const compileTestProg = `
+.entry main
+main:
+    movi ecx, 60
+loop:
+    addi eax, 3
+    cmpi eax, 90
+    jlt  low
+    subi eax, 90
+low:
+    subi ecx, 1
+    jgt  loop
+    halt
+`
+
+// buildTestAutomaton records traces for the program and builds its TEA.
+func buildTestAutomaton(t *testing.T) (*Automaton, *cpu.Machine) {
+	t.Helper()
+	p := asm.MustAssemble("compiletest", compileTestProg)
+	strat, ok := trace.NewStrategy("mret", p, trace.Config{HotThreshold: 4})
+	if !ok {
+		t.Fatal("mret strategy missing")
+	}
+	m := cpu.New(p)
+	set, _, err := trace.RecordContext(nil, m, cfg.StarDBT, strat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Build(set)
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumStates() < 3 {
+		t.Fatalf("test automaton too small: %d states", a.NumStates())
+	}
+	return a, cpu.New(p)
+}
+
+// TestCompiledNextMatchesStateNext drives the flat transition lookup over
+// every state's own labels, every other state's labels, and guaranteed
+// misses, comparing against the reference State.Next.
+func TestCompiledNextMatchesStateNext(t *testing.T) {
+	a, _ := buildTestAutomaton(t)
+	c := Compile(a, ConfigGlobalLocal)
+
+	var labels []uint64
+	for i := 0; i < a.NumStates(); i++ {
+		s := a.State(StateID(i))
+		labels = append(labels, s.labels...)
+	}
+	labels = append(labels, 0, 1, 0xdeadbeef)
+
+	for i := 0; i < a.NumStates(); i++ {
+		id := StateID(i)
+		for _, label := range labels {
+			wantT, wantOK := a.State(id).Next(label)
+			gotT, gotOK := c.next(id, label)
+			if wantT != gotT || wantOK != gotOK {
+				t.Fatalf("state %d label 0x%x: compiled (%d,%v) want (%d,%v)",
+					id, label, gotT, gotOK, wantT, wantOK)
+			}
+		}
+	}
+}
+
+// TestCompiledEntryMatchesEntryFor checks the open-addressed entry table
+// against the automaton's canonical entry map, hits and misses.
+func TestCompiledEntryMatchesEntryFor(t *testing.T) {
+	a, _ := buildTestAutomaton(t)
+	c := Compile(a, ConfigGlobalLocal)
+
+	if c.NumEntries() != len(a.Entries()) {
+		t.Fatalf("NumEntries = %d, want %d", c.NumEntries(), len(a.Entries()))
+	}
+	for _, e := range a.Entries() {
+		got, ok := c.entry(e.Addr)
+		if !ok || got != e.State {
+			t.Fatalf("entry(0x%x) = (%d,%v), want (%d,true)", e.Addr, got, ok, e.State)
+		}
+	}
+	for _, miss := range []uint64{0, 1, 3, 0xfffffff0, ^uint64(0)} {
+		if _, ok := a.EntryFor(miss); ok {
+			continue
+		}
+		if got, ok := c.entry(miss); ok {
+			t.Fatalf("entry(0x%x) = (%d,true), want miss", miss, got)
+		}
+	}
+}
+
+// TestCompiledPlausibleMatchesReference compares the precomputed desync
+// predicate against plausibleSuccessor over a label sample.
+func TestCompiledPlausibleMatchesReference(t *testing.T) {
+	a, _ := buildTestAutomaton(t)
+	c := Compile(a, ConfigGlobalLocal)
+
+	var labels []uint64
+	for i := 1; i < a.NumStates(); i++ {
+		s := a.State(StateID(i))
+		labels = append(labels, s.labels...)
+		labels = append(labels, s.TBB.Block.Head, s.TBB.Block.End)
+		if ft, ok := s.TBB.Block.FallThrough(); ok {
+			labels = append(labels, ft)
+		}
+	}
+	labels = append(labels, 0, 2, 0xdeadbeef)
+
+	for i := 1; i < a.NumStates(); i++ {
+		id := StateID(i)
+		for _, label := range labels {
+			want := plausibleSuccessor(a.State(id).TBB, label)
+			if got := c.plausible(id, label); got != want {
+				t.Fatalf("state %d label 0x%x: plausible=%v want %v", id, label, got, want)
+			}
+		}
+	}
+}
+
+// TestCompiledReplayerMatchesReference replays the program's own stream
+// through the reference replayer and the compiled one (single-edge and
+// batched) and demands identical stats and cursors at the end.
+func TestCompiledReplayerMatchesReference(t *testing.T) {
+	a, m := buildTestAutomaton(t)
+
+	// Regenerate the dynamic block stream directly from the machine.
+	var stream []Edge
+	r := cfg.NewRunner(m, cfg.StarDBT)
+	var prev uint64
+	for {
+		e, ok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		steps := r.Machine().Steps()
+		instrs := steps - prev
+		prev = steps
+		if e.To == nil {
+			break
+		}
+		stream = append(stream, Edge{Label: e.To.Head, Instrs: instrs})
+	}
+	if len(stream) < 20 {
+		t.Fatalf("stream too short: %d edges", len(stream))
+	}
+
+	for _, cfgCase := range []LookupConfig{
+		{Global: GlobalHash, Local: true},
+		{Global: GlobalBTree, Local: true, LocalSize: 2},
+		{Global: GlobalBTree, Local: false},
+		{Global: GlobalList, Local: true},
+	} {
+		ref := NewReplayer(a, cfgCase)
+		for _, e := range stream {
+			ref.Advance(e.Label, e.Instrs)
+		}
+
+		comp := NewCompiledReplayer(Compile(a, cfgCase))
+		for _, e := range stream {
+			comp.Advance(e.Label, e.Instrs)
+		}
+		if *ref.Stats() != *comp.Stats() {
+			t.Fatalf("%v: single-edge stats diverge:\nref  %+v\ncomp %+v", cfgCase, *ref.Stats(), *comp.Stats())
+		}
+		if ref.Cur() != comp.Cur() {
+			t.Fatalf("%v: cursor %d vs %d", cfgCase, ref.Cur(), comp.Cur())
+		}
+
+		batch := NewCompiledReplayer(Compile(a, cfgCase))
+		batch.AdvanceBatch(stream)
+		if *ref.Stats() != *batch.Stats() {
+			t.Fatalf("%v: batched stats diverge:\nref   %+v\nbatch %+v", cfgCase, *ref.Stats(), *batch.Stats())
+		}
+		if ref.Cur() != batch.Cur() {
+			t.Fatalf("%v: batched cursor %d vs %d", cfgCase, ref.Cur(), batch.Cur())
+		}
+	}
+}
+
+// TestSequentialReplayMatchesNoLocalCompiled pins the documented identity:
+// the memoryless SequentialReplay equals a CompiledReplayer compiled
+// without local caches.
+func TestSequentialReplayMatchesNoLocalCompiled(t *testing.T) {
+	a, m := buildTestAutomaton(t)
+	var stream []Edge
+	r := cfg.NewRunner(m, cfg.StarDBT)
+	var prev uint64
+	for {
+		e, ok, err := r.Next()
+		if err != nil || !ok || e.To == nil {
+			break
+		}
+		steps := r.Machine().Steps()
+		stream = append(stream, Edge{Label: e.To.Head, Instrs: steps - prev})
+		prev = steps
+	}
+	c := Compile(a, LookupConfig{Global: GlobalHash})
+	st, final := SequentialReplay(c, stream)
+	rep := NewCompiledReplayer(c)
+	rep.AdvanceBatch(stream)
+	if st != *rep.Stats() || final != rep.Cur() {
+		t.Fatalf("SequentialReplay diverges from cache-less CompiledReplayer:\nseq %+v cur=%d\nrep %+v cur=%d",
+			st, final, *rep.Stats(), rep.Cur())
+	}
+}
+
+// TestAddEntryReusesCaches is the cache-invalidation satellite: AddEntry
+// must flush the local caches in place, not drop them for reallocation.
+func TestAddEntryReusesCaches(t *testing.T) {
+	a, _ := buildTestAutomaton(t)
+	r := NewReplayer(a, ConfigGlobalLocal)
+
+	// Warm a cache on a real state so the slice and a cache object exist.
+	var sid StateID
+	for i := 1; i < a.NumStates(); i++ {
+		if a.State(StateID(i)).NumTrans() > 0 {
+			sid = StateID(i)
+			break
+		}
+	}
+	if sid == NTE {
+		t.Fatal("no state with transitions")
+	}
+	r.resolve(sid, 0xabcd)
+	if len(r.caches) == 0 || r.caches[sid] == nil {
+		t.Fatal("cache was not materialized")
+	}
+	before := r.caches[sid]
+	if before.labels[before.slot(0xabcd)] != 0xabcd {
+		t.Fatal("cache slot not warmed")
+	}
+
+	r.AddEntry(0x999999, sid)
+
+	if len(r.caches) == 0 {
+		t.Fatal("AddEntry dropped the cache slice")
+	}
+	after := r.caches[sid]
+	if after != before {
+		t.Fatal("AddEntry reallocated the cache instead of flushing it")
+	}
+	for i := range after.labels {
+		if after.labels[i] != 0 || after.targets[i] != NTE {
+			t.Fatalf("cache slot %d not flushed: label=0x%x target=%d", i, after.labels[i], after.targets[i])
+		}
+	}
+	// The negative entry must be gone: the lookup now hits the new entry.
+	if got := r.resolve(sid, 0x999999); got != sid {
+		t.Fatalf("resolve after AddEntry = %d, want %d", got, sid)
+	}
+}

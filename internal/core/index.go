@@ -232,12 +232,9 @@ func (s *sortedIndex) ResetProbes()   { s.probes = 0 }
 func (s *sortedIndex) Len() int       { return len(s.addrs) }
 
 // localCache is one state's direct-mapped cache of resolved trace-entry
-// targets. Only positive results are cached: a trace always exists once
-// entered and traces are never removed, so positive entries can never go
-// stale. Misses (exits to cold code) are deliberately not cached — the
-// paper's transition function, too, pays the global search on every switch
-// to cold code, which is why the "Empty" configuration is *slower* than a
-// loaded automaton (§4.2).
+// targets. Both positive and negative results are cached (see
+// Replayer.resolve); AddEntry flushes every cache so a negative entry can
+// never mask a trace created later.
 type localCache struct {
 	labels  []uint64
 	targets []StateID
@@ -264,4 +261,13 @@ func (c *localCache) put(label uint64, s StateID) {
 	i := c.slot(label)
 	c.labels[i] = label
 	c.targets[i] = s
+}
+
+// flush zeroes the cache in place, restoring the pristine state (every slot
+// label 0 → NTE) without giving up the allocation.
+func (c *localCache) flush() {
+	for i := range c.labels {
+		c.labels[i] = 0
+		c.targets[i] = NTE
+	}
 }

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file implements sharded parallel replay over a Compiled automaton.
+//
+// The exactness argument (see DESIGN.md §9): with the local caches out of
+// the picture, consuming one stream edge is a *memoryless* function — the
+// post-state (cursor, desync flag) and every Stats increment are pure
+// functions of the pre-state and the edge, because the flat entry table and
+// transition spans are immutable. Each shard therefore replays its segment
+// speculatively from (NTE, in-sync); reconciliation re-replays the head of
+// the segment from the predecessor's true exit state until the true
+// trajectory meets the speculative one, swaps the speculative prefix
+// accounting for the true prefix accounting, and keeps the speculative
+// remainder verbatim. Once the trajectories touch at one edge they coincide
+// for the rest of the segment by induction, so the merged Stats are
+// byte-identical to a sequential replay. Local caches are excluded because
+// their hit/miss counters depend on unboundedly old history, which no
+// bounded re-replay can reconstruct; ParallelReplay always uses the
+// cache-less transition function, matching SequentialReplay.
+
+// step consumes one edge with the memoryless (cache-less) transition
+// function, charging the increments to st and returning the post-state.
+func (c *Compiled) step(cur StateID, desynced bool, label, instrs uint64, st *Stats) (StateID, bool) {
+	if instrs != 0 {
+		st.Blocks++
+		st.Instrs += instrs
+		if cur != NTE {
+			st.TraceBlocks++
+			st.TraceInstrs += instrs
+		}
+	}
+	var next StateID
+	if cur != NTE {
+		rec := &c.state[cur]
+		if rec.lab0 == label {
+			st.InTraceHits++
+			next = rec.tgt0
+		} else if rec.lab1 == label {
+			st.InTraceHits++
+			next = rec.tgt1
+		} else if t, ok := c.nextSlow(cur, label); ok {
+			st.InTraceHits++
+			next = t
+		} else {
+			if !rec.plausible(label) {
+				st.Desyncs++
+				desynced = true
+			}
+			st.GlobalLookups++
+			if t, ok := c.entry(label); ok {
+				st.GlobalHits++
+				next = t
+			}
+			if next == NTE {
+				st.TraceExits++
+			} else {
+				st.TraceLinks++
+			}
+		}
+	} else {
+		st.GlobalLookups++
+		if t, ok := c.entry(label); ok {
+			st.GlobalHits++
+			next = t
+			st.TraceEnters++
+		}
+	}
+	if next != NTE && desynced {
+		desynced = false
+		st.Resyncs++
+	}
+	return next, desynced
+}
+
+// SequentialReplay replays the stream in order from NTE with the
+// memoryless (cache-less) transition function and returns the stats and
+// final state. It is the reference ParallelReplay must match byte for byte,
+// and equals a CompiledReplayer over a Local-less Compile of the same
+// automaton.
+func SequentialReplay(c *Compiled, stream []Edge) (Stats, StateID) {
+	var st Stats
+	cur, desynced := NTE, false
+	for k := range stream {
+		cur, desynced = c.step(cur, desynced, stream[k].Label, stream[k].Instrs, &st)
+	}
+	return st, cur
+}
+
+// shardTrace is one shard's speculative result: the stats it accumulated
+// from the guessed (NTE, in-sync) entry state plus the post-state
+// trajectory reconciliation compares against.
+type shardTrace struct {
+	stats Stats
+	curs  []StateID
+	desyn []bool
+}
+
+// ParallelReplay shards the stream into contiguous segments replayed
+// concurrently and merges the results. The merged Stats and final state are
+// byte-identical to SequentialReplay on the same stream (the reconciliation
+// argument above); the speed-up comes from the speculative segment replays
+// running on all cores with reconciliation touching only the short
+// non-converged prefix of each junction.
+//
+// shards <= 1 (or a stream shorter than the shard count) falls back to
+// SequentialReplay; shards <= 0 selects GOMAXPROCS.
+func ParallelReplay(c *Compiled, stream []Edge, shards int) (Stats, StateID) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > len(stream) {
+		shards = len(stream)
+	}
+	if shards <= 1 {
+		return SequentialReplay(c, stream)
+	}
+
+	// Even contiguous split: bounds[i]..bounds[i+1] is shard i's segment.
+	bounds := make([]int, shards+1)
+	for i := 0; i <= shards; i++ {
+		bounds[i] = i * len(stream) / shards
+	}
+
+	res := make([]shardTrace, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seg := stream[bounds[i]:bounds[i+1]]
+			r := &res[i]
+			cur, desynced := NTE, false
+			if i == 0 {
+				// Shard 0 starts from the true initial state: its replay IS
+				// the sequential prefix, no trajectory needed.
+				for k := range seg {
+					cur, desynced = c.step(cur, desynced, seg[k].Label, seg[k].Instrs, &r.stats)
+				}
+				r.curs = []StateID{cur}
+				r.desyn = []bool{desynced}
+				return
+			}
+			r.curs = make([]StateID, len(seg))
+			r.desyn = make([]bool, len(seg))
+			for k := range seg {
+				cur, desynced = c.step(cur, desynced, seg[k].Label, seg[k].Instrs, &r.stats)
+				r.curs[k] = cur
+				r.desyn[k] = desynced
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Junction reconciliation, left to right.
+	total := res[0].stats
+	cur := res[0].curs[0]
+	desynced := res[0].desyn[0]
+	for i := 1; i < shards; i++ {
+		seg := stream[bounds[i]:bounds[i+1]]
+		r := &res[i]
+
+		// Re-replay from the true entry state until the trajectory meets the
+		// speculative one.
+		var trueSt Stats
+		tcur, tdes := cur, desynced
+		conv := -1
+		for j := 0; j < len(seg); j++ {
+			tcur, tdes = c.step(tcur, tdes, seg[j].Label, seg[j].Instrs, &trueSt)
+			if tcur == r.curs[j] && tdes == r.desyn[j] {
+				conv = j
+				break
+			}
+		}
+		if conv < 0 {
+			// The trajectories never touched inside the segment (possible
+			// only on degenerate tiny shards): the true re-replay covered the
+			// whole segment, so it simply replaces the speculative result.
+			total.add(&trueSt)
+			cur, desynced = tcur, tdes
+			continue
+		}
+
+		// Swap accounting for the non-converged prefix [0..conv]: recompute
+		// what the speculative run charged there and exchange it for the
+		// true charges. The suffix increments are identical by induction.
+		var specSt Stats
+		scur, sdes := NTE, false
+		for j := 0; j <= conv; j++ {
+			scur, sdes = c.step(scur, sdes, seg[j].Label, seg[j].Instrs, &specSt)
+		}
+		shard := r.stats
+		shard.sub(&specSt)
+		shard.add(&trueSt)
+		total.add(&shard)
+		cur, desynced = r.curs[len(seg)-1], r.desyn[len(seg)-1]
+	}
+	return total, cur
+}
+
+// add accumulates o into s field by field.
+func (s *Stats) add(o *Stats) {
+	s.Blocks += o.Blocks
+	s.Instrs += o.Instrs
+	s.TraceBlocks += o.TraceBlocks
+	s.TraceInstrs += o.TraceInstrs
+	s.InTraceHits += o.InTraceHits
+	s.LocalHits += o.LocalHits
+	s.LocalMisses += o.LocalMisses
+	s.GlobalLookups += o.GlobalLookups
+	s.GlobalHits += o.GlobalHits
+	s.TraceEnters += o.TraceEnters
+	s.TraceLinks += o.TraceLinks
+	s.TraceExits += o.TraceExits
+	s.Desyncs += o.Desyncs
+	s.Resyncs += o.Resyncs
+}
+
+// sub removes o from s field by field.
+func (s *Stats) sub(o *Stats) {
+	s.Blocks -= o.Blocks
+	s.Instrs -= o.Instrs
+	s.TraceBlocks -= o.TraceBlocks
+	s.TraceInstrs -= o.TraceInstrs
+	s.InTraceHits -= o.InTraceHits
+	s.LocalHits -= o.LocalHits
+	s.LocalMisses -= o.LocalMisses
+	s.GlobalLookups -= o.GlobalLookups
+	s.GlobalHits -= o.GlobalHits
+	s.TraceEnters -= o.TraceEnters
+	s.TraceLinks -= o.TraceLinks
+	s.TraceExits -= o.TraceExits
+	s.Desyncs -= o.Desyncs
+	s.Resyncs -= o.Resyncs
+}

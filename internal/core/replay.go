@@ -1,6 +1,9 @@
 package core
 
-import "github.com/lsc-tea/tea/internal/trace"
+import (
+	"github.com/lsc-tea/tea/internal/btree"
+	"github.com/lsc-tea/tea/internal/trace"
+)
 
 // Replayer walks a TEA along the dynamic block stream of an unmodified
 // program execution, maintaining the precise map from the current program
@@ -78,12 +81,24 @@ func (s *Stats) Coverage() float64 {
 
 // NewReplayer prepares a replayer over automaton a with the given
 // transition-function configuration. The global container is populated
-// from the automaton's entry table.
+// from the automaton's entry table; the B+ tree container is bulk-loaded
+// from the (already sorted) entries rather than grown split by split.
 func NewReplayer(a *Automaton, cfg LookupConfig) *Replayer {
 	cfg = cfg.withDefaults()
-	r := &Replayer{a: a, cfg: cfg, index: newEntryIndex(cfg), cur: NTE}
-	for _, e := range a.Entries() {
-		r.index.Insert(e.Addr, e.State)
+	r := &Replayer{a: a, cfg: cfg, cur: NTE}
+	entries := a.Entries()
+	if cfg.Global == GlobalBTree {
+		keys := make([]uint64, len(entries))
+		vals := make([]StateID, len(entries))
+		for i, e := range entries {
+			keys[i], vals[i] = e.Addr, e.State
+		}
+		r.index = &btreeIndex{t: btree.Bulk(cfg.Fanout, keys, vals)}
+	} else {
+		r.index = newEntryIndex(cfg)
+		for _, e := range entries {
+			r.index.Insert(e.Addr, e.State)
+		}
 	}
 	r.index.ResetProbes()
 	return r
@@ -123,10 +138,17 @@ func (r *Replayer) Reset() {
 
 // AddEntry registers a trace entry created after the replayer was built
 // (used by the online recorder as traces finish). All local caches are
-// flushed: they may hold negative entries for the new trace's address.
+// flushed: they may hold negative entries for the new trace's address. The
+// cache slots themselves are zeroed in place and reused — the online
+// recorder calls this once per created trace, and reallocating the whole
+// cache array each time was measurable churn on record-heavy runs.
 func (r *Replayer) AddEntry(addr uint64, s StateID) {
 	r.index.Insert(addr, s)
-	r.caches = nil
+	for _, c := range r.caches {
+		if c != nil {
+			c.flush()
+		}
+	}
 }
 
 // Advance consumes one edge of the dynamic block stream: the previous block
@@ -205,15 +227,23 @@ func (r *Replayer) AccountOnly(instrs uint64) {
 func (r *Replayer) ForceState(s StateID) { r.cur = s }
 
 func (r *Replayer) account(state StateID, instrs uint64) {
+	r.stats.AccountTail(state, instrs)
+}
+
+// AccountTail folds instrs executed without an automaton transition into s,
+// attributed to state cur — what AccountOnly does through a replayer, made
+// available to callers that hold only a Stats (e.g. after ParallelReplay,
+// to account a run's unreported tail from pin's Fini callback).
+func (s *Stats) AccountTail(cur StateID, instrs uint64) {
 	if instrs == 0 {
 		// The initial pseudo-edge carries no finished block.
 		return
 	}
-	r.stats.Blocks++
-	r.stats.Instrs += instrs
-	if state != NTE {
-		r.stats.TraceBlocks++
-		r.stats.TraceInstrs += instrs
+	s.Blocks++
+	s.Instrs += instrs
+	if cur != NTE {
+		s.TraceBlocks++
+		s.TraceInstrs += instrs
 	}
 }
 

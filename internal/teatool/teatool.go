@@ -48,6 +48,102 @@ func (t *ReplayTool) Replayer() *core.Replayer { return t.rep }
 // Stats returns the replay statistics (coverage, lookup counters).
 func (t *ReplayTool) Stats() *core.Stats { return t.rep.Stats() }
 
+// CompiledReplayTool replays a frozen (compiled) TEA: edges are buffered
+// and flushed through the zero-allocation batched transition function, so
+// the per-edge analysis cost is a slice append in the common case.
+type CompiledReplayTool struct {
+	rep *core.CompiledReplayer
+	buf []core.Edge
+}
+
+var _ pin.Tool = (*CompiledReplayTool)(nil)
+
+// compiledBatch is the edge-buffer size: large enough to amortize the
+// batch-call overhead, small enough to stay in L1.
+const compiledBatch = 256
+
+// NewCompiledReplayTool creates the batched replay pintool over a compiled
+// automaton.
+func NewCompiledReplayTool(c *core.Compiled) *CompiledReplayTool {
+	return &CompiledReplayTool{
+		rep: core.NewCompiledReplayer(c),
+		buf: make([]core.Edge, 0, compiledBatch),
+	}
+}
+
+// Edge implements pin.Tool.
+func (t *CompiledReplayTool) Edge(e cfg.Edge, instrs uint64) {
+	if e.To == nil {
+		t.flush()
+		t.rep.AccountOnly(instrs)
+		return
+	}
+	t.buf = append(t.buf, core.Edge{Label: e.To.Head, Instrs: instrs})
+	if len(t.buf) == cap(t.buf) {
+		t.flush()
+	}
+}
+
+func (t *CompiledReplayTool) flush() {
+	if len(t.buf) > 0 {
+		t.rep.AdvanceBatch(t.buf)
+		t.buf = t.buf[:0]
+	}
+}
+
+// Fini implements pin.Tool.
+func (t *CompiledReplayTool) Fini(instrs uint64) {
+	t.flush()
+	if instrs > 0 {
+		t.rep.AccountOnly(instrs)
+	}
+}
+
+// Replayer exposes the underlying compiled cursor (flushing any buffered
+// edges first so the cursor is current).
+func (t *CompiledReplayTool) Replayer() *core.CompiledReplayer {
+	t.flush()
+	return t.rep
+}
+
+// Stats returns the replay statistics, flushing buffered edges first.
+func (t *CompiledReplayTool) Stats() *core.Stats {
+	t.flush()
+	return t.rep.Stats()
+}
+
+// CaptureTool records the dynamic block stream of a run as replay currency:
+// one core.Edge per reported edge plus the unreported tail, ready to feed
+// AdvanceBatch, SequentialReplay or ParallelReplay.
+type CaptureTool struct {
+	events []core.Edge
+	tail   uint64
+}
+
+var _ pin.Tool = (*CaptureTool)(nil)
+
+// NewCaptureTool creates an empty stream capture.
+func NewCaptureTool() *CaptureTool { return &CaptureTool{} }
+
+// Edge implements pin.Tool.
+func (t *CaptureTool) Edge(e cfg.Edge, instrs uint64) {
+	if e.To == nil {
+		t.tail += instrs
+		return
+	}
+	t.events = append(t.events, core.Edge{Label: e.To.Head, Instrs: instrs})
+}
+
+// Fini implements pin.Tool.
+func (t *CaptureTool) Fini(instrs uint64) { t.tail += instrs }
+
+// Stream returns the captured edges.
+func (t *CaptureTool) Stream() []core.Edge { return t.events }
+
+// Tail returns the instructions executed after the last captured edge
+// (accounted to the final state by Stats.AccountTail).
+func (t *CaptureTool) Tail() uint64 { return t.tail }
+
 // RecordTool records a TEA online (Algorithm 2) while the program runs
 // under Pin, using any trace-selection strategy.
 type RecordTool struct {

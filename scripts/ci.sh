@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Repository verification gate: static checks, the full test suite under the
-# race detector, and a short fuzz run over the wire-format decoder (the
+# race detector (which covers the sharded parallel-replay tests), a
+# one-iteration smoke of every benchmark so the bench code cannot rot
+# silently, and a short fuzz run over the wire-format decoder (the
 # robustness surface most exposed to hostile input). Run from the repo root:
 #
 #   ./scripts/ci.sh
@@ -9,4 +11,6 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go test -race ./...
+go test -race -run 'Parallel' . ./internal/core
+go test -run='^$' -bench=. -benchtime=1x ./...
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=10s ./internal/core

@@ -83,6 +83,14 @@ type (
 	// ReplayStats carries coverage and lookup counters.
 	ReplayStats = core.Stats
 
+	// Compiled is a frozen automaton lowered into flat arrays for the
+	// fastest replay path (no interface dispatch, no pointer chasing).
+	Compiled = core.Compiled
+	// CompiledReplayer is the zero-allocation batched cursor over Compiled.
+	CompiledReplayer = core.CompiledReplayer
+	// StreamEdge is one captured dynamic-block-stream event (label, instrs).
+	StreamEdge = core.Edge
+
 	// Profile holds per-TBB-instance execution counts.
 	Profile = profile.Profile
 	// PhaseDetector finds stable/unstable phases from trace exit ratios.
@@ -247,6 +255,56 @@ func ReplayContext(ctx context.Context, p *Program, a *Automaton, c LookupConfig
 		return tool.Stats(), err
 	}
 	return tool.Stats(), nil
+}
+
+// Compile freezes the automaton into its flat compiled form. Only the
+// Local cache settings of c matter; the compiled path always uses the flat
+// open-addressed entry table as its global container.
+func Compile(a *Automaton, c LookupConfig) *Compiled { return core.Compile(a, c) }
+
+// NewCompiledReplayer prepares a zero-allocation cursor over a compiled
+// automaton; AdvanceBatch consumes whole stream slices per call.
+func NewCompiledReplayer(c *Compiled) *CompiledReplayer {
+	return core.NewCompiledReplayer(c)
+}
+
+// CaptureStream re-executes the program under the Pin-like engine recording
+// its dynamic block stream as replay currency: the edges to feed
+// AdvanceBatch or ParallelReplay, plus the unreported trailing instruction
+// count (fold it in with ReplayStats.AccountTail).
+func CaptureStream(p *Program) ([]StreamEdge, uint64, error) {
+	tool := teatool.NewCaptureTool()
+	if _, err := pin.New().Run(p, tool, 0); err != nil {
+		return nil, 0, err
+	}
+	return tool.Stream(), tool.Tail(), nil
+}
+
+// ReplayCompiled is Replay on the compiled fast path: the automaton is
+// frozen into flat arrays and the pintool advances it through the batched
+// zero-allocation transition function. Stats semantics are identical to
+// Replay with the same Local configuration.
+func ReplayCompiled(p *Program, a *Automaton, c LookupConfig) (*ReplayStats, error) {
+	tool := teatool.NewCompiledReplayTool(core.Compile(a, c))
+	if _, err := pin.New().Run(p, tool, 0); err != nil {
+		return tool.Stats(), err
+	}
+	return tool.Stats(), nil
+}
+
+// SequentialReplay replays a captured stream in order with the memoryless
+// cache-less transition function — the byte-exact reference for
+// ParallelReplay.
+func SequentialReplay(c *Compiled, stream []StreamEdge) (ReplayStats, StateID) {
+	return core.SequentialReplay(c, stream)
+}
+
+// ParallelReplay shards a captured stream across goroutines and merges the
+// results; the merged stats and final state are byte-identical to
+// SequentialReplay (see DESIGN.md §9 for the reconciliation argument).
+// shards <= 0 selects GOMAXPROCS.
+func ParallelReplay(c *Compiled, stream []StreamEdge, shards int) (ReplayStats, StateID) {
+	return core.ParallelReplay(c, stream, shards)
 }
 
 // RecordOnline runs the program under the Pin-like engine while building a
