@@ -10,6 +10,7 @@
 //	teadump -bench mcf file.tea              # statistics
 //	teadump -bench mcf file.tea -states      # full state listing
 //	teadump -bench mcf file.tea -dot         # Graphviz digraph
+//	teadump -bench mcf file.tea -verify      # static invariant audit (exit 3 on findings)
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 	asmFile := flag.String("asm", "", "assembly source file instead of -bench")
 	target := flag.Uint64("target", 1_000_000, "dynamic instruction target for -bench")
 	states := flag.Bool("states", false, "print the full state listing")
+	verify := flag.Bool("verify", false, "statically verify the TEA (automaton, compiled form, image); exit 3 on findings")
 	dot := flag.Bool("dot", false, "print a Graphviz digraph")
 	dcfgDot := flag.Bool("dcfg", false, "print the dynamic CFG (code-replicating view, §3) as Graphviz")
 	traceID := flag.Int("trace", 0, "disassemble one trace by ID (1-based)")
@@ -50,6 +52,22 @@ func main() {
 	a, err := tea.Decode(data, prog)
 	if err != nil {
 		fail(err)
+	}
+
+	if *verify {
+		// Exit codes let CI distinguish the failure modes: 1 = the image did
+		// not decode (handled above), 3 = it decoded but a rule fired.
+		r := tea.Verify(a, prog, tea.ConfigGlobalLocal)
+		if out := r.String(); out != "" {
+			fmt.Print(out)
+		}
+		if len(r.Findings) > 0 {
+			fmt.Fprintf(os.Stderr, "teadump: %s: %d finding(s)\n", flag.Arg(0), len(r.Findings))
+			os.Exit(3)
+		}
+		fmt.Printf("verify: %s ok (%d states, %d traces, 0 findings)\n",
+			flag.Arg(0), a.NumStates(), a.Set().Len())
+		return
 	}
 
 	switch {

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCollectFindsKnownSites: the lint sees the two accepted panic call
+// sites and classifies exported no-error functions.
+func TestCollectFindsKnownSites(t *testing.T) {
+	findings, err := collect("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"panic trace.mustLink", "panic isa.(*Program).MustAt", "noerror core.Build"} {
+		if findings[key] == 0 {
+			t.Errorf("missing expected finding %q", key)
+		}
+	}
+	// Error-returning exported functions must NOT be flagged.
+	if _, ok := findings["noerror core.Encode"]; ok {
+		t.Error("core.Encode returns error but was flagged")
+	}
+}
+
+// TestBaselineRoundTrip: the baseline format round-trips through
+// write/read, and the current tree is within the checked-in baseline.
+func TestBaselineRoundTrip(t *testing.T) {
+	findings, err := collect("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(t.TempDir(), "baseline.txt")
+	if err := writeBaseline(tmp, findings); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readBaseline(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(findings) {
+		t.Fatalf("round trip lost entries: %d != %d", len(back), len(findings))
+	}
+	for k, v := range findings {
+		if back[k] != v {
+			t.Errorf("%s: %d != %d", k, back[k], v)
+		}
+	}
+
+	baseline, err := readBaseline(filepath.Join("../..", "cmd/tealint/baseline.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range findings {
+		if v > baseline[k] {
+			t.Errorf("%s: %d occurrence(s) beyond checked-in baseline %d", k, v, baseline[k])
+		}
+	}
+}

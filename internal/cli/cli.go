@@ -8,6 +8,7 @@ import (
 
 	"github.com/lsc-tea/tea/internal/asm"
 	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/progs"
 	"github.com/lsc-tea/tea/internal/workload"
 )
 
@@ -17,6 +18,12 @@ func LoadProgram(tool, bench, asmFile string, target uint64) (*isa.Program, erro
 	switch {
 	case bench != "" && asmFile != "":
 		return nil, fmt.Errorf("%s: -bench and -asm are mutually exclusive", tool)
+	case bench == "figure1":
+		// The paper's Figure 1/2 example programs, matching the parameters
+		// the regression corpus and FuzzDecode record against.
+		return progs.Figure1(64, 200), nil
+	case bench == "figure2":
+		return progs.Figure2(60, 200), nil
 	case bench != "":
 		spec, ok := workload.ByName(bench)
 		if !ok {

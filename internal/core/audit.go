@@ -1,0 +1,124 @@
+package core
+
+// Audit accessors: the read-only structural surface internal/verify inspects
+// to prove paper invariants without replaying. Everything here returns
+// copies (or goes through the production lookup code), so a verifier can
+// never perturb the representation it is auditing, and the hot replay paths
+// stay untouched.
+
+// Labels returns a copy of the state's in-trace transition labels in table
+// order (sorted ascending by construction).
+func (s *State) Labels() []uint64 {
+	out := make([]uint64, len(s.labels))
+	copy(out, s.labels)
+	return out
+}
+
+// Targets returns a copy of the state's in-trace transition targets,
+// parallel to Labels.
+func (s *State) Targets() []StateID {
+	out := make([]StateID, len(s.targets))
+	copy(out, s.targets)
+	return out
+}
+
+// ImpossibleLabel is the sentinel that fills unused inline fast slots of a
+// compiled state record; no stream producer can emit it as a label.
+const ImpossibleLabel = impossibleLabel
+
+// FibHash is the multiply-shift hash multiplier shared by the compiled
+// entry table and its presence filter, exported so the verifier can prove
+// slot placement and filter coverage on an audit snapshot.
+const FibHash = fibHash
+
+// Audit flag bits mirroring the compiled stateRec plausibility flags.
+const (
+	AuditFlagIndirect = flagIndirect
+	AuditFlagBranch   = flagBranch
+	AuditFlagFallThru = flagFallThru
+)
+
+// StateAudit is the audit view of one compiled state record.
+type StateAudit struct {
+	Lab0, Lab1 uint64
+	Tgt0, Tgt1 StateID
+	Flags      uint8
+	// BranchTarget and FallThrough are plausibleSuccessor's precomputed
+	// inputs (valid when the corresponding flag bit is set, zero otherwise).
+	BranchTarget uint64
+	FallThrough  uint64
+}
+
+// EntrySlotAudit is the audit view of one open-addressed entry-table slot;
+// Val < 0 marks an empty slot.
+type EntrySlotAudit struct {
+	Key uint64
+	Val StateID
+}
+
+// CompiledAudit is a deep-copied structural snapshot of a Compiled's flat
+// layout. The verifier checks arena bounds, fast-slot consistency,
+// entry-table placement and filter coverage against it; tests corrupt a
+// snapshot to prove the rules fire.
+type CompiledAudit struct {
+	// Off/Labels/Targets are the transition arenas: Off[s]..Off[s+1] spans
+	// state s inside Labels/Targets.
+	Off     []uint32
+	Labels  []uint64
+	Targets []StateID
+	// States are the 64-byte hot records, one per state.
+	States []StateAudit
+	// Ent is the open-addressed entry table with its probe parameters.
+	Ent      []EntrySlotAudit
+	EntMask  uint64
+	EntShift uint8
+	EntLen   int
+	// Filt is the presence bitmap fronting Ent.
+	Filt      []uint64
+	FiltShift uint8
+	// LocalSize is the embedded per-state cache size (0 = caches off).
+	LocalSize int
+}
+
+// Audit snapshots the compiled form for structural verification.
+func (c *Compiled) Audit() CompiledAudit {
+	v := CompiledAudit{
+		Off:       append([]uint32(nil), c.off...),
+		Labels:    append([]uint64(nil), c.labels...),
+		Targets:   append([]StateID(nil), c.targets...),
+		States:    make([]StateAudit, len(c.state)),
+		Ent:       make([]EntrySlotAudit, len(c.ent)),
+		EntMask:   c.entMask,
+		EntShift:  c.entShift,
+		EntLen:    c.entLen,
+		Filt:      append([]uint64(nil), c.filt...),
+		FiltShift: c.filtShift,
+		LocalSize: c.localSize,
+	}
+	for i, rec := range c.state {
+		v.States[i] = StateAudit{
+			Lab0: rec.lab0, Lab1: rec.lab1,
+			Tgt0: rec.tgt0, Tgt1: rec.tgt1,
+			Flags:        rec.flags,
+			BranchTarget: rec.btgt,
+			FallThrough:  rec.fthru,
+		}
+	}
+	for i, e := range c.ent {
+		v.Ent[i] = EntrySlotAudit{Key: e.key, Val: e.val}
+	}
+	return v
+}
+
+// NextState resolves an in-trace transition through the production fast
+// path (inline slots, then span scan) — the compiled half of the verifier's
+// structural-equivalence proof against the reference Automaton.
+func (c *Compiled) NextState(s StateID, label uint64) (StateID, bool) {
+	return c.next(s, label)
+}
+
+// EntryLookup resolves a trace-entry address through the production filter
+// and open-addressed probe sequence.
+func (c *Compiled) EntryLookup(addr uint64) (StateID, bool) {
+	return c.entry(addr)
+}

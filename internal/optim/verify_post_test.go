@@ -1,0 +1,70 @@
+package optim
+
+import (
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/progs"
+	"github.com/lsc-tea/tea/internal/trace"
+	"github.com/lsc-tea/tea/internal/verify"
+)
+
+// verifyPost is the static-verifier post-pass every optimization must
+// preserve: the rebuilt automaton passes the full automaton rule family
+// against the program image, and its compiled form proves structurally
+// equivalent to it.
+func verifyPost(t *testing.T, pass string, set *trace.Set, p *isa.Program) {
+	t.Helper()
+	a := Rebuild(set)
+	if err := a.Check(); err != nil {
+		t.Fatalf("%s output fails Check: %v", pass, err)
+	}
+	if r := verify.Automaton(a, cfg.NewCache(p, cfg.StarDBT)); !r.Clean() {
+		t.Fatalf("%s output fails verify.Automaton:\n%s", pass, r)
+	}
+	if r := verify.Compiled(core.Compile(a, core.ConfigGlobalLocal)); !r.Clean() {
+		t.Fatalf("%s output fails verify.Compiled:\n%s", pass, r)
+	}
+}
+
+// TestPruneOutputVerifies: pruning at any threshold yields a set whose
+// automaton still proves every static invariant.
+func TestPruneOutputVerifies(t *testing.T) {
+	p, set, tool := profiledRun(t)
+	for _, minEnters := range []uint64{1, 24, 1 << 20} {
+		pruned, err := Prune(set, tool.Profile(), minEnters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyPost(t, "Prune", pruned, p)
+	}
+}
+
+// TestMergeOutputVerifies: the union of two runs' sets verifies clean.
+func TestMergeOutputVerifies(t *testing.T) {
+	p, set, tool := profiledRun(t)
+	pruned, err := Prune(set, tool.Profile(), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Merge(set, pruned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyPost(t, "Merge", m, p)
+}
+
+// TestDuplicateOutputVerifies: trace duplication (Figure 1(d)) preserves
+// every static invariant, including CFG plausibility of the duplicated
+// cycle's back edge.
+func TestDuplicateOutputVerifies(t *testing.T) {
+	p := progs.Figure1(200, 50)
+	set, loop := recordLoopSet(t, p)
+	dupSet, _, err := Duplicate(set, loop.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyPost(t, "Duplicate", dupSet, p)
+}

@@ -1,0 +1,410 @@
+package verify
+
+import (
+	"fmt"
+
+	"github.com/lsc-tea/tea/internal/btree"
+	"github.com/lsc-tea/tea/internal/core"
+)
+
+// Compiled statically checks a compiled flat automaton: the arena layout,
+// the inline fast slots, the precomputed plausibility fields, the
+// open-addressed entry table and its presence filter, the B+ tree the
+// replay path bulk-loads from the same entries, and — capping them all — a
+// bisimulation-style structural equivalence proof against the Automaton
+// the form was compiled from, so compiled correctness no longer rests on
+// replay sampling.
+//
+// Rules:
+//
+//	C-OFF    arena offsets are monotone and bounded; the final offset spans
+//	         the label/target arenas exactly.
+//	C-SPAN   every state's span is strictly sorted with valid targets and
+//	         equals the automaton state's transition table.
+//	C-SLOT   the two inline fast slots agree with the span (two-slot copy,
+//	         single-transition duplication, impossible-label fill).
+//	C-PLAUS  the precomputed plausibility fields (flags, branch target,
+//	         fall-through) match the state's block terminator.
+//	C-ENT    the entry table is a power-of-two open-addressed map at <=50%
+//	         load whose occupied slots are exactly the automaton's entries,
+//	         each reachable from its home slot by linear probing.
+//	C-FILT   the presence filter covers every entry (no false negatives).
+//	C-LOCAL  the embedded local-cache geometry matches the configuration.
+//	C-BTREE  the bulk-loaded B+ tree over the same entries passes the
+//	         structural check at minimal height with every key retrievable.
+//	C-EQ     structural equivalence: state-by-state, the compiled
+//	         transition function and entry lookup agree with the reference
+//	         automaton over the complete relevant label alphabet.
+func Compiled(c *core.Compiled) *Report {
+	r := &Report{}
+	v := c.Audit()
+	a := c.Automaton()
+	compiledStructural(r, v, a, c.Config())
+	compiledBisim(r, c, a, v)
+	compiledBTree(r, a.Entries(), c.Config().Fanout)
+	r.normalize()
+	return r
+}
+
+// compiledStructural runs every rule that needs only the audit snapshot
+// and the source automaton. Tests corrupt a snapshot to prove rules fire.
+func compiledStructural(r *Report, v core.CompiledAudit, a *core.Automaton, cfg core.LookupConfig) {
+	n := len(v.States)
+	if a.NumStates() != n {
+		r.errf("C-OFF", -1, "states", "compiled has %d states, automaton has %d", n, a.NumStates())
+		return
+	}
+	if len(v.Off) != n+1 {
+		r.errf("C-OFF", -1, "off", "offset table has %d entries for %d states", len(v.Off), n)
+		return
+	}
+	if v.Off[0] != 0 {
+		r.errf("C-OFF", -1, "off[0]", "first offset is %d, want 0", v.Off[0])
+	}
+	if len(v.Labels) != len(v.Targets) {
+		r.errf("C-OFF", -1, "arenas", "label arena %d and target arena %d differ", len(v.Labels), len(v.Targets))
+		return
+	}
+	if int(v.Off[n]) != len(v.Labels) {
+		r.errf("C-OFF", -1, fmt.Sprintf("off[%d]", n), "final offset %d does not span the %d-entry arena", v.Off[n], len(v.Labels))
+	}
+	for i := 0; i < n; i++ {
+		if v.Off[i] > v.Off[i+1] {
+			r.errf("C-OFF", core.StateID(i), fmt.Sprintf("off[%d]", i), "offsets not monotone: %d > %d", v.Off[i], v.Off[i+1])
+			return
+		}
+		if int(v.Off[i+1]) > len(v.Labels) {
+			r.errf("C-OFF", core.StateID(i), fmt.Sprintf("off[%d]", i+1), "offset %d beyond arena of %d", v.Off[i+1], len(v.Labels))
+			return
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		id := core.StateID(i)
+		locus := fmt.Sprintf("state %d", i)
+		span := v.Labels[v.Off[i]:v.Off[i+1]]
+		tgts := v.Targets[v.Off[i]:v.Off[i+1]]
+
+		for k, label := range span {
+			if k > 0 && span[k-1] >= label {
+				r.errf("C-SPAN", id, locus, "span labels not strictly sorted at %d (0x%x after 0x%x)", k, label, span[k-1])
+			}
+			if tgts[k] <= 0 || int(tgts[k]) >= n {
+				r.errf("C-SPAN", id, locus, "span target %d invalid on label 0x%x", tgts[k], label)
+			}
+		}
+		want := a.State(id)
+		wl, wt := want.Labels(), want.Targets()
+		if len(wl) != len(span) {
+			r.errf("C-SPAN", id, locus, "span has %d transitions, automaton state has %d", len(span), len(wl))
+		} else {
+			for k := range span {
+				if span[k] != wl[k] || tgts[k] != wt[k] {
+					r.errf("C-SPAN", id, locus, "span[%d] = (0x%x -> %d), automaton has (0x%x -> %d)", k, span[k], tgts[k], wl[k], wt[k])
+				}
+			}
+		}
+
+		rec := v.States[i]
+		switch {
+		case len(span) >= 2:
+			if rec.Lab0 != span[0] || rec.Tgt0 != tgts[0] || rec.Lab1 != span[1] || rec.Tgt1 != tgts[1] {
+				r.errf("C-SLOT", id, locus, "fast slots (0x%x->%d, 0x%x->%d) disagree with span head (0x%x->%d, 0x%x->%d)",
+					rec.Lab0, rec.Tgt0, rec.Lab1, rec.Tgt1, span[0], tgts[0], span[1], tgts[1])
+			}
+		case len(span) == 1:
+			if rec.Lab0 != span[0] || rec.Tgt0 != tgts[0] || rec.Lab1 != span[0] || rec.Tgt1 != tgts[0] {
+				r.errf("C-SLOT", id, locus, "single transition 0x%x->%d not duplicated into both fast slots", span[0], tgts[0])
+			}
+		default:
+			if rec.Lab0 != core.ImpossibleLabel || rec.Lab1 != core.ImpossibleLabel {
+				r.errf("C-SLOT", id, locus, "empty state's fast slots hold 0x%x/0x%x, want impossible-label fill", rec.Lab0, rec.Lab1)
+			}
+		}
+
+		checkPlausFields(r, id, locus, rec, want)
+	}
+
+	checkEntryTable(r, v, a)
+	checkFilter(r, v, a)
+
+	// C-LOCAL: embedded cache geometry.
+	switch {
+	case !cfg.Local && v.LocalSize != 0:
+		r.errf("C-LOCAL", -1, "local", "caches disabled by config but LocalSize is %d", v.LocalSize)
+	case cfg.Local && v.LocalSize != cfg.LocalSize:
+		r.errf("C-LOCAL", -1, "local", "LocalSize %d does not match configured %d", v.LocalSize, cfg.LocalSize)
+	case v.LocalSize != 0 && v.LocalSize&(v.LocalSize-1) != 0:
+		r.errf("C-LOCAL", -1, "local", "LocalSize %d is not a power of two", v.LocalSize)
+	}
+}
+
+// checkPlausFields proves C-PLAUS: the 64-byte record's desync-check fields
+// must equal what Compile derives from the state's block terminator.
+func checkPlausFields(r *Report, id core.StateID, locus string, rec core.StateAudit, want *core.State) {
+	var flags uint8
+	var btgt, fthru uint64
+	if want.TBB != nil {
+		term := want.TBB.Block.Term
+		if term.IsIndirect() {
+			flags |= core.AuditFlagIndirect
+		} else if term.IsBranch() {
+			flags |= core.AuditFlagBranch
+			btgt = term.Target
+		}
+		if ft, ok := want.TBB.Block.FallThrough(); ok {
+			flags |= core.AuditFlagFallThru
+			fthru = ft
+		}
+	}
+	if rec.Flags != flags {
+		r.errf("C-PLAUS", id, locus, "flags 0x%x, block terminator implies 0x%x", rec.Flags, flags)
+	}
+	if rec.BranchTarget != btgt {
+		r.errf("C-PLAUS", id, locus, "branch target 0x%x, block terminator implies 0x%x", rec.BranchTarget, btgt)
+	}
+	if rec.FallThrough != fthru {
+		r.errf("C-PLAUS", id, locus, "fall-through 0x%x, block implies 0x%x", rec.FallThrough, fthru)
+	}
+}
+
+// checkEntryTable proves C-ENT on the snapshot: table geometry, load
+// factor, content agreement with the automaton's entry table, and probe
+// reachability of every entry from its home slot.
+func checkEntryTable(r *Report, v core.CompiledAudit, a *core.Automaton) {
+	size := len(v.Ent)
+	if size < 8 || size&(size-1) != 0 {
+		r.errf("C-ENT", -1, "ent", "table size %d is not a power of two >= 8", size)
+		return
+	}
+	if v.EntMask != uint64(size-1) {
+		r.errf("C-ENT", -1, "ent", "mask 0x%x does not match size %d", v.EntMask, size)
+	}
+	if size != 1<<(64-int(v.EntShift)) {
+		r.errf("C-ENT", -1, "ent", "shift %d does not match size %d", v.EntShift, size)
+	}
+
+	entries := a.Entries()
+	want := make(map[uint64]core.StateID, len(entries))
+	for _, e := range entries {
+		want[e.Addr] = e.State
+	}
+
+	occupied := 0
+	seen := make(map[uint64]bool, len(entries))
+	for i, slot := range v.Ent {
+		if slot.Val < 0 {
+			continue
+		}
+		occupied++
+		locus := fmt.Sprintf("ent[%d]", i)
+		if seen[slot.Key] {
+			r.errf("C-ENT", slot.Val, locus, "duplicate key 0x%x", slot.Key)
+		}
+		seen[slot.Key] = true
+		w, ok := want[slot.Key]
+		switch {
+		case !ok:
+			r.errf("C-ENT", slot.Val, locus, "fabricated entry 0x%x -> %d not in the automaton", slot.Key, slot.Val)
+		case w != slot.Val:
+			r.errf("C-ENT", slot.Val, locus, "entry 0x%x -> %d, automaton has %d", slot.Key, slot.Val, w)
+		}
+	}
+	if occupied != v.EntLen {
+		r.errf("C-ENT", -1, "ent", "EntLen %d but %d occupied slots", v.EntLen, occupied)
+	}
+	if occupied != len(entries) {
+		r.errf("C-ENT", -1, "ent", "%d occupied slots for %d automaton entries", occupied, len(entries))
+	}
+	if 2*occupied > size {
+		r.errf("C-ENT", -1, "ent", "load %d/%d exceeds 50%%", occupied, size)
+	}
+
+	// Probe reachability: each entry must be found by linear probing from
+	// its home slot without crossing an empty slot.
+	for _, e := range entries {
+		i := (e.Addr * core.FibHash) >> v.EntShift
+		found := false
+		for probes := 0; probes <= size; probes++ {
+			slot := v.Ent[i]
+			if slot.Val < 0 {
+				break
+			}
+			if slot.Key == e.Addr {
+				found = true
+				break
+			}
+			i = (i + 1) & v.EntMask
+		}
+		if !found {
+			r.errf("C-ENT", e.State, fmt.Sprintf("entry 0x%x", e.Addr), "entry not reachable by linear probe from its home slot")
+		}
+	}
+}
+
+// checkFilter proves C-FILT: the presence bitmap has power-of-two geometry
+// and covers every entry, so the fast path can never miss a real entry.
+func checkFilter(r *Report, v core.CompiledAudit, a *core.Automaton) {
+	bits := len(v.Filt) * 64
+	if bits < 64 || bits&(bits-1) != 0 {
+		r.errf("C-FILT", -1, "filt", "filter size %d bits is not a power of two", bits)
+		return
+	}
+	if bits != 1<<(64-int(v.FiltShift)) {
+		r.errf("C-FILT", -1, "filt", "shift %d does not match %d bits", v.FiltShift, bits)
+		return
+	}
+	for _, e := range a.Entries() {
+		bit := (e.Addr * core.FibHash) >> v.FiltShift
+		if v.Filt[bit>>6]&(1<<(bit&63)) == 0 {
+			r.errf("C-FILT", e.State, fmt.Sprintf("entry 0x%x", e.Addr), "presence filter bit clear: lookups would falsely miss this entry")
+		}
+	}
+}
+
+// compiledBisim proves C-EQ through the production lookup code: for every
+// state, the compiled transition function must agree with the reference
+// automaton over the complete relevant label alphabet — every label either
+// side knows plus every statically plausible successor — and the compiled
+// entry lookup must agree with the reference entry table over every entry
+// and its near misses. Identity on states plus pointwise agreement on
+// transitions is exactly a bisimulation between the two representations.
+// Callers pass the automaton the compiled form claims to represent; tests
+// pass a foreign one to prove disagreements are caught.
+func compiledBisim(r *Report, c *core.Compiled, a *core.Automaton, v core.CompiledAudit) {
+	n := a.NumStates()
+	if len(v.States) != n || len(v.Off) != n+1 {
+		// Not even the state sets line up; the per-label comparison below
+		// would index out of range, so the mismatch itself is the finding.
+		r.errf("C-EQ", -1, "states", "compiled form has %d states, reference automaton has %d", len(v.States), n)
+		return
+	}
+	for i := 0; i < n; i++ {
+		id := core.StateID(i)
+		st := a.State(id)
+		locus := stateLocus(id, st)
+
+		alphabet := make(map[uint64]bool)
+		for _, l := range st.Labels() {
+			alphabet[l] = true
+		}
+		for _, l := range v.Labels[v.Off[i]:v.Off[i+1]] {
+			alphabet[l] = true
+		}
+		if v.States[i].Lab0 != core.ImpossibleLabel {
+			alphabet[v.States[i].Lab0] = true
+		}
+		if v.States[i].Lab1 != core.ImpossibleLabel {
+			alphabet[v.States[i].Lab1] = true
+		}
+		if st.TBB != nil {
+			for _, l := range staticSuccessors(st.TBB.Block) {
+				alphabet[l] = true
+			}
+		}
+
+		for label := range alphabet {
+			wantTgt, wantOK := st.Next(label)
+			gotTgt, gotOK := c.NextState(id, label)
+			if wantOK != gotOK || (wantOK && wantTgt != gotTgt) {
+				r.errf("C-EQ", id, locus, "transition on 0x%x: compiled (%d,%v) != automaton (%d,%v)", label, gotTgt, gotOK, wantTgt, wantOK)
+			}
+		}
+
+		if st.TBB != nil {
+			wantPl := plausibleByTerm(st, alphabet)
+			for label, want := range wantPl {
+				if got := auditPlausible(v.States[i], label); got != want {
+					r.errf("C-EQ", id, locus, "plausibility of 0x%x: compiled %v != block terminator %v", label, got, want)
+				}
+			}
+		}
+	}
+
+	// Entry lookup agreement over every entry plus near-miss probes.
+	for _, e := range a.Entries() {
+		got, ok := c.EntryLookup(e.Addr)
+		if !ok || got != e.State {
+			r.errf("C-EQ", e.State, fmt.Sprintf("entry 0x%x", e.Addr), "compiled entry lookup (%d,%v) != reference (%d,true)", got, ok, e.State)
+		}
+		for _, near := range []uint64{e.Addr - 1, e.Addr + 1} {
+			wantTgt, wantOK := a.EntryFor(near)
+			gotTgt, gotOK := c.EntryLookup(near)
+			if wantOK != gotOK || (wantOK && wantTgt != gotTgt) {
+				r.errf("C-EQ", -1, fmt.Sprintf("entry 0x%x", near), "compiled entry lookup (%d,%v) != reference (%d,%v)", gotTgt, gotOK, wantTgt, wantOK)
+			}
+		}
+	}
+}
+
+// plausibleByTerm computes, for each alphabet label, whether the reference
+// plausibility predicate accepts it given the state's block terminator.
+func plausibleByTerm(st *core.State, alphabet map[uint64]bool) map[uint64]bool {
+	b := st.TBB.Block
+	term := b.Term
+	ft, hasFT := b.FallThrough()
+	out := make(map[uint64]bool, len(alphabet))
+	for label := range alphabet {
+		switch {
+		case term.IsIndirect():
+			out[label] = true
+		case term.IsBranch() && label == term.Target:
+			out[label] = true
+		default:
+			out[label] = hasFT && label == ft
+		}
+	}
+	return out
+}
+
+// auditPlausible mirrors the compiled fast-path plausibility check on the
+// audit snapshot.
+func auditPlausible(rec core.StateAudit, label uint64) bool {
+	if rec.Flags&core.AuditFlagIndirect != 0 {
+		return true
+	}
+	if rec.Flags&core.AuditFlagBranch != 0 && label == rec.BranchTarget {
+		return true
+	}
+	return rec.Flags&core.AuditFlagFallThru != 0 && label == rec.FallThrough
+}
+
+// compiledBTree proves C-BTREE: the B+ tree the replay path bulk-loads from
+// the automaton's entries must pass the structural invariant check (sorted
+// keys, separator correctness, occupancy, leaf chaining), store exactly the
+// entry set, and come out at the minimal height a maximally packed
+// bulk-load implies.
+func compiledBTree(r *Report, entries []core.Entry, order int) {
+	keys := make([]uint64, len(entries))
+	vals := make([]core.StateID, len(entries))
+	for i, e := range entries {
+		keys[i], vals[i] = e.Addr, e.State
+	}
+	if order <= 0 {
+		order = btree.DefaultOrder
+	}
+	t := btree.Bulk(order, keys, vals)
+	if err := t.Check(); err != nil {
+		r.errf("C-BTREE", -1, "btree", "structural check failed: %v", err)
+		return
+	}
+	if t.Len() != len(entries) {
+		r.errf("C-BTREE", -1, "btree", "tree holds %d keys for %d entries", t.Len(), len(entries))
+	}
+	for _, e := range entries {
+		got, ok := t.Get(e.Addr)
+		if !ok || got != e.State {
+			r.errf("C-BTREE", e.State, fmt.Sprintf("entry 0x%x", e.Addr), "lookup (%d,%v) != (%d,true)", got, ok, e.State)
+		}
+	}
+	// Minimal height for a maximally packed bulk-load: leaves hold up to
+	// `order` keys, inner nodes up to order+1 children.
+	height, capacity := 1, order
+	for capacity < len(entries) {
+		capacity *= order + 1
+		height++
+	}
+	if len(entries) > 0 && t.Height() > height {
+		r.errf("C-BTREE", -1, "btree", "height %d exceeds the bulk-load minimum %d for %d entries", t.Height(), height, len(entries))
+	}
+}

@@ -1,0 +1,37 @@
+package verify
+
+import (
+	"fmt"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/core"
+)
+
+// Image audits a serialized TEA image end-to-end: decode it against the
+// program image, then run every automaton rule (including the CFG rules)
+// and every compiled rule over the result. Anything core.Decode accepts
+// must pass both rule families, or the findings say which rule rejected
+// it and where.
+//
+// A decode rejection is itself reported as a W-DEC finding carrying the
+// byte offset and field from the *core.DecodeError, so fuzzers and the CI
+// gate handle "rejected" and "decoded but structurally bad" through one
+// interface.
+func Image(data []byte, cache *cfg.Cache, cfg core.LookupConfig) *Report {
+	r := &Report{}
+	a, err := core.Decode(data, cache)
+	if err != nil {
+		f := Finding{Rule: "W-DEC", Severity: Error, State: -1, Offset: -1,
+			Locus: "image", Msg: err.Error()}
+		if de, ok := err.(*core.DecodeError); ok {
+			f.Offset = de.Offset
+			f.Locus = fmt.Sprintf("offset %d (%s)", de.Offset, de.Field)
+		}
+		r.add(f)
+		return r
+	}
+	r.Merge(Automaton(a, cache))
+	r.Merge(Compiled(core.Compile(a, cfg)))
+	r.normalize()
+	return r
+}

@@ -2,8 +2,11 @@
 # Repository verification gate: static checks, the full test suite under the
 # race detector (which covers the sharded parallel-replay tests), a
 # one-iteration smoke of every benchmark so the bench code cannot rot
-# silently, and a short fuzz run over the wire-format decoder (the
-# robustness surface most exposed to hostile input). Run from the repo root:
+# silently, a short fuzz run over the wire-format decoder (the robustness
+# surface most exposed to hostile input), the tealint failure-semantics
+# ratchet, and the static-verifier gate: every checked-in valid corpus image
+# must verify with zero findings, and the known-bad image (decodes cleanly,
+# CFG-impossible link) must be flagged. Run from the repo root:
 #
 #   ./scripts/ci.sh
 set -euo pipefail
@@ -14,3 +17,24 @@ go test -race ./...
 go test -race -run 'Parallel' . ./internal/core
 go test -run='^$' -bench=. -benchtime=1x ./...
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=10s ./internal/core
+
+# Failure-semantics lint: no panic sites or exported no-error functions
+# beyond cmd/tealint/baseline.txt.
+go run ./cmd/tealint
+
+# Static-verifier gate. Built as a binary so the exact exit code is visible
+# (`go run` collapses every nonzero status to 1).
+bin="$(mktemp -d)"
+trap 'rm -rf "$bin"' EXIT
+go build -o "$bin/teadump" ./cmd/teadump
+for f in internal/core/testdata/decode_corpus/*-valid.bin; do
+    "$bin/teadump" -bench figure2 -verify "$f"
+done
+# Negative test: the forged image must decode yet fail verification (exit 3).
+rc=0
+"$bin/teadump" -bench figure2 -verify internal/verify/testdata/badcfg.bin || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "ci: badcfg.bin should exit 3 (verifier findings), got $rc" >&2
+    exit 1
+fi
+echo "ci: verify gate ok"

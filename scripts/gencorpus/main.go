@@ -5,10 +5,16 @@
 // the files back, so every class of corruption the decoder must reject
 // stays covered by plain `go test`.
 //
+// It also emits internal/verify/testdata/badcfg.bin: an image that decodes
+// cleanly (all structural checks pass) but carries a same-trace link that
+// is impossible in the program's CFG. The static verifier must flag it
+// (A-CFG); scripts/ci.sh uses it as the negative test for the verify gate.
+//
 // Usage: go run ./scripts/gencorpus
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -17,11 +23,14 @@ import (
 	"github.com/lsc-tea/tea/internal/core"
 	"github.com/lsc-tea/tea/internal/cpu"
 	"github.com/lsc-tea/tea/internal/faultinject"
+	"github.com/lsc-tea/tea/internal/isa"
 	"github.com/lsc-tea/tea/internal/progs"
 	"github.com/lsc-tea/tea/internal/trace"
+	"github.com/lsc-tea/tea/internal/verify"
 )
 
 const outDir = "internal/core/testdata/decode_corpus"
+const badDir = "internal/verify/testdata"
 
 func main() {
 	if err := run(); err != nil {
@@ -55,7 +64,62 @@ func run() error {
 			}
 		}
 	}
-	return nil
+	bad, err := makeBadCFG(p)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(badDir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(badDir, "badcfg.bin"), bad, 0o644)
+}
+
+// makeBadCFG records an mret TEA and forges one same-trace link that skips
+// an intermediate block — structurally valid wire format, impossible in the
+// CFG. It proves the forgery both decodes and trips A-CFG before returning
+// it, so the checked-in negative test can never go stale silently.
+func makeBadCFG(p *isa.Program) ([]byte, error) {
+	s, _ := trace.NewStrategy("mret", p, trace.Config{HotThreshold: 30})
+	set, _, err := trace.Record(cpu.New(p), cfg.StarDBT, s, 0)
+	if err != nil {
+		return nil, err
+	}
+	cache := cfg.NewCache(p, cfg.StarDBT)
+	for _, tr := range set.Traces {
+		for i := 0; i+2 < len(tr.TBBs); i++ {
+			from, to := tr.TBBs[i], tr.TBBs[i+2]
+			if _, linked := from.Succs[to.Block.Head]; linked {
+				continue
+			}
+			if err := from.Link(to); err != nil {
+				continue
+			}
+			data, err := core.Encode(core.Build(set))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := core.Decode(data, cache); err != nil {
+				delete(from.Succs, to.Block.Head)
+				continue
+			}
+			r := verify.Image(data, cache, core.ConfigGlobalLocal)
+			if r.OK() || !hasErrRule(r, "A-CFG") {
+				delete(from.Succs, to.Block.Head)
+				continue
+			}
+			return data, nil
+		}
+	}
+	return nil, errors.New("no trace admits a decodable CFG-impossible link")
+}
+
+func hasErrRule(r *verify.Report, rule string) bool {
+	for _, f := range r.Findings {
+		if f.Rule == rule && f.Severity == verify.Error {
+			return true
+		}
+	}
+	return false
 }
 
 func write(name string, data []byte) error {

@@ -44,6 +44,7 @@ import (
 	"github.com/lsc-tea/tea/internal/teatool"
 	"github.com/lsc-tea/tea/internal/trace"
 	"github.com/lsc-tea/tea/internal/ucsim"
+	"github.com/lsc-tea/tea/internal/verify"
 	"github.com/lsc-tea/tea/internal/workload"
 )
 
@@ -399,4 +400,35 @@ func RunDBT(p *Program, strategy string, c TraceConfig) (*TraceSet, uint64, floa
 		return nil, 0, 0, err
 	}
 	return res.Set, res.TraceBytes, res.Coverage(), nil
+}
+
+// Verification (static analysis over the three TEA representations).
+type (
+	// VerifyReport is an ordered, diffable collection of rule findings.
+	VerifyReport = verify.Report
+	// VerifyFinding is one rule violation (rule ID, severity, locus).
+	VerifyFinding = verify.Finding
+)
+
+// Verify statically checks an automaton — and its compiled form — against
+// the paper's invariants without replaying: determinism (Algorithm 1),
+// state/TBB bijection, trace linearity, entry-table soundness,
+// reachability, NTE-soundness, CFG consistency against the program image
+// (pass nil to skip the image rules), plus the full compiled-form audit
+// including a structural-equivalence proof between Compile(a, c) and a.
+func Verify(a *Automaton, p *Program, c LookupConfig) *VerifyReport {
+	var cache *cfg.Cache
+	if p != nil {
+		cache = cfg.NewCache(p, cfg.StarDBT)
+	}
+	r := verify.Automaton(a, cache)
+	r.Merge(verify.Compiled(core.Compile(a, c)))
+	return r
+}
+
+// VerifyImage audits a serialized TEA end-to-end: decode against the
+// program, then run every automaton and compiled rule over the result. A
+// decode rejection surfaces as a W-DEC finding carrying the byte offset.
+func VerifyImage(data []byte, p *Program, c LookupConfig) *VerifyReport {
+	return verify.Image(data, cfg.NewCache(p, cfg.StarDBT), c)
 }
