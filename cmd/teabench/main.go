@@ -12,6 +12,7 @@
 //	teabench -bench gcc,swim     # subset of benchmarks
 //	teabench -threshold 50       # hot threshold
 //	teabench -replaybench BENCH_replay.json  # replay hot-path ns/edge + allocs/edge
+//	teabench -recordbench BENCH_record.json  # recording hot-path ns/edge + allocs/edge
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as JSON instead of tables")
 	list := flag.Bool("list", false, "list the synthetic benchmarks and exit")
 	replayBench := flag.String("replaybench", "", "run the replay micro-benchmark and write machine-readable results to this file (e.g. BENCH_replay.json)")
+	recordBench := flag.String("recordbench", "", "run the recording micro-benchmark and write machine-readable results to this file (e.g. BENCH_record.json)")
 	flag.Parse()
 	emitJSON = *jsonOut
 
@@ -83,6 +85,27 @@ func main() {
 		fmt.Printf("=== Replay hot path: ns/edge and allocs/edge ===\n")
 		fmt.Println(res.Render())
 		fmt.Fprintf(os.Stderr, "teabench: wrote %s\n", *replayBench)
+		return
+	}
+
+	if *recordBench != "" {
+		res, err := expr.RunRecordBench(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*recordBench, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== Recording hot path: ns/edge and allocs/edge ===\n")
+		fmt.Println(res.Render())
+		fmt.Fprintf(os.Stderr, "teabench: wrote %s\n", *recordBench)
 		return
 	}
 

@@ -57,6 +57,12 @@ type Block struct {
 	Bytes uint64
 	// Term is the terminating instruction.
 	Term *isa.Instr
+	// BackSrc precomputes whether Term, when taken, is a direct backward
+	// branch (not indirect, not a call, target at or before the branch):
+	// the loop back-edge test the trace selectors apply per edge, hoisted
+	// to decode time so the hot paths read one flag instead of re-deriving
+	// it from the terminator.
+	BackSrc bool
 }
 
 // FallThrough returns the address control reaches when the terminator does
@@ -129,17 +135,27 @@ func (c *Cache) decode(head uint64) (*Block, error) {
 		b.End = in.Addr
 		b.Term = in
 		if c.ends(in) {
+			b.sealTerm()
 			return b, nil
 		}
 		next, ok := c.prog.At(in.Next())
 		if !ok {
 			// Fell off the program text: treat the last instruction as the
 			// terminator; the machine will fault if control really goes there.
+			b.sealTerm()
 			return b, nil
 		}
 		in = next
 	}
+	b.sealTerm()
 	return b, nil
+}
+
+// sealTerm derives the terminator-dependent flags once the block's extent
+// is final.
+func (b *Block) sealTerm() {
+	t := b.Term
+	b.BackSrc = !t.IsIndirect() && t.IsBranch() && !t.IsCall() && t.Target <= t.Addr
 }
 
 // ends reports whether in terminates a block under the cache's discipline.

@@ -75,19 +75,23 @@ func (s *State) Name() string {
 
 func (s *State) String() string { return s.Name() }
 
-// setTrans replaces the state's transition table from a label→target map.
-func (s *State) setTrans(m map[uint64]StateID) {
-	s.labels = s.labels[:0]
-	s.targets = s.targets[:0]
-	keys := make([]uint64, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// insertTrans adds (or rebinds) one transition, keeping the label slice
+// sorted. States hold at most a handful of transitions, so the shifting
+// insert is cheaper than any rebuild — and it is what makes SyncTrace cost
+// O(changed edges) instead of O(trace).
+func (s *State) insertTrans(label uint64, target StateID) {
+	n := len(s.labels)
+	i := sort.Search(n, func(i int) bool { return s.labels[i] >= label })
+	if i < n && s.labels[i] == label {
+		s.targets[i] = target
+		return
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, k := range keys {
-		s.labels = append(s.labels, k)
-		s.targets = append(s.targets, m[k])
-	}
+	s.labels = append(s.labels, 0)
+	copy(s.labels[i+1:], s.labels[i:])
+	s.labels[i] = label
+	s.targets = append(s.targets, 0)
+	copy(s.targets[i+1:], s.targets[i:])
+	s.targets[i] = target
 }
 
 // Automaton is a TEA: the state set plus the trace-entry table.
@@ -100,7 +104,30 @@ type Automaton struct {
 	// linking.
 	entries map[uint64]StateID
 
+	// entriesCache is the sorted rendering of entries, rebuilt lazily when
+	// entriesDirty: Entries() is called from verifier and dump loops and
+	// must not pay a sort-and-allocate per call.
+	entriesCache []Entry
+	entriesDirty bool
+
+	// synced remembers, per trace, how much of the trace (TBB count and
+	// link-log length) this automaton has already folded in, so SyncTrace
+	// applies only the delta.
+	synced map[*trace.Trace]syncMark
+
+	// version counts structural mutations (SyncTrace calls): consumers that
+	// compile the automaton into a flat form (the batched recording path)
+	// compare it against their build stamp to know when to rebuild.
+	version uint64
+
 	set *trace.Set
+}
+
+// syncMark is the high-water mark of one trace's state already mirrored
+// into the automaton.
+type syncMark struct {
+	tbbs  int
+	links int
 }
 
 // NewAutomaton creates a TEA containing only the NTE state (Algorithm 2's
@@ -110,6 +137,7 @@ func NewAutomaton(set *trace.Set) *Automaton {
 		states:  []*State{{ID: NTE}},
 		byTBB:   make(map[*trace.TBB]StateID),
 		entries: make(map[uint64]StateID),
+		synced:  make(map[*trace.Trace]syncMark),
 		set:     set,
 	}
 }
@@ -163,14 +191,22 @@ func (a *Automaton) EntryFor(addr uint64) (StateID, bool) {
 }
 
 // Entries returns the entry table as (address, head state) pairs in
-// ascending address order.
+// ascending address order. The slice is cached and invalidated by
+// SyncTrace; callers must treat it as read-only.
 func (a *Automaton) Entries() []Entry {
-	out := make([]Entry, 0, len(a.entries))
-	for addr, id := range a.entries {
-		out = append(out, Entry{addr, id})
+	if a.entriesDirty || a.entriesCache == nil {
+		out := a.entriesCache[:0]
+		if cap(out) < len(a.entries) {
+			out = make([]Entry, 0, len(a.entries))
+		}
+		for addr, id := range a.entries {
+			out = append(out, Entry{addr, id})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+		a.entriesCache = out
+		a.entriesDirty = false
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
-	return out
+	return a.entriesCache
 }
 
 // Entry is one NTE→trace transition: a trace entry address and its head
@@ -181,27 +217,85 @@ type Entry struct {
 }
 
 // SyncTrace brings the automaton up to date with t: states are created for
-// any new TBB instances, the in-trace transition tables of all of t's
-// states are recomputed, and the entry table learns t's entry address. It
+// any new TBB instances, the new link events of t's change log are applied
+// as transition deltas, and the entry table learns t's entry address. It
 // is what the online recorder calls each time a trace is created or
 // extended, and what Build calls per trace.
+//
+// The sync is incremental: the automaton remembers how many TBBs and link
+// events of t it has already mirrored, so extending an N-TBB trace by one
+// block costs O(new edges), not O(N) map rebuilds. Replaying the link-log
+// suffix reproduces exactly the successor tables the TBBs hold, because
+// the log records every effective Succs mutation in application order. The
+// first sync of a trace reads the Succs maps themselves instead — for a
+// well-formed trace the two are identical (the log's final state *is* the
+// Succs content), and it keeps the automaton faithful to traces whose
+// successor tables were populated outside Link (hand-built or corrupted
+// fixtures the static verifier must still see).
 func (a *Automaton) SyncTrace(t *trace.Trace) {
-	for _, tbb := range t.TBBs {
-		if _, ok := a.byTBB[tbb]; !ok {
-			id := StateID(len(a.states))
-			a.states = append(a.states, &State{ID: id, TBB: tbb})
-			a.byTBB[tbb] = id
+	mark, seen := a.synced[t]
+	tbbs := t.TBBs
+	for _, tbb := range tbbs[mark.tbbs:] {
+		if _, ok := a.byTBB[tbb]; ok {
+			continue
+		}
+		id := StateID(len(a.states))
+		a.states = append(a.states, &State{ID: id, TBB: tbb})
+		a.byTBB[tbb] = id
+	}
+	log := t.LinkLog()
+	if !seen {
+		for _, tbb := range tbbs {
+			from := a.states[a.byTBB[tbb]]
+			for label, succ := range tbb.Succs {
+				from.insertTrans(label, a.byTBB[succ])
+			}
+		}
+	} else {
+		for _, ev := range log[mark.links:] {
+			a.states[a.byTBB[ev.From]].insertTrans(ev.Label, a.byTBB[ev.To])
 		}
 	}
-	for _, tbb := range t.TBBs {
-		id := a.byTBB[tbb]
-		m := make(map[uint64]StateID, len(tbb.Succs))
-		for label, succ := range tbb.Succs {
-			m[label] = a.byTBB[succ]
-		}
-		a.states[id].setTrans(m)
+	head := a.byTBB[t.Head()]
+	if old, ok := a.entries[t.EntryAddr()]; !ok || old != head {
+		a.entries[t.EntryAddr()] = head
+		a.entriesDirty = true
 	}
-	a.entries[t.EntryAddr()] = a.byTBB[t.Head()]
+	a.synced[t] = syncMark{tbbs: len(tbbs), links: len(log)}
+	a.version++
+}
+
+// Clone returns a deep copy of the automaton's own structure: states,
+// transition tables, entry table and sync marks. The copy shares the
+// (append-only) trace set and TBB objects with the original, so it remains
+// a valid automaton over the same traces; the online recorder uses it to
+// publish read-only snapshots while recording continues on the original.
+func (a *Automaton) Clone() *Automaton {
+	c := &Automaton{
+		states:       make([]*State, len(a.states)),
+		byTBB:        make(map[*trace.TBB]StateID, len(a.byTBB)),
+		entries:      make(map[uint64]StateID, len(a.entries)),
+		entriesDirty: true,
+		synced:       make(map[*trace.Trace]syncMark, len(a.synced)),
+		version:      a.version,
+		set:          a.set,
+	}
+	for i, s := range a.states {
+		ns := &State{ID: s.ID, TBB: s.TBB}
+		ns.labels = append([]uint64(nil), s.labels...)
+		ns.targets = append([]StateID(nil), s.targets...)
+		c.states[i] = ns
+	}
+	for k, v := range a.byTBB {
+		c.byTBB[k] = v
+	}
+	for k, v := range a.entries {
+		c.entries[k] = v
+	}
+	for k, v := range a.synced {
+		c.synced[k] = v
+	}
+	return c
 }
 
 // Transition is one logical DFA transition for inspection: from --label-->

@@ -220,7 +220,10 @@ func TestSequentialReplayMatchesNoLocalCompiled(t *testing.T) {
 }
 
 // TestAddEntryReusesCaches is the cache-invalidation satellite: AddEntry
-// must flush the local caches in place, not drop them for reallocation.
+// must invalidate the local caches without dropping them for reallocation.
+// Under the generation scheme the flush is lazy — it happens in place the
+// next time the cache is consulted — so the observable contract is: same
+// cache object, and no stale (negative) entry survives past AddEntry.
 func TestAddEntryReusesCaches(t *testing.T) {
 	a, _ := buildTestAutomaton(t)
 	r := NewReplayer(a, ConfigGlobalLocal)
@@ -250,17 +253,27 @@ func TestAddEntryReusesCaches(t *testing.T) {
 	if len(r.caches) == 0 {
 		t.Fatal("AddEntry dropped the cache slice")
 	}
+	// The stale negative entry must be gone: the lookup now hits the new
+	// entry (the lazy flush runs before the cache is consulted).
+	if got := r.resolve(sid, 0x999999); got != sid {
+		t.Fatalf("resolve after AddEntry = %d, want %d", got, sid)
+	}
 	after := r.caches[sid]
 	if after != before {
-		t.Fatal("AddEntry reallocated the cache instead of flushing it")
+		t.Fatal("AddEntry reallocated the cache instead of flushing it in place")
 	}
+	// The flush zeroed every slot; only the slot the post-AddEntry resolve
+	// re-populated may be live, and it must hold the fresh entry.
+	live := after.slot(0x999999)
 	for i := range after.labels {
+		if i == live {
+			continue
+		}
 		if after.labels[i] != 0 || after.targets[i] != NTE {
 			t.Fatalf("cache slot %d not flushed: label=0x%x target=%d", i, after.labels[i], after.targets[i])
 		}
 	}
-	// The negative entry must be gone: the lookup now hits the new entry.
-	if got := r.resolve(sid, 0x999999); got != sid {
-		t.Fatalf("resolve after AddEntry = %d, want %d", got, sid)
+	if after.labels[live] != 0x999999 || after.targets[live] != sid {
+		t.Fatalf("fresh entry not cached: label=0x%x target=%d", after.labels[live], after.targets[live])
 	}
 }

@@ -1,0 +1,120 @@
+package core
+
+// entryTab is a flat open-addressed shadow of the replayer's entry index,
+// consulted by the batched fast path (trace.AutoView aliases its storage)
+// in place of the configurable EntryIndex. The paper's global containers
+// (b-tree, sorted table, list, hash) model what a DBT pays per lookup and
+// are measured via their probe counters; the batched recorder amortizes
+// that cost by keeping a contiguous label→state table that is updated on
+// every AddEntry, the way a production DBT shadows its dispatch table with
+// an inline cache. Results are identical to EntryIndex.Lookup by
+// construction: both are written at exactly the AddEntry sites (plus
+// construction-time seeding).
+//
+// Targets are stored as raw int32 (not StateID) so the slices can be lent
+// to trace.AutoView without a copy; the hash function must stay identical
+// to trace.HashAddr for the aliased probes to agree slot-for-slot.
+//
+// Key 0 cannot live in the table (it marks an empty slot); a real entry at
+// address 0 is displaced to a dedicated field. The table only ever grows —
+// entries are added or overwritten, never removed.
+type entryTab struct {
+	keys    []uint64
+	targets []int32
+	n       int
+
+	zeroLive  bool
+	zeroState int32
+}
+
+// entryTabMinSize is the initial capacity (power of two).
+const entryTabMinSize = 64
+
+// hashEntryAddr mixes an entry address into a slot index seed (splitmix64
+// finalizer: block addresses are small and regular, the low bits need the
+// avalanche).
+func hashEntryAddr(a uint64) uint64 {
+	a ^= a >> 30
+	a *= 0xbf58476d1ce4e5b9
+	a ^= a >> 27
+	a *= 0x94d049bb133111eb
+	a ^= a >> 31
+	return a
+}
+
+// get returns the head state recorded for addr, if any.
+func (t *entryTab) get(addr uint64) (StateID, bool) {
+	if addr == 0 {
+		return StateID(t.zeroState), t.zeroLive
+	}
+	if len(t.keys) == 0 {
+		return NTE, false
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := hashEntryAddr(addr) & mask
+	for {
+		k := t.keys[i]
+		if k == addr {
+			return StateID(t.targets[i]), true
+		}
+		if k == 0 {
+			return NTE, false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// put inserts or overwrites addr's head state.
+func (t *entryTab) put(addr uint64, s StateID) {
+	if addr == 0 {
+		t.zeroLive = true
+		t.zeroState = int32(s)
+		return
+	}
+	// Grow at 50% load (not the usual 75%): the fused scans probe this
+	// table once per cold edge with the home slot inlined, so keeping
+	// displacement rare buys more than the extra few KB costs.
+	if (t.n+1)*2 >= len(t.keys) {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := hashEntryAddr(addr) & mask
+	for {
+		k := t.keys[i]
+		if k == addr {
+			t.targets[i] = int32(s)
+			return
+		}
+		if k == 0 {
+			t.keys[i] = addr
+			t.targets[i] = int32(s)
+			t.n++
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (t *entryTab) grow() {
+	size := len(t.keys) * 2
+	if size == 0 {
+		size = entryTabMinSize
+	}
+	old, oldT := t.keys, t.targets
+	t.keys = make([]uint64, size)
+	t.targets = make([]int32, size)
+	t.n = 0
+	mask := uint64(size - 1)
+	for i, k := range old {
+		if k == 0 {
+			continue
+		}
+		j := hashEntryAddr(k) & mask
+		for t.keys[j] != 0 {
+			j = (j + 1) & mask
+		}
+		t.keys[j] = k
+		t.targets[j] = oldT[i]
+		t.n++
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/trace"
+)
+
+// TestEntryHashMatchesTrace pins the slot-agreement contract between the
+// replayer's entry table and the view lent to the strategies' fused scans:
+// trace.AutoView probes the aliased key/target arrays with trace.HashAddr,
+// so the two hash functions must be bit-identical or probes would start
+// from different home slots.
+func TestEntryHashMatchesTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		a := rng.Uint64()
+		if i < 256 {
+			a = uint64(i) // small, regular addresses — the realistic shape
+		}
+		if got, want := hashEntryAddr(a), trace.HashAddr(a); got != want {
+			t.Fatalf("hashEntryAddr(%#x) = %#x, trace.HashAddr = %#x", a, got, want)
+		}
+	}
+}
+
+// TestEntryTabMatchesMap drives entryTab and a reference map through the
+// same random put/get sequence — overwrites, growth across doublings, and
+// the displaced zero key included.
+func TestEntryTabMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var et entryTab
+	ref := map[uint64]StateID{}
+	keys := make([]uint64, 300)
+	for i := range keys {
+		keys[i] = rng.Uint64() >> 40
+	}
+	keys[0] = 0
+	for op := 0; op < 10000; op++ {
+		k := keys[rng.Intn(len(keys))]
+		if rng.Intn(2) == 0 {
+			s := StateID(rng.Intn(1000) + 1)
+			ref[k] = s
+			et.put(k, s)
+		}
+		got, ok := et.get(k)
+		want, wok := ref[k]
+		if ok != wok || (ok && got != want) {
+			t.Fatalf("op %d: get(%#x) = %d,%v; want %d,%v", op, k, got, ok, want, wok)
+		}
+	}
+}
+
+// TestFillViewAliasesEntryTab checks the zero-copy lending contract: the
+// view the replayer hands to a fused scan must alias the entry table's own
+// storage (not a snapshot), so entries added by a sync are visible to the
+// next scan without any rebuild.
+func TestFillViewAliasesEntryTab(t *testing.T) {
+	a, _ := buildTestAutomaton(t)
+	r := NewReplayer(a, ConfigGlobalLocal)
+	var v trace.AutoView
+	r.fillView(&v)
+	if len(v.EKeys) == 0 || len(r.etab.keys) == 0 {
+		t.Fatal("entry table empty; test automaton has no entries")
+	}
+	if &v.EKeys[0] != &r.etab.keys[0] || &v.EVals[0] != &r.etab.targets[0] {
+		t.Fatal("view copies the entry table instead of aliasing it")
+	}
+	if v.EZeroLive != r.etab.zeroLive || v.EVals[0] != r.etab.targets[0] {
+		t.Fatal("view zero-key state diverges from the table's")
+	}
+	// Every automaton entry must be reachable through the aliased arrays at
+	// the slot trace.HashAddr names (linear probe from the home slot).
+	mask := uint64(len(v.EKeys) - 1)
+	for _, e := range a.Entries() {
+		i := trace.HashAddr(e.Addr) & mask
+		for v.EKeys[i] != e.Addr {
+			if v.EKeys[i] == 0 {
+				t.Fatalf("entry %#x unreachable from its home slot", e.Addr)
+			}
+			i = (i + 1) & mask
+		}
+		if StateID(v.EVals[i]) != e.State {
+			t.Fatalf("entry %#x maps to state %d in the view, %d in the automaton", e.Addr, v.EVals[i], e.State)
+		}
+	}
+}

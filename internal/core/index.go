@@ -233,11 +233,14 @@ func (s *sortedIndex) Len() int       { return len(s.addrs) }
 
 // localCache is one state's direct-mapped cache of resolved trace-entry
 // targets. Both positive and negative results are cached (see
-// Replayer.resolve); AddEntry flushes every cache so a negative entry can
-// never mask a trace created later.
+// Replayer.resolve); AddEntry bumps the replayer's generation, and a cache
+// whose gen stamp lags is flushed before its next use, so a negative entry
+// can never mask a trace created later.
 type localCache struct {
 	labels  []uint64
 	targets []StateID
+	// gen is the replayer generation this cache was last valid for.
+	gen uint64
 }
 
 func newLocalCache(size int) *localCache {

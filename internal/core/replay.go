@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/lsc-tea/tea/internal/btree"
+	"github.com/lsc-tea/tea/internal/cfg"
 	"github.com/lsc-tea/tea/internal/trace"
 )
 
@@ -25,6 +26,40 @@ type Replayer struct {
 	cur      StateID
 	desynced bool
 	stats    Stats
+
+	// gen is the local-cache generation. AddEntry bumps it instead of
+	// walking and zeroing every allocated cache; a cache whose stamp lags
+	// behind gen is flushed lazily on its next use (see cacheFor), which is
+	// observably identical to the old eager flush-all.
+	gen uint64
+
+	// etab shadows the entry index for the batched fast path (advanceRun):
+	// a flat open-addressed label→state table written at exactly the sites
+	// that write the index, so lookups agree by construction. The
+	// configurable EntryIndex (and its probe accounting) remains the
+	// per-edge reference path.
+	etab entryTab
+
+	// flat* is the compiled transition view lent to the strategies' fused
+	// batch scans (trace.AutoView) — the recording analogue of
+	// CompiledReplayer's arrays. Per-state label and target slices are
+	// packed into two contiguous arrays indexed by flatStart[state]; labels
+	// stay sorted, so lookups search one cache-resident span instead of
+	// chasing per-State objects. flatWild/flatSuccA/flatSuccB precompute the
+	// plausible-successor test per state. The view is stamped with the
+	// automaton's version and rebuilt lazily after a sync, so steady-state
+	// recording (no syncs) never rebuilds or allocates.
+	flatVersion uint64
+	flatStart   []int32
+	flatLabels  []uint64
+	flatTargets []int32
+	flatTBBs     []*trace.TBB
+	flatRoot     []bool
+	flatWild     []bool
+	flatSuccA    []uint64
+	flatSuccB    []uint64
+	flatSrcBlock []*cfg.Block
+	flatSrcBack  []bool
 }
 
 // Stats aggregates the counters of one replayed (or recorded) execution.
@@ -100,6 +135,9 @@ func NewReplayer(a *Automaton, cfg LookupConfig) *Replayer {
 			r.index.Insert(e.Addr, e.State)
 		}
 	}
+	for _, e := range entries {
+		r.etab.put(e.Addr, e.State)
+	}
 	r.index.ResetProbes()
 	return r
 }
@@ -138,17 +176,17 @@ func (r *Replayer) Reset() {
 
 // AddEntry registers a trace entry created after the replayer was built
 // (used by the online recorder as traces finish). All local caches are
-// flushed: they may hold negative entries for the new trace's address. The
-// cache slots themselves are zeroed in place and reused — the online
-// recorder calls this once per created trace, and reallocating the whole
-// cache array each time was measurable churn on record-heavy runs.
+// logically flushed: they may hold negative entries for the new trace's
+// address. The flush is O(1) — a generation bump — rather than a walk over
+// every allocated cache: each cache is zeroed lazily the next time it is
+// consulted, and until then its contents are unreachable, which is
+// equivalent to the old eager flush. The online recorder calls this once
+// per created trace, so on record-heavy runs the old O(states) walk was
+// quadratic in the trace count.
 func (r *Replayer) AddEntry(addr uint64, s StateID) {
 	r.index.Insert(addr, s)
-	for _, c := range r.caches {
-		if c != nil {
-			c.flush()
-		}
-	}
+	r.etab.put(addr, s)
+	r.gen++
 }
 
 // Advance consumes one edge of the dynamic block stream: the previous block
@@ -196,6 +234,127 @@ func (r *Replayer) Advance(label uint64, instrs uint64) StateID {
 	}
 	r.cur = next
 	return next
+}
+
+// buildFlat (re)compiles the automaton's per-state transition tables into
+// the contiguous flat arrays the fused batch scans dispatch on. Called only
+// when the automaton's version moved past the view's stamp — i.e. after a
+// sync — so the recording steady state never pays it.
+func (r *Replayer) buildFlat() {
+	a := r.a
+	n := len(a.states)
+	total := 0
+	for _, s := range a.states {
+		total += len(s.labels)
+	}
+	if cap(r.flatStart) < n+1 {
+		r.flatStart = make([]int32, n+1, 2*(n+1))
+	} else {
+		r.flatStart = r.flatStart[:n+1]
+	}
+	if cap(r.flatLabels) < total {
+		r.flatLabels = make([]uint64, total, 2*total)
+		r.flatTargets = make([]int32, total, 2*total)
+	} else {
+		r.flatLabels = r.flatLabels[:total]
+		r.flatTargets = r.flatTargets[:total]
+	}
+	if cap(r.flatTBBs) < n {
+		r.flatTBBs = make([]*trace.TBB, n, 2*n)
+		r.flatRoot = make([]bool, n, 2*n)
+		r.flatWild = make([]bool, n, 2*n)
+		r.flatSuccA = make([]uint64, n, 2*n)
+		r.flatSuccB = make([]uint64, n, 2*n)
+		r.flatSrcBlock = make([]*cfg.Block, n, 2*n)
+		r.flatSrcBack = make([]bool, n, 2*n)
+	} else {
+		r.flatTBBs = r.flatTBBs[:n]
+		r.flatRoot = r.flatRoot[:n]
+		r.flatWild = r.flatWild[:n]
+		r.flatSuccA = r.flatSuccA[:n]
+		r.flatSuccB = r.flatSuccB[:n]
+		r.flatSrcBlock = r.flatSrcBlock[:n]
+		r.flatSrcBack = r.flatSrcBack[:n]
+	}
+	off := 0
+	for i, s := range a.states {
+		r.flatStart[i] = int32(off)
+		copy(r.flatLabels[off:], s.labels)
+		for j, tg := range s.targets {
+			r.flatTargets[off+j] = int32(tg)
+		}
+		r.flatTBBs[i] = s.TBB
+		// Precompute plausibleSuccessor per state: an impossible label (^0)
+		// fills the absent slots, so the test is two compares and a flag.
+		wild, sa, sb := false, ^uint64(0), ^uint64(0)
+		var srcBlock *cfg.Block
+		srcBack := false
+		if s.TBB != nil {
+			b := s.TBB.Block
+			t := b.Term
+			wild = t.IsIndirect()
+			if t.IsBranch() {
+				sa = t.Target
+			}
+			if ft, ok := b.FallThrough(); ok {
+				sb = ft
+			}
+			srcBlock, srcBack = b, b.BackSrc
+		}
+		r.flatRoot[i] = s.TBB != nil && s.TBB.Index == 0
+		r.flatSrcBlock[i] = srcBlock
+		r.flatSrcBack[i] = srcBack
+		r.flatWild[i] = wild
+		r.flatSuccA[i] = sa
+		r.flatSuccB[i] = sb
+		off += len(s.labels)
+	}
+	r.flatStart[n] = int32(off)
+	r.flatVersion = a.version + 1
+}
+
+// fillView refreshes the fused-scan view: recompiles the flat arrays if the
+// automaton changed (a sync ran), re-aliases the entry-table storage (it
+// may have grown), loads the cursor, and zeroes the counter block. In the
+// recording steady state this is a handful of header copies — no
+// allocation, no table walk.
+func (r *Replayer) fillView(v *trace.AutoView) {
+	if r.flatVersion != r.a.version+1 {
+		r.buildFlat()
+	}
+	v.Cur = int32(r.cur)
+	v.Desynced = r.desynced
+	v.Start, v.Labels, v.Targets = r.flatStart, r.flatLabels, r.flatTargets
+	v.TBBs, v.Root = r.flatTBBs, r.flatRoot
+	v.SrcBlock, v.SrcBack = r.flatSrcBlock, r.flatSrcBack
+	v.Wild, v.SuccA, v.SuccB = r.flatWild, r.flatSuccA, r.flatSuccB
+	v.EKeys, v.EVals = r.etab.keys, r.etab.targets
+	v.EZeroLive, v.EZeroVal = r.etab.zeroLive, int32(r.etab.zeroState)
+	v.Blocks, v.Instrs, v.TraceBlocks, v.TraceInstrs = 0, 0, 0, 0
+	v.InTraceHits, v.Enters, v.Links, v.Exits = 0, 0, 0, 0
+	v.GlobalLookups, v.GlobalHits, v.Desyncs, v.Resyncs = 0, 0, 0, 0
+}
+
+// foldView folds a fused scan's results back: cursor, desync flag, and the
+// counter block accumulated by the strategy. The counters the resolve
+// closure mutates directly (LocalHits/Misses and its global lookups) are
+// disjoint from the folded ones.
+func (r *Replayer) foldView(v *trace.AutoView) {
+	r.cur = StateID(v.Cur)
+	r.desynced = v.Desynced
+	st := &r.stats
+	st.Blocks += v.Blocks
+	st.Instrs += v.Instrs
+	st.TraceBlocks += v.TraceBlocks
+	st.TraceInstrs += v.TraceInstrs
+	st.InTraceHits += v.InTraceHits
+	st.GlobalLookups += v.GlobalLookups
+	st.GlobalHits += v.GlobalHits
+	st.TraceEnters += v.Enters
+	st.TraceLinks += v.Links
+	st.TraceExits += v.Exits
+	st.Desyncs += v.Desyncs
+	st.Resyncs += v.Resyncs
 }
 
 // plausibleSuccessor reports whether control leaving tbb's block could
@@ -254,8 +413,8 @@ func (s *Stats) AccountTail(cur StateID, instrs uint64) {
 // paper's "No Global / Local" configuration beat "Global / No Local" on
 // average: once warm, trace-side transitions never search the global
 // container at all, leaving only the (cache-less) NTE state's lookups.
-// AddEntry flushes the caches, so a negative entry can never mask a trace
-// created later by the online recorder.
+// AddEntry invalidates the caches (by generation), so a negative entry can
+// never mask a trace created later by the online recorder.
 func (r *Replayer) resolve(from StateID, label uint64) StateID {
 	if r.cfg.Local {
 		c := r.cacheFor(from)
@@ -281,9 +440,10 @@ func (r *Replayer) lookupGlobal(label uint64) StateID {
 	return t
 }
 
-// cacheFor lazily allocates the local cache of a state. The cache slice
-// grows with the automaton so the online recorder can keep using the same
-// replayer as states are added.
+// cacheFor lazily allocates the local cache of a state and brings it up to
+// the current generation, flushing it if AddEntry ran since its last use.
+// The cache slice grows with the automaton so the online recorder can keep
+// using the same replayer as states are added.
 func (r *Replayer) cacheFor(s StateID) *localCache {
 	if int(s) >= len(r.caches) {
 		grown := make([]*localCache, r.a.NumStates())
@@ -293,7 +453,11 @@ func (r *Replayer) cacheFor(s StateID) *localCache {
 	c := r.caches[s]
 	if c == nil {
 		c = newLocalCache(r.cfg.LocalSize)
+		c.gen = r.gen
 		r.caches[s] = c
+	} else if c.gen != r.gen {
+		c.flush()
+		c.gen = r.gen
 	}
 	return c
 }

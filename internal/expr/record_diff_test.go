@@ -1,0 +1,297 @@
+package expr
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/pin"
+	"github.com/lsc-tea/tea/internal/teatool"
+	"github.com/lsc-tea/tea/internal/trace"
+	"github.com/lsc-tea/tea/internal/workload"
+)
+
+// recordDiffStrategies are every selection strategy the recorder accepts:
+// the three fused ones (mret, ctt, tt) and mfet, which has no fused scan
+// and therefore exercises ObserveBatch's sequential fallback.
+var recordDiffStrategies = []string{"mret", "ctt", "tt", "mfet"}
+
+// captureBench generates one calibrated benchmark and captures its dynamic
+// edge stream, the recording currency both recorder forms replay.
+func captureBench(t *testing.T, spec workload.Spec, target uint64) (*isa.Program, []cfg.Edge, []uint64) {
+	t.Helper()
+	p, err := workload.Generate(spec, target)
+	if err != nil {
+		t.Fatalf("%s: generate: %v", spec.Name, err)
+	}
+	capt := teatool.NewEdgeCaptureTool()
+	if _, err := pin.New().Run(p, capt, 0); err != nil {
+		t.Fatalf("%s: capture run: %v", spec.Name, err)
+	}
+	if len(capt.Edges()) == 0 {
+		t.Fatalf("%s: empty edge stream", spec.Name)
+	}
+	return p, capt.Edges(), capt.Instrs()
+}
+
+// newDiffRecorder builds a recorder for one strategy over the benchmark's
+// program symbols.
+func newDiffRecorder(t *testing.T, stratName string, p *isa.Program, tc trace.Config) *core.Recorder {
+	t.Helper()
+	strat, ok := trace.NewStrategy(stratName, p, tc)
+	if !ok {
+		t.Fatalf("unknown strategy %q", stratName)
+	}
+	return core.NewRecorder(strat, core.ConfigGlobalLocal)
+}
+
+// feedBatch replays the stream through ObserveBatch in chunks, so chunk
+// boundaries land at arbitrary stream positions (including mid-trace and
+// mid-recording) rather than only at the stream's ends.
+func feedBatch(rec *core.Recorder, edges []cfg.Edge, instrs []uint64, chunk int) {
+	for i := 0; i < len(edges); i += chunk {
+		j := i + chunk
+		if j > len(edges) {
+			j = len(edges)
+		}
+		rec.ObserveBatch(edges[i:j], instrs[i:j])
+	}
+}
+
+// diffRecorders asserts the two recorders are observably identical: same
+// Stats (every counter, including Desyncs/Resyncs), same recording state,
+// same trace set size, and byte-identical encoded automata.
+func diffRecorders(t *testing.T, label string, seq, bat *core.Recorder) {
+	t.Helper()
+	if s, b := *seq.Replayer().Stats(), *bat.Replayer().Stats(); s != b {
+		t.Errorf("%s: stats diverge:\n  sequential: %+v\n  batch:      %+v", label, s, b)
+	}
+	if s, b := seq.State(), bat.State(); s != b {
+		t.Errorf("%s: recording state %v (sequential) vs %v (batch)", label, s, b)
+	}
+	if s, b := seq.Set().NumTBBs(), bat.Set().NumTBBs(); s != b {
+		t.Errorf("%s: trace set %d TBBs (sequential) vs %d (batch)", label, s, b)
+	}
+	if s, b := seq.Replayer().Cur(), bat.Replayer().Cur(); s != b {
+		t.Errorf("%s: cursor %d (sequential) vs %d (batch)", label, s, b)
+	}
+	se, err := core.Encode(seq.Automaton())
+	if err != nil {
+		t.Fatalf("%s: encode sequential: %v", label, err)
+	}
+	be, err := core.Encode(bat.Automaton())
+	if err != nil {
+		t.Fatalf("%s: encode batch: %v", label, err)
+	}
+	if !bytes.Equal(se, be) {
+		t.Errorf("%s: encoded automata differ (%d vs %d bytes)", label, len(se), len(be))
+	}
+}
+
+// TestBatchRecorderMatchesSequential differentially tests ObserveBatch
+// against per-edge Observe over every workload and every strategy: after
+// any number of passes over the same stream, the two recorders must agree
+// on every Stats counter, the recording state, the trace set, and the
+// byte-exact encoded automaton.
+func TestBatchRecorderMatchesSequential(t *testing.T) {
+	specs := workload.Benchmarks()
+	if testing.Short() {
+		specs = nil
+		for _, name := range []string{"171.swim", "176.gcc", "181.mcf", "253.perlbmk"} {
+			s, _ := workload.ByName(name)
+			specs = append(specs, s)
+		}
+	}
+	const target = 150_000
+	tc := trace.Config{HotThreshold: DefaultHotThreshold}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			p, edges, instrs := captureBench(t, spec, target)
+			for _, strat := range recordDiffStrategies {
+				seq := newDiffRecorder(t, strat, p, tc)
+				bat := newDiffRecorder(t, strat, p, tc)
+				// Pass 1 is event-heavy (counters warm up, traces are created
+				// and extended mid-stream); pass 2 is the warm steady state.
+				// Different chunk sizes move the batch boundaries between
+				// passes.
+				for pass, chunk := range []int{97, 256} {
+					for i := range edges {
+						seq.Observe(edges[i], instrs[i])
+					}
+					feedBatch(bat, edges, instrs, chunk)
+					diffRecorders(t, spec.Name+"/"+strat+"/pass"+string(rune('1'+pass)), seq, bat)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchRecorderMatchesSequentialAfterForce injects a desync mid-stream
+// — both recorders' cursors are forced to the same wrong state, so the next
+// transition is implausible — and checks the two forms agree on the
+// degradation counters too: Desyncs is incremented when the impossible
+// transition is observed and Resyncs when a trace is re-acquired, and the
+// recorders stay byte-identical through the whole episode. Forcing the
+// replayer alone also breaks the fused scan's lockstep invariant (the
+// strategy's cursor no longer mirrors the automaton's), exercising
+// ObserveBatch's sequential reconvergence path.
+func TestBatchRecorderMatchesSequentialAfterForce(t *testing.T) {
+	spec, _ := workload.ByName("176.gcc")
+	const target = 150_000
+	tc := trace.Config{HotThreshold: DefaultHotThreshold}
+	p, edges, instrs := captureBench(t, spec, target)
+	half := len(edges) / 2
+
+	for _, strat := range []string{"mret", "ctt"} {
+		seq := newDiffRecorder(t, strat, p, tc)
+		bat := newDiffRecorder(t, strat, p, tc)
+
+		// Warm pass, then half of a second pass, so traces exist and the
+		// cursor is mid-stream when the fault is injected.
+		for i := range edges {
+			seq.Observe(edges[i], instrs[i])
+		}
+		feedBatch(bat, edges, instrs, 97)
+		for i := 0; i < half; i++ {
+			seq.Observe(edges[i], instrs[i])
+		}
+		feedBatch(bat, edges[:half], instrs[:half], 97)
+
+		if seq.Automaton().NumStates() < 2 {
+			t.Fatalf("%s: no trace states to force", strat)
+		}
+		seq.Replayer().ForceState(1)
+		bat.Replayer().ForceState(1)
+		for i := half; i < len(edges); i++ {
+			seq.Observe(edges[i], instrs[i])
+		}
+		feedBatch(bat, edges[half:], instrs[half:], 97)
+
+		label := spec.Name + "/" + strat + "/forced"
+		diffRecorders(t, label, seq, bat)
+		st := seq.Replayer().Stats()
+		if st.Desyncs == 0 {
+			t.Errorf("%s: expected the forced wrong state to desync", label)
+		}
+		if st.Resyncs == 0 {
+			t.Errorf("%s: expected a trace re-acquisition after the desync", label)
+		}
+	}
+}
+
+// TestRecorderReacquiresTraceAfterCreating pins down the Creating→Executing
+// edge of Algorithm 2 under the generation-based cache scheme: finishing a
+// trace forces the cursor to NTE and syncs the new trace into the automaton
+// and the replayer's containers (AddEntry bumps the cache generation). The
+// very next time the stream reaches a recorded entry from NTE, the global
+// lookup must re-acquire the trace — in particular, a negative local-cache
+// entry cached for that address *before* its trace existed must not mask
+// the entry now.
+func TestRecorderReacquiresTraceAfterCreating(t *testing.T) {
+	spec, _ := workload.ByName("176.gcc")
+	p, edges, instrs := captureBench(t, spec, 150_000)
+	tc := trace.Config{HotThreshold: DefaultHotThreshold}
+	rec := newDiffRecorder(t, "mret", p, tc)
+
+	episodes := 0
+	finished := false // a trace completed; its entry not yet re-acquired
+	for i := range edges {
+		rep := rec.Replayer()
+		if finished && rec.State() == core.RecExecuting && rep.Cur() == core.NTE && edges[i].To != nil {
+			if _, ok := rec.Automaton().EntryFor(edges[i].To.Head); ok {
+				before := *rep.Stats()
+				rec.Observe(edges[i], instrs[i])
+				after := *rep.Stats()
+				if after.GlobalHits != before.GlobalHits+1 {
+					t.Fatalf("edge %d: entry 0x%x known to the automaton but the global lookup missed (GlobalHits %d -> %d): stale negative cache",
+						i, edges[i].To.Head, before.GlobalHits, after.GlobalHits)
+				}
+				if after.TraceEnters != before.TraceEnters+1 || rep.Cur() == core.NTE {
+					t.Fatalf("edge %d: lookup hit but the trace was not entered (TraceEnters %d -> %d, cur %d)",
+						i, before.TraceEnters, after.TraceEnters, rep.Cur())
+				}
+				episodes++
+				finished = false
+				continue
+			}
+		}
+		wasCreating := rec.State() == core.RecCreating
+		rec.Observe(edges[i], instrs[i])
+		if wasCreating && rec.State() == core.RecExecuting {
+			finished = true // ForceState(NTE) + sync just happened
+		}
+	}
+	if episodes == 0 {
+		t.Fatal("stream never re-entered a trace from NTE after finishing one; test exercised nothing")
+	}
+}
+
+// TestSnapshotConcurrentReaders records in batches while reader goroutines
+// walk Recorder.Snapshot() copies — the documented concurrent-read
+// contract: a snapshot's own structure (NumStates, State, Next, Entries,
+// EntryFor) is private to the reader while recording continues. Run under
+// the race detector (scripts/ci.sh does) this proves the deep copy shares
+// no mutable memory with the live automaton.
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	spec, _ := workload.ByName("176.gcc")
+	p, edges, instrs := captureBench(t, spec, 150_000)
+	tc := trace.Config{HotThreshold: DefaultHotThreshold}
+	rec := newDiffRecorder(t, "mret", p, tc)
+
+	snaps := make(chan *core.Automaton, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range snaps {
+				// Walk every state's full transition table and the entry
+				// table; fold into a sink so nothing is optimized away.
+				var sink uint64
+				for s := 0; s < a.NumStates(); s++ {
+					id := core.StateID(s)
+					st := a.State(id)
+					sink += uint64(st.NumTrans())
+					for _, tr := range a.FullTransitions(id) {
+						if !tr.InTrace {
+							continue
+						}
+						next, ok := st.Next(tr.Label)
+						if !ok || next != tr.To {
+							t.Errorf("snapshot: Next(%d, 0x%x) = %d,%v; want %d", id, tr.Label, next, ok, tr.To)
+							return
+						}
+					}
+				}
+				for _, e := range a.Entries() {
+					if s, ok := a.EntryFor(e.Addr); !ok || s != e.State {
+						t.Errorf("snapshot: EntryFor(0x%x) = %d,%v; want %d", e.Addr, s, ok, e.State)
+						return
+					}
+					sink += e.Addr
+				}
+				_ = sink
+			}
+		}()
+	}
+
+	const chunk = 97
+	for i := 0; i < len(edges); i += chunk {
+		j := i + chunk
+		if j > len(edges) {
+			j = len(edges)
+		}
+		rec.ObserveBatch(edges[i:j], instrs[i:j])
+		select {
+		case snaps <- rec.Snapshot():
+		default: // readers busy; keep recording
+		}
+	}
+	close(snaps)
+	wg.Wait()
+}

@@ -144,6 +144,110 @@ func (t *CaptureTool) Stream() []core.Edge { return t.events }
 // (accounted to the final state by Stats.AccountTail).
 func (t *CaptureTool) Tail() uint64 { return t.tail }
 
+// EdgeCaptureTool records the full dynamic edge stream of a run — the
+// cfg.Edge values with their instruction counts, not just the labels
+// CaptureTool keeps — as recording currency: the captured run can be
+// re-fed to Recorder.Observe or Recorder.ObserveBatch any number of times,
+// which is how the recording micro-benchmarks replay one execution against
+// many recorder configurations.
+type EdgeCaptureTool struct {
+	edges  []cfg.Edge
+	instrs []uint64
+	tail   uint64
+}
+
+var _ pin.Tool = (*EdgeCaptureTool)(nil)
+
+// NewEdgeCaptureTool creates an empty edge-stream capture.
+func NewEdgeCaptureTool() *EdgeCaptureTool { return &EdgeCaptureTool{} }
+
+// Edge implements pin.Tool. The final nil-To edge (program end) is captured
+// too: the recorder's state machine reacts to it (an in-flight trace is
+// finished), so a faithful re-feed must include it.
+func (t *EdgeCaptureTool) Edge(e cfg.Edge, instrs uint64) {
+	t.edges = append(t.edges, e)
+	t.instrs = append(t.instrs, instrs)
+}
+
+// Fini implements pin.Tool.
+func (t *EdgeCaptureTool) Fini(instrs uint64) { t.tail += instrs }
+
+// Edges returns the captured edges.
+func (t *EdgeCaptureTool) Edges() []cfg.Edge { return t.edges }
+
+// Instrs returns the per-edge instruction counts, parallel to Edges.
+func (t *EdgeCaptureTool) Instrs() []uint64 { return t.instrs }
+
+// Tail returns the instructions executed after the last captured edge.
+func (t *EdgeCaptureTool) Tail() uint64 { return t.tail }
+
+// BatchRecordTool records a TEA online like RecordTool, but buffers edges
+// and flushes them through Recorder.ObserveBatch — the recording analogue
+// of CompiledReplayTool: the per-edge analysis cost is two slice appends in
+// the common case, and the recorder amortizes its state-machine dispatch
+// and strategy consultation over each flushed run.
+type BatchRecordTool struct {
+	rec    *core.Recorder
+	edges  []cfg.Edge
+	instrs []uint64
+}
+
+var _ pin.Tool = (*BatchRecordTool)(nil)
+
+// NewBatchRecordTool creates the batched recording pintool around a
+// selection strategy.
+func NewBatchRecordTool(strat trace.Strategy, lc core.LookupConfig) *BatchRecordTool {
+	return &BatchRecordTool{
+		rec:    core.NewRecorder(strat, lc),
+		edges:  make([]cfg.Edge, 0, compiledBatch),
+		instrs: make([]uint64, 0, compiledBatch),
+	}
+}
+
+// Edge implements pin.Tool.
+func (t *BatchRecordTool) Edge(e cfg.Edge, instrs uint64) {
+	t.edges = append(t.edges, e)
+	t.instrs = append(t.instrs, instrs)
+	if len(t.edges) == cap(t.edges) || e.To == nil {
+		t.flush()
+	}
+}
+
+func (t *BatchRecordTool) flush() {
+	if len(t.edges) > 0 {
+		t.rec.ObserveBatch(t.edges, t.instrs)
+		t.edges = t.edges[:0]
+		t.instrs = t.instrs[:0]
+	}
+}
+
+// Fini implements pin.Tool.
+func (t *BatchRecordTool) Fini(instrs uint64) {
+	t.flush()
+	if instrs > 0 {
+		t.rec.Replayer().AccountOnly(instrs)
+	}
+}
+
+// Recorder exposes the underlying recorder, flushing buffered edges first.
+func (t *BatchRecordTool) Recorder() *core.Recorder {
+	t.flush()
+	return t.rec
+}
+
+// Automaton returns the TEA recorded so far, flushing buffered edges first.
+func (t *BatchRecordTool) Automaton() *core.Automaton {
+	t.flush()
+	return t.rec.Automaton()
+}
+
+// Stats returns the recording run's statistics, flushing buffered edges
+// first.
+func (t *BatchRecordTool) Stats() *core.Stats {
+	t.flush()
+	return t.rec.Replayer().Stats()
+}
+
 // RecordTool records a TEA online (Algorithm 2) while the program runs
 // under Pin, using any trace-selection strategy.
 type RecordTool struct {

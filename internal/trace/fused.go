@@ -1,0 +1,160 @@
+package trace
+
+import "github.com/lsc-tea/tea/internal/cfg"
+
+// AutoView is the recorder's automaton-dispatch state, compiled into flat
+// arrays by the core package and lent to a strategy for one fused batch
+// scan. It exists because the online recorder walks two mirrored structures
+// per edge — the strategy follows TBB links, the replayer follows the
+// automaton transitions synced from those same links — and in the batched
+// fast path one dispatch can serve both: the automaton's transition on a
+// label succeeds exactly when the strategy's TBB cursor has that successor,
+// and its entry table answers exactly the "does a trace anchor here?"
+// question the selectors ask. A strategy's ObserveFused therefore performs
+// the replayer's cursor motion and counter updates inline (in locals),
+// instead of the recorder traversing the run twice.
+//
+// State 0 is NTE (cold code). The view aliases the owner's arrays; the
+// owner refreshes it before every fused call and folds the counters back
+// after.
+type AutoView struct {
+	// Cur is the automaton cursor; 0 is NTE.
+	Cur int32
+	// Desynced mirrors the replayer's desync flag.
+	Desynced bool
+
+	// Per-state transition spans: state s resolves label l by searching the
+	// sorted Labels[Start[s]:Start[s+1]]; Targets is parallel to Labels.
+	Start   []int32
+	Labels  []uint64
+	Targets []int32
+	// TBBs maps state → TBB (index 0, NTE, is nil).
+	TBBs []*TBB
+	// Root marks states whose TBB heads its trace (Index 0): a transition
+	// landing on a root state proves its label anchors a trace, without a
+	// TBB pointer chase or an entry-table probe.
+	Root []bool
+	// SrcBlock/SrcBack cache each state's block pointer and that block's
+	// BackSrc flag: when an edge's From is the current state's own block
+	// (the lockstep case, verified by pointer compare), the scans evaluate
+	// backFast from the flat flag instead of dereferencing e.From.
+	SrcBlock []*cfg.Block
+	SrcBack  []bool
+	// Wild/SuccA/SuccB precompute the plausible-successor test per state:
+	// plausible(s, l) = Wild[s] || l == SuccA[s] || l == SuccB[s]. Absent
+	// successors hold an impossible label (^0).
+	Wild  []bool
+	SuccA []uint64
+	SuccB []uint64
+
+	// EKeys/EVals alias the replayer's flat entry table (open-addressed,
+	// power-of-two sized, linear probing, key 0 = empty with the zero key
+	// displaced to EZero*). Entry probes use the same hash as the writer
+	// (HashAddr), so results agree with the replayer's by construction.
+	EKeys     []uint64
+	EVals     []int32
+	EZeroLive bool
+	EZeroVal  int32
+
+	// Resolve is the replayer's in-trace miss path (local cache in front of
+	// the global container, with their hit/miss counters). It returns the
+	// entry state anchored at label, or 0.
+	Resolve func(from int32, label uint64) int32
+
+	// Counters accumulated by the fused scan, folded into the replayer's
+	// Stats by the owner. Semantics match Replayer.Advance exactly.
+	Blocks, Instrs, TraceBlocks, TraceInstrs uint64
+	InTraceHits, Enters, Links, Exits        uint64
+	GlobalLookups, GlobalHits                uint64
+	Desyncs, Resyncs                         uint64
+}
+
+// HashAddr mixes a block address into a hash-table slot seed (splitmix64
+// finalizer). It is shared by the core entry table and the view's inline
+// probe, which must agree slot for slot.
+func HashAddr(a uint64) uint64 {
+	a ^= a >> 30
+	a *= 0xbf58476d1ce4e5b9
+	a ^= a >> 27
+	a *= 0x94d049bb133111eb
+	a ^= a >> 31
+	return a
+}
+
+// entry probes the entry table for the state anchored at label. The home
+// slot is resolved inline — it decides almost every probe (hit or certain
+// miss) without a call — and only displaced keys spill to the probe loop,
+// which cannot be inlined.
+func (v *AutoView) entry(label uint64) (int32, bool) {
+	if label == 0 {
+		return v.EZeroVal, v.EZeroLive
+	}
+	if len(v.EKeys) == 0 {
+		return 0, false
+	}
+	mask := uint64(len(v.EKeys) - 1)
+	i := HashAddr(label) & mask
+	k := v.EKeys[i]
+	if k == label {
+		return v.EVals[i], true
+	}
+	if k == 0 {
+		return 0, false
+	}
+	return v.entrySpill(label, i, mask)
+}
+
+// entrySpill continues an entry probe past an occupied home slot. Kept out
+// of line so entry itself stays within the inlining budget — the home slot
+// decides almost every probe, and the scan loops call entry per cold edge.
+//
+//go:noinline
+func (v *AutoView) entrySpill(label, i, mask uint64) (int32, bool) {
+	for {
+		i = (i + 1) & mask
+		k := v.EKeys[i]
+		if k == label {
+			return v.EVals[i], true
+		}
+		if k == 0 {
+			return 0, false
+		}
+	}
+}
+
+// miss is the out-of-line tail of an in-trace transition whose label is not
+// in the state's span: the plausibility check (desync detection) followed by
+// the replayer's resolve path, with the exit/link counters — exactly
+// Replayer.Advance's miss arm. Kept out of the scan loops so their hit path
+// stays small and register-resident.
+func (v *AutoView) miss(cur int32, label uint64) int32 {
+	if !(v.Wild[cur] || label == v.SuccA[cur] || label == v.SuccB[cur]) {
+		v.Desyncs++
+		v.Desynced = true
+	}
+	next := v.Resolve(cur, label)
+	if next == 0 {
+		v.Exits++
+	} else {
+		v.Links++
+	}
+	return next
+}
+
+// FusedObserver is the batched fast path of the online recorder: the
+// strategy consumes a run of edges while performing the automaton cursor
+// motion of the recorder's replayer inline through v. The observable effect
+// over the consumed prefix is exactly that of, per edge, Replayer.Advance
+// (or AccountOnly for a nil To) followed by Strategy.Observe — the
+// sequential recorder's Executing-state order. The scan stops after the
+// first eventful edge (trace created or extended, or recording started):
+// that edge's replayer transition and Observe call have already been
+// applied, and the changed trace (if any) is returned for the caller to
+// sync.
+//
+// Preconditions: the strategy is not recording, v was refreshed after the
+// last sync, and v.Cur is the replayer's cursor. The caller folds v's
+// counters back into its Stats after the call.
+type FusedObserver interface {
+	ObserveFused(edges []cfg.Edge, instrs []uint64, v *AutoView) (int, *Trace)
+}

@@ -1,0 +1,375 @@
+package trace
+
+// hotTab is an open-addressed linear-probe counter table keyed by block
+// head address. It replaces the map[uint64]int hot-head counters on the
+// strategies' per-edge paths: incrementing an existing key or inserting
+// into free capacity performs no heap allocation, so once the table has
+// grown to cover the program's candidate heads, steady-state recording is
+// allocation-free. Semantics are exact — the same counts, thresholds and
+// deletions as the map it replaces — so trace selection is unchanged.
+//
+// Key 0 marks an empty slot; a real key 0 is displaced to a dedicated
+// field. Deletions use tombstone-free backward-shift, so the table never
+// degrades under the strategies' insert/delete churn.
+type hotTab struct {
+	keys   []uint64
+	counts []int32
+	n      int // live entries
+
+	// zeroCount holds the counter of key 0 (cannot live in the table
+	// because key 0 marks an empty slot). Address 0 is not a real block
+	// head in practice, but correctness must not depend on that.
+	zeroCount int32
+	zeroLive  bool
+}
+
+// hotTabMinSize is the initial capacity (power of two).
+const hotTabMinSize = 64
+
+func newHotTab() *hotTab {
+	return &hotTab{
+		keys:   make([]uint64, hotTabMinSize),
+		counts: make([]int32, hotTabMinSize),
+	}
+}
+
+// hashAddr mixes a block head address into a table index seed
+// (splitmix64-style finalizer; addresses are small and regular, so the
+// low bits need the avalanche).
+func hashAddr(a uint64) uint64 {
+	a ^= a >> 30
+	a *= 0xbf58476d1ce4e5b9
+	a ^= a >> 27
+	a *= 0x94d049bb133111eb
+	a ^= a >> 31
+	return a
+}
+
+// Inc increments key's counter and returns the new value.
+func (h *hotTab) Inc(key uint64) int {
+	if key == 0 {
+		if !h.zeroLive {
+			h.zeroLive = true
+			h.zeroCount = 0
+		}
+		h.zeroCount++
+		return int(h.zeroCount)
+	}
+	if (h.n+1)*4 >= len(h.keys)*3 {
+		h.grow()
+	}
+	mask := uint64(len(h.keys) - 1)
+	i := hashAddr(key) & mask
+	for {
+		k := h.keys[i]
+		if k == key {
+			h.counts[i]++
+			return int(h.counts[i])
+		}
+		if k == 0 {
+			h.keys[i] = key
+			h.counts[i] = 1
+			h.n++
+			return 1
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Get returns key's current counter (0 when absent) without mutating the
+// table. The batch observers use it to decide whether the next Inc would
+// cross the hot threshold — and hence whether to fall back to the exact
+// per-edge path — before performing any side effect.
+func (h *hotTab) Get(key uint64) int {
+	if key == 0 {
+		if h.zeroLive {
+			return int(h.zeroCount)
+		}
+		return 0
+	}
+	mask := uint64(len(h.keys) - 1)
+	i := hashAddr(key) & mask
+	for {
+		k := h.keys[i]
+		if k == key {
+			return int(h.counts[i])
+		}
+		if k == 0 {
+			return 0
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Del removes key's counter (the strategies reset a head's counter once it
+// anchors a trace). Uses backward-shift deletion so no tombstones
+// accumulate.
+func (h *hotTab) Del(key uint64) {
+	if key == 0 {
+		h.zeroLive = false
+		h.zeroCount = 0
+		return
+	}
+	mask := uint64(len(h.keys) - 1)
+	i := hashAddr(key) & mask
+	for h.keys[i] != key {
+		if h.keys[i] == 0 {
+			return
+		}
+		i = (i + 1) & mask
+	}
+	// Backward-shift: close the hole by moving displaced entries up.
+	h.n--
+	for {
+		h.keys[i] = 0
+		h.counts[i] = 0
+		j := i
+		for {
+			j = (j + 1) & mask
+			k := h.keys[j]
+			if k == 0 {
+				return
+			}
+			home := hashAddr(k) & mask
+			// Entry at j may move into the hole at i if its home position
+			// does not lie (cyclically) strictly between i and j.
+			if (j-home)&mask >= (j-i)&mask {
+				h.keys[i] = k
+				h.counts[i] = h.counts[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// Len returns the number of live counters.
+func (h *hotTab) Len() int {
+	if h.zeroLive {
+		return h.n + 1
+	}
+	return h.n
+}
+
+func (h *hotTab) grow() {
+	old := h.keys
+	oldC := h.counts
+	h.keys = make([]uint64, len(old)*2)
+	h.counts = make([]int32, len(old)*2)
+	h.n = 0
+	mask := uint64(len(h.keys) - 1)
+	for i, k := range old {
+		if k == 0 {
+			continue
+		}
+		j := hashAddr(k) & mask
+		for h.keys[j] != 0 {
+			j = (j + 1) & mask
+		}
+		h.keys[j] = k
+		h.counts[j] = oldC[i]
+		h.n++
+	}
+}
+
+// addrSet is an open-addressed membership set of block head addresses (the
+// tree strategies' loop-head set). Add on an already-present key touches one
+// slot in the common case, which matters because every taken backward
+// branch re-marks its (long since marked) loop head.
+type addrSet struct {
+	keys     []uint64
+	n        int
+	zeroLive bool
+}
+
+func newAddrSet() *addrSet {
+	return &addrSet{keys: make([]uint64, hotTabMinSize)}
+}
+
+// Add inserts key (idempotent).
+func (s *addrSet) Add(key uint64) {
+	if key == 0 {
+		s.zeroLive = true
+		return
+	}
+	if (s.n+1)*2 >= len(s.keys) {
+		s.grow()
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := hashAddr(key) & mask
+	for {
+		k := s.keys[i]
+		if k == key {
+			return
+		}
+		if k == 0 {
+			s.keys[i] = key
+			s.n++
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Has reports membership.
+func (s *addrSet) Has(key uint64) bool {
+	if key == 0 {
+		return s.zeroLive
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := hashAddr(key) & mask
+	for {
+		k := s.keys[i]
+		if k == key {
+			return true
+		}
+		if k == 0 {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Len returns the number of members.
+func (s *addrSet) Len() int {
+	if s.zeroLive {
+		return s.n + 1
+	}
+	return s.n
+}
+
+func (s *addrSet) grow() {
+	old := s.keys
+	s.keys = make([]uint64, len(old)*2)
+	s.n = 0
+	mask := uint64(len(s.keys) - 1)
+	for _, k := range old {
+		if k == 0 {
+			continue
+		}
+		j := hashAddr(k) & mask
+		for s.keys[j] != 0 {
+			j = (j + 1) & mask
+		}
+		s.keys[j] = k
+		s.n++
+	}
+}
+
+// extTab is the open-addressed analogue for the tree strategies' side-exit
+// counters, keyed by (exit TBB, target head). The full key is stored, so
+// there are no collision merges — counts are exact.
+type extTab struct {
+	keys   []extKey
+	counts []int32
+	n      int
+}
+
+func newExtTab() *extTab {
+	return &extTab{
+		keys:   make([]extKey, hotTabMinSize),
+		counts: make([]int32, hotTabMinSize),
+	}
+}
+
+// hashExt mixes the TBB identity (trace ID and index — stable, unlike the
+// pointer) with the target address.
+func hashExt(k extKey) uint64 {
+	h := uint64(k.tbb.Trace.ID)<<32 ^ uint64(uint32(k.tbb.Index))
+	return hashAddr(h ^ hashAddr(k.target))
+}
+
+func (t *extTab) empty(i uint64) bool { return t.keys[i].tbb == nil }
+
+// Inc increments the counter for k and returns the new value.
+func (t *extTab) Inc(k extKey) int {
+	if (t.n+1)*4 >= len(t.keys)*3 {
+		t.grow()
+	}
+	mask := uint64(len(t.keys) - 1)
+	i := hashExt(k) & mask
+	for {
+		if t.keys[i] == k {
+			t.counts[i]++
+			return int(t.counts[i])
+		}
+		if t.empty(i) {
+			t.keys[i] = k
+			t.counts[i] = 1
+			t.n++
+			return 1
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Get returns k's current counter (0 when absent) without mutating the
+// table.
+func (t *extTab) Get(k extKey) int {
+	mask := uint64(len(t.keys) - 1)
+	i := hashExt(k) & mask
+	for {
+		if t.keys[i] == k {
+			return int(t.counts[i])
+		}
+		if t.empty(i) {
+			return 0
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Del removes k's counter with backward-shift deletion.
+func (t *extTab) Del(k extKey) {
+	mask := uint64(len(t.keys) - 1)
+	i := hashExt(k) & mask
+	for t.keys[i] != k {
+		if t.empty(i) {
+			return
+		}
+		i = (i + 1) & mask
+	}
+	t.n--
+	for {
+		t.keys[i] = extKey{}
+		t.counts[i] = 0
+		j := i
+		for {
+			j = (j + 1) & mask
+			if t.empty(j) {
+				return
+			}
+			home := hashExt(t.keys[j]) & mask
+			if (j-home)&mask >= (j-i)&mask {
+				t.keys[i] = t.keys[j]
+				t.counts[i] = t.counts[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// Len returns the number of live counters.
+func (t *extTab) Len() int { return t.n }
+
+func (t *extTab) grow() {
+	old := t.keys
+	oldC := t.counts
+	t.keys = make([]extKey, len(old)*2)
+	t.counts = make([]int32, len(old)*2)
+	t.n = 0
+	mask := uint64(len(t.keys) - 1)
+	for i := range old {
+		if old[i].tbb == nil {
+			continue
+		}
+		j := hashExt(old[i]) & mask
+		for !t.empty(j) {
+			j = (j + 1) & mask
+		}
+		t.keys[j] = old[i]
+		t.counts[j] = oldC[i]
+		t.n++
+	}
+}

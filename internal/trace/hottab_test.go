@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHotTabMatchesMap drives hotTab and a reference map through the same
+// random Inc/Get/Del sequence — including key 0, growth past several
+// doublings, and delete/reinsert churn that exercises backward-shift
+// deletion — and requires identical counts throughout.
+func TestHotTabMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := newHotTab()
+	ref := map[uint64]int{}
+	// A small key universe forces collisions and repeated delete/reinsert
+	// of the same keys; the explicit 0 key covers the displaced-zero slot.
+	keys := make([]uint64, 200)
+	for i := range keys {
+		keys[i] = rng.Uint64() >> 40 // clustered low-entropy addresses
+	}
+	keys[0] = 0
+	for op := 0; op < 20000; op++ {
+		k := keys[rng.Intn(len(keys))]
+		switch rng.Intn(4) {
+		case 0, 1: // Inc twice as likely as the others
+			ref[k]++
+			if got := h.Inc(k); got != ref[k] {
+				t.Fatalf("op %d: Inc(%#x) = %d, want %d", op, k, got, ref[k])
+			}
+		case 2:
+			if got := h.Get(k); got != ref[k] {
+				t.Fatalf("op %d: Get(%#x) = %d, want %d", op, k, got, ref[k])
+			}
+		case 3:
+			delete(ref, k)
+			h.Del(k)
+			if got := h.Get(k); got != 0 {
+				t.Fatalf("op %d: Get(%#x) after Del = %d", op, k, got)
+			}
+		}
+		if h.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, h.Len(), len(ref))
+		}
+	}
+	for k, want := range ref {
+		if got := h.Get(k); got != want {
+			t.Fatalf("final: Get(%#x) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestAddrSetMatchesMap drives addrSet and a reference map set through the
+// same random Add/Has sequence, across growth and including key 0.
+func TestAddrSetMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := newAddrSet()
+	ref := map[uint64]bool{}
+	keys := make([]uint64, 500)
+	for i := range keys {
+		keys[i] = rng.Uint64() >> 40
+	}
+	keys[0] = 0
+	for op := 0; op < 10000; op++ {
+		k := keys[rng.Intn(len(keys))]
+		if rng.Intn(2) == 0 {
+			ref[k] = true
+			s.Add(k)
+		}
+		if got := s.Has(k); got != ref[k] {
+			t.Fatalf("op %d: Has(%#x) = %v, want %v", op, k, got, ref[k])
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, s.Len(), len(ref))
+		}
+	}
+}
+
+// TestExtTabMatchesMap drives extTab and a reference map through the same
+// random Inc/Get/Del sequence over (TBB, target) keys. Exactness matters:
+// collision merges would inflate side-exit counts and change tree growth.
+func TestExtTabMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	et := newExtTab()
+	ref := map[extKey]int{}
+	// Distinct TBB identities (trace ID, index) crossed with a few targets.
+	var tbbs []*TBB
+	for id := 1; id <= 10; id++ {
+		tr := &Trace{ID: ID(id)}
+		for idx := 0; idx < 5; idx++ {
+			tbbs = append(tbbs, &TBB{Trace: tr, Index: idx})
+		}
+	}
+	kset := make([]extKey, 150)
+	for i := range kset {
+		kset[i] = extKey{tbb: tbbs[rng.Intn(len(tbbs))], target: uint64(rng.Intn(20)) * 16}
+	}
+	for op := 0; op < 20000; op++ {
+		k := kset[rng.Intn(len(kset))]
+		switch rng.Intn(4) {
+		case 0, 1:
+			ref[k]++
+			if got := et.Inc(k); got != ref[k] {
+				t.Fatalf("op %d: Inc = %d, want %d", op, got, ref[k])
+			}
+		case 2:
+			if got := et.Get(k); got != ref[k] {
+				t.Fatalf("op %d: Get = %d, want %d", op, got, ref[k])
+			}
+		case 3:
+			delete(ref, k)
+			et.Del(k)
+		}
+		if et.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, et.Len(), len(ref))
+		}
+	}
+	for k, want := range ref {
+		if got := et.Get(k); got != want {
+			t.Fatalf("final: Get(%+v) = %d, want %d", k, got, want)
+		}
+	}
+}

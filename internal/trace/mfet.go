@@ -14,7 +14,7 @@ type MFET struct {
 	cfg Config
 	set *Set
 
-	counters map[uint64]int
+	counters *hotTab
 	// edgeFreq[from] histograms the successor heads observed from block
 	// `from` (keyed by head address).
 	edgeFreq map[uint64]map[uint64]uint64
@@ -28,7 +28,7 @@ func NewMFET(prog programSymbols, c Config) *MFET {
 	return &MFET{
 		cfg:      c.withDefaults(),
 		set:      NewSet("mfet", prog),
-		counters: make(map[uint64]int),
+		counters: newHotTab(),
 		edgeFreq: make(map[uint64]map[uint64]uint64),
 		blocks:   make(map[uint64]*cfg.Block),
 	}
@@ -61,14 +61,13 @@ func (m *MFET) Observe(e cfg.Edge) *Trace {
 	if _, exists := m.set.ByEntry(head); exists {
 		return nil
 	}
-	m.counters[head]++
-	if m.counters[head] < m.cfg.HotThreshold {
+	if m.counters.Inc(head) < m.cfg.HotThreshold {
 		return nil
 	}
 	if m.cfg.MaxSetBlocks > 0 && m.set.NumTBBs() >= m.cfg.MaxSetBlocks {
 		return nil
 	}
-	delete(m.counters, head)
+	m.counters.Del(head)
 	return m.form(e.To)
 }
 
@@ -126,5 +125,7 @@ func (m *MFET) hottestSucc(from uint64) (uint64, bool) {
 }
 
 // Recording implements Strategy. MFET forms traces instantly from its edge
-// profile, so it is never in a Creating state.
+// profile, so it is never in a Creating state. It has no ObserveFused fast
+// path — its per-edge work is the edge-profile map update itself — so the
+// batched recorder falls back to the sequential path for it.
 func (m *MFET) Recording() bool { return false }

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/pin"
+	"github.com/lsc-tea/tea/internal/workload"
+)
+
+// edgeSink captures every dynamic edge of a run.
+type edgeSink struct{ edges []cfg.Edge }
+
+func (s *edgeSink) Edge(e cfg.Edge, _ uint64) { s.edges = append(s.edges, e) }
+func (s *edgeSink) Fini(uint64)               {}
+
+// TestBackFastMatchesBackwardTaken checks, over real captured edge streams,
+// that the flag-based back-edge test the batch scans use (Block.BackSrc,
+// precomputed at decode time) agrees with backwardTaken's re-derivation
+// from the terminator on every edge — including the initial From=nil
+// pseudo-edge, the final To=nil edge, untaken conditionals, indirect
+// branches and calls.
+func TestBackFastMatchesBackwardTaken(t *testing.T) {
+	for _, name := range []string{"176.gcc", "181.mcf", "253.perlbmk"} {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		p, err := workload.Generate(spec, 120_000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sink := &edgeSink{}
+		if _, err := pin.New().Run(p, sink, 0); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mismatch, backs := 0, 0
+		for i := range sink.edges {
+			e := &sink.edges[i]
+			slow := backwardTaken(*e)
+			if slow {
+				backs++
+			}
+			if fast := backFast(e); fast != slow {
+				mismatch++
+				if mismatch <= 5 {
+					t.Errorf("%s edge %d: backFast=%v backwardTaken=%v (taken=%v)", name, i, fast, slow, e.Taken)
+				}
+			}
+		}
+		if mismatch > 0 {
+			t.Fatalf("%s: %d mismatching edges", name, mismatch)
+		}
+		if backs == 0 {
+			t.Fatalf("%s: stream has no taken backward branches; test exercised nothing", name)
+		}
+	}
+}

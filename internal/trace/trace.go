@@ -54,14 +54,25 @@ func (t *TBB) String() string { return t.Name() }
 // entry table instead, so linking across traces is rejected with an error.
 // Callers that construct both TBBs themselves (the selection strategies)
 // may use mustLink, which turns the same check into an invariant.
+//
+// Every effective link (a new label, or a label rebound to a different
+// TBB) is appended to the trace's change log, which is what lets
+// core.Automaton.SyncTrace apply an N-TBB trace extension as a delta
+// instead of rebuilding every state's transition table.
 func (t *TBB) Link(succ *TBB) error {
 	if succ.Trace != t.Trace {
 		return fmt.Errorf("trace: cannot link %v -> %v across traces", t, succ)
 	}
+	label := succ.Block.Head
 	if t.Succs == nil {
 		t.Succs = make(map[uint64]*TBB, 2)
+	} else if old, ok := t.Succs[label]; ok && old == succ {
+		// No-op relink: the successor table and the change log both
+		// already describe this edge.
+		return nil
 	}
-	t.Succs[succ.Block.Head] = succ
+	t.Succs[label] = succ
+	t.Trace.links = append(t.Trace.links, LinkEvent{From: t, Label: label, To: succ})
 	return nil
 }
 
@@ -85,6 +96,17 @@ func (t *TBB) SuccLabels() []uint64 {
 	return out
 }
 
+// LinkEvent is one effective mutation of a TBB's successor table: From
+// gained (or rebound) the transition on Label toward To. The per-trace log
+// of these events is the delta feed for incremental automaton
+// synchronization: replaying a trace's log from the beginning reproduces
+// exactly the successor tables its TBBs hold now.
+type LinkEvent struct {
+	From  *TBB
+	Label uint64
+	To    *TBB
+}
+
 // Trace is a recorded hot-code region (Definition 3): a superblock for
 // MRET/MFET, a tree for TT/CTT.
 type Trace struct {
@@ -92,6 +114,10 @@ type Trace struct {
 	TBBs []*TBB
 
 	prog programSymbols
+	set  *Set
+	// links is the append-only change log of every effective Link call on
+	// this trace's TBBs, in application order.
+	links []LinkEvent
 }
 
 // programSymbols is the slice of isa.Program the trace model needs; it
@@ -129,10 +155,30 @@ func (t *Trace) CodeBytes() uint64 {
 	return n
 }
 
+// LinkLog returns the trace's append-only link change log. Consumers that
+// mirror the trace (core.Automaton.SyncTrace) remember how much of the log
+// they have applied and replay only the tail on the next sync; the log is
+// never truncated or reordered, so a suffix is always a valid delta.
+func (t *Trace) LinkLog() []LinkEvent { return t.links }
+
 // Append adds a fresh TBB instance for block at the tail of the trace.
+// TBBs of traces that belong to a Set are slab-allocated from the set's
+// pool, so online recording costs one heap allocation per slab of TBBs
+// rather than one per TBB.
 func (t *Trace) Append(b *cfg.Block) *TBB {
-	tbb := &TBB{Trace: t, Index: len(t.TBBs), Block: b}
+	var tbb *TBB
+	if t.set != nil {
+		tbb = t.set.allocTBB()
+	} else {
+		tbb = new(TBB)
+	}
+	tbb.Trace = t
+	tbb.Index = len(t.TBBs)
+	tbb.Block = b
 	t.TBBs = append(t.TBBs, tbb)
+	if t.set != nil {
+		t.set.numTBBs++
+	}
 	return tbb
 }
 
@@ -158,6 +204,27 @@ type Set struct {
 
 	prog    programSymbols
 	byEntry map[uint64]*Trace
+
+	// slab is the current TBB allocation slab; TBB pointers are stable for
+	// the life of the set (slabs are abandoned when full, never resized).
+	slab []TBB
+
+	// numTBBs counts TBB instances across the set's traces, maintained by
+	// Append: the selection strategies consult the total on their per-edge
+	// paths (the MaxSetBlocks guard), which must not walk every trace.
+	numTBBs int
+}
+
+// tbbSlab is the number of TBB instances carved from one heap allocation.
+const tbbSlab = 64
+
+// allocTBB hands out the next pooled TBB.
+func (s *Set) allocTBB() *TBB {
+	if len(s.slab) == cap(s.slab) {
+		s.slab = make([]TBB, 0, tbbSlab)
+	}
+	s.slab = append(s.slab, TBB{})
+	return &s.slab[len(s.slab)-1]
 }
 
 // NewSet creates an empty set; prog supplies symbol names for rendering and
@@ -184,7 +251,7 @@ func (s *Set) NewTrace(head *cfg.Block) (*Trace, error) {
 	if old, ok := s.byEntry[head.Head]; ok {
 		return nil, fmt.Errorf("trace: entry 0x%x already anchors %s", head.Head, old)
 	}
-	t := &Trace{ID: ID(len(s.Traces) + 1), prog: s.prog}
+	t := &Trace{ID: ID(len(s.Traces) + 1), prog: s.prog, set: s}
 	t.Append(head)
 	s.Traces = append(s.Traces, t)
 	s.byEntry[head.Head] = t
@@ -201,13 +268,7 @@ func (s *Set) ByEntry(addr uint64) (*Trace, bool) {
 func (s *Set) Len() int { return len(s.Traces) }
 
 // NumTBBs returns the total TBB instances across all traces.
-func (s *Set) NumTBBs() int {
-	n := 0
-	for _, t := range s.Traces {
-		n += len(t.TBBs)
-	}
-	return n
-}
+func (s *Set) NumTBBs() int { return s.numTBBs }
 
 // Entries returns every trace entry address in ascending order.
 func (s *Set) Entries() []uint64 {

@@ -1,0 +1,153 @@
+// Command benchdiff compares two machine-readable benchmark files
+// (BENCH_replay.json / BENCH_record.json — both share the {target, rows[]}
+// shape keyed by bench+config) and fails when the new run regresses.
+//
+// Checks:
+//
+//   - With -base: every (bench, config) row of the baseline must exist in
+//     the new file, and — when the two files were produced with the same
+//     dynamic-instruction target, so the numbers are comparable — its
+//     ns/edge must not exceed the baseline by more than -max-regress
+//     percent. Differing targets skip the timing comparison with a notice,
+//     so a quick smoke run can still be checked for the structural
+//     invariants below.
+//
+//   - With -zero-allocs: every row whose config contains the substring must
+//     report exactly 0 allocs/edge. This is the recording fast path's
+//     hard invariant (steady-state batch recording performs no heap
+//     allocation per edge), checked unconditionally on the new file.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff -base BENCH_record.json -new fresh.json
+//	go run ./scripts/benchdiff -new fresh.json -zero-allocs batch
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// row is the shared row shape of the BENCH_*.json files; fields not listed
+// here (edges, traces, coverage) do not take part in the comparison.
+type row struct {
+	Bench    string  `json:"bench"`
+	Config   string  `json:"config"`
+	NsPerOp  float64 `json:"ns_per_edge"`
+	AllocsPO float64 `json:"allocs_per_edge"`
+}
+
+type file struct {
+	Target uint64 `json:"target"`
+	Rows   []row  `json:"rows"`
+}
+
+func load(path string) (*file, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f file
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no rows", path)
+	}
+	return &f, nil
+}
+
+func key(r row) string { return r.Bench + "\x00" + r.Config }
+
+func main() {
+	basePath := flag.String("base", "", "baseline BENCH_*.json (omit to only run the structural checks on -new)")
+	newPath := flag.String("new", "", "new BENCH_*.json to check (required)")
+	maxRegress := flag.Float64("max-regress", 25, "maximum allowed ns/edge regression over the baseline, in percent")
+	zeroAllocs := flag.String("zero-allocs", "", "require allocs/edge == 0 for every row whose config contains this substring")
+	flag.Parse()
+
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*basePath, *newPath, *maxRegress, *zeroAllocs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(basePath, newPath string, maxRegress float64, zeroAllocs string) error {
+	nf, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	var failures []string
+
+	if zeroAllocs != "" {
+		matched := 0
+		for _, r := range nf.Rows {
+			if !strings.Contains(r.Config, zeroAllocs) {
+				continue
+			}
+			matched++
+			if r.AllocsPO != 0 {
+				failures = append(failures, fmt.Sprintf(
+					"%s/%s: %.4f allocs/edge, want 0", r.Bench, r.Config, r.AllocsPO))
+			}
+		}
+		if matched == 0 {
+			failures = append(failures, fmt.Sprintf(
+				"no row's config contains %q; zero-alloc check matched nothing", zeroAllocs))
+		}
+	}
+
+	if basePath != "" {
+		bf, err := load(basePath)
+		if err != nil {
+			return err
+		}
+		newByKey := make(map[string]row, len(nf.Rows))
+		for _, r := range nf.Rows {
+			newByKey[key(r)] = r
+		}
+		compareNs := bf.Target == nf.Target
+		if !compareNs {
+			fmt.Printf("benchdiff: targets differ (%d vs %d); skipping ns/edge comparison\n",
+				bf.Target, nf.Target)
+		}
+		for _, b := range bf.Rows {
+			n, ok := newByKey[key(b)]
+			if !ok {
+				// A baseline row the new run no longer produces is only a
+				// failure when the runs cover the same benchmarks; a subset
+				// smoke run legitimately measures fewer rows.
+				if compareNs {
+					failures = append(failures, fmt.Sprintf(
+						"%s/%s: present in baseline, missing from %s", b.Bench, b.Config, newPath))
+				}
+				continue
+			}
+			if !compareNs || b.NsPerOp <= 0 {
+				continue
+			}
+			limit := b.NsPerOp * (1 + maxRegress/100)
+			if n.NsPerOp > limit {
+				failures = append(failures, fmt.Sprintf(
+					"%s/%s: %.1f ns/edge vs baseline %.1f (+%.0f%%, limit +%.0f%%)",
+					b.Bench, b.Config, n.NsPerOp, b.NsPerOp,
+					(n.NsPerOp/b.NsPerOp-1)*100, maxRegress))
+			}
+		}
+	}
+
+	if len(failures) > 0 {
+		return fmt.Errorf("%d check(s) failed:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("benchdiff: %s ok (%d rows)\n", newPath, len(nf.Rows))
+	return nil
+}

@@ -38,3 +38,13 @@ if [ "$rc" -ne 3 ]; then
     exit 1
 fi
 echo "ci: verify gate ok"
+
+# Recording fast-path gate: a quick recordbench run must hold the batched
+# recorder's hard invariant — zero steady-state allocations per edge. The
+# instruction target is deliberately small (the smoke is about allocs, not
+# timing), so benchdiff skips the ns/edge comparison against the checked-in
+# baseline; rerun teabench with the baseline's target before trusting a
+# timing diff.
+go run ./cmd/teabench -recordbench "$bin/record.json" -target 300000 -bench gcc
+go run ./scripts/benchdiff -base BENCH_record.json -new "$bin/record.json" -zero-allocs batch
+echo "ci: recordbench gate ok"
