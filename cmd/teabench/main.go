@@ -13,6 +13,7 @@
 //	teabench -threshold 50       # hot threshold
 //	teabench -replaybench BENCH_replay.json  # replay hot-path ns/edge + allocs/edge
 //	teabench -recordbench BENCH_record.json  # recording hot-path ns/edge + allocs/edge
+//	teabench -obsbench BENCH_obs.json        # observability layer overhead (off vs on)
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 	list := flag.Bool("list", false, "list the synthetic benchmarks and exit")
 	replayBench := flag.String("replaybench", "", "run the replay micro-benchmark and write machine-readable results to this file (e.g. BENCH_replay.json)")
 	recordBench := flag.String("recordbench", "", "run the recording micro-benchmark and write machine-readable results to this file (e.g. BENCH_record.json)")
+	obsBench := flag.String("obsbench", "", "run the observability overhead micro-benchmark and write machine-readable results to this file (e.g. BENCH_obs.json)")
 	flag.Parse()
 	emitJSON = *jsonOut
 
@@ -106,6 +108,27 @@ func main() {
 		fmt.Printf("=== Recording hot path: ns/edge and allocs/edge ===\n")
 		fmt.Println(res.Render())
 		fmt.Fprintf(os.Stderr, "teabench: wrote %s\n", *recordBench)
+		return
+	}
+
+	if *obsBench != "" {
+		res, err := expr.RunObsBench(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*obsBench, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== Observability layer: enabled vs disabled ns/edge ===\n")
+		fmt.Println(res.Render())
+		fmt.Fprintf(os.Stderr, "teabench: wrote %s\n", *obsBench)
 		return
 	}
 

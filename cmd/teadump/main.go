@@ -11,6 +11,7 @@
 //	teadump -bench mcf file.tea -states      # full state listing
 //	teadump -bench mcf file.tea -dot         # Graphviz digraph
 //	teadump -bench mcf file.tea -verify      # static invariant audit (exit 3 on findings)
+//	teadump -events trace.evlog              # decode a binary event log (teaprof -events)
 package main
 
 import (
@@ -34,12 +35,18 @@ func main() {
 	dot := flag.Bool("dot", false, "print a Graphviz digraph")
 	dcfgDot := flag.Bool("dcfg", false, "print the dynamic CFG (code-replicating view, §3) as Graphviz")
 	traceID := flag.Int("trace", 0, "disassemble one trace by ID (1-based)")
+	events := flag.Bool("events", false, "treat the file argument as a binary event log (teaprof -events) and decode it")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "teadump: exactly one TEA file argument is required")
+		fmt.Fprintln(os.Stderr, "teadump: exactly one file argument is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *events {
+		// Event logs are self-contained; no program or TEA is needed.
+		dumpEvents(flag.Arg(0))
+		return
 	}
 	prog, err := cli.LoadProgram("teadump", *bench, *asmFile, *target)
 	if err != nil {
@@ -116,6 +123,24 @@ func main() {
 			fmt.Printf("trace sizes: min %d, median %d, max %d TBBs\n",
 				sizes[0], sizes[n/2], sizes[n-1])
 		}
+	}
+}
+
+// dumpEvents decodes a binary event log and prints one deterministic line
+// per event: the logical edge timestamp, the kind, the automaton state the
+// event concerns, and the kind-specific payload.
+func dumpEvents(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	events, err := tea.DecodeEvents(data)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: %d events\n", path, len(events))
+	for _, e := range events {
+		fmt.Printf("edge %8d  %-14v state %4d  aux 0x%x\n", e.Edge, e.Kind, e.State, e.Aux)
 	}
 }
 

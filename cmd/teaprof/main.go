@@ -12,11 +12,18 @@
 //	teaprof -bench mcf -replay out.tea -shards 4    # sharded parallel replay
 //	teaprof -asm prog.s -record out.tea             # use an assembly file
 //	teaprof -bench gcc -record out.tea -strategy tt # TT instead of MRET
+//
+// Observability (disabled unless requested; see DESIGN.md §12):
+//
+//	teaprof -bench mcf -replay out.tea -obs                  # + Prometheus metrics on stdout
+//	teaprof -bench mcf -replay out.tea -obs -events t.evlog  # + binary event log (teadump -events)
+//	teaprof -bench mcf -replay out.tea -serve :8080          # replay loop + /metrics, /debug/events, pprof
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 
 	tea "github.com/lsc-tea/tea"
@@ -35,6 +42,9 @@ func main() {
 	top := flag.Int("top", 5, "with -profile: how many hottest traces to print")
 	compiled := flag.Bool("compiled", false, "with -replay: replay through the compiled flat automaton")
 	shards := flag.Int("shards", 1, "with -replay: capture the block stream and replay it in N parallel shards")
+	obsFlag := flag.Bool("obs", false, "attach the observability layer and print Prometheus metrics after the run")
+	eventsOut := flag.String("events", "", "with -obs: write the drained binary event log to this file (decode with teadump -events)")
+	serve := flag.String("serve", "", "with -replay: replay the stream in a loop and serve /metrics, /metrics.json, /debug/events and /debug/pprof on this address")
 	flag.Parse()
 
 	prog, err := cli.LoadProgram("teaprof", *bench, *asmFile, *target)
@@ -42,9 +52,14 @@ func main() {
 		fail(err)
 	}
 
+	var o *tea.Obs
+	if *obsFlag || *eventsOut != "" || *serve != "" {
+		o = tea.NewObs()
+	}
+
 	switch {
 	case *record != "":
-		a, stats, err := tea.RecordOnline(prog, *strategy, tea.TraceConfig{HotThreshold: *threshold}, tea.ConfigGlobalLocal)
+		a, stats, err := tea.RecordOnlineObs(prog, *strategy, tea.TraceConfig{HotThreshold: *threshold}, tea.ConfigGlobalLocal, o)
 		if err != nil {
 			fail(err)
 		}
@@ -61,6 +76,7 @@ func main() {
 		fmt.Printf("wrote %s: %d bytes (code replication would take %d bytes, %.0f%% savings)\n",
 			*record, len(data), tea.CodeBytes(set),
 			(1-float64(len(data))/float64(tea.CodeBytes(set)))*100)
+		emitObs(o, *eventsOut)
 
 	case *replay != "":
 		data, err := os.ReadFile(*replay)
@@ -71,19 +87,38 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if *serve != "" {
+			serveObs(prog, a, o, *shards, *serve)
+			return
+		}
 		if *shards > 1 {
 			stream, tail, err := tea.CaptureStream(prog)
 			if err != nil {
 				fail(err)
 			}
 			c := tea.Compile(a, tea.ConfigGlobalLocal)
-			stats, final := tea.ParallelReplay(c, stream, *shards)
+			stats, final := tea.ParallelReplayObs(c, stream, *shards, o)
 			stats.AccountTail(final, tail)
 			fmt.Printf("parallel replay: %d edges in %d shards\n", len(stream), *shards)
 			printStats(&stats)
+			emitObs(o, *eventsOut)
 			return
 		}
 		if *compiled {
+			if o != nil {
+				stream, tail, err := tea.CaptureStream(prog)
+				if err != nil {
+					fail(err)
+				}
+				r := tea.NewCompiledReplayer(tea.Compile(a, tea.ConfigGlobalLocal))
+				r.SetObs(o)
+				r.AdvanceBatch(stream)
+				stats := *r.Stats()
+				stats.AccountTail(r.Cur(), tail)
+				printStats(&stats)
+				emitObs(o, *eventsOut)
+				return
+			}
 			stats, err := tea.ReplayCompiled(prog, a, tea.ConfigGlobalLocal)
 			if err != nil {
 				fail(err)
@@ -104,16 +139,56 @@ func main() {
 			}
 			return
 		}
-		stats, err := tea.Replay(prog, a, tea.ConfigGlobalLocal)
+		stats, err := tea.ReplayObs(prog, a, tea.ConfigGlobalLocal, o)
 		if err != nil {
 			fail(err)
 		}
 		printStats(stats)
+		emitObs(o, *eventsOut)
 
 	default:
 		fmt.Fprintln(os.Stderr, "teaprof: one of -record or -replay is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// emitObs prints the Prometheus exposition after an observed run and, when
+// requested, writes the drained binary event log.
+func emitObs(o *tea.Obs, eventsOut string) {
+	if o == nil {
+		return
+	}
+	if eventsOut != "" {
+		events, dropped := o.Tracer.Drain()
+		if err := os.WriteFile(eventsOut, tea.EncodeEvents(events), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s: %d events (%d dropped by the ring)\n", eventsOut, len(events), dropped)
+	}
+	fmt.Println()
+	if err := o.Reg.WritePrometheus(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+// serveObs replays the captured stream in a loop while serving the
+// observability endpoints; it blocks until the process is killed.
+func serveObs(prog *tea.Program, a *tea.Automaton, o *tea.Obs, shards int, addr string) {
+	stream, _, err := tea.CaptureStream(prog)
+	if err != nil {
+		fail(err)
+	}
+	c := tea.Compile(a, tea.ConfigGlobalLocal)
+	go func() {
+		for {
+			tea.ParallelReplayObs(c, stream, shards, o)
+		}
+	}()
+	fmt.Printf("serving /metrics, /metrics.json, /debug/events, /debug/pprof on %s (replaying %d edges in a loop, %d shard(s))\n",
+		addr, len(stream), shards)
+	if err := http.ListenAndServe(addr, tea.ObsHandler(o)); err != nil {
+		fail(err)
 	}
 }
 

@@ -24,6 +24,11 @@ type Map[V any] struct {
 	height int
 	size   int
 	probes uint64
+
+	// probeHook, when set, receives each Get/Floor search's node-visit
+	// count as it completes — the observability layer's per-lookup probe
+	// depth, as opposed to the cumulative probes counter.
+	probeHook func(depth uint64)
 }
 
 type node[V any] interface {
@@ -173,15 +178,25 @@ func (t *Map[V]) Probes() uint64 { return t.probes }
 // ResetProbes zeroes the probe counter.
 func (t *Map[V]) ResetProbes() { t.probes = 0 }
 
+// SetProbeHook installs (or with nil removes) a per-search observer: after
+// every Get or Floor it receives that search's node-visit count. The hook
+// must be cheap and must not call back into the tree.
+func (t *Map[V]) SetProbeHook(h func(depth uint64)) { t.probeHook = h }
+
 // Get returns the value stored under key.
 func (t *Map[V]) Get(key uint64) (V, bool) {
 	n := t.root
+	depth := uint64(0)
 	for {
-		t.probes++
+		depth++
 		switch x := n.(type) {
 		case *inner[V]:
 			n = x.kids[childIndex(x.keys, key)]
 		case *leaf[V]:
+			t.probes += depth
+			if t.probeHook != nil {
+				t.probeHook(depth)
+			}
 			i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] >= key })
 			if i < len(x.keys) && x.keys[i] == key {
 				return x.vals[i], true
@@ -202,12 +217,17 @@ func (t *Map[V]) Get(key uint64) (V, bool) {
 func (t *Map[V]) Floor(key uint64) (uint64, V, bool) {
 	var zero V
 	n := t.root
+	depth := uint64(0)
 	for {
-		t.probes++
+		depth++
 		switch x := n.(type) {
 		case *inner[V]:
 			n = x.kids[childIndex(x.keys, key)]
 		case *leaf[V]:
+			t.probes += depth
+			if t.probeHook != nil {
+				t.probeHook(depth)
+			}
 			i := sort.Search(len(x.keys), func(i int) bool { return x.keys[i] > key })
 			if i > 0 {
 				return x.keys[i-1], x.vals[i-1], true

@@ -1,5 +1,9 @@
 package core
 
+import (
+	"github.com/lsc-tea/tea/internal/obs"
+)
+
 // Edge is one event of a dynamic block stream in replay currency: the
 // previously executing block retired Instrs dynamic instructions and
 // control arrived at the block headed at Label — exactly the argument pair
@@ -32,6 +36,12 @@ type CompiledReplayer struct {
 	cur      StateID
 	desynced bool
 	stats    Stats
+
+	// obs is the (nil when disabled) observability sink. AdvanceBatch folds
+	// counters once per batch from the stats delta and emits events from its
+	// slow branches; when nil the loop body is the PR 4 fast path plus one
+	// predicted-not-taken branch per slow-path edge.
+	obs *obs.Obs
 
 	one [1]Edge // backing for the single-edge Advance, keeping it alloc-free
 }
@@ -82,14 +92,28 @@ func (r *CompiledReplayer) Advance(label, instrs uint64) StateID {
 // AccountOnly records instrs executed without advancing the automaton
 // (the trailing instructions a pin.Tool receives in Fini).
 func (r *CompiledReplayer) AccountOnly(instrs uint64) {
+	prev := r.stats
 	r.stats.AccountTail(r.cur, instrs)
+	if o := r.obs; o != nil {
+		d := r.stats
+		d.sub(&prev)
+		obsFoldReplay(o, 0, &d)
+	}
 }
 
 // AdvanceBatch consumes a slice of stream edges and returns the final
 // state. It allocates nothing and keeps the cursor, desync flag and stats
 // in locals across the whole batch, writing them back once — the amortized
 // form of calling Advance per edge, with identical results.
+//
+// With an observability context attached the batch routes through the
+// instrumented twin; the disabled path below carries no obs code at all
+// (not even nil checks inside the loop), so its code generation is exactly
+// the pre-observability fast path.
 func (r *CompiledReplayer) AdvanceBatch(edges []Edge) StateID {
+	if r.obs != nil {
+		return r.advanceBatchObs(edges)
+	}
 	c := r.c
 	cur, desynced := r.cur, r.desynced
 	st := r.stats
@@ -192,6 +216,135 @@ func (r *CompiledReplayer) AdvanceBatch(edges []Edge) StateID {
 
 	r.cur, r.desynced = cur, desynced
 	r.stats = st
+	return cur
+}
+
+// advanceBatchObs is AdvanceBatch's instrumented twin, entered only with a
+// context attached: identical Stats, cursor and desync behaviour, plus
+// events stamped base+k on the slow branches and one counter fold from the
+// batch's stats delta in the epilogue. Kept structurally parallel to the
+// disabled loop above; the differential tests hold the two against each
+// other.
+func (r *CompiledReplayer) advanceBatchObs(edges []Edge) StateID {
+	c := r.c
+	cur, desynced := r.cur, r.desynced
+	st := r.stats
+	localSize := c.localSize
+	var localMask uint64
+	if localSize > 0 {
+		localMask = uint64(localSize - 1)
+	}
+	states := c.state
+	cache := r.cache
+
+	// Events carry base+k as their logical timestamp and the counters fold
+	// once from the batch's stats delta in the epilogue, so even enabled
+	// mode adds no per-edge atomics for counter maintenance.
+	o := r.obs
+	base := o.EdgeBase()
+	prev := st
+
+	for k := range edges {
+		label, instrs := edges[k].Label, edges[k].Instrs
+
+		if instrs != 0 {
+			st.Blocks++
+			st.Instrs += instrs
+			if cur != NTE {
+				st.TraceBlocks++
+				st.TraceInstrs += instrs
+			}
+		}
+
+		var next StateID
+		if cur != NTE {
+			rec := &states[cur]
+			if rec.lab0 == label {
+				st.InTraceHits++
+				next = rec.tgt0
+			} else if rec.lab1 == label {
+				st.InTraceHits++
+				next = rec.tgt1
+			} else if t, ok := c.nextSlow(cur, label); ok {
+				st.InTraceHits++
+				next = t
+			} else {
+				if !rec.plausible(label) {
+					st.Desyncs++
+					desynced = true
+					o.SetEdge(base + uint64(k))
+					o.DesyncEvent(int32(cur), label)
+				}
+				if localSize > 0 {
+					slot := &cache[int(cur)*localSize+int((label>>1)&localMask)]
+					if slot.label == label {
+						st.LocalHits++
+						next = slot.tgt
+					} else {
+						st.LocalMisses++
+						st.GlobalLookups++
+						t, ok, depth := c.entryProbes(label)
+						o.SetEdge(base + uint64(k))
+						o.CacheMissProbe(int32(cur), depth)
+						if ok {
+							st.GlobalHits++
+							next = t
+						} else {
+							next = NTE
+						}
+						slot.label = label
+						slot.tgt = next
+					}
+				} else {
+					st.GlobalLookups++
+					t, ok, depth := c.entryProbes(label)
+					o.SetEdge(base + uint64(k))
+					o.CacheMissProbe(int32(cur), depth)
+					if ok {
+						st.GlobalHits++
+						next = t
+					} else {
+						next = NTE
+					}
+				}
+				if next == NTE {
+					st.TraceExits++
+					o.SetEdge(base + uint64(k))
+					o.TraceExit(int32(cur), label)
+				} else {
+					st.TraceLinks++
+					o.SetEdge(base + uint64(k))
+					o.EntryTableHit(int32(next), label)
+				}
+			}
+		} else {
+			st.GlobalLookups++
+			if t, ok := c.entry(label); ok {
+				st.GlobalHits++
+				next = t
+				st.TraceEnters++
+				o.SetEdge(base + uint64(k))
+				o.TraceEnter(int32(next), label)
+			} else {
+				next = NTE
+			}
+		}
+
+		if next != NTE && desynced {
+			desynced = false
+			st.Resyncs++
+			o.SetEdge(base + uint64(k))
+			o.ResyncEvent(int32(next), label)
+		}
+		cur = next
+	}
+
+	r.cur, r.desynced = cur, desynced
+	r.stats = st
+	o.AdvanceEdges(uint64(len(edges)))
+	d := st
+	d.sub(&prev)
+	obsFoldReplay(o, 0, &d)
 	return cur
 }
 

@@ -236,6 +236,32 @@ func (c *Compiled) entry(addr uint64) (StateID, bool) {
 	}
 }
 
+// entryProbes is entry with probe accounting: it additionally reports how
+// many table slots the search inspected (0 when the presence filter
+// rejected the address without touching the table). Only the
+// observability-enabled paths call it; the plain entry stays branch-lean
+// for the disabled fast path.
+func (c *Compiled) entryProbes(addr uint64) (StateID, bool, uint64) {
+	h := addr * fibHash
+	bit := h >> c.filtShift
+	if c.filt[bit>>6]&(1<<(bit&63)) == 0 {
+		return NTE, false, 0
+	}
+	i := h >> c.entShift
+	probes := uint64(0)
+	for {
+		probes++
+		e := c.ent[i]
+		if e.val < 0 {
+			return NTE, false, probes
+		}
+		if e.key == addr {
+			return e.val, true, probes
+		}
+		i = (i + 1) & c.entMask
+	}
+}
+
 // plausible mirrors plausibleSuccessor on the precomputed per-state fields:
 // control leaving the record's block can arrive at label only via the branch
 // target, the fall-through, or anywhere after an indirect terminator.

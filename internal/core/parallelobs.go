@@ -1,0 +1,239 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/lsc-tea/tea/internal/obs"
+)
+
+// This file is the observability-enabled twin of parallel.go. The shape of
+// the problem: naive per-shard event recording would publish observations
+// from the speculative prefix of each shard — observations that junction
+// reconciliation later proves wrong — so the merged event stream would
+// differ from a sequential replay's. The fix reuses the memoryless-step
+// argument: events, like Stats increments, are pure functions of
+// (pre-state, edge), so the reconciliation that swaps the speculative
+// prefix's Stats for the true prefix's Stats swaps its events the same
+// way. Each shard collects raw events tagged with global edge indices into
+// a private slice (its per-shard sink — no synchronization on the hot
+// path); reconciliation splices true-prefix events with post-convergence
+// speculative events; and the merged, edge-ordered stream is folded
+// through the same Obs emitters the sequential path uses. Counters are
+// charged to per-shard cells (obs.Counter.AddShard), so concurrent shards
+// never contend on a cache line and the aggregate equals the sequential
+// fold by the byte-identical-Stats theorem of DESIGN.md §9.
+
+// stepObs is step with event collection: identical Stats increments and
+// post-state for every input, additionally appending the edge's events
+// (timestamped eidx) to evs. Kept structurally parallel to step so the
+// differential tests can hold them against each other.
+func (c *Compiled) stepObs(cur StateID, desynced bool, label, instrs uint64, st *Stats, evs *[]obs.Event, eidx uint64) (StateID, bool) {
+	if instrs != 0 {
+		st.Blocks++
+		st.Instrs += instrs
+		if cur != NTE {
+			st.TraceBlocks++
+			st.TraceInstrs += instrs
+		}
+	}
+	var next StateID
+	if cur != NTE {
+		rec := &c.state[cur]
+		if rec.lab0 == label {
+			st.InTraceHits++
+			next = rec.tgt0
+		} else if rec.lab1 == label {
+			st.InTraceHits++
+			next = rec.tgt1
+		} else if t, ok := c.nextSlow(cur, label); ok {
+			st.InTraceHits++
+			next = t
+		} else {
+			if !rec.plausible(label) {
+				st.Desyncs++
+				desynced = true
+				*evs = append(*evs, obs.Event{Edge: eidx, Aux: label, State: int32(cur), Kind: obs.EvDesync})
+			}
+			st.GlobalLookups++
+			t, ok, depth := c.entryProbes(label)
+			*evs = append(*evs, obs.Event{Edge: eidx, Aux: depth, State: int32(cur), Kind: obs.EvCacheMissProbe})
+			if ok {
+				st.GlobalHits++
+				next = t
+			}
+			if next == NTE {
+				st.TraceExits++
+				*evs = append(*evs, obs.Event{Edge: eidx, Aux: label, State: int32(cur), Kind: obs.EvTraceExit})
+			} else {
+				st.TraceLinks++
+				*evs = append(*evs, obs.Event{Edge: eidx, Aux: label, State: int32(next), Kind: obs.EvEntryTableHit})
+			}
+		}
+	} else {
+		st.GlobalLookups++
+		if t, ok := c.entry(label); ok {
+			st.GlobalHits++
+			next = t
+			st.TraceEnters++
+			*evs = append(*evs, obs.Event{Edge: eidx, Aux: label, State: int32(next), Kind: obs.EvTraceEnter})
+		}
+	}
+	if next != NTE && desynced {
+		desynced = false
+		st.Resyncs++
+		*evs = append(*evs, obs.Event{Edge: eidx, Aux: label, State: int32(next), Kind: obs.EvResync})
+	}
+	return next, desynced
+}
+
+// SequentialReplayObs is SequentialReplay with observability: identical
+// Stats and final state, with events collected per edge, counters folded
+// once, and the derived histograms fed through the shared ingest path. A
+// nil context delegates to the plain SequentialReplay.
+func SequentialReplayObs(c *Compiled, stream []Edge, o *obs.Obs) (Stats, StateID) {
+	if o == nil {
+		return SequentialReplay(c, stream)
+	}
+	var st Stats
+	evs := make([]obs.Event, 0, 256)
+	base := o.EdgeBase()
+	cur, desynced := NTE, false
+	for k := range stream {
+		cur, desynced = c.stepObs(cur, desynced, stream[k].Label, stream[k].Instrs, &st, &evs, base+uint64(k))
+	}
+	o.AdvanceEdges(uint64(len(stream)))
+	obsFoldReplay(o, 0, &st)
+	o.IngestReplay(evs)
+	return st, cur
+}
+
+// shardTraceObs is one shard's speculative result plus its private event
+// sink.
+type shardTraceObs struct {
+	stats Stats
+	curs  []StateID
+	desyn []bool
+	evs   []obs.Event
+}
+
+// ParallelReplayObs is ParallelReplay with observability. The merged Stats
+// and final state stay byte-identical to SequentialReplay; additionally the
+// merged event stream — and therefore the ring contents and every derived
+// histogram — is identical to what SequentialReplayObs produces on the same
+// stream, because reconciliation splices speculative-prefix events out
+// exactly where it swaps speculative-prefix Stats out. Counter updates land
+// in per-shard cells. A nil context delegates to ParallelReplay.
+func ParallelReplayObs(c *Compiled, stream []Edge, shards int, o *obs.Obs) (Stats, StateID) {
+	if o == nil {
+		return ParallelReplay(c, stream, shards)
+	}
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > len(stream) {
+		shards = len(stream)
+	}
+	if shards <= 1 {
+		return SequentialReplayObs(c, stream, o)
+	}
+
+	base := o.EdgeBase()
+	bounds := make([]int, shards+1)
+	for i := 0; i <= shards; i++ {
+		bounds[i] = i * len(stream) / shards
+	}
+
+	res := make([]shardTraceObs, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seg := stream[bounds[i]:bounds[i+1]]
+			r := &res[i]
+			ebase := base + uint64(bounds[i])
+			cur, desynced := NTE, false
+			if i == 0 {
+				for k := range seg {
+					cur, desynced = c.stepObs(cur, desynced, seg[k].Label, seg[k].Instrs, &r.stats, &r.evs, ebase+uint64(k))
+				}
+				r.curs = []StateID{cur}
+				r.desyn = []bool{desynced}
+				return
+			}
+			r.curs = make([]StateID, len(seg))
+			r.desyn = make([]bool, len(seg))
+			for k := range seg {
+				cur, desynced = c.stepObs(cur, desynced, seg[k].Label, seg[k].Instrs, &r.stats, &r.evs, ebase+uint64(k))
+				r.curs[k] = cur
+				r.desyn[k] = desynced
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Junction reconciliation, left to right — the only sequential section,
+	// so it carries the profiling span.
+	sp := obs.StartSpan(o, "parallel_reconcile")
+	obsFoldReplay(o, 0, &res[0].stats)
+	merged := res[0].evs
+	total := res[0].stats
+	cur := res[0].curs[0]
+	desynced := res[0].desyn[0]
+	for i := 1; i < shards; i++ {
+		seg := stream[bounds[i]:bounds[i+1]]
+		r := &res[i]
+		ebase := base + uint64(bounds[i])
+
+		var trueSt Stats
+		trueEvs := make([]obs.Event, 0, 16)
+		tcur, tdes := cur, desynced
+		conv := -1
+		for j := 0; j < len(seg); j++ {
+			tcur, tdes = c.stepObs(tcur, tdes, seg[j].Label, seg[j].Instrs, &trueSt, &trueEvs, ebase+uint64(j))
+			if tcur == r.curs[j] && tdes == r.desyn[j] {
+				conv = j
+				break
+			}
+		}
+		if conv < 0 {
+			// The trajectories never touched: the true re-replay covered the
+			// whole segment and replaces the speculative result, events and
+			// all.
+			obsFoldReplay(o, i, &trueSt)
+			total.add(&trueSt)
+			merged = append(merged, trueEvs...)
+			cur, desynced = tcur, tdes
+			continue
+		}
+
+		// Swap accounting and events for the non-converged prefix [0..conv]:
+		// the speculative charges there are recomputed and exchanged for the
+		// true ones; the suffix is identical by induction, so its
+		// speculative events are kept verbatim.
+		var specSt Stats
+		specEvs := r.evs[:0:0]
+		scur, sdes := NTE, false
+		for j := 0; j <= conv; j++ {
+			scur, sdes = c.stepObs(scur, sdes, seg[j].Label, seg[j].Instrs, &specSt, &specEvs, ebase+uint64(j))
+		}
+		shard := r.stats
+		shard.sub(&specSt)
+		shard.add(&trueSt)
+		obsFoldReplay(o, i, &shard)
+		total.add(&shard)
+		// Events with timestamps past the junction edge are the kept suffix.
+		junction := ebase + uint64(conv)
+		cut := sort.Search(len(r.evs), func(k int) bool { return r.evs[k].Edge > junction })
+		merged = append(merged, trueEvs...)
+		merged = append(merged, r.evs[cut:]...)
+		cur, desynced = r.curs[len(seg)-1], r.desyn[len(seg)-1]
+	}
+	sp.End()
+
+	o.AdvanceEdges(uint64(len(stream)))
+	o.IngestReplay(merged)
+	return total, cur
+}

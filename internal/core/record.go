@@ -2,6 +2,7 @@ package core
 
 import (
 	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/obs"
 	"github.com/lsc-tea/tea/internal/trace"
 )
 
@@ -49,6 +50,11 @@ type Recorder struct {
 	// view is the automaton view lent to it, allocated once per recorder.
 	fused trace.FusedObserver
 	view  trace.AutoView
+
+	// obs is the (nil when disabled) observability sink; lastSync is the
+	// edge-clock reading at the previous sync, for the sync-gap histogram.
+	obs      *obs.Obs
+	lastSync uint64
 }
 
 // NewRecorder creates a recorder around the selection strategy, with the
@@ -187,6 +193,12 @@ func (r *Recorder) ObserveBatch(edges []cfg.Edge, instrs []uint64) {
 			i++
 			continue
 		}
+		if o := r.rep.obs; o != nil {
+			// The fused scan consumed n edges without per-edge ticks; move
+			// the logical clock in one step and keep event stamps monotonic.
+			o.AdvanceEdges(uint64(n))
+			o.SetEdge(o.EdgeBase())
+		}
 		if changed != nil {
 			r.sync(changed)
 		}
@@ -206,10 +218,36 @@ func (r *Recorder) ObserveBatch(edges []cfg.Edge, instrs []uint64) {
 func (r *Recorder) Snapshot() *Automaton { return r.auto.Clone() }
 
 // sync folds a created or extended trace into the automaton and the
-// replayer's global container.
+// replayer's global container. With observability attached it is also the
+// recorder's sampling point: syncs are rare (once per created or extended
+// trace), so this is where the span timing, churn histogram and occupancy
+// gauges live — never on the per-edge path.
 func (r *Recorder) sync(t *trace.Trace) {
+	sp := obs.StartSpan(r.obs, "record_sync")
 	r.auto.SyncTrace(t)
+	entered := false
 	if head, ok := r.auto.EntryFor(t.EntryAddr()); ok {
 		r.rep.AddEntry(t.EntryAddr(), head)
+		entered = true
+	}
+	sp.End()
+	if o := r.obs; o != nil {
+		m := o.Record
+		m.Syncs.Add(1)
+		if entered {
+			m.Entries.Add(1)
+		}
+		edge := o.EdgeBase()
+		m.SyncGap.Observe(edge - r.lastSync)
+		r.lastSync = edge
+		m.SetBlocks.Set(uint64(r.strat.Set().NumTBBs()))
+		if oc, ok := r.strat.(trace.OccupancySource); ok {
+			hot, ext := oc.Occupancy()
+			m.HotHeads.Set(uint64(hot))
+			m.ExtCounts.Set(uint64(ext))
+		}
+		o.SetEdge(edge)
+		o.SyncEvent(int32(r.rep.Cur()), uint64(t.Len()))
+		r.rep.FlushObs()
 	}
 }

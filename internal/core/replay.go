@@ -3,6 +3,7 @@ package core
 import (
 	"github.com/lsc-tea/tea/internal/btree"
 	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/obs"
 	"github.com/lsc-tea/tea/internal/trace"
 )
 
@@ -26,6 +27,12 @@ type Replayer struct {
 	cur      StateID
 	desynced bool
 	stats    Stats
+
+	// obs is the (nil when disabled) observability sink; obsFolded remembers
+	// the stats already folded into its counters, so FlushObs charges deltas
+	// and never double-counts.
+	obs       *obs.Obs
+	obsFolded Stats
 
 	// gen is the local-cache generation. AddEntry bumps it instead of
 	// walking and zeroing every allocated cache; a cache whose stamp lags
@@ -172,6 +179,7 @@ func (r *Replayer) Reset() {
 	r.cur = NTE
 	r.desynced = false
 	r.stats = Stats{}
+	r.obsFolded = Stats{}
 }
 
 // AddEntry registers a trace entry created after the replayer was built
@@ -197,6 +205,10 @@ func (r *Replayer) AddEntry(addr uint64, s StateID) {
 func (r *Replayer) Advance(label uint64, instrs uint64) StateID {
 	r.account(r.cur, instrs)
 	from := r.cur
+	o := r.obs
+	if o != nil {
+		o.Tick()
+	}
 	var next StateID
 	if from != NTE {
 		if t, ok := r.a.State(from).Next(label); ok {
@@ -212,18 +224,30 @@ func (r *Replayer) Advance(label uint64, instrs uint64) StateID {
 			if !plausibleSuccessor(r.a.State(from).TBB, label) {
 				r.stats.Desyncs++
 				r.desynced = true
+				if o != nil {
+					o.DesyncEvent(int32(from), label)
+				}
 			}
 			next = r.resolve(from, label)
 			if next == NTE {
 				r.stats.TraceExits++
+				if o != nil {
+					o.TraceExit(int32(from), label)
+				}
 			} else {
 				r.stats.TraceLinks++
+				if o != nil {
+					o.EntryTableHit(int32(next), label)
+				}
 			}
 		}
 	} else {
 		next = r.lookupGlobal(label)
 		if next != NTE {
 			r.stats.TraceEnters++
+			if o != nil {
+				o.TraceEnter(int32(next), label)
+			}
 		}
 	}
 	if next != NTE && r.desynced {
@@ -231,6 +255,9 @@ func (r *Replayer) Advance(label uint64, instrs uint64) StateID {
 		// again from here.
 		r.desynced = false
 		r.stats.Resyncs++
+		if o != nil {
+			o.ResyncEvent(int32(next), label)
+		}
 	}
 	r.cur = next
 	return next
@@ -423,11 +450,11 @@ func (r *Replayer) resolve(from StateID, label uint64) StateID {
 			return t
 		}
 		r.stats.LocalMisses++
-		t := r.lookupGlobal(label)
+		t := r.lookupGlobalFrom(from, label)
 		c.put(label, t)
 		return t
 	}
-	return r.lookupGlobal(label)
+	return r.lookupGlobalFrom(from, label)
 }
 
 func (r *Replayer) lookupGlobal(label uint64) StateID {

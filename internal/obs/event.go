@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// EventKind identifies one structured replay/record event.
+type EventKind uint8
+
+// Event kinds. The numeric values are part of the binary log format and
+// must not be reordered; append new kinds at the end.
+const (
+	// EvTraceEnter: the replay cursor moved from NTE into a trace.
+	// State = entered trace head state, Aux = edge label (target address).
+	EvTraceEnter EventKind = iota + 1
+	// EvTraceExit: the cursor left trace code for NTE (a trace-side global
+	// search found no successor). State = exited state, Aux = edge label.
+	EvTraceExit
+	// EvDesync: an in-trace transition contradicted the recorded automaton
+	// (the paper's desynchronization). State = state at the mismatch,
+	// Aux = offending edge label.
+	EvDesync
+	// EvResync: a desynchronized cursor re-entered a plausible state.
+	// State = state resynchronized onto, Aux = edge label.
+	EvResync
+	// EvCacheMissProbe: a trace-side successor search consulted the global
+	// container — after a local-cache miss when local caches are on, or
+	// unconditionally in the cache-less ablation (the paper's Table 4
+	// CacheMiss→probe path). State = searching state, Aux = probe depth
+	// (container slots/nodes inspected).
+	EvCacheMissProbe
+	// EvEntryTableHit: a trace-side global search hit — the cursor linked
+	// to another trace state without leaving trace code.
+	// State = target state, Aux = edge label.
+	EvEntryTableHit
+	// EvSync: the online recorder synchronized a created/extended trace
+	// into the automaton. State = trace head state, Aux = trace block count.
+	EvSync
+)
+
+// String returns the decoder's stable name for the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvTraceEnter:
+		return "TraceEnter"
+	case EvTraceExit:
+		return "TraceExit"
+	case EvDesync:
+		return "Desync"
+	case EvResync:
+		return "Resync"
+	case EvCacheMissProbe:
+		return "CacheMissProbe"
+	case EvEntryTableHit:
+		return "EntryTableHit"
+	case EvSync:
+		return "Sync"
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one structured observation with a logical timestamp: Edge is the
+// number of stream edges consumed before the event fired (the replay
+// clock), so event logs are deterministic across runs and comparable
+// between sequential and parallel replays of the same stream.
+type Event struct {
+	Edge  uint64    // logical edge index
+	Aux   uint64    // kind-specific payload (label, probe depth, ...)
+	State int32     // automaton state involved (int32(NTE) = -1 for none)
+	Kind  EventKind // what happened
+}
+
+// Tracer is a bounded ring buffer of events. When full it overwrites the
+// oldest entries (keeping the most recent window, which is what a
+// post-mortem wants) and counts the overwritten events in Dropped. Emit is
+// mutex-protected: the hot paths batch their events and ingest them in one
+// goroutine, so the lock is uncontended there, while the HTTP serving mode
+// may drain concurrently.
+type Tracer struct {
+	mu      sync.Mutex
+	buf     []Event
+	head    uint64 // total events ever emitted
+	dropped uint64
+}
+
+// DefaultTracerCap is the default ring capacity.
+const DefaultTracerCap = 4096
+
+// NewTracer creates a ring holding the most recent capacity events
+// (rounded up to a power of two; non-positive means DefaultTracerCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCap
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Tracer{buf: make([]Event, n)}
+}
+
+// Emit appends one event, overwriting the oldest when the ring is full.
+func (t *Tracer) Emit(e Event) {
+	t.mu.Lock()
+	if t.head >= uint64(len(t.buf)) {
+		t.dropped++
+	}
+	t.buf[t.head&uint64(len(t.buf)-1)] = e
+	t.head++
+	t.mu.Unlock()
+}
+
+// Snapshot returns the buffered events oldest-first without clearing them,
+// plus the count of events the ring has overwritten.
+func (t *Tracer) Snapshot() (events []Event, dropped uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.head
+	if n > uint64(len(t.buf)) {
+		n = uint64(len(t.buf))
+	}
+	events = make([]Event, 0, n)
+	for i := t.head - n; i < t.head; i++ {
+		events = append(events, t.buf[i&uint64(len(t.buf)-1)])
+	}
+	return events, t.dropped
+}
+
+// Drain returns the buffered events oldest-first and empties the ring.
+func (t *Tracer) Drain() (events []Event, dropped uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.head
+	if n > uint64(len(t.buf)) {
+		n = uint64(len(t.buf))
+	}
+	events = make([]Event, 0, n)
+	for i := t.head - n; i < t.head; i++ {
+		events = append(events, t.buf[i&uint64(len(t.buf)-1)])
+	}
+	dropped = t.dropped
+	t.head = 0
+	t.dropped = 0
+	return events, dropped
+}
+
+// Dropped returns how many events the ring has overwritten since the last
+// Drain.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// eventMagic heads every binary event log.
+const eventMagic = "TEAEVT1\n"
+
+// EncodeEvents serializes events into the compact binary log format:
+// the 8-byte magic, a uvarint event count, then per event a zigzag-varint
+// edge delta against the previous event (timestamps are near-sorted, so
+// deltas are small), the kind byte, a zigzag-varint state, and a uvarint
+// aux. Encoding is a pure function of the event list, so identical replays
+// produce identical logs.
+func EncodeEvents(events []Event) []byte {
+	out := make([]byte, 0, len(eventMagic)+10+len(events)*6)
+	out = append(out, eventMagic...)
+	out = binary.AppendUvarint(out, uint64(len(events)))
+	prev := uint64(0)
+	for i := range events {
+		e := &events[i]
+		out = binary.AppendVarint(out, int64(e.Edge-prev))
+		prev = e.Edge
+		out = append(out, byte(e.Kind))
+		out = binary.AppendVarint(out, int64(e.State))
+		out = binary.AppendUvarint(out, e.Aux)
+	}
+	return out
+}
+
+// DecodeEvents parses a binary event log produced by EncodeEvents. It
+// validates the magic, the declared count against the available bytes, and
+// every varint, so truncated or corrupt logs return an error rather than
+// garbage.
+func DecodeEvents(data []byte) ([]Event, error) {
+	if len(data) < len(eventMagic) || string(data[:len(eventMagic)]) != eventMagic {
+		return nil, fmt.Errorf("obs: not an event log (bad magic)")
+	}
+	data = data[len(eventMagic):]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("obs: truncated event count")
+	}
+	data = data[n:]
+	// Each event occupies at least 3 bytes (delta, kind, state/aux), so a
+	// count larger than len(data)/3 is corrupt; reject it before allocating.
+	if count > uint64(len(data))/3+1 {
+		return nil, fmt.Errorf("obs: event count %d exceeds log size", count)
+	}
+	events := make([]Event, 0, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		delta, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("obs: truncated edge delta at event %d", i)
+		}
+		data = data[n:]
+		if len(data) == 0 {
+			return nil, fmt.Errorf("obs: truncated kind at event %d", i)
+		}
+		kind := EventKind(data[0])
+		data = data[1:]
+		state, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("obs: truncated state at event %d", i)
+		}
+		data = data[n:]
+		aux, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("obs: truncated aux at event %d", i)
+		}
+		data = data[n:]
+		prev += uint64(delta)
+		if state < -(1<<31) || state >= 1<<31 {
+			return nil, fmt.Errorf("obs: state %d out of range at event %d", state, i)
+		}
+		events = append(events, Event{Edge: prev, Aux: aux, State: int32(state), Kind: kind})
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("obs: %d trailing bytes after %d events", len(data), count)
+	}
+	return events, nil
+}

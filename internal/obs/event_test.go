@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTracerRingSemantics(t *testing.T) {
+	tr := NewTracer(4)
+	for i := uint64(0); i < 6; i++ {
+		tr.Emit(Event{Edge: i, Kind: EvTraceEnter})
+	}
+	events, dropped := tr.Drain()
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if len(events) != 4 {
+		t.Fatalf("len = %d, want 4", len(events))
+	}
+	for i, e := range events {
+		if e.Edge != uint64(i+2) {
+			t.Fatalf("event %d has edge %d, want %d (oldest-first window)", i, e.Edge, i+2)
+		}
+	}
+	// Drain empties the ring.
+	events, dropped = tr.Drain()
+	if len(events) != 0 || dropped != 0 {
+		t.Fatalf("second drain: %d events, %d dropped", len(events), dropped)
+	}
+}
+
+func TestTracerSnapshotNonDestructive(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{Edge: 1, Kind: EvDesync})
+	a, _ := tr.Snapshot()
+	b, _ := tr.Snapshot()
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("snapshots: %d, %d events", len(a), len(b))
+	}
+}
+
+func TestEventLogRoundTrip(t *testing.T) {
+	events := []Event{
+		{Edge: 0, Aux: 0x4000, State: 3, Kind: EvTraceEnter},
+		{Edge: 5, Aux: 2, State: 3, Kind: EvCacheMissProbe},
+		{Edge: 5, Aux: 0x4100, State: 7, Kind: EvEntryTableHit},
+		{Edge: 9, Aux: 0x4200, State: 7, Kind: EvTraceExit},
+		{Edge: 12, Aux: 0x4300, State: -1, Kind: EvDesync},
+		{Edge: 20, Aux: 0x4400, State: 4, Kind: EvResync},
+		// Non-monotonic timestamps (parallel shard boundaries) must survive.
+		{Edge: 15, Aux: 1, State: 0, Kind: EvSync},
+	}
+	enc := EncodeEvents(events)
+	dec, err := DecodeEvents(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(dec), len(events))
+	}
+	for i := range events {
+		if dec[i] != events[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, dec[i], events[i])
+		}
+	}
+	// Deterministic: re-encoding the decoded list is byte-identical.
+	if !bytes.Equal(EncodeEvents(dec), enc) {
+		t.Fatal("re-encode is not byte-identical")
+	}
+}
+
+func TestEventLogEmpty(t *testing.T) {
+	enc := EncodeEvents(nil)
+	dec, err := DecodeEvents(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("decoded %d events from empty log", len(dec))
+	}
+}
+
+func TestDecodeRejectsCorruptLogs(t *testing.T) {
+	good := EncodeEvents([]Event{
+		{Edge: 1, Aux: 2, State: 3, Kind: EvTraceEnter},
+		{Edge: 4, Aux: 5, State: 6, Kind: EvTraceExit},
+	})
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      []byte("NOTEAEVT rest"),
+		"magic only":     []byte(eventMagic),
+		"truncated body": good[:len(good)-2],
+		"trailing bytes": append(append([]byte{}, good...), 0x01),
+		"oversize count": append([]byte(eventMagic), 0xFF, 0xFF, 0xFF, 0xFF, 0x0F),
+	}
+	for name, data := range cases {
+		if _, err := DecodeEvents(data); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvTraceEnter, EvTraceExit, EvDesync, EvResync,
+		EvCacheMissProbe, EvEntryTableHit, EvSync}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has empty or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if EventKind(200).String() != "EventKind(200)" {
+		t.Fatal("unknown kind should render numerically")
+	}
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler builds the observability HTTP mux for one context:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   the same registry as deterministic JSON
+//	/debug/events   JSON snapshot of the event ring (non-destructive)
+//	/debug/pprof/*  the standard net/http/pprof profiles
+//
+// teaprof -serve mounts this on a loopback listener; nothing here touches
+// the replay hot path beyond the registry's aggregate-on-read sums.
+func Handler(o *Obs) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.Reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		events, dropped := o.Tracer.Snapshot()
+		type jsonEvent struct {
+			Edge  uint64 `json:"edge"`
+			Kind  string `json:"kind"`
+			State int32  `json:"state"`
+			Aux   uint64 `json:"aux"`
+		}
+		out := struct {
+			Dropped uint64      `json:"dropped"`
+			Events  []jsonEvent `json:"events"`
+		}{Dropped: dropped, Events: make([]jsonEvent, 0, len(events))}
+		for _, e := range events {
+			out.Events = append(out.Events, jsonEvent{
+				Edge: e.Edge, Kind: e.Kind.String(), State: e.State, Aux: e.Aux,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"time"
+)
+
+// Bucket layouts for the replay histograms. Probe depth is small (B+ tree
+// height or a short entry-table probe chain); visit and gap lengths span
+// orders of magnitude, so their edges double.
+var (
+	ProbeDepthBuckets = []uint64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+	VisitEdgeBuckets  = []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	ResyncGapBuckets  = []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	SyncGapBuckets    = []uint64{16, 64, 256, 1024, 4096, 16384, 65536}
+)
+
+// ReplayMetrics is the pre-resolved metric set of the replay paths. The
+// counters mirror core.Stats field-for-field (folded in from stats deltas
+// at batch boundaries, not incremented per edge); the histograms are
+// derived from the event stream, so sequential and parallel replays of the
+// same stream produce identical distributions.
+type ReplayMetrics struct {
+	Blocks, Instrs, TraceBlocks, TraceInstrs *Counter
+	InTraceHits, LocalHits, LocalMisses      *Counter
+	GlobalLookups, GlobalHits                *Counter
+	Enters, Links, Exits, Desyncs, Resyncs   *Counter
+
+	ProbeDepth *Histogram // global-container probe depth per trace-side search
+	VisitEdges *Histogram // edges per trace visit (TraceEnter → TraceExit)
+	ResyncGap  *Histogram // edges spent desynchronized (Desync → Resync)
+}
+
+// RecordMetrics is the pre-resolved metric set of the online recorder.
+type RecordMetrics struct {
+	Syncs   *Counter // SyncTrace calls (trace creations + extensions)
+	Entries *Counter // entry points registered with the replayer
+
+	SyncGap *Histogram // edges between consecutive syncs (trace churn)
+
+	SetBlocks *Gauge // TBBs resident in the trace set
+	HotHeads  *Gauge // live hot-head counters in the strategy
+	ExtCounts *Gauge // live side-exit counters (tree strategies)
+}
+
+// Obs is one observability context: a registry, an event ring, the
+// pre-resolved replay/record metric sets, and the logical edge clock.
+// Hot paths hold a possibly-nil *Obs and guard every use with a nil
+// check — the disabled mode costs one predictable branch on slow paths
+// and nothing on fast paths.
+//
+// An Obs is owned by one replaying/recording goroutine at a time; the
+// registry and tracer it feeds are safe to scrape concurrently.
+type Obs struct {
+	Reg    *Registry
+	Tracer *Tracer
+	Replay *ReplayMetrics
+	Record *RecordMetrics
+
+	// edge is the logical clock: stream edges consumed so far. curEdge is
+	// the timestamp emitters stamp onto events; batch paths set it from a
+	// batch-local base + offset instead of ticking per edge.
+	edge    uint64
+	curEdge uint64
+
+	// Visit and gap tracking for the derived histograms.
+	inVisit   bool
+	visitEdge uint64
+	inGap     bool
+	gapEdge   uint64
+}
+
+// New creates an observability context with a fresh registry and a
+// default-capacity event ring, with all replay/record metrics registered.
+func New() *Obs {
+	return NewWith(NewRegistry(), DefaultTracerCap)
+}
+
+// NewWith creates an observability context over an existing registry with
+// the given event-ring capacity.
+func NewWith(reg *Registry, tracerCap int) *Obs {
+	o := &Obs{Reg: reg, Tracer: NewTracer(tracerCap)}
+	c := func(name, help string) *Counter { return reg.Counter(name, help) }
+	o.Replay = &ReplayMetrics{
+		Blocks:        c("tea_replay_blocks_total", "stream edges consumed (block boundaries crossed)"),
+		Instrs:        c("tea_replay_instrs_total", "guest instructions replayed"),
+		TraceBlocks:   c("tea_replay_trace_blocks_total", "blocks executed inside trace states"),
+		TraceInstrs:   c("tea_replay_trace_instrs_total", "instructions executed inside trace states"),
+		InTraceHits:   c("tea_replay_in_trace_hits_total", "successor found among the current state's recorded successors"),
+		LocalHits:     c("tea_replay_local_hits_total", "per-state local cache hits"),
+		LocalMisses:   c("tea_replay_local_misses_total", "per-state local cache misses"),
+		GlobalLookups: c("tea_replay_global_lookups_total", "global entry-container lookups"),
+		GlobalHits:    c("tea_replay_global_hits_total", "global entry-container hits"),
+		Enters:        c("tea_replay_trace_enters_total", "NTE-to-trace transitions"),
+		Links:         c("tea_replay_trace_links_total", "trace-to-trace links through the global container"),
+		Exits:         c("tea_replay_trace_exits_total", "trace-to-NTE exits"),
+		Desyncs:       c("tea_replay_desyncs_total", "automaton/stream desynchronizations"),
+		Resyncs:       c("tea_replay_resyncs_total", "recoveries from desynchronization"),
+		ProbeDepth: reg.Histogram("tea_replay_probe_depth",
+			"global-container slots or nodes inspected per trace-side search", ProbeDepthBuckets),
+		VisitEdges: reg.Histogram("tea_replay_trace_visit_edges",
+			"edges spent inside traces per visit", VisitEdgeBuckets),
+		ResyncGap: reg.Histogram("tea_replay_resync_gap_edges",
+			"edges spent desynchronized per desync episode", ResyncGapBuckets),
+	}
+	o.Record = &RecordMetrics{
+		Syncs:   c("tea_record_syncs_total", "traces synchronized into the automaton"),
+		Entries: c("tea_record_entries_total", "trace entry points registered"),
+		SyncGap: reg.Histogram("tea_record_sync_gap_edges",
+			"edges between consecutive trace synchronizations", SyncGapBuckets),
+		SetBlocks: reg.Gauge("tea_record_set_blocks", "TBBs resident in the trace set"),
+		HotHeads:  reg.Gauge("tea_record_hot_heads", "live hot-head counters in the strategy"),
+		ExtCounts: reg.Gauge("tea_record_ext_counts", "live side-exit counters in the strategy"),
+	}
+	return o
+}
+
+// Tick advances the logical edge clock by one edge and stamps the current
+// timestamp — the per-edge paths call it once per consumed edge.
+func (o *Obs) Tick() {
+	o.curEdge = o.edge
+	o.edge++
+}
+
+// EdgeBase returns the clock value before the next unconsumed edge; batch
+// paths read it once and stamp events at base+offset via SetEdge.
+func (o *Obs) EdgeBase() uint64 { return o.edge }
+
+// AdvanceEdges moves the clock forward by a whole consumed batch.
+func (o *Obs) AdvanceEdges(n uint64) { o.edge += n }
+
+// SetEdge sets the timestamp for subsequently emitted events without
+// moving the clock.
+func (o *Obs) SetEdge(e uint64) { o.curEdge = e }
+
+// TraceEnter records an NTE-to-trace transition and opens a visit window.
+func (o *Obs) TraceEnter(state int32, label uint64) {
+	o.Tracer.Emit(Event{Edge: o.curEdge, Aux: label, State: state, Kind: EvTraceEnter})
+	o.inVisit = true
+	o.visitEdge = o.curEdge
+}
+
+// TraceExit records a trace-to-NTE exit and closes the visit window into
+// the edges-per-visit histogram.
+func (o *Obs) TraceExit(state int32, label uint64) {
+	o.Tracer.Emit(Event{Edge: o.curEdge, Aux: label, State: state, Kind: EvTraceExit})
+	if o.inVisit {
+		o.Replay.VisitEdges.Observe(o.curEdge - o.visitEdge)
+		o.inVisit = false
+	}
+}
+
+// DesyncEvent records a desynchronization and opens a gap window (nested
+// desyncs extend the open window rather than starting a new one).
+func (o *Obs) DesyncEvent(state int32, label uint64) {
+	o.Tracer.Emit(Event{Edge: o.curEdge, Aux: label, State: state, Kind: EvDesync})
+	if !o.inGap {
+		o.inGap = true
+		o.gapEdge = o.curEdge
+	}
+}
+
+// ResyncEvent records a recovery and closes the gap window into the
+// resync-gap histogram.
+func (o *Obs) ResyncEvent(state int32, label uint64) {
+	o.Tracer.Emit(Event{Edge: o.curEdge, Aux: label, State: state, Kind: EvResync})
+	if o.inGap {
+		o.Replay.ResyncGap.Observe(o.curEdge - o.gapEdge)
+		o.inGap = false
+	}
+}
+
+// CacheMissProbe records a trace-side global-container search of the given
+// probe depth (slots or nodes inspected) and feeds the probe-depth
+// histogram — the Table 4 ablation signal.
+func (o *Obs) CacheMissProbe(state int32, depth uint64) {
+	o.Tracer.Emit(Event{Edge: o.curEdge, Aux: depth, State: state, Kind: EvCacheMissProbe})
+	o.Replay.ProbeDepth.Observe(depth)
+}
+
+// EntryTableHit records a trace-side global search that linked to another
+// trace without leaving trace code.
+func (o *Obs) EntryTableHit(state int32, label uint64) {
+	o.Tracer.Emit(Event{Edge: o.curEdge, Aux: label, State: state, Kind: EvEntryTableHit})
+}
+
+// SyncEvent records a recorder synchronization (trace created or extended).
+func (o *Obs) SyncEvent(state int32, blocks uint64) {
+	o.Tracer.Emit(Event{Edge: o.curEdge, Aux: blocks, State: state, Kind: EvSync})
+}
+
+// IngestReplay feeds a pre-collected, edge-ordered event list through the
+// same emitters the per-edge paths use, so the ring contents and the
+// derived histograms (probe depth, visit length, resync gap) come out
+// identical whether events were emitted online (sequential replay) or
+// collected per shard and spliced at junctions (parallel replay).
+func (o *Obs) IngestReplay(events []Event) {
+	for i := range events {
+		e := &events[i]
+		o.curEdge = e.Edge
+		switch e.Kind {
+		case EvTraceEnter:
+			o.TraceEnter(e.State, e.Aux)
+		case EvTraceExit:
+			o.TraceExit(e.State, e.Aux)
+		case EvDesync:
+			o.DesyncEvent(e.State, e.Aux)
+		case EvResync:
+			o.ResyncEvent(e.State, e.Aux)
+		case EvCacheMissProbe:
+			o.CacheMissProbe(e.State, e.Aux)
+		case EvEntryTableHit:
+			o.EntryTableHit(e.State, e.Aux)
+		default:
+			o.Tracer.Emit(*e)
+		}
+	}
+}
+
+// Span measures the wall time of one delimited region into a counter pair
+// (<name>_ns_total, <name>_calls_total). Spans are for cold regions —
+// trace synchronization, junction reconciliation — never per-edge code.
+type Span struct {
+	ns    *Counter
+	calls *Counter
+	start time.Time
+}
+
+// StartSpan opens a span named tea_span_<name>; a nil Obs returns an inert
+// span whose End is a no-op, so call sites need no guard.
+func StartSpan(o *Obs, name string) Span {
+	if o == nil {
+		return Span{}
+	}
+	return Span{
+		ns:    o.Reg.Counter("tea_span_"+name+"_ns_total", "wall nanoseconds inside "+name),
+		calls: o.Reg.Counter("tea_span_"+name+"_calls_total", "entries into "+name),
+		start: time.Now(),
+	}
+}
+
+// End closes the span, accumulating elapsed wall time and a call count.
+func (s Span) End() {
+	if s.ns == nil {
+		return
+	}
+	s.ns.Add(uint64(time.Since(s.start).Nanoseconds()))
+	s.calls.Add(1)
+}
+
+// Probe is a nil-safe handle on one histogram for a fixed shard, letting
+// hot paths capture the lookup once and observe without re-hashing names.
+type Probe struct {
+	h     *Histogram
+	shard int
+}
+
+// NewProbe resolves a histogram probe; a nil Obs (or histogram) yields an
+// inert probe.
+func NewProbe(h *Histogram, shard int) Probe { return Probe{h: h, shard: shard} }
+
+// Observe records v; inert probes do nothing.
+func (p Probe) Observe(v uint64) {
+	if p.h != nil {
+		p.h.ObserveShard(p.shard, v)
+	}
+}

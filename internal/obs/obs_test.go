@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// emitScenario drives one synthetic replay through the emitters: an
+// 8-edge trace visit containing a probe-and-link, then a desync healed
+// 4 edges later.
+func emitScenario(o *Obs) {
+	o.SetEdge(10)
+	o.TraceEnter(3, 0x4000)
+	o.SetEdge(14)
+	o.CacheMissProbe(3, 2)
+	o.EntryTableHit(5, 0x4100)
+	o.SetEdge(18)
+	o.TraceExit(5, 0x4200)
+	o.SetEdge(20)
+	o.DesyncEvent(5, 0x4300)
+	o.SetEdge(21)
+	o.DesyncEvent(5, 0x4310) // nested: must not reopen the gap window
+	o.SetEdge(24)
+	o.ResyncEvent(2, 0x4400)
+}
+
+func TestEmittersDeriveHistograms(t *testing.T) {
+	o := New()
+	emitScenario(o)
+
+	if _, count, sum := o.Replay.VisitEdges.Buckets(); count != 1 || sum != 8 {
+		t.Fatalf("visit histogram: count=%d sum=%d, want 1/8", count, sum)
+	}
+	if _, count, sum := o.Replay.ResyncGap.Buckets(); count != 1 || sum != 4 {
+		t.Fatalf("gap histogram: count=%d sum=%d, want 1/4 (first desync opens the window)", count, sum)
+	}
+	if _, count, sum := o.Replay.ProbeDepth.Buckets(); count != 1 || sum != 2 {
+		t.Fatalf("probe histogram: count=%d sum=%d, want 1/2", count, sum)
+	}
+	events, dropped := o.Tracer.Snapshot()
+	if dropped != 0 || len(events) != 7 {
+		t.Fatalf("ring: %d events, %d dropped", len(events), dropped)
+	}
+}
+
+// TestIngestReplayMatchesOnline is the core of the parallel-mode design:
+// feeding a pre-collected event list through IngestReplay must produce the
+// same ring contents and derived histograms as emitting the events online.
+func TestIngestReplayMatchesOnline(t *testing.T) {
+	online := New()
+	emitScenario(online)
+	onlineEvents, _ := online.Tracer.Snapshot()
+
+	offline := New()
+	offline.IngestReplay(onlineEvents)
+	offlineEvents, _ := offline.Tracer.Snapshot()
+
+	if len(onlineEvents) != len(offlineEvents) {
+		t.Fatalf("event counts differ: %d vs %d", len(onlineEvents), len(offlineEvents))
+	}
+	for i := range onlineEvents {
+		if onlineEvents[i] != offlineEvents[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, onlineEvents[i], offlineEvents[i])
+		}
+	}
+	for _, h := range []struct {
+		name string
+		a, b *Histogram
+	}{
+		{"visit", online.Replay.VisitEdges, offline.Replay.VisitEdges},
+		{"gap", online.Replay.ResyncGap, offline.Replay.ResyncGap},
+		{"probe", online.Replay.ProbeDepth, offline.Replay.ProbeDepth},
+	} {
+		ab, ac, as := h.a.Buckets()
+		bb, bc, bs := h.b.Buckets()
+		if ac != bc || as != bs {
+			t.Fatalf("%s histogram count/sum differ: %d/%d vs %d/%d", h.name, ac, as, bc, bs)
+		}
+		for i := range ab {
+			if ab[i] != bb[i] {
+				t.Fatalf("%s bucket %d differs: %d vs %d", h.name, i, ab[i], bb[i])
+			}
+		}
+	}
+}
+
+func TestEdgeClock(t *testing.T) {
+	o := New()
+	o.Tick()
+	o.Tick()
+	if o.EdgeBase() != 2 {
+		t.Fatalf("EdgeBase after 2 ticks = %d", o.EdgeBase())
+	}
+	o.AdvanceEdges(10)
+	if o.EdgeBase() != 12 {
+		t.Fatalf("EdgeBase after batch = %d", o.EdgeBase())
+	}
+}
+
+func TestSpanNilSafe(t *testing.T) {
+	sp := StartSpan(nil, "whatever")
+	sp.End() // must not panic
+
+	o := New()
+	sp = StartSpan(o, "record_sync")
+	sp.End()
+	calls := o.Reg.Counter("tea_span_record_sync_calls_total", "")
+	if calls.Value() != 1 {
+		t.Fatalf("span calls = %d, want 1", calls.Value())
+	}
+}
+
+func TestProbeNilSafe(t *testing.T) {
+	var p Probe
+	p.Observe(3) // inert, must not panic
+	o := New()
+	p = NewProbe(o.Replay.ProbeDepth, 2)
+	p.Observe(3)
+	if _, count, _ := o.Replay.ProbeDepth.Buckets(); count != 1 {
+		t.Fatalf("probe observation lost: count=%d", count)
+	}
+}
+
+func TestHTTPHandlerEndpoints(t *testing.T) {
+	o := New()
+	o.Replay.Blocks.Add(42)
+	o.SetEdge(5)
+	o.TraceEnter(1, 0x4000)
+	srv := httptest.NewServer(Handler(o))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "tea_replay_blocks_total 42") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+	if code, body := get("/metrics.json"); code != 200 || !strings.Contains(body, "tea_replay_blocks_total") {
+		t.Fatalf("/metrics.json: code=%d", code)
+	} else {
+		var v []map[string]any
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Fatalf("/metrics.json invalid: %v", err)
+		}
+	}
+	code, body := get("/debug/events")
+	if code != 200 {
+		t.Fatalf("/debug/events: code=%d", code)
+	}
+	var ev struct {
+		Dropped uint64
+		Events  []struct {
+			Edge  uint64
+			Kind  string
+			State int32
+			Aux   uint64
+		}
+	}
+	if err := json.Unmarshal([]byte(body), &ev); err != nil {
+		t.Fatalf("/debug/events invalid: %v", err)
+	}
+	if len(ev.Events) != 1 || ev.Events[0].Kind != "TraceEnter" || ev.Events[0].Edge != 5 {
+		t.Fatalf("/debug/events content: %+v", ev)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "profile") {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+}

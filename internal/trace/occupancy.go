@@ -1,0 +1,27 @@
+package trace
+
+// OccupancySource is implemented by strategies that can report the live
+// size of their per-edge bookkeeping tables. The observability layer
+// samples it at sync time into gauges: hot-head counter occupancy is the
+// direct analogue of the paper's "how much cold-code profiling state does
+// selection carry" question, and side-exit counter occupancy measures the
+// tree strategies' extra bookkeeping.
+type OccupancySource interface {
+	// Occupancy returns the live hot-head counter count and the live
+	// side-exit counter count (0 for strategies without side-exit counters).
+	Occupancy() (hot, ext int)
+}
+
+// Occupancy reports MRET's live hot-head counters (MRET keeps no side-exit
+// counters).
+func (m *MRET) Occupancy() (hot, ext int) { return m.counters.Len(), 0 }
+
+// Occupancy reports MFET's live hot-head counters (MFET keeps no side-exit
+// counters).
+func (m *MFET) Occupancy() (hot, ext int) { return m.counters.Len(), 0 }
+
+// Occupancy reports the tree strategies' live loop-anchor counters and
+// side-exit counters.
+func (t *treeSelector) Occupancy() (hot, ext int) {
+	return t.anchors.Len(), t.extCounts.Len()
+}

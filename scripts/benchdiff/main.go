@@ -17,10 +17,19 @@
 //     hard invariant (steady-state batch recording performs no heap
 //     allocation per edge), checked unconditionally on the new file.
 //
+//   - With -gate <pct>: CI-gate mode. Replaces the default baseline
+//     comparison with a hard one: ns/edge is compared on the rows the two
+//     files share even when their targets differ (ns/edge is normalized
+//     per edge, so a subset smoke run is still comparable), rows present
+//     only in one file are ignored (a smoke run legitimately measures a
+//     subset), and any shared row regressing by more than <pct> percent
+//     fails the run.
+//
 // Usage:
 //
 //	go run ./scripts/benchdiff -base BENCH_record.json -new fresh.json
 //	go run ./scripts/benchdiff -new fresh.json -zero-allocs batch
+//	go run ./scripts/benchdiff -base BENCH_replay.json -new smoke.json -gate 25
 package main
 
 import (
@@ -36,6 +45,7 @@ import (
 type row struct {
 	Bench    string  `json:"bench"`
 	Config   string  `json:"config"`
+	Obs      string  `json:"obs"` // BENCH_obs.json only: "off"/"on"; empty elsewhere
 	NsPerOp  float64 `json:"ns_per_edge"`
 	AllocsPO float64 `json:"allocs_per_edge"`
 }
@@ -60,13 +70,23 @@ func load(path string) (*file, error) {
 	return &f, nil
 }
 
-func key(r row) string { return r.Bench + "\x00" + r.Config }
+func key(r row) string { return r.Bench + "\x00" + r.Config + "\x00" + r.Obs }
+
+// label names a row in failure messages, including the obs mode when the
+// file distinguishes one.
+func label(r row) string {
+	if r.Obs == "" {
+		return r.Bench + "/" + r.Config
+	}
+	return r.Bench + "/" + r.Config + "/obs-" + r.Obs
+}
 
 func main() {
 	basePath := flag.String("base", "", "baseline BENCH_*.json (omit to only run the structural checks on -new)")
 	newPath := flag.String("new", "", "new BENCH_*.json to check (required)")
 	maxRegress := flag.Float64("max-regress", 25, "maximum allowed ns/edge regression over the baseline, in percent")
 	zeroAllocs := flag.String("zero-allocs", "", "require allocs/edge == 0 for every row whose config contains this substring")
+	gate := flag.Float64("gate", 0, "CI-gate mode: compare ns/edge on shared rows even across differing targets, failing above this percent (0 = off; requires -base)")
 	flag.Parse()
 
 	if *newPath == "" {
@@ -74,13 +94,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*basePath, *newPath, *maxRegress, *zeroAllocs); err != nil {
+	if *gate > 0 && *basePath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -gate requires -base")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*basePath, *newPath, *maxRegress, *zeroAllocs, *gate); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(basePath, newPath string, maxRegress float64, zeroAllocs string) error {
+func run(basePath, newPath string, maxRegress float64, zeroAllocs string, gate float64) error {
 	nf, err := load(newPath)
 	if err != nil {
 		return err
@@ -97,7 +122,7 @@ func run(basePath, newPath string, maxRegress float64, zeroAllocs string) error 
 			matched++
 			if r.AllocsPO != 0 {
 				failures = append(failures, fmt.Sprintf(
-					"%s/%s: %.4f allocs/edge, want 0", r.Bench, r.Config, r.AllocsPO))
+					"%s: %.4f allocs/edge, want 0", label(r), r.AllocsPO))
 			}
 		}
 		if matched == 0 {
@@ -115,32 +140,55 @@ func run(basePath, newPath string, maxRegress float64, zeroAllocs string) error 
 		for _, r := range nf.Rows {
 			newByKey[key(r)] = r
 		}
-		compareNs := bf.Target == nf.Target
-		if !compareNs {
-			fmt.Printf("benchdiff: targets differ (%d vs %d); skipping ns/edge comparison\n",
-				bf.Target, nf.Target)
-		}
-		for _, b := range bf.Rows {
-			n, ok := newByKey[key(b)]
-			if !ok {
-				// A baseline row the new run no longer produces is only a
-				// failure when the runs cover the same benchmarks; a subset
-				// smoke run legitimately measures fewer rows.
-				if compareNs {
-					failures = append(failures, fmt.Sprintf(
-						"%s/%s: present in baseline, missing from %s", b.Bench, b.Config, newPath))
+		if gate > 0 {
+			// CI-gate mode: shared rows only, compared regardless of target
+			// (ns/edge is per-edge normalized), hard threshold.
+			shared := 0
+			for _, b := range bf.Rows {
+				n, ok := newByKey[key(b)]
+				if !ok || b.NsPerOp <= 0 {
+					continue
 				}
-				continue
+				shared++
+				if n.NsPerOp > b.NsPerOp*(1+gate/100) {
+					failures = append(failures, fmt.Sprintf(
+						"%s: %.1f ns/edge vs baseline %.1f (+%.0f%%, gate +%.0f%%)",
+						label(b), n.NsPerOp, b.NsPerOp,
+						(n.NsPerOp/b.NsPerOp-1)*100, gate))
+				}
 			}
-			if !compareNs || b.NsPerOp <= 0 {
-				continue
-			}
-			limit := b.NsPerOp * (1 + maxRegress/100)
-			if n.NsPerOp > limit {
+			if shared == 0 {
 				failures = append(failures, fmt.Sprintf(
-					"%s/%s: %.1f ns/edge vs baseline %.1f (+%.0f%%, limit +%.0f%%)",
-					b.Bench, b.Config, n.NsPerOp, b.NsPerOp,
-					(n.NsPerOp/b.NsPerOp-1)*100, maxRegress))
+					"no rows shared between %s and %s; gate compared nothing", basePath, newPath))
+			}
+		} else {
+			compareNs := bf.Target == nf.Target
+			if !compareNs {
+				fmt.Printf("benchdiff: targets differ (%d vs %d); skipping ns/edge comparison\n",
+					bf.Target, nf.Target)
+			}
+			for _, b := range bf.Rows {
+				n, ok := newByKey[key(b)]
+				if !ok {
+					// A baseline row the new run no longer produces is only a
+					// failure when the runs cover the same benchmarks; a subset
+					// smoke run legitimately measures fewer rows.
+					if compareNs {
+						failures = append(failures, fmt.Sprintf(
+							"%s: present in baseline, missing from %s", label(b), newPath))
+					}
+					continue
+				}
+				if !compareNs || b.NsPerOp <= 0 {
+					continue
+				}
+				limit := b.NsPerOp * (1 + maxRegress/100)
+				if n.NsPerOp > limit {
+					failures = append(failures, fmt.Sprintf(
+						"%s: %.1f ns/edge vs baseline %.1f (+%.0f%%, limit +%.0f%%)",
+						label(b), n.NsPerOp, b.NsPerOp,
+						(n.NsPerOp/b.NsPerOp-1)*100, maxRegress))
+				}
 			}
 		}
 	}

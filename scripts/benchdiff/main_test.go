@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseJSON = `{"target": 300000, "rows": [
+  {"bench": "mcf", "config": "compiled-batch", "ns_per_edge": 6.0, "allocs_per_edge": 0},
+  {"bench": "gcc", "config": "compiled-batch", "ns_per_edge": 10.0, "allocs_per_edge": 0}
+]}`
+
+func TestGatePassesOnSharedRowsAcrossTargets(t *testing.T) {
+	base := writeBench(t, "base.json", baseJSON)
+	// Subset smoke run at a different target, within the gate.
+	smoke := writeBench(t, "smoke.json", `{"target": 100000, "rows": [
+	  {"bench": "mcf", "config": "compiled-batch", "ns_per_edge": 6.5, "allocs_per_edge": 0}
+	]}`)
+	if err := run(base, smoke, 25, "", 10); err != nil {
+		t.Fatalf("gate failed on a subset within threshold: %v", err)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := writeBench(t, "base.json", baseJSON)
+	slow := writeBench(t, "slow.json", `{"target": 300000, "rows": [
+	  {"bench": "mcf", "config": "compiled-batch", "ns_per_edge": 9.0, "allocs_per_edge": 0}
+	]}`)
+	err := run(base, slow, 25, "", 10)
+	if err == nil || !strings.Contains(err.Error(), "gate +10%") {
+		t.Fatalf("gate accepted a +50%% regression: %v", err)
+	}
+}
+
+func TestGateFailsWhenNothingShared(t *testing.T) {
+	base := writeBench(t, "base.json", baseJSON)
+	other := writeBench(t, "other.json", `{"target": 300000, "rows": [
+	  {"bench": "swim", "config": "reference-hash-local", "ns_per_edge": 30.0, "allocs_per_edge": 0}
+	]}`)
+	err := run(base, other, 25, "", 10)
+	if err == nil || !strings.Contains(err.Error(), "gate compared nothing") {
+		t.Fatalf("gate passed with zero shared rows: %v", err)
+	}
+}
+
+func TestGateKeysOnObsMode(t *testing.T) {
+	// Off/on rows share bench+config; the obs field must keep them from
+	// being compared against each other.
+	base := writeBench(t, "base.json", `{"target": 300000, "rows": [
+	  {"bench": "mcf", "config": "compiled-batch", "obs": "off", "ns_per_edge": 6.0, "allocs_per_edge": 0},
+	  {"bench": "mcf", "config": "compiled-batch", "obs": "on", "ns_per_edge": 9.0, "allocs_per_edge": 0}
+	]}`)
+	fresh := writeBench(t, "fresh.json", `{"target": 300000, "rows": [
+	  {"bench": "mcf", "config": "compiled-batch", "obs": "off", "ns_per_edge": 6.1, "allocs_per_edge": 0},
+	  {"bench": "mcf", "config": "compiled-batch", "obs": "on", "ns_per_edge": 9.1, "allocs_per_edge": 0}
+	]}`)
+	if err := run(base, fresh, 25, "", 10); err != nil {
+		t.Fatalf("obs-keyed rows misrouted: %v", err)
+	}
+	// The on-row regressing must name its obs mode.
+	slow := writeBench(t, "slow.json", `{"target": 300000, "rows": [
+	  {"bench": "mcf", "config": "compiled-batch", "obs": "off", "ns_per_edge": 6.0, "allocs_per_edge": 0},
+	  {"bench": "mcf", "config": "compiled-batch", "obs": "on", "ns_per_edge": 20.0, "allocs_per_edge": 0}
+	]}`)
+	err := run(base, slow, 25, "", 10)
+	if err == nil || !strings.Contains(err.Error(), "mcf/compiled-batch/obs-on") {
+		t.Fatalf("regressing obs-on row not identified: %v", err)
+	}
+}
+
+func TestZeroAllocsStillExact(t *testing.T) {
+	leaky := writeBench(t, "leaky.json", `{"target": 300000, "rows": [
+	  {"bench": "mcf", "config": "compiled-batch", "obs": "off", "ns_per_edge": 6.0, "allocs_per_edge": 0.0001}
+	]}`)
+	err := run("", leaky, 25, "compiled-batch", 0)
+	if err == nil || !strings.Contains(err.Error(), "want 0") {
+		t.Fatalf("zero-alloc check accepted a nonzero row: %v", err)
+	}
+}

@@ -48,3 +48,21 @@ echo "ci: verify gate ok"
 go run ./cmd/teabench -recordbench "$bin/record.json" -target 300000 -bench gcc
 go run ./scripts/benchdiff -base BENCH_record.json -new "$bin/record.json" -zero-allocs batch
 echo "ci: recordbench gate ok"
+
+# Replay fast-path gate: a one-benchmark smoke run of the replay
+# micro-benchmark is compared row-by-row against the checked-in baseline
+# (-gate compares ns/edge on the shared rows only, so the mcf subset is
+# fine). The exact zero-alloc claim is checked by the obsbench gate below,
+# whose allocs come from testing.AllocsPerRun; replaybench's are averaged
+# out of the timing loop and legitimately show stray one-time allocations.
+go run ./cmd/teabench -replaybench "$bin/replay.json" -target 300000 -bench mcf
+go run ./scripts/benchdiff -base BENCH_replay.json -new "$bin/replay.json" -gate 25
+echo "ci: replaybench gate ok"
+
+# Observability gate: with no context attached the instrumented fast paths
+# must stay at their BENCH_obs.json numbers — in particular the compiled
+# batch path stays exactly zero allocs/edge in both modes — and enabling
+# the layer must not regress past its own checked-in baseline.
+go run ./cmd/teabench -obsbench "$bin/obs.json" -target 300000 -bench mcf
+go run ./scripts/benchdiff -base BENCH_obs.json -new "$bin/obs.json" -gate 30 -zero-allocs compiled-batch
+echo "ci: obsbench gate ok"

@@ -31,6 +31,7 @@ package tea
 
 import (
 	"context"
+	"net/http"
 
 	"github.com/lsc-tea/tea/internal/asm"
 	"github.com/lsc-tea/tea/internal/cfg"
@@ -38,6 +39,7 @@ import (
 	"github.com/lsc-tea/tea/internal/cpu"
 	"github.com/lsc-tea/tea/internal/dbt"
 	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/obs"
 	"github.com/lsc-tea/tea/internal/optim"
 	"github.com/lsc-tea/tea/internal/pin"
 	"github.com/lsc-tea/tea/internal/profile"
@@ -306,6 +308,78 @@ func SequentialReplay(c *Compiled, stream []StreamEdge) (ReplayStats, StateID) {
 // shards <= 0 selects GOMAXPROCS.
 func ParallelReplay(c *Compiled, stream []StreamEdge, shards int) (ReplayStats, StateID) {
 	return core.ParallelReplay(c, stream, shards)
+}
+
+// Observability (runtime metrics, event tracing, profiling hooks).
+type (
+	// Obs is an observability context: a metrics registry, a bounded event
+	// ring and the logical edge clock. Attach one with Replayer.SetObs /
+	// CompiledReplayer.SetObs / Recorder.SetObs, or pass it to
+	// SequentialReplayObs / ParallelReplayObs. All hooks are disabled — and
+	// free — when no context is attached.
+	Obs = obs.Obs
+	// ObsRegistry is the metric registry behind an Obs context.
+	ObsRegistry = obs.Registry
+	// ObsEvent is one ring-buffer trace event.
+	ObsEvent = obs.Event
+)
+
+// NewObs creates an observability context with the full TEA metric set
+// registered and the default event-ring capacity.
+func NewObs() *Obs { return obs.New() }
+
+// ObsHandler serves the context over HTTP: /metrics (Prometheus text),
+// /metrics.json, /debug/events and /debug/pprof/*.
+func ObsHandler(o *Obs) http.Handler { return obs.Handler(o) }
+
+// EncodeEvents serializes a drained event slice into the compact binary
+// event log that `teadump -events` decodes.
+func EncodeEvents(events []ObsEvent) []byte { return obs.EncodeEvents(events) }
+
+// DecodeEvents parses a binary event log produced by EncodeEvents.
+func DecodeEvents(data []byte) ([]ObsEvent, error) { return obs.DecodeEvents(data) }
+
+// SequentialReplayObs is SequentialReplay with observability: identical
+// stats and final state, plus events, counters and histograms recorded
+// into o (nil o delegates to SequentialReplay).
+func SequentialReplayObs(c *Compiled, stream []StreamEdge, o *Obs) (ReplayStats, StateID) {
+	return core.SequentialReplayObs(c, stream, o)
+}
+
+// ParallelReplayObs is ParallelReplay with observability: the merged event
+// stream and all derived metrics are identical to SequentialReplayObs on
+// the same stream, with counters charged to per-shard cells (nil o
+// delegates to ParallelReplay).
+func ParallelReplayObs(c *Compiled, stream []StreamEdge, shards int, o *Obs) (ReplayStats, StateID) {
+	return core.ParallelReplayObs(c, stream, shards, o)
+}
+
+// ReplayObs is Replay with an observability context attached to the
+// replayer: counters, histograms and the event ring fill while the run
+// proceeds, and the counter fold is flushed before returning. A nil o
+// behaves exactly like Replay.
+func ReplayObs(p *Program, a *Automaton, c LookupConfig, o *Obs) (*ReplayStats, error) {
+	tool := teatool.NewReplayTool(a, c)
+	tool.Replayer().SetObs(o)
+	_, err := pin.New().Run(p, tool, 0)
+	tool.Replayer().FlushObs()
+	return tool.Stats(), err
+}
+
+// RecordOnlineObs is RecordOnline with an observability context attached
+// to the recorder: sync spans, trace-set gauges and the recording
+// replayer's metrics fill while the run proceeds. A nil o behaves exactly
+// like RecordOnline.
+func RecordOnlineObs(p *Program, strategy string, tc TraceConfig, lc LookupConfig, o *Obs) (*Automaton, *ReplayStats, error) {
+	s, ok := trace.NewStrategy(strategy, p, tc)
+	if !ok {
+		return nil, nil, &UnknownStrategyError{Name: strategy}
+	}
+	tool := teatool.NewRecordTool(s, lc)
+	tool.Recorder().SetObs(o)
+	_, err := pin.New().Run(p, tool, 0)
+	tool.Recorder().Replayer().FlushObs()
+	return tool.Automaton(), tool.Stats(), err
 }
 
 // RecordOnline runs the program under the Pin-like engine while building a
