@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Cooperative cancellation for the batch replay entry points. The serving
+// layer (internal/serve) runs replays on behalf of remote tenants, so every
+// long loop reachable from a session handler must be interruptible: a
+// cancelled tenant context has to stop shard workers promptly rather than
+// letting them run a multi-million-edge stream to completion.
+//
+// cancelStride balances polling cost against responsiveness: one atomic
+// load per 4096 edges is far below the noise floor of the replay loop
+// itself (each edge is ~a handful of ns) while bounding the overshoot
+// after cancellation to microseconds.
+const cancelStride = 4096
+
+// SequentialReplayContext is SequentialReplay with cooperative
+// cancellation: the context is polled every cancelStride edges. On
+// cancellation it returns the zero Stats, NTE, and ctx.Err() — the partial
+// accounting is deliberately withheld, because a prefix's stats are not
+// the sequential reference for the stream and must not be mistaken for it.
+func SequentialReplayContext(ctx context.Context, c *Compiled, stream []Edge) (Stats, StateID, error) {
+	var st Stats
+	cur, desynced := NTE, false
+	done := ctx.Done()
+	for k := range stream {
+		if k%cancelStride == 0 && done != nil {
+			select {
+			case <-done:
+				return Stats{}, NTE, ctx.Err()
+			default:
+			}
+		}
+		cur, desynced = c.step(cur, desynced, stream[k].Label, stream[k].Instrs, &st)
+	}
+	return st, cur, nil
+}
+
+// ParallelReplayContext is ParallelReplay with cooperative cancellation
+// propagated into the shard workers: each worker polls a shared flag every
+// cancelStride edges and abandons its segment once the context is
+// cancelled, so a dead session cannot pin GOMAXPROCS goroutines on a long
+// stream. On cancellation it returns the zero Stats, NTE, and ctx.Err();
+// otherwise the result is byte-identical to SequentialReplay, exactly as
+// ParallelReplay is.
+func ParallelReplayContext(ctx context.Context, c *Compiled, stream []Edge, shards int) (Stats, StateID, error) {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > len(stream) {
+		shards = len(stream)
+	}
+	if shards <= 1 {
+		return SequentialReplayContext(ctx, c, stream)
+	}
+
+	bounds := make([]int, shards+1)
+	for i := 0; i <= shards; i++ {
+		bounds[i] = i * len(stream) / shards
+	}
+
+	var cancelled atomic.Bool
+	stop := make(chan struct{})
+	defer close(stop)
+	if done := ctx.Done(); done != nil {
+		go func() {
+			select {
+			case <-done:
+				cancelled.Store(true)
+			case <-stop:
+			}
+		}()
+	}
+
+	res := make([]shardTrace, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			seg := stream[bounds[i]:bounds[i+1]]
+			r := &res[i]
+			cur, desynced := NTE, false
+			if i == 0 {
+				for k := range seg {
+					if k%cancelStride == 0 && cancelled.Load() {
+						return
+					}
+					cur, desynced = c.step(cur, desynced, seg[k].Label, seg[k].Instrs, &r.stats)
+				}
+				r.curs = []StateID{cur}
+				r.desyn = []bool{desynced}
+				return
+			}
+			r.curs = make([]StateID, len(seg))
+			r.desyn = make([]bool, len(seg))
+			for k := range seg {
+				if k%cancelStride == 0 && cancelled.Load() {
+					r.curs = nil // mark the shard abandoned
+					return
+				}
+				cur, desynced = c.step(cur, desynced, seg[k].Label, seg[k].Instrs, &r.stats)
+				r.curs[k] = cur
+				r.desyn[k] = desynced
+			}
+		}(i)
+	}
+	wg.Wait()
+	if cancelled.Load() || ctx.Err() != nil {
+		return Stats{}, NTE, ctx.Err()
+	}
+
+	// No cancellation: merge exactly as ParallelReplay does.
+	total := res[0].stats
+	cur := res[0].curs[0]
+	desynced := res[0].desyn[0]
+	for i := 1; i < shards; i++ {
+		seg := stream[bounds[i]:bounds[i+1]]
+		r := &res[i]
+		var trueSt Stats
+		tcur, tdes := cur, desynced
+		conv := -1
+		for j := 0; j < len(seg); j++ {
+			tcur, tdes = c.step(tcur, tdes, seg[j].Label, seg[j].Instrs, &trueSt)
+			if tcur == r.curs[j] && tdes == r.desyn[j] {
+				conv = j
+				break
+			}
+		}
+		if conv < 0 {
+			total.add(&trueSt)
+			cur, desynced = tcur, tdes
+			continue
+		}
+		var specSt Stats
+		scur, sdes := NTE, false
+		for j := 0; j <= conv; j++ {
+			scur, sdes = c.step(scur, sdes, seg[j].Label, seg[j].Instrs, &specSt)
+		}
+		shard := r.stats
+		shard.sub(&specSt)
+		shard.add(&trueSt)
+		total.add(&shard)
+		cur, desynced = r.curs[len(seg)-1], r.desyn[len(seg)-1]
+	}
+	return total, cur, nil
+}

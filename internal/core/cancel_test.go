@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+)
+
+// cancelFixture builds a compiled automaton and a long stream by tiling
+// the program's real captured block stream out to n edges.
+func cancelFixture(t *testing.T, n int) (*Compiled, []Edge) {
+	t.Helper()
+	a, m := buildTestAutomaton(t)
+	var base []Edge
+	r := cfg.NewRunner(m, cfg.StarDBT)
+	var prev uint64
+	for {
+		e, ok, err := r.Next()
+		if err != nil || !ok || e.To == nil {
+			break
+		}
+		steps := r.Machine().Steps()
+		base = append(base, Edge{Label: e.To.Head, Instrs: steps - prev})
+		prev = steps
+	}
+	stream := make([]Edge, 0, n)
+	for len(stream) < n {
+		stream = append(stream, base[len(stream)%len(base)])
+	}
+	return Compile(a, LookupConfig{}), stream
+}
+
+func TestReplayContextMatchesSequential(t *testing.T) {
+	c, stream := cancelFixture(t, 50_000)
+	want, wantFinal := SequentialReplay(c, stream)
+	st, final, err := SequentialReplayContext(context.Background(), c, stream)
+	if err != nil {
+		t.Fatalf("SequentialReplayContext: %v", err)
+	}
+	if st != want || final != wantFinal {
+		t.Fatalf("sequential-context diverged:\n got %+v\nwant %+v", st, want)
+	}
+	for _, shards := range []int{1, 2, 3, 8} {
+		st, final, err := ParallelReplayContext(context.Background(), c, stream, shards)
+		if err != nil {
+			t.Fatalf("ParallelReplayContext(%d): %v", shards, err)
+		}
+		if st != want || final != wantFinal {
+			t.Fatalf("parallel-context(%d) diverged:\n got %+v\nwant %+v", shards, st, want)
+		}
+	}
+}
+
+func TestReplayContextCancellation(t *testing.T) {
+	c, stream := cancelFixture(t, 200_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: both variants must stop almost immediately
+	if _, _, err := SequentialReplayContext(ctx, c, stream); err != context.Canceled {
+		t.Fatalf("sequential: err %v, want context.Canceled", err)
+	}
+	st, final, err := ParallelReplayContext(ctx, c, stream, 4)
+	if err != context.Canceled {
+		t.Fatalf("parallel: err %v, want context.Canceled", err)
+	}
+	if st != (Stats{}) || final != NTE {
+		t.Fatalf("cancelled replay leaked partial accounting: %+v, %v", st, final)
+	}
+}

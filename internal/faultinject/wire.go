@@ -1,0 +1,195 @@
+package faultinject
+
+import (
+	"encoding/binary"
+	"net"
+	"time"
+)
+
+// Wire-level fault injection for the serving layer's chaos suite.
+//
+// The serve wire protocol is length-prefixed: every frame is a 4-byte
+// big-endian payload length followed by the payload. FaultyConn wraps one
+// end of a connection and perturbs the *write* side at frame granularity —
+// the five fault classes a hostile or failing network actually produces:
+//
+//	WireTruncate   a frame is cut short and the connection dies (the
+//	               partial write a crashed peer leaves behind)
+//	WireCorrupt    bits flip inside a frame (storage/transport corruption;
+//	               flips may land in the length prefix, desynchronizing
+//	               the peer's framing entirely)
+//	WireReorder    two adjacent frames swap delivery order
+//	WireStall      delivery of one frame stalls (a slow or wedged peer —
+//	               the victim's read deadline is what must save it)
+//	WireDrop       a frame vanishes (a lossy middlebox)
+//
+// Faults are deterministic: the injector seed plus the target frame index
+// fully determine the perturbation, so any chaos-suite failure replays
+// from its (seed, fault, frame) triple. This file, like the rest of the
+// package, never imports internal/core or internal/serve — it perturbs
+// plain length-prefixed bytes.
+
+// WireFault selects one wire fault class.
+type WireFault int
+
+const (
+	// WireTruncate cuts the target frame short and closes the connection.
+	WireTruncate WireFault = iota
+	// WireCorrupt flips bits inside the target frame.
+	WireCorrupt
+	// WireReorder delays the target frame behind its successor.
+	WireReorder
+	// WireStall sleeps before delivering the target frame.
+	WireStall
+	// WireDrop silently discards the target frame.
+	WireDrop
+)
+
+// WireFaults lists every fault class, for sweep loops.
+var WireFaults = []WireFault{WireTruncate, WireCorrupt, WireReorder, WireStall, WireDrop}
+
+// String names the fault class.
+func (f WireFault) String() string {
+	switch f {
+	case WireTruncate:
+		return "truncate"
+	case WireCorrupt:
+		return "corrupt"
+	case WireReorder:
+		return "reorder"
+	case WireStall:
+		return "stall"
+	case WireDrop:
+		return "drop"
+	}
+	return "wirefault(?)"
+}
+
+// FaultyConn wraps a net.Conn and applies one wire fault to the Nth
+// complete frame written through it; all other traffic passes verbatim.
+// Reads are untouched. Writes are buffered until a whole frame (4-byte
+// big-endian length + payload) is available, so callers may write frames
+// in arbitrary chunks.
+type FaultyConn struct {
+	net.Conn
+	j      *Injector
+	fault  WireFault
+	target int           // frame index the fault fires on
+	stall  time.Duration // max stall duration for WireStall
+
+	idx     int    // complete frames seen so far
+	pending []byte // bytes not yet forming a complete frame
+	held    []byte // frame delayed by WireReorder
+	dead    bool   // WireTruncate fired; all further writes fail
+}
+
+// NewFaultyConn wraps conn so that fault fires on the target-th complete
+// frame (0-based) written through it. maxStall bounds WireStall's delay
+// (non-positive selects 10ms).
+func NewFaultyConn(conn net.Conn, j *Injector, fault WireFault, target int, maxStall time.Duration) *FaultyConn {
+	if maxStall <= 0 {
+		maxStall = 10 * time.Millisecond
+	}
+	return &FaultyConn{Conn: conn, j: j, fault: fault, target: target, stall: maxStall}
+}
+
+// Write buffers p, then delivers every complete frame through the fault
+// plan. A fired WireTruncate reports faultinject.ErrTruncated after
+// closing the underlying connection, as a crashed writer would.
+func (c *FaultyConn) Write(p []byte) (int, error) {
+	if c.dead {
+		return 0, ErrTruncated
+	}
+	c.pending = append(c.pending, p...)
+	for {
+		frame, rest, ok := splitFrame(c.pending)
+		if !ok {
+			return len(p), nil
+		}
+		c.pending = rest
+		if err := c.deliver(frame); err != nil {
+			return len(p), err
+		}
+	}
+}
+
+// splitFrame extracts one complete length-prefixed frame from data.
+func splitFrame(data []byte) (frame, rest []byte, ok bool) {
+	if len(data) < 4 {
+		return nil, data, false
+	}
+	n := binary.BigEndian.Uint32(data)
+	total := 4 + int(n)
+	if total < 4 || len(data) < total {
+		return nil, data, false
+	}
+	return data[:total], data[total:], true
+}
+
+// deliver writes one complete frame, applying the fault on the target.
+func (c *FaultyConn) deliver(frame []byte) error {
+	idx := c.idx
+	c.idx++
+	if idx != c.target {
+		return c.flushHeld(frame)
+	}
+	switch c.fault {
+	case WireTruncate:
+		cut := 0
+		if len(frame) > 1 {
+			cut = 1 + c.j.rng.Intn(len(frame)-1)
+		}
+		_, _ = c.Conn.Write(frame[:cut])
+		c.dead = true
+		_ = c.Conn.Close()
+		return ErrTruncated
+	case WireCorrupt:
+		mut := c.j.FlipBits(frame, 1+c.j.rng.Intn(4))
+		return c.flushHeld(mut)
+	case WireReorder:
+		// Hold this frame; it is delivered after the next one (or at Close
+		// if the stream ends here).
+		c.held = append(c.held[:0], frame...)
+		return nil
+	case WireStall:
+		time.Sleep(time.Duration(1 + c.j.rng.Int63n(int64(c.stall))))
+		return c.flushHeld(frame)
+	case WireDrop:
+		return nil
+	}
+	return c.flushHeld(frame)
+}
+
+// flushHeld writes frame, then any reorder-held predecessor after it.
+func (c *FaultyConn) flushHeld(frame []byte) error {
+	if _, err := c.Conn.Write(frame); err != nil {
+		return err
+	}
+	if len(c.held) > 0 {
+		held := c.held
+		c.held = nil
+		if _, err := c.Conn.Write(held); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes a reorder-held frame and closes the underlying conn.
+func (c *FaultyConn) Close() error {
+	if len(c.held) > 0 && !c.dead {
+		_, _ = c.Conn.Write(c.held)
+		c.held = nil
+	}
+	return c.Conn.Close()
+}
+
+// ErrTruncated is returned by FaultyConn.Write after WireTruncate fires:
+// the frame was cut short and the connection closed underneath the writer.
+var ErrTruncated = truncatedError{}
+
+type truncatedError struct{}
+
+func (truncatedError) Error() string   { return "faultinject: connection truncated mid-frame" }
+func (truncatedError) Timeout() bool   { return false }
+func (truncatedError) Temporary() bool { return true }

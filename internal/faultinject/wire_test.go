@@ -1,0 +1,155 @@
+package faultinject
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+)
+
+// frame builds a length-prefixed frame with the given payload bytes.
+func frame(payload ...byte) []byte {
+	out := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(out, uint32(len(payload)))
+	copy(out[4:], payload)
+	return out
+}
+
+// drain reads everything written to the far end until the conn closes or
+// goes idle.
+func drain(t *testing.T, c net.Conn, out *bytes.Buffer, done chan struct{}) {
+	t.Helper()
+	buf := make([]byte, 256)
+	for {
+		_ = c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, err := c.Read(buf)
+		out.Write(buf[:n])
+		if err != nil {
+			close(done)
+			return
+		}
+	}
+}
+
+// run pushes frames through a FaultyConn (in arbitrary write chunks) and
+// returns the bytes the peer observed.
+func run(t *testing.T, fault WireFault, target int, frames [][]byte, chunk int) []byte {
+	t.Helper()
+	cli, srv := net.Pipe()
+	var out bytes.Buffer
+	done := make(chan struct{})
+	go drain(t, srv, &out, done)
+	fc := NewFaultyConn(cli, New(42), fault, target, time.Millisecond)
+	all := bytes.Join(frames, nil)
+	for off := 0; off < len(all); off += chunk {
+		end := off + chunk
+		if end > len(all) {
+			end = len(all)
+		}
+		if _, err := fc.Write(all[off:end]); err != nil {
+			break // truncate kills the conn mid-stream; expected
+		}
+	}
+	fc.Close()
+	<-done
+	return out.Bytes()
+}
+
+func TestFaultyConnPassesCleanFrames(t *testing.T) {
+	frames := [][]byte{frame(1, 2, 3), frame(4), frame(5, 6)}
+	// A fault targeting a frame index never reached is a no-op.
+	got := run(t, WireDrop, 99, frames, 3)
+	want := bytes.Join(frames, nil)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("clean passthrough diverged:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestFaultyConnDrop(t *testing.T) {
+	frames := [][]byte{frame(1), frame(2), frame(3)}
+	got := run(t, WireDrop, 1, frames, 1000)
+	want := append(frame(1), frame(3)...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("drop: got %x want %x", got, want)
+	}
+}
+
+func TestFaultyConnReorder(t *testing.T) {
+	frames := [][]byte{frame(1), frame(2), frame(3)}
+	got := run(t, WireReorder, 1, frames, 1000)
+	want := bytes.Join([][]byte{frame(1), frame(3), frame(2)}, nil)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("reorder: got %x want %x", got, want)
+	}
+}
+
+func TestFaultyConnReorderAtStreamEndFlushesOnClose(t *testing.T) {
+	frames := [][]byte{frame(1), frame(2)}
+	got := run(t, WireReorder, 1, frames, 1000)
+	want := bytes.Join(frames, nil) // held frame flushed by Close
+	if !bytes.Equal(got, want) {
+		t.Fatalf("reorder-at-end: got %x want %x", got, want)
+	}
+}
+
+func TestFaultyConnTruncateKillsConn(t *testing.T) {
+	frames := [][]byte{frame(1, 2, 3, 4), frame(5, 6, 7, 8)}
+	got := run(t, WireTruncate, 1, frames, 1000)
+	full := bytes.Join(frames, nil)
+	if len(got) >= len(full) {
+		t.Fatalf("truncate delivered %d bytes, want fewer than %d", len(got), len(full))
+	}
+	if !bytes.HasPrefix(got, frames[0]) {
+		t.Fatalf("frame before the target must pass verbatim: %x", got)
+	}
+	// Writes after the kill fail with the structured sentinel.
+	cli, srv := net.Pipe()
+	go func() { // discard whatever the partial write delivers
+		buf := make([]byte, 64)
+		for {
+			if _, err := srv.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	fc := NewFaultyConn(cli, New(1), WireTruncate, 0, time.Millisecond)
+	_, _ = fc.Write(frame(9, 9))
+	if _, err := fc.Write(frame(1)); err != ErrTruncated {
+		t.Fatalf("post-truncate write: %v, want ErrTruncated", err)
+	}
+}
+
+func TestFaultyConnCorruptChangesBytesKeepsFraming(t *testing.T) {
+	frames := [][]byte{frame(1, 2, 3, 4, 5, 6, 7, 8)}
+	got := run(t, WireCorrupt, 0, frames, 1000)
+	want := frames[0]
+	if len(got) != len(want) {
+		t.Fatalf("corrupt changed length: %d vs %d", len(got), len(want))
+	}
+	if bytes.Equal(got, want) {
+		t.Fatal("corrupt delivered the frame unmodified")
+	}
+}
+
+func TestFaultyConnDeterministic(t *testing.T) {
+	frames := [][]byte{frame(1, 2, 3, 4), frame(5, 6, 7, 8), frame(9)}
+	for _, fault := range WireFaults {
+		a := run(t, fault, 1, frames, 5)
+		b := run(t, fault, 1, frames, 5)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%v not deterministic:\n a %x\n b %x", fault, a, b)
+		}
+	}
+}
+
+func TestWireFaultStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range WireFaults {
+		s := f.String()
+		if s == "" || s == "wirefault(?)" || seen[s] {
+			t.Fatalf("fault %d has bad or duplicate name %q", f, s)
+		}
+		seen[s] = true
+	}
+}

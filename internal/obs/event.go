@@ -179,56 +179,82 @@ func EncodeEvents(events []Event) []byte {
 	return out
 }
 
+// EventDecodeError is the structured failure DecodeEvents returns for a
+// truncated or corrupt log: where decoding stopped (byte offset into the
+// log), which event was being decoded (-1 while still in the header), and
+// why. A hostile log yields exactly one of these — never a panic, an
+// allocation bomb, or an unbounded loop — which is what the wire-fault
+// fuzz suite (FuzzDecodeEvents) asserts.
+type EventDecodeError struct {
+	Offset int    // byte offset into the log where decoding failed
+	Event  int    // index of the event being decoded, -1 in the header
+	Msg    string // what was wrong
+}
+
+// Error implements the error interface.
+func (e *EventDecodeError) Error() string {
+	if e.Event < 0 {
+		return fmt.Sprintf("obs: event log header at offset %d: %s", e.Offset, e.Msg)
+	}
+	return fmt.Sprintf("obs: event %d at offset %d: %s", e.Event, e.Offset, e.Msg)
+}
+
+// decodeErrf builds an *EventDecodeError.
+func decodeErrf(off, event int, format string, args ...any) *EventDecodeError {
+	return &EventDecodeError{Offset: off, Event: event, Msg: fmt.Sprintf(format, args...)}
+}
+
 // DecodeEvents parses a binary event log produced by EncodeEvents. It
 // validates the magic, the declared count against the available bytes, and
-// every varint, so truncated or corrupt logs return an error rather than
-// garbage.
+// every varint, so truncated or corrupt logs return a structured
+// *EventDecodeError rather than garbage.
 func DecodeEvents(data []byte) ([]Event, error) {
 	if len(data) < len(eventMagic) || string(data[:len(eventMagic)]) != eventMagic {
-		return nil, fmt.Errorf("obs: not an event log (bad magic)")
+		return nil, decodeErrf(0, -1, "not an event log (bad magic)")
 	}
-	data = data[len(eventMagic):]
-	count, n := binary.Uvarint(data)
+	off := len(eventMagic)
+	count, n := binary.Uvarint(data[off:])
 	if n <= 0 {
-		return nil, fmt.Errorf("obs: truncated event count")
+		return nil, decodeErrf(off, -1, "truncated event count")
 	}
-	data = data[n:]
+	off += n
 	// Each event occupies at least 3 bytes (delta, kind, state/aux), so a
-	// count larger than len(data)/3 is corrupt; reject it before allocating.
-	if count > uint64(len(data))/3+1 {
-		return nil, fmt.Errorf("obs: event count %d exceeds log size", count)
+	// count larger than the remaining bytes allow is corrupt; reject it
+	// before allocating.
+	if count > uint64(len(data)-off)/3+1 {
+		return nil, decodeErrf(off, -1, "event count %d exceeds log size", count)
 	}
 	events := make([]Event, 0, count)
 	prev := uint64(0)
 	for i := uint64(0); i < count; i++ {
-		delta, n := binary.Varint(data)
+		delta, n := binary.Varint(data[off:])
 		if n <= 0 {
-			return nil, fmt.Errorf("obs: truncated edge delta at event %d", i)
+			return nil, decodeErrf(off, int(i), "truncated edge delta")
 		}
-		data = data[n:]
-		if len(data) == 0 {
-			return nil, fmt.Errorf("obs: truncated kind at event %d", i)
+		off += n
+		if off >= len(data) {
+			return nil, decodeErrf(off, int(i), "truncated kind")
 		}
-		kind := EventKind(data[0])
-		data = data[1:]
-		state, n := binary.Varint(data)
+		kind := EventKind(data[off])
+		off++
+		state, n := binary.Varint(data[off:])
 		if n <= 0 {
-			return nil, fmt.Errorf("obs: truncated state at event %d", i)
+			return nil, decodeErrf(off, int(i), "truncated state")
 		}
-		data = data[n:]
-		aux, n := binary.Uvarint(data)
+		off += n
+		aux, n := binary.Uvarint(data[off:])
 		if n <= 0 {
-			return nil, fmt.Errorf("obs: truncated aux at event %d", i)
+			return nil, decodeErrf(off, int(i), "truncated aux")
 		}
-		data = data[n:]
+		off += n
 		prev += uint64(delta)
 		if state < -(1<<31) || state >= 1<<31 {
-			return nil, fmt.Errorf("obs: state %d out of range at event %d", state, i)
+			return nil, decodeErrf(off, int(i), "state %d out of range", state)
 		}
 		events = append(events, Event{Edge: prev, Aux: aux, State: int32(state), Kind: kind})
 	}
-	if len(data) != 0 {
-		return nil, fmt.Errorf("obs: %d trailing bytes after %d events", len(data), count)
+	if off != len(data) {
+		return nil, decodeErrf(off, int(count), "%d trailing bytes after %d events", len(data)-off, count)
 	}
 	return events, nil
 }

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/faultinject"
+)
+
+// fuzzSeedEvents builds a few representative valid logs for the fuzz seed
+// corpus: empty, single-event, and a mixed log exercising every kind plus
+// boundary values for the varint fields.
+func fuzzSeedEvents() [][]Event {
+	return [][]Event{
+		nil,
+		{{Edge: 0, Kind: EvTraceEnter, State: 0, Aux: 0}},
+		{
+			{Edge: 1, Kind: EvTraceEnter, State: 0, Aux: 0x40},
+			{Edge: 2, Kind: EvEntryTableHit, State: 3, Aux: 0x80},
+			{Edge: 2, Kind: EvCacheMissProbe, State: 3, Aux: 17},
+			{Edge: 9, Kind: EvDesync, State: -1, Aux: 0x44},
+			{Edge: 11, Kind: EvResync, State: 2, Aux: 0x48},
+			{Edge: 500, Kind: EvTraceExit, State: 1, Aux: 0x4c},
+			{Edge: 501, Kind: EvSync, State: (1 << 31) - 1, Aux: 1<<64 - 1},
+		},
+	}
+}
+
+// FuzzDecodeEvents is the hostile-log half of the chaos contract: for ANY
+// input bytes DecodeEvents must terminate without panicking, and every
+// failure must be a structured *EventDecodeError. For inputs it accepts,
+// the encode/decode pair must be a stable round trip: re-encoding the
+// decoded events and decoding again yields the same event list. (Byte-level
+// canonicality is not required — binary.Uvarint tolerates non-minimal
+// varints that AppendUvarint never emits.)
+func FuzzDecodeEvents(f *testing.F) {
+	for _, events := range fuzzSeedEvents() {
+		valid := EncodeEvents(events)
+		f.Add(valid)
+		// Seed the interesting neighborhoods directly: truncations and the
+		// wire fault injector's bit flips / varint corruptions.
+		j := faultinject.New(int64(len(valid)))
+		for i := 0; i < 8; i++ {
+			f.Add(j.Mutate(valid))
+			f.Add(j.Truncate(valid))
+		}
+		if len(valid) > 0 {
+			f.Add(valid[:len(valid)-1])
+			f.Add(append(bytes.Clone(valid), 0))
+		}
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte(eventMagic))
+	f.Add(append([]byte(eventMagic), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := DecodeEvents(data)
+		if err != nil {
+			var derr *EventDecodeError
+			if !errors.As(err, &derr) {
+				t.Fatalf("unstructured decode error %T: %v", err, err)
+			}
+			if derr.Offset < 0 || derr.Offset > len(data) {
+				t.Fatalf("decode error offset %d outside log of %d bytes", derr.Offset, len(data))
+			}
+			return
+		}
+		again, err := DecodeEvents(EncodeEvents(events))
+		if err != nil {
+			t.Fatalf("re-encode of accepted log no longer decodes: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(events), len(again))
+		}
+		for i := range events {
+			if again[i] != events[i] {
+				t.Fatalf("round trip changed event %d: %+v -> %+v", i, events[i], again[i])
+			}
+		}
+	})
+}
+
+// TestDecodeEventsStructuredErrors pins the error taxonomy on handcrafted
+// corrupt logs: every rejection is an *EventDecodeError whose Event field
+// distinguishes header failures (-1) from per-event failures.
+func TestDecodeEventsStructuredErrors(t *testing.T) {
+	valid := EncodeEvents(fuzzSeedEvents()[2])
+	cases := []struct {
+		name        string
+		data        []byte
+		headerError bool
+	}{
+		{"empty", nil, true},
+		{"bad magic", []byte("NOTMAGIC"), true},
+		{"magic only", []byte(eventMagic), true},
+		{"count overruns log", append([]byte(eventMagic), 0xe8, 0x07), true},
+		{"truncated mid-event", valid[:len(valid)-3], false},
+		{"trailing bytes", append(bytes.Clone(valid), 0x00), false},
+	}
+	for _, tc := range cases {
+		_, err := DecodeEvents(tc.data)
+		if err == nil {
+			t.Fatalf("%s: decode accepted corrupt log", tc.name)
+		}
+		var derr *EventDecodeError
+		if !errors.As(err, &derr) {
+			t.Fatalf("%s: unstructured error %T: %v", tc.name, err, err)
+		}
+		if (derr.Event < 0) != tc.headerError {
+			t.Fatalf("%s: Event=%d, headerError expectation %v (err: %v)",
+				tc.name, derr.Event, tc.headerError, err)
+		}
+		if derr.Error() == "" {
+			t.Fatalf("%s: empty error text", tc.name)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the per-image circuit breaker. It exists because a corrupted
+// or stale image manifests as a *pattern* of failing sessions — desync
+// storms, recovered panics — long before any single session proves the
+// image bad. Rather than letting every tenant keep burning quota against
+// it, the breaker counts consecutive session failures and, at the
+// threshold, quarantines the image: new sessions are rejected with
+// CodeQuarantined until the cooldown elapses AND the image passes a fresh
+// static re-verification (the store runs internal/verify over the current
+// generation). A clean re-verify closes the breaker; findings keep it open
+// until a new generation is published, which always resets the breaker.
+//
+// States:
+//
+//	closed      normal admission; consecutive failures counted
+//	open        quarantined; admission rejected until cooldown elapses
+//	(readmit)   cooldown elapsed: next admission attempt triggers the
+//	            verify gate; pass → closed, fail → open with a fresh
+//	            cooldown window
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that trip the breaker
+	cooldown  time.Duration // quarantine window before a re-verify attempt
+	now       func() time.Time
+
+	open     bool
+	fails    int
+	openedAt time.Time
+}
+
+// newBreaker builds a breaker; threshold <= 0 disables tripping entirely.
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// admit reports whether a new session may use the image. When the breaker
+// is open and the cooldown has elapsed it returns (false, true): the
+// caller must run the verify gate and settle the outcome via verdict.
+func (b *breaker) admit() (ok bool, verifyDue bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true, false
+	}
+	if b.now().Sub(b.openedAt) >= b.cooldown {
+		return false, true
+	}
+	return false, false
+}
+
+// remaining returns the time left in the current quarantine window (the
+// retry-after hint for rejected opens).
+func (b *breaker) remaining() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return 0
+	}
+	left := b.cooldown - b.now().Sub(b.openedAt)
+	if left < 0 {
+		left = 0
+	}
+	return left
+}
+
+// verdict settles a verify-gate attempt: a clean report closes the
+// breaker; findings re-arm the cooldown so the (expensive) verification
+// does not rerun on every rejected open.
+func (b *breaker) verdict(clean bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if clean {
+		b.open = false
+		b.fails = 0
+		return
+	}
+	b.openedAt = b.now()
+}
+
+// result records one finished session against the image. Failures are
+// counted consecutively; a success resets the count. It returns true when
+// this failure tripped the breaker open.
+func (b *breaker) result(failed bool) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !failed {
+		b.fails = 0
+		return false
+	}
+	b.fails++
+	if b.threshold > 0 && !b.open && b.fails >= b.threshold {
+		b.open = true
+		b.openedAt = b.now()
+		return true
+	}
+	return false
+}
+
+// reset force-closes the breaker (a new generation was published: the old
+// failure evidence no longer describes the hosted image).
+func (b *breaker) reset() {
+	b.mu.Lock()
+	b.open = false
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// isOpen reports the current state (metrics/introspection only).
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}

@@ -1,0 +1,151 @@
+// Package serve is the fault-tolerant multi-tenant TEA serving layer: a
+// long-running server hosting a fleet of compiled automata as shared
+// immutable images (generation-swapped on publish) and serving concurrent
+// replay sessions over a length-prefixed binary wire protocol.
+//
+// Robustness is the design center, not an afterthought:
+//
+//   - every session runs under a context deadline and per-tenant step/byte
+//     quotas; exhaustion terminates that session with a structured error,
+//     never the process;
+//   - ingress is bounded: a tenant at its concurrent-session limit is
+//     rejected with an explicit retry-after, not queued unboundedly;
+//   - a panic anywhere inside a connection handler is converted to a
+//     structured error frame and accounted in metrics — one poisoned
+//     session cannot take the server down;
+//   - desyncs degrade per-session through the Stats.Desyncs/Resyncs
+//     machinery, and repeated session failures against one image trip a
+//     per-image circuit breaker that quarantines the image until it passes
+//     a fresh static re-verification (internal/verify);
+//   - interrupted sessions are resumable: the server keeps a bounded
+//     per-tenant pool of parked sessions keyed by session ID, and a client
+//     reconnecting with the ID is told the accepted-edge watermark so it
+//     can continue idempotently.
+//
+// The wire protocol and its failure taxonomy are specified in wire.go and
+// errors.go; DESIGN.md §13 states the service failure-semantics contract
+// the chaos suite (chaos_test.go + internal/faultinject/wire.go) enforces:
+// under any injected wire fault, every session ends in a structured error
+// or a correct result — never a crash, hang, or cross-tenant leak.
+package serve
+
+import (
+	"fmt"
+	"time"
+)
+
+// Code classifies a service failure. Codes are part of the wire format
+// (carried in error frames) and must not be renumbered; append new codes
+// at the end.
+type Code uint32
+
+const (
+	// CodeOK is never sent; the zero value marks "no error" internally.
+	CodeOK Code = iota
+	// CodeProto: the peer violated the wire protocol (bad magic, oversized
+	// frame, truncated varint, unknown frame type, frame out of sequence).
+	// The connection is closed after the error frame; sessions stay parked.
+	CodeProto
+	// CodeUnknownImage: OpenSession named an image the server does not host.
+	CodeUnknownImage
+	// CodeUnknownSession: a resume token named no parked session (expired,
+	// evicted, or never existed). The client should open a fresh session.
+	CodeUnknownSession
+	// CodeBackpressure: the tenant is at its concurrent-session limit; the
+	// frame carries a retry-after hint. Bounded rejection, not queueing.
+	CodeBackpressure
+	// CodeQuotaSteps: the session exceeded its per-session edge quota.
+	CodeQuotaSteps
+	// CodeQuotaBytes: the session exceeded its per-session wire-byte quota.
+	CodeQuotaBytes
+	// CodeDeadline: the session outlived its deadline.
+	CodeDeadline
+	// CodeQuarantined: the image's circuit breaker is open (and the image
+	// did not pass re-verification); retry-after carries the cooldown.
+	CodeQuarantined
+	// CodeBadImage: a published image failed decode or static verification
+	// and was refused admission.
+	CodeBadImage
+	// CodeShutdown: the server is draining; retry against another replica.
+	CodeShutdown
+	// CodeInternal: a recovered panic or other server-side invariant
+	// violation. The session is failed, the process survives.
+	CodeInternal
+	// CodeCorrupt: frame integrity failed (checksum mismatch or an
+	// implausible length prefix) — the link, not the peer's logic, is
+	// suspect. Temporary: the remedy is a fresh connection and a resume.
+	CodeCorrupt
+)
+
+// String returns the stable name of the code.
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeProto:
+		return "proto"
+	case CodeUnknownImage:
+		return "unknown-image"
+	case CodeUnknownSession:
+		return "unknown-session"
+	case CodeBackpressure:
+		return "backpressure"
+	case CodeQuotaSteps:
+		return "quota-steps"
+	case CodeQuotaBytes:
+		return "quota-bytes"
+	case CodeDeadline:
+		return "deadline"
+	case CodeQuarantined:
+		return "quarantined"
+	case CodeBadImage:
+		return "bad-image"
+	case CodeShutdown:
+		return "shutdown"
+	case CodeInternal:
+		return "internal"
+	case CodeCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("code(%d)", uint32(c))
+}
+
+// Error is the service's structured failure: a stable code, an optional
+// retry-after hint for temporary conditions, and a human-readable message.
+// Every failure the server reports — protocol violations, quota
+// exhaustion, quarantined images, recovered panics — crosses the wire as
+// one of these, so clients can branch on Code instead of parsing strings.
+type Error struct {
+	Code       Code
+	RetryAfter time.Duration // 0 = not retryable at this address
+	Msg        string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return "serve: " + e.Code.String()
+	}
+	return "serve: " + e.Code.String() + ": " + e.Msg
+}
+
+// Temporary reports whether the failure is worth retrying (with backoff):
+// backpressure, shutdown of one replica, quarantine cooldowns, and wire
+// corruption (a fresh connection plus session resume recovers).
+func (e *Error) Temporary() bool {
+	switch e.Code {
+	case CodeBackpressure, CodeShutdown, CodeQuarantined, CodeCorrupt:
+		return true
+	}
+	return false
+}
+
+// errf builds a *Error with a formatted message.
+func errf(code Code, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// errRetry builds a temporary *Error carrying a retry-after hint.
+func errRetry(code Code, retryAfter time.Duration, format string, args ...any) *Error {
+	return &Error{Code: code, RetryAfter: retryAfter, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,690 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/obs"
+)
+
+// Config tunes one Server.
+type Config struct {
+	// Lookup selects the replay transition-function configuration sessions
+	// run with (Local settings; the compiled path always uses the flat
+	// entry table).
+	Lookup core.LookupConfig
+	// Quota bounds per-tenant and per-session consumption.
+	Quota Quota
+	// BreakerThreshold consecutive failed sessions quarantine an image
+	// (0 selects DefaultBreakerThreshold; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is the quarantine window before a verify-gated
+	// readmission attempt (0 selects DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// IdleTimeout bounds every single read and write on a connection, so a
+	// stalled or half-dead peer can never wedge a handler goroutine
+	// (0 selects DefaultIdleTimeout).
+	IdleTimeout time.Duration
+	// MaxPublishInFlight bounds concurrent publish admissions server-wide;
+	// beyond it publishes are rejected with CodeBackpressure (0 selects
+	// DefaultMaxPublishInFlight).
+	MaxPublishInFlight int
+	// Obs receives the server's metrics and health; nil creates a private
+	// context (reachable via Server.Obs for scraping).
+	Obs *obs.Obs
+}
+
+// Config defaults.
+const (
+	DefaultBreakerThreshold   = 3
+	DefaultBreakerCooldown    = time.Second
+	DefaultIdleTimeout        = 30 * time.Second
+	DefaultMaxPublishInFlight = 2
+)
+
+func (c Config) withDefaults() Config {
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.MaxPublishInFlight == 0 {
+		c.MaxPublishInFlight = DefaultMaxPublishInFlight
+	}
+	c.Quota = c.Quota.withDefaults()
+	return c
+}
+
+// serveMetrics is the server's pre-resolved global metric set.
+type serveMetrics struct {
+	opened, resumed, completed, failed *obs.Counter
+	panics, rejBackpressure, rejQuota  *obs.Counter
+	breakerTrips, publishes, pubRej    *obs.Counter
+	edges, bytesIn, bytesOut           *obs.Counter
+	active, parked                     *obs.Gauge
+}
+
+// tenantMetrics is one tenant's pre-resolved metric cells, registered
+// lazily under a sanitized tenant name on first Hello.
+type tenantMetrics struct {
+	sessions, edges, rejects *obs.Counter
+}
+
+// Server hosts a fleet of compiled automata and serves concurrent
+// replay/publish sessions over the wire protocol. One poisoned session
+// never takes the process down: every connection handler converts panics
+// into CodeInternal error frames, every read and write carries a deadline,
+// and all per-session state is isolated behind per-tenant quotas.
+type Server struct {
+	cfg    Config
+	store  *Store
+	obs    *obs.Obs
+	health *obs.Health
+	m      serveMetrics
+
+	pubSem chan struct{}
+
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	sessions map[string]*session
+	conns    map[net.Conn]struct{}
+
+	nextID    atomic.Uint64
+	closed    atomic.Bool
+	listeners []net.Listener
+	wg        sync.WaitGroup
+}
+
+// NewServer creates a server with no hosted images; Host images before
+// (or while) serving. The server reports ready once it hosts at least one
+// image and is not draining.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New()
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    NewStore(cfg.Lookup, cfg.BreakerThreshold, cfg.BreakerCooldown),
+		obs:      o,
+		health:   obs.NewHealth(),
+		pubSem:   make(chan struct{}, cfg.MaxPublishInFlight),
+		tenants:  make(map[string]*tenant),
+		sessions: make(map[string]*session),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	c := func(name, help string) *obs.Counter { return o.Reg.Counter(name, help) }
+	s.m = serveMetrics{
+		opened:          c("tea_serve_sessions_opened_total", "sessions opened"),
+		resumed:         c("tea_serve_sessions_resumed_total", "sessions resumed from a park"),
+		completed:       c("tea_serve_sessions_completed_total", "sessions closed with final stats"),
+		failed:          c("tea_serve_sessions_failed_total", "sessions terminated by a structured error"),
+		panics:          c("tea_serve_panics_recovered_total", "panics converted to CodeInternal errors"),
+		rejBackpressure: c("tea_serve_rejects_backpressure_total", "opens rejected at the concurrency bound"),
+		rejQuota:        c("tea_serve_rejects_quota_total", "sessions terminated by step/byte quotas"),
+		breakerTrips:    c("tea_serve_breaker_trips_total", "image circuit-breaker quarantines"),
+		publishes:       c("tea_serve_publishes_total", "image generations admitted"),
+		pubRej:          c("tea_serve_publish_rejects_total", "publishes refused admission"),
+		edges:           c("tea_serve_edges_total", "stream edges replayed across all sessions"),
+		bytesIn:         c("tea_serve_bytes_in_total", "wire payload bytes received"),
+		bytesOut:        c("tea_serve_bytes_out_total", "wire payload bytes sent"),
+		active:          o.Reg.Gauge("tea_serve_sessions_active", "sessions currently attached"),
+		parked:          o.Reg.Gauge("tea_serve_sessions_parked", "sessions parked for resume"),
+	}
+	return s
+}
+
+// Host admits an automaton (static verification included) under name.
+func (s *Server) Host(name string, p *isa.Program, a *core.Automaton) error {
+	if err := s.store.Add(name, p, a); err != nil {
+		return err
+	}
+	s.health.SetReady(!s.closed.Load())
+	return nil
+}
+
+// Store exposes the image store (introspection and tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Obs exposes the server's observability context.
+func (s *Server) Obs() *obs.Obs { return s.obs }
+
+// Health exposes the liveness/readiness state.
+func (s *Server) Health() *obs.Health { return s.health }
+
+// PanicsRecovered reports how many connection-handler panics the server
+// has converted into structured errors — the chaos suite asserts zero.
+func (s *Server) PanicsRecovered() uint64 { return s.m.panics.Value() }
+
+// Handler serves the admin surface: the obs endpoints (/metrics,
+// /metrics.json, /debug/events, /debug/pprof/*) plus /healthz and /readyz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.Handler(s.obs))
+	mux.Handle("/healthz", obs.HealthHandler(s.health))
+	mux.Handle("/readyz", obs.HealthHandler(s.health))
+	return mux
+}
+
+// Serve accepts connections until the listener fails or Shutdown runs.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Shutdown drains the server: new sessions are rejected with CodeShutdown,
+// listeners close, and handlers get until ctx's deadline to finish before
+// their connections are force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closed.Store(true)
+	s.health.SetReady(false)
+	s.mu.Lock()
+	for _, l := range s.listeners {
+		l.Close()
+	}
+	s.listeners = nil
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	s.health.SetLive(false)
+	return err
+}
+
+// tenantLocked returns (creating if needed) the tenant record. mu held.
+func (s *Server) tenantLocked(name string) *tenant {
+	t, ok := s.tenants[name]
+	if !ok {
+		san := obs.SanitizeMetricName(name)
+		t = &tenant{name: name, m: tenantMetrics{
+			sessions: s.obs.Reg.Counter("tea_serve_tenant_"+san+"_sessions_total", "sessions opened by tenant "+name),
+			edges:    s.obs.Reg.Counter("tea_serve_tenant_"+san+"_edges_total", "edges replayed for tenant "+name),
+			rejects:  s.obs.Reg.Counter("tea_serve_tenant_"+san+"_rejects_total", "rejections for tenant "+name),
+		}}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// connHandler is the per-connection state machine.
+type connHandler struct {
+	s      *Server
+	conn   net.Conn
+	tenant *tenant
+	sess   *session // currently attached session, nil between sessions
+
+	rbuf    []byte      // frame read buffer, reused
+	wbuf    []byte      // frame write buffer, reused
+	edgeBuf []core.Edge // parsed-edge scratch, reused
+}
+
+// ServeConn drives one connection to completion. It is safe to call
+// directly with one end of a net.Pipe (the chaos tests do); Serve calls it
+// per accepted connection. Panics anywhere below are converted into a
+// best-effort CodeInternal error frame and a failed session — the
+// process-scope blast radius of any single connection is zero.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	h := &connHandler{s: s, conn: conn}
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.panics.Add(1)
+			serr := errf(CodeInternal, "recovered panic: %v", r)
+			h.finishSession(serr)
+			_ = h.sendError(serr)
+		}
+		h.detach()
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	if !h.handshake() {
+		return
+	}
+	for h.serveFrame() {
+	}
+}
+
+// readFrame reads one frame under the idle deadline.
+func (h *connHandler) readFrame() ([]byte, error) {
+	_ = h.conn.SetReadDeadline(time.Now().Add(h.s.cfg.IdleTimeout))
+	payload, err := ReadFrame(h.conn, h.rbuf)
+	if err != nil {
+		return nil, err
+	}
+	h.rbuf = payload[:cap(payload)]
+	h.s.m.bytesIn.Add(uint64(len(payload)))
+	return payload, nil
+}
+
+// write sends one frame under the idle deadline — a peer that stops
+// reading cannot wedge the handler, it gets its connection closed.
+func (h *connHandler) write(payload []byte) error {
+	_ = h.conn.SetWriteDeadline(time.Now().Add(h.s.cfg.IdleTimeout))
+	h.s.m.bytesOut.Add(uint64(len(payload)))
+	return WriteFrame(h.conn, payload)
+}
+
+// sendError writes a structured error frame (best effort).
+func (h *connHandler) sendError(serr *Error) error {
+	h.wbuf = AppendError(h.wbuf[:0], serr)
+	return h.write(h.wbuf)
+}
+
+// handshake performs Hello/HelloAck and resolves the tenant.
+func (h *connHandler) handshake() bool {
+	payload, err := h.readFrame()
+	if err != nil {
+		return false
+	}
+	typ, body, perr := ParseFrame(payload)
+	if perr != nil || typ != FrameHello {
+		_ = h.sendError(errf(CodeProto, "expected Hello"))
+		return false
+	}
+	hello, herr := ParseHello(body)
+	if herr != nil {
+		_ = h.sendError(asError(herr))
+		return false
+	}
+	if hello.Version != ProtoVersion {
+		_ = h.sendError(errf(CodeProto, "protocol version %d unsupported", hello.Version))
+		return false
+	}
+	h.s.mu.Lock()
+	h.tenant = h.s.tenantLocked(hello.Tenant)
+	h.s.mu.Unlock()
+	ack := HelloAck{Version: ProtoVersion}
+	h.wbuf = ack.Append(h.wbuf[:0])
+	return h.write(h.wbuf) == nil
+}
+
+// serveFrame reads and dispatches one frame; false ends the connection.
+func (h *connHandler) serveFrame() bool {
+	payload, err := h.readFrame()
+	if err != nil {
+		if serr, ok := err.(*Error); ok {
+			_ = h.sendError(serr)
+		}
+		return false
+	}
+	typ, body, perr := ParseFrame(payload)
+	if perr != nil {
+		_ = h.sendError(asError(perr))
+		return false
+	}
+	switch typ {
+	case FrameOpen:
+		return h.handleOpen(body)
+	case FrameEdges:
+		return h.handleEdges(body)
+	case FrameClose:
+		return h.handleClose()
+	case FramePublish:
+		return h.handlePublish(body)
+	default:
+		_ = h.sendError(errf(CodeProto, "unexpected frame %s", typ))
+		return false
+	}
+}
+
+// handleOpen admits a new session or resumes a parked one.
+func (h *connHandler) handleOpen(body []byte) bool {
+	m, err := ParseOpen(body)
+	if err != nil {
+		_ = h.sendError(asError(err))
+		return false
+	}
+	if h.sess != nil {
+		_ = h.sendError(errf(CodeProto, "session already open on connection"))
+		return false
+	}
+	if h.s.closed.Load() {
+		h.tenant.m.rejects.Add(1)
+		_ = h.sendError(errRetry(CodeShutdown, h.s.cfg.Quota.RetryAfter, "server draining"))
+		return true
+	}
+	if m.Resume != "" {
+		return h.resume(m.Resume)
+	}
+
+	q := h.s.cfg.Quota
+	s := h.s
+	s.mu.Lock()
+	if h.tenant.attached >= q.MaxConcurrent {
+		s.mu.Unlock()
+		s.m.rejBackpressure.Add(1)
+		h.tenant.m.rejects.Add(1)
+		_ = h.sendError(errRetry(CodeBackpressure, q.RetryAfter,
+			"tenant %s at %d concurrent sessions", h.tenant.name, q.MaxConcurrent))
+		return true
+	}
+	s.mu.Unlock()
+
+	// Breaker-gated image admission happens outside mu: readmission may run
+	// a full static verification.
+	img, serr := s.store.Get(m.Image)
+	if serr != nil {
+		h.tenant.m.rejects.Add(1)
+		_ = h.sendError(serr)
+		return true
+	}
+
+	sess := &session{
+		id:       fmt.Sprintf("s%08x", s.nextID.Add(1)),
+		tenant:   h.tenant.name,
+		img:      img,
+		rep:      core.NewCompiledReplayer(img.Compiled),
+		deadline: time.Now().Add(q.SessionTimeout),
+		attached: true,
+	}
+	s.mu.Lock()
+	// Re-check under the lock: the slot may have been taken while verifying.
+	if h.tenant.attached >= q.MaxConcurrent {
+		s.mu.Unlock()
+		s.m.rejBackpressure.Add(1)
+		h.tenant.m.rejects.Add(1)
+		_ = h.sendError(errRetry(CodeBackpressure, q.RetryAfter,
+			"tenant %s at %d concurrent sessions", h.tenant.name, q.MaxConcurrent))
+		return true
+	}
+	h.tenant.attached++
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+	h.sess = sess
+	s.m.opened.Add(1)
+	s.m.active.Set(s.activeCount())
+	h.tenant.m.sessions.Add(1)
+
+	ack := OpenAck{Session: sess.id, Gen: img.Gen}
+	h.wbuf = ack.Append(h.wbuf[:0])
+	return h.write(h.wbuf) == nil
+}
+
+// resume re-attaches a parked session. The token must name a session of
+// the same tenant: a token leaked across tenants resolves to
+// CodeUnknownSession, indistinguishable from an expired one, so session
+// state can never cross a tenant boundary.
+func (h *connHandler) resume(token string) bool {
+	q := h.s.cfg.Quota
+	s := h.s
+	s.mu.Lock()
+	sess, ok := s.sessions[token]
+	if !ok || sess.tenant != h.tenant.name {
+		s.mu.Unlock()
+		h.tenant.m.rejects.Add(1)
+		_ = h.sendError(errf(CodeUnknownSession, "no resumable session %q", token))
+		return true
+	}
+	if sess.attached {
+		s.mu.Unlock()
+		_ = h.sendError(errRetry(CodeBackpressure, q.RetryAfter, "session %s still attached", token))
+		return true
+	}
+	if !sess.done && h.tenant.attached >= q.MaxConcurrent {
+		s.mu.Unlock()
+		s.m.rejBackpressure.Add(1)
+		h.tenant.m.rejects.Add(1)
+		_ = h.sendError(errRetry(CodeBackpressure, q.RetryAfter,
+			"tenant %s at %d concurrent sessions", h.tenant.name, q.MaxConcurrent))
+		return true
+	}
+	sess.attached = true
+	if !sess.done {
+		h.tenant.attached++
+	}
+	h.tenant.unpark(sess)
+	s.mu.Unlock()
+	h.sess = sess
+	s.m.resumed.Add(1)
+	s.m.active.Set(s.activeCount())
+	s.m.parked.Set(s.parkedCount())
+
+	ack := OpenAck{Session: sess.id, Gen: sess.img.Gen, Watermark: sess.edges}
+	h.wbuf = ack.Append(h.wbuf[:0])
+	return h.write(h.wbuf) == nil
+}
+
+// handleEdges replays one batch on the attached session.
+func (h *connHandler) handleEdges(body []byte) bool {
+	sess := h.sess
+	if sess == nil {
+		_ = h.sendError(errf(CodeProto, "Edges without an open session"))
+		return false
+	}
+	if sess.done {
+		_ = h.sendError(errf(CodeProto, "Edges on a closed session"))
+		return false
+	}
+	if sess.expired(time.Now()) {
+		h.failSession(errf(CodeDeadline, "session %s exceeded its deadline", sess.id))
+		return true
+	}
+	if serr := sess.chargeBytes(uint64(len(body)), h.s.cfg.Quota); serr != nil {
+		h.s.m.rejQuota.Add(1)
+		h.failSession(serr)
+		return true
+	}
+	edges, err := ParseEdges(body, h.edgeBuf)
+	if err != nil {
+		_ = h.sendError(asError(err))
+		return false
+	}
+	h.edgeBuf = edges[:cap(edges)]
+	if serr := sess.chargeEdges(uint64(len(edges)), h.s.cfg.Quota); serr != nil {
+		h.s.m.rejQuota.Add(1)
+		h.failSession(serr)
+		return true
+	}
+
+	// The replay itself: one bounded batch on the pinned immutable image.
+	// MaxBatchEdges bounds the work between deadline checks, so a session
+	// cannot smuggle an unbounded loop into the handler.
+	sess.rep.AdvanceBatch(edges)
+	sess.edges += uint64(len(edges))
+	h.s.m.edges.Add(uint64(len(edges)))
+	h.tenant.m.edges.Add(uint64(len(edges)))
+
+	ack := EdgesAck{Watermark: sess.edges}
+	h.wbuf = ack.Append(h.wbuf[:0])
+	return h.write(h.wbuf) == nil
+}
+
+// handleClose finalizes the attached session and returns its stats. A
+// resumed-after-done session gets the same frozen stats again — Close is
+// idempotent, which is what makes client retry safe.
+func (h *connHandler) handleClose() bool {
+	sess := h.sess
+	if sess == nil {
+		_ = h.sendError(errf(CodeProto, "Close without an open session"))
+		return false
+	}
+	if !sess.done {
+		h.finishSession(nil)
+	} else if sess.err != nil {
+		// Resumed into a failed session: replay the terminal error.
+		serr := sess.err
+		h.sess = nil
+		h.parkSession(sess)
+		_ = h.sendError(serr)
+		return true
+	}
+	h.wbuf = sess.final.Append(h.wbuf[:0])
+	h.sess = nil
+	h.parkSession(sess)
+	return h.write(h.wbuf) == nil
+}
+
+// handlePublish admits a new image generation under bounded concurrency.
+func (h *connHandler) handlePublish(body []byte) bool {
+	m, err := ParsePublish(body)
+	if err != nil {
+		_ = h.sendError(asError(err))
+		return false
+	}
+	select {
+	case h.s.pubSem <- struct{}{}:
+	default:
+		h.s.m.rejBackpressure.Add(1)
+		_ = h.sendError(errRetry(CodeBackpressure, h.s.cfg.Quota.RetryAfter, "publish admission busy"))
+		return true
+	}
+	gen, serr := h.s.store.Publish(m.Image, m.Data)
+	<-h.s.pubSem
+	if serr != nil {
+		h.s.m.pubRej.Add(1)
+		_ = h.sendError(serr)
+		return true
+	}
+	h.s.m.publishes.Add(1)
+	ack := PublishAck{Gen: gen}
+	h.wbuf = ack.Append(h.wbuf[:0])
+	return h.write(h.wbuf) == nil
+}
+
+// asError coerces any error into the structured taxonomy (parse helpers
+// always return *Error; this keeps a future non-conforming error from
+// panicking a handler).
+func asError(err error) *Error {
+	if e, ok := err.(*Error); ok {
+		return e
+	}
+	return errf(CodeProto, "%v", err)
+}
+
+// failSession terminates the attached session with a structured error
+// frame; the connection survives (the tenant may open another session).
+func (h *connHandler) failSession(serr *Error) {
+	sess := h.sess
+	h.finishSession(serr)
+	h.sess = nil
+	h.parkSession(sess)
+	_ = h.sendError(serr)
+}
+
+// finishSession settles the attached session (if any, and not already
+// done), releases its concurrency slot, and feeds the image breaker.
+func (h *connHandler) finishSession(serr *Error) {
+	sess := h.sess
+	if sess == nil || sess.done {
+		return
+	}
+	s := h.s
+	s.mu.Lock()
+	sess.finish(serr, s.cfg.Quota)
+	h.tenant.attached--
+	s.mu.Unlock()
+	if serr == nil {
+		s.m.completed.Add(1)
+	} else {
+		s.m.failed.Add(1)
+	}
+	s.m.active.Set(s.activeCount())
+	if s.store.Result(sess.img.Name, sess.failed) {
+		s.m.breakerTrips.Add(1)
+	}
+}
+
+// parkSession detaches sess and parks it for resume (or, when done, for
+// idempotent stats re-fetch), bounding the parked pool oldest-first.
+func (h *connHandler) parkSession(sess *session) {
+	if sess == nil {
+		return
+	}
+	s := h.s
+	s.mu.Lock()
+	sess.attached = false
+	h.tenant.parked = append(h.tenant.parked, sess)
+	for len(h.tenant.parked) > s.cfg.Quota.MaxParked {
+		old := h.tenant.parked[0]
+		h.tenant.parked = h.tenant.parked[1:]
+		delete(s.sessions, old.id)
+	}
+	s.mu.Unlock()
+	s.m.active.Set(s.activeCount())
+	s.m.parked.Set(s.parkedCount())
+}
+
+// detach parks the attached session on connection teardown so the tenant
+// can resume it, releasing its concurrency slot if it was still live.
+func (h *connHandler) detach() {
+	sess := h.sess
+	h.sess = nil
+	if sess == nil {
+		return
+	}
+	s := h.s
+	s.mu.Lock()
+	if !sess.done {
+		h.tenant.attached--
+	}
+	s.mu.Unlock()
+	h.parkSession(sess)
+}
+
+// activeCount totals attached sessions across tenants.
+func (s *Server) activeCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, t := range s.tenants {
+		n += uint64(t.attached)
+	}
+	return n
+}
+
+// parkedCount totals parked sessions across tenants.
+func (s *Server) parkedCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n uint64
+	for _, t := range s.tenants {
+		n += uint64(len(t.parked))
+	}
+	return n
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"time"
+
+	"github.com/lsc-tea/tea/internal/core"
+)
+
+// session is one tenant's replay session: a CompiledReplayer cursor pinned
+// to one image generation, plus the accounting the quotas and the resume
+// protocol need. A session is exclusively owned by the connection it is
+// attached to; detached ("parked") sessions are resumable by the same
+// tenant on a new connection, which is what makes client retry idempotent:
+// the OpenAck watermark tells the resuming client how many edges the
+// server already accepted, so re-sent batches skip the consumed prefix.
+//
+// Lifecycle:
+//
+//	open ──attach──▶ attached ──conn loss──▶ parked ──resume──▶ attached
+//	                    │
+//	                  close/fail ──▶ done (parked for idempotent stats
+//	                                 re-fetch until evicted)
+type session struct {
+	id     string
+	tenant string
+	img    *Image // pinned generation; publish swaps never touch it
+	rep    *core.CompiledReplayer
+
+	deadline time.Time // context deadline: crossing it fails the session
+	edges    uint64    // accepted-edge watermark (the resume cursor)
+	bytes    uint64    // wire payload bytes consumed
+
+	attached bool
+	done     bool
+	failed   bool   // classification fed to the image's circuit breaker
+	err      *Error // terminal error, nil for a successful close
+	final    StatsMsg
+}
+
+// expired reports whether the session's deadline has passed.
+func (s *session) expired(now time.Time) bool {
+	return now.After(s.deadline)
+}
+
+// chargeEdges enforces the step quota before consuming n more edges.
+func (s *session) chargeEdges(n uint64, q Quota) *Error {
+	if q.MaxSessionEdges != 0 && s.edges+n > q.MaxSessionEdges {
+		return errf(CodeQuotaSteps, "session %s: edge quota %d exhausted", s.id, q.MaxSessionEdges)
+	}
+	return nil
+}
+
+// chargeBytes enforces the byte quota for one frame payload.
+func (s *session) chargeBytes(n uint64, q Quota) *Error {
+	s.bytes += n
+	if q.MaxSessionBytes != 0 && s.bytes > q.MaxSessionBytes {
+		return errf(CodeQuotaBytes, "session %s: byte quota %d exhausted", s.id, q.MaxSessionBytes)
+	}
+	return nil
+}
+
+// finish settles the session into its terminal state. A nil serr is a
+// successful close: the final stats are frozen and the session is
+// classified against the desync threshold (a desync-dominated session
+// completed correctly for the tenant but is failure evidence against the
+// image). A non-nil serr is a hard failure: deadline, quota, protocol or
+// internal — only internal failures are image evidence, since quota and
+// deadline exhaustion indict the tenant, not the automaton.
+func (s *session) finish(serr *Error, q Quota) {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.err = serr
+	if serr == nil {
+		st := s.rep.Stats()
+		s.final = StatsMsg{Stats: *st, Final: s.rep.Cur(), Watermark: s.edges}
+		s.failed = q.MaxSessionDesyncs != 0 && st.Desyncs > q.MaxSessionDesyncs
+		return
+	}
+	s.failed = serr.Code == CodeInternal
+}

@@ -1,0 +1,568 @@
+package serve
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"github.com/lsc-tea/tea/internal/core"
+)
+
+// Wire protocol: length-prefixed, checksummed binary frames.
+//
+//	frame   := length(uint32 big-endian) crc(uint32 big-endian) payload
+//	payload := type(1 byte) body
+//	length  := 4 + len(payload)   // counts the crc, so frame boundaries
+//	                              // derive from the length prefix alone
+//	crc     := IEEE CRC-32 of payload
+//
+// The checksum is what turns in-flight corruption from a silent
+// wrong-answer into a structured CodeCorrupt error: without it, a bit flip
+// inside an Edges body could decode as a different — but wire-valid —
+// batch and replay the wrong stream. The chaos suite's WireCorrupt class
+// asserts exactly this detection.
+//
+// The body encodings reuse the internal/obs event-log idiom: uvarints for
+// counts and magnitudes, zigzag varints for deltas (edge labels are
+// near-monotonic addresses, so label deltas are small). Every parse
+// validates declared counts against the bytes actually present, so a
+// hostile or fault-injected frame yields a structured *Error (CodeProto),
+// never an allocation bomb, a panic, or an unbounded loop.
+//
+// Conversation: the client sends Hello once, then any sequence of
+// Open → (Edges → EdgesAck)* → Close → Stats, or Publish → PublishAck.
+// Any server-detected failure crosses as an Error frame; protocol
+// violations additionally close the connection (parked sessions survive
+// and can be resumed on a new connection).
+
+// ProtoVersion is the wire protocol version carried in Hello.
+const ProtoVersion = 1
+
+// MaxFrame bounds one frame's payload; a larger declared length is a
+// protocol violation (a corrupt or hostile length prefix must not make the
+// server allocate unboundedly).
+const MaxFrame = 1 << 20
+
+// MaxBatchEdges bounds the edges in one Edges frame.
+const MaxBatchEdges = 1 << 16
+
+// maxString bounds tenant/image/session identifier lengths on the wire.
+const maxString = 256
+
+// FrameType identifies one frame's payload. The numeric values are part of
+// the wire format; append new types at the end.
+type FrameType byte
+
+const (
+	// FrameHello opens a connection: protocol version + tenant identity.
+	FrameHello FrameType = 1 + iota
+	// FrameHelloAck acknowledges Hello with the server's version.
+	FrameHelloAck
+	// FrameOpen opens (or resumes) a replay session against a named image.
+	FrameOpen
+	// FrameOpenAck returns the session ID, image generation and the
+	// accepted-edge watermark (nonzero when resuming).
+	FrameOpenAck
+	// FrameEdges streams a batch of dynamic block-stream edges.
+	FrameEdges
+	// FrameEdgesAck acknowledges a batch with the cumulative watermark.
+	FrameEdgesAck
+	// FrameClose ends the session and requests final statistics.
+	FrameClose
+	// FrameStats carries the final replay statistics and final state.
+	FrameStats
+	// FrameError carries a structured *Error.
+	FrameError
+	// FramePublish uploads a serialized TEA image for a hosted program.
+	FramePublish
+	// FramePublishAck acknowledges a publish with the new generation.
+	FramePublishAck
+)
+
+// String returns the stable name of the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "Hello"
+	case FrameHelloAck:
+		return "HelloAck"
+	case FrameOpen:
+		return "Open"
+	case FrameOpenAck:
+		return "OpenAck"
+	case FrameEdges:
+		return "Edges"
+	case FrameEdgesAck:
+		return "EdgesAck"
+	case FrameClose:
+		return "Close"
+	case FrameStats:
+		return "Stats"
+	case FrameError:
+		return "Error"
+	case FramePublish:
+		return "Publish"
+	case FramePublishAck:
+		return "PublishAck"
+	}
+	return "FrameType(?)"
+}
+
+// WriteFrame writes one length-prefixed, checksummed frame payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return errf(CodeProto, "frame payload %d exceeds MaxFrame", len(payload))
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(4+len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame payload, reusing buf when it is large enough.
+// A declared length beyond MaxFrame, a length too short to hold the
+// checksum, or a checksum mismatch is a protocol violation (*Error,
+// CodeCorrupt); a short read surfaces as the transport's error (typically
+// io.EOF or io.ErrUnexpectedEOF on truncation).
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 4 {
+		return nil, errf(CodeCorrupt, "frame length %d below checksum size", n)
+	}
+	n -= 4
+	if n > MaxFrame {
+		return nil, errf(CodeCorrupt, "frame length %d exceeds MaxFrame", n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	if sum := crc32.ChecksumIEEE(buf); sum != binary.BigEndian.Uint32(hdr[4:]) {
+		return nil, errf(CodeCorrupt, "frame checksum mismatch")
+	}
+	return buf, nil
+}
+
+// ParseFrame splits a payload into its type and body.
+func ParseFrame(payload []byte) (FrameType, []byte, error) {
+	if len(payload) == 0 {
+		return 0, nil, errf(CodeProto, "empty frame")
+	}
+	return FrameType(payload[0]), payload[1:], nil
+}
+
+// wireReader is a cursor over one frame body with structured failures.
+type wireReader struct {
+	data []byte
+	off  int
+}
+
+func (r *wireReader) uvarint(field string) (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, errf(CodeProto, "truncated %s at offset %d", field, r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *wireReader) varint(field string) (int64, error) {
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		return 0, errf(CodeProto, "truncated %s at offset %d", field, r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *wireReader) str(field string) (string, error) {
+	n, err := r.uvarint(field + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > maxString {
+		return "", errf(CodeProto, "%s length %d exceeds %d", field, n, maxString)
+	}
+	if uint64(len(r.data)-r.off) < n {
+		return "", errf(CodeProto, "truncated %s at offset %d", field, r.off)
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *wireReader) bytes(field string, max int) ([]byte, error) {
+	n, err := r.uvarint(field + " length")
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(max) || uint64(len(r.data)-r.off) < n {
+		return nil, errf(CodeProto, "%s length %d exceeds available bytes", field, n)
+	}
+	b := r.data[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+func (r *wireReader) done(what string) error {
+	if r.off != len(r.data) {
+		return errf(CodeProto, "%d trailing bytes after %s", len(r.data)-r.off, what)
+	}
+	return nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// Hello is the connection-opening frame body.
+type Hello struct {
+	Version uint64
+	Tenant  string
+}
+
+// Append serializes the message after a FrameHello type byte.
+func (m *Hello) Append(dst []byte) []byte {
+	dst = append(dst, byte(FrameHello))
+	dst = binary.AppendUvarint(dst, m.Version)
+	return appendString(dst, m.Tenant)
+}
+
+// ParseHello parses a FrameHello body.
+func ParseHello(body []byte) (Hello, error) {
+	r := wireReader{data: body}
+	var m Hello
+	var err error
+	if m.Version, err = r.uvarint("version"); err != nil {
+		return m, err
+	}
+	if m.Tenant, err = r.str("tenant"); err != nil {
+		return m, err
+	}
+	if m.Tenant == "" {
+		return m, errf(CodeProto, "empty tenant")
+	}
+	return m, r.done("Hello")
+}
+
+// HelloAck acknowledges Hello.
+type HelloAck struct {
+	Version uint64
+}
+
+// Append serializes the message after a FrameHelloAck type byte.
+func (m *HelloAck) Append(dst []byte) []byte {
+	dst = append(dst, byte(FrameHelloAck))
+	return binary.AppendUvarint(dst, m.Version)
+}
+
+// ParseHelloAck parses a FrameHelloAck body.
+func ParseHelloAck(body []byte) (HelloAck, error) {
+	r := wireReader{data: body}
+	var m HelloAck
+	var err error
+	if m.Version, err = r.uvarint("version"); err != nil {
+		return m, err
+	}
+	return m, r.done("HelloAck")
+}
+
+// Open opens a new session (Resume == "") or resumes a parked one.
+type Open struct {
+	Image  string
+	Resume string
+}
+
+// Append serializes the message after a FrameOpen type byte.
+func (m *Open) Append(dst []byte) []byte {
+	dst = append(dst, byte(FrameOpen))
+	dst = appendString(dst, m.Image)
+	return appendString(dst, m.Resume)
+}
+
+// ParseOpen parses a FrameOpen body.
+func ParseOpen(body []byte) (Open, error) {
+	r := wireReader{data: body}
+	var m Open
+	var err error
+	if m.Image, err = r.str("image"); err != nil {
+		return m, err
+	}
+	if m.Resume, err = r.str("resume token"); err != nil {
+		return m, err
+	}
+	return m, r.done("Open")
+}
+
+// OpenAck acknowledges Open: the session identity, the generation of the
+// image the session is pinned to, and the accepted-edge watermark (nonzero
+// only when resuming).
+type OpenAck struct {
+	Session   string
+	Gen       uint64
+	Watermark uint64
+}
+
+// Append serializes the message after a FrameOpenAck type byte.
+func (m *OpenAck) Append(dst []byte) []byte {
+	dst = append(dst, byte(FrameOpenAck))
+	dst = appendString(dst, m.Session)
+	dst = binary.AppendUvarint(dst, m.Gen)
+	return binary.AppendUvarint(dst, m.Watermark)
+}
+
+// ParseOpenAck parses a FrameOpenAck body.
+func ParseOpenAck(body []byte) (OpenAck, error) {
+	r := wireReader{data: body}
+	var m OpenAck
+	var err error
+	if m.Session, err = r.str("session"); err != nil {
+		return m, err
+	}
+	if m.Gen, err = r.uvarint("generation"); err != nil {
+		return m, err
+	}
+	if m.Watermark, err = r.uvarint("watermark"); err != nil {
+		return m, err
+	}
+	return m, r.done("OpenAck")
+}
+
+// AppendEdges serializes an Edges frame: a uvarint count, then per edge a
+// zigzag-varint label delta against the previous label and a uvarint
+// instruction count (the same delta idiom as the obs event log).
+func AppendEdges(dst []byte, edges []core.Edge) []byte {
+	dst = append(dst, byte(FrameEdges))
+	dst = binary.AppendUvarint(dst, uint64(len(edges)))
+	prev := uint64(0)
+	for i := range edges {
+		dst = binary.AppendVarint(dst, int64(edges[i].Label-prev))
+		prev = edges[i].Label
+		dst = binary.AppendUvarint(dst, edges[i].Instrs)
+	}
+	return dst
+}
+
+// ParseEdges parses a FrameEdges body into dst (reused when large enough).
+// The declared count is validated against both MaxBatchEdges and the bytes
+// present (an edge occupies at least two bytes), so a forged count cannot
+// drive allocation.
+func ParseEdges(body []byte, dst []core.Edge) ([]core.Edge, error) {
+	r := wireReader{data: body}
+	count, err := r.uvarint("edge count")
+	if err != nil {
+		return nil, err
+	}
+	if count > MaxBatchEdges {
+		return nil, errf(CodeProto, "edge count %d exceeds MaxBatchEdges", count)
+	}
+	if count > uint64(len(body))/2+1 {
+		return nil, errf(CodeProto, "edge count %d exceeds frame size", count)
+	}
+	if uint64(cap(dst)) < count {
+		dst = make([]core.Edge, count)
+	}
+	dst = dst[:count]
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		delta, err := r.varint("label delta")
+		if err != nil {
+			return nil, err
+		}
+		prev += uint64(delta)
+		instrs, err := r.uvarint("instrs")
+		if err != nil {
+			return nil, err
+		}
+		dst[i] = core.Edge{Label: prev, Instrs: instrs}
+	}
+	return dst, r.done("Edges")
+}
+
+// EdgesAck acknowledges a batch with the session's cumulative watermark.
+type EdgesAck struct {
+	Watermark uint64
+}
+
+// Append serializes the message after a FrameEdgesAck type byte.
+func (m *EdgesAck) Append(dst []byte) []byte {
+	dst = append(dst, byte(FrameEdgesAck))
+	return binary.AppendUvarint(dst, m.Watermark)
+}
+
+// ParseEdgesAck parses a FrameEdgesAck body.
+func ParseEdgesAck(body []byte) (EdgesAck, error) {
+	r := wireReader{data: body}
+	var m EdgesAck
+	var err error
+	if m.Watermark, err = r.uvarint("watermark"); err != nil {
+		return m, err
+	}
+	return m, r.done("EdgesAck")
+}
+
+// StatsMsg carries a session's final result: the full replay statistics,
+// the final automaton state, and the total edges accepted.
+type StatsMsg struct {
+	Stats     core.Stats
+	Final     core.StateID
+	Watermark uint64
+}
+
+// statsFields flattens Stats into its wire order. The order is part of the
+// wire format; append new fields at the end.
+func statsFields(s *core.Stats) [14]uint64 {
+	return [14]uint64{
+		s.Blocks, s.Instrs, s.TraceBlocks, s.TraceInstrs,
+		s.InTraceHits, s.LocalHits, s.LocalMisses,
+		s.GlobalLookups, s.GlobalHits,
+		s.TraceEnters, s.TraceLinks, s.TraceExits,
+		s.Desyncs, s.Resyncs,
+	}
+}
+
+// Append serializes the message after a FrameStats type byte.
+func (m *StatsMsg) Append(dst []byte) []byte {
+	dst = append(dst, byte(FrameStats))
+	for _, v := range statsFields(&m.Stats) {
+		dst = binary.AppendUvarint(dst, v)
+	}
+	dst = binary.AppendVarint(dst, int64(m.Final))
+	return binary.AppendUvarint(dst, m.Watermark)
+}
+
+// ParseStats parses a FrameStats body.
+func ParseStats(body []byte) (StatsMsg, error) {
+	r := wireReader{data: body}
+	var m StatsMsg
+	var f [14]uint64
+	for i := range f {
+		v, err := r.uvarint("stats field")
+		if err != nil {
+			return m, err
+		}
+		f[i] = v
+	}
+	m.Stats = core.Stats{
+		Blocks: f[0], Instrs: f[1], TraceBlocks: f[2], TraceInstrs: f[3],
+		InTraceHits: f[4], LocalHits: f[5], LocalMisses: f[6],
+		GlobalLookups: f[7], GlobalHits: f[8],
+		TraceEnters: f[9], TraceLinks: f[10], TraceExits: f[11],
+		Desyncs: f[12], Resyncs: f[13],
+	}
+	final, err := r.varint("final state")
+	if err != nil {
+		return m, err
+	}
+	if final < -1 || final >= 1<<31 {
+		return m, errf(CodeProto, "final state %d out of range", final)
+	}
+	m.Final = core.StateID(final)
+	if m.Watermark, err = r.uvarint("watermark"); err != nil {
+		return m, err
+	}
+	return m, r.done("Stats")
+}
+
+// AppendError serializes an Error frame.
+func AppendError(dst []byte, e *Error) []byte {
+	dst = append(dst, byte(FrameError))
+	dst = binary.AppendUvarint(dst, uint64(e.Code))
+	dst = binary.AppendUvarint(dst, uint64(e.RetryAfter/time.Millisecond))
+	msg := e.Msg
+	if len(msg) > maxString {
+		msg = msg[:maxString]
+	}
+	return appendString(dst, msg)
+}
+
+// ParseError parses a FrameError body back into a *Error.
+func ParseError(body []byte) (*Error, error) {
+	r := wireReader{data: body}
+	code, err := r.uvarint("error code")
+	if err != nil {
+		return nil, err
+	}
+	retryMs, err := r.uvarint("retry-after")
+	if err != nil {
+		return nil, err
+	}
+	msg, err := r.str("error message")
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done("Error"); err != nil {
+		return nil, err
+	}
+	return &Error{
+		Code:       Code(code),
+		RetryAfter: time.Duration(retryMs) * time.Millisecond,
+		Msg:        msg,
+	}, nil
+}
+
+// Publish uploads a serialized TEA image (core.Encode bytes) for a hosted
+// program; admission decodes it against the program, statically verifies
+// it, compiles it, and swaps it in as the image's next generation.
+type Publish struct {
+	Image string
+	Data  []byte
+}
+
+// Append serializes the message after a FramePublish type byte.
+func (m *Publish) Append(dst []byte) []byte {
+	dst = append(dst, byte(FramePublish))
+	dst = appendString(dst, m.Image)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Data)))
+	return append(dst, m.Data...)
+}
+
+// ParsePublish parses a FramePublish body. The image bytes alias the frame
+// buffer; the store copies what it keeps.
+func ParsePublish(body []byte) (Publish, error) {
+	r := wireReader{data: body}
+	var m Publish
+	var err error
+	if m.Image, err = r.str("image"); err != nil {
+		return m, err
+	}
+	if m.Data, err = r.bytes("image data", MaxFrame); err != nil {
+		return m, err
+	}
+	return m, r.done("Publish")
+}
+
+// PublishAck acknowledges a publish with the image's new generation.
+type PublishAck struct {
+	Gen uint64
+}
+
+// Append serializes the message after a FramePublishAck type byte.
+func (m *PublishAck) Append(dst []byte) []byte {
+	dst = append(dst, byte(FramePublishAck))
+	return binary.AppendUvarint(dst, m.Gen)
+}
+
+// ParsePublishAck parses a FramePublishAck body.
+func ParsePublishAck(body []byte) (PublishAck, error) {
+	r := wireReader{data: body}
+	var m PublishAck
+	var err error
+	if m.Gen, err = r.uvarint("generation"); err != nil {
+		return m, err
+	}
+	return m, r.done("PublishAck")
+}

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/faultinject"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte{byte(FrameClose), 1, 2, 3}
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got, err := ReadFrame(&buf, nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload round trip: got %x want %x", got, payload)
+	}
+}
+
+func TestFrameChecksumDetectsEveryBitFlip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := AppendEdges(nil, []core.Edge{{Label: 0x1000, Instrs: 7}, {Label: 0x1008, Instrs: 3}})
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	frame := buf.Bytes()
+	for bit := 0; bit < len(frame)*8; bit++ {
+		mut := append([]byte(nil), frame...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		_, err := ReadFrame(bytes.NewReader(mut), nil)
+		if err == nil {
+			t.Fatalf("bit flip %d went undetected", bit)
+		}
+		// Every detected failure is either structured (corrupt length /
+		// checksum) or a clean transport error from a shortened read.
+		var serr *Error
+		if errors.As(err, &serr) {
+			if serr.Code != CodeCorrupt {
+				t.Fatalf("bit flip %d: code %v, want corrupt", bit, serr.Code)
+			}
+		} else if err != io.EOF && err != io.ErrUnexpectedEOF {
+			t.Fatalf("bit flip %d: unexpected error %v", bit, err)
+		}
+	}
+}
+
+func TestReadFrameRejectsHostileLength(t *testing.T) {
+	hdr := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	if _, err := ReadFrame(bytes.NewReader(hdr), nil); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+	hdr = []byte{0, 0, 0, 1, 0, 0, 0, 0} // below checksum size
+	if _, err := ReadFrame(bytes.NewReader(hdr), nil); err == nil {
+		t.Fatal("undersized length accepted")
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	parse := func(payload []byte, want FrameType) []byte {
+		t.Helper()
+		typ, body, err := ParseFrame(payload)
+		if err != nil {
+			t.Fatalf("ParseFrame: %v", err)
+		}
+		if typ != want {
+			t.Fatalf("frame type %v, want %v", typ, want)
+		}
+		return body
+	}
+
+	hello := Hello{Version: ProtoVersion, Tenant: "acme"}
+	if got, err := ParseHello(parse(hello.Append(nil), FrameHello)); err != nil || got != hello {
+		t.Fatalf("Hello round trip: %+v, %v", got, err)
+	}
+	open := Open{Image: "gcc", Resume: "s0000002a"}
+	if got, err := ParseOpen(parse(open.Append(nil), FrameOpen)); err != nil || got != open {
+		t.Fatalf("Open round trip: %+v, %v", got, err)
+	}
+	ack := OpenAck{Session: "s01", Gen: 3, Watermark: 99}
+	if got, err := ParseOpenAck(parse(ack.Append(nil), FrameOpenAck)); err != nil || got != ack {
+		t.Fatalf("OpenAck round trip: %+v, %v", got, err)
+	}
+	sm := StatsMsg{
+		Stats: core.Stats{Blocks: 10, Instrs: 50, Desyncs: 2, Resyncs: 2,
+			TraceEnters: 4, TraceExits: 4, GlobalLookups: 6, GlobalHits: 4},
+		Final:     core.StateID(17),
+		Watermark: 10,
+	}
+	if got, err := ParseStats(parse(sm.Append(nil), FrameStats)); err != nil || got != sm {
+		t.Fatalf("Stats round trip: %+v, %v", got, err)
+	}
+	serr := &Error{Code: CodeBackpressure, RetryAfter: 250 * time.Millisecond, Msg: "busy"}
+	got, err := ParseError(parse(AppendError(nil, serr), FrameError))
+	if err != nil || *got != *serr {
+		t.Fatalf("Error round trip: %+v, %v", got, err)
+	}
+	pub := Publish{Image: "gcc", Data: []byte{1, 2, 3, 4}}
+	pgot, err := ParsePublish(parse(pub.Append(nil), FramePublish))
+	if err != nil || pgot.Image != pub.Image || !bytes.Equal(pgot.Data, pub.Data) {
+		t.Fatalf("Publish round trip: %+v, %v", pgot, err)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	edges := []core.Edge{
+		{Label: 0x400000, Instrs: 12},
+		{Label: 0x400010, Instrs: 3},
+		{Label: 0x3ffff0, Instrs: 9}, // negative delta
+		{Label: 0, Instrs: 0},
+	}
+	payload := AppendEdges(nil, edges)
+	typ, body, err := ParseFrame(payload)
+	if err != nil || typ != FrameEdges {
+		t.Fatalf("ParseFrame: %v %v", typ, err)
+	}
+	got, err := ParseEdges(body, nil)
+	if err != nil {
+		t.Fatalf("ParseEdges: %v", err)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("len %d, want %d", len(got), len(edges))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d: %+v want %+v", i, got[i], edges[i])
+		}
+	}
+}
+
+func TestParseEdgesRejectsForgedCount(t *testing.T) {
+	// A count far beyond the bytes present must fail before allocating.
+	body := []byte{0xff, 0xff, 0x3} // uvarint 65535 with no edge bytes
+	if _, err := ParseEdges(body, nil); err == nil {
+		t.Fatal("forged count accepted")
+	}
+	big := AppendEdges(nil, make([]core.Edge, 8))[1:]
+	big[0] = 0xff // corrupt the count upward
+	if _, err := ParseEdges(big, nil); err == nil {
+		t.Fatal("corrupt count accepted")
+	}
+}
+
+// TestParsersSurviveMutation drives every parser with deterministic
+// mutations of valid bodies: any outcome but a panic or unbounded loop is
+// acceptable, and errors must carry the structured taxonomy.
+func TestParsersSurviveMutation(t *testing.T) {
+	inj := faultinject.New(7)
+	hello := Hello{Version: 1, Tenant: "t"}
+	open := Open{Image: "img", Resume: "s01"}
+	sm := StatsMsg{Final: core.NTE, Watermark: 4}
+	edges := AppendEdges(nil, []core.Edge{{Label: 5, Instrs: 5}, {Label: 9, Instrs: 1}})
+	seeds := [][]byte{
+		hello.Append(nil), open.Append(nil), sm.Append(nil), edges,
+		AppendError(nil, errf(CodeInternal, "x")),
+		(&Publish{Image: "i", Data: []byte{1}}).Append(nil),
+	}
+	for _, seed := range seeds {
+		for round := 0; round < 200; round++ {
+			mut := inj.Mutate(seed)
+			typ, body, err := ParseFrame(mut)
+			if err != nil {
+				continue
+			}
+			var perr error
+			switch typ {
+			case FrameHello:
+				_, perr = ParseHello(body)
+			case FrameOpen:
+				_, perr = ParseOpen(body)
+			case FrameOpenAck:
+				_, perr = ParseOpenAck(body)
+			case FrameEdges:
+				_, perr = ParseEdges(body, nil)
+			case FrameEdgesAck:
+				_, perr = ParseEdgesAck(body)
+			case FrameStats:
+				_, perr = ParseStats(body)
+			case FrameError:
+				_, perr = ParseError(body)
+			case FramePublish:
+				_, perr = ParsePublish(body)
+			case FramePublishAck:
+				_, perr = ParsePublishAck(body)
+			}
+			if perr != nil {
+				var serr *Error
+				if !errors.As(perr, &serr) {
+					t.Fatalf("%v parse error not structured: %v", typ, perr)
+				}
+			}
+		}
+	}
+}
+
+func TestErrorTaxonomy(t *testing.T) {
+	for c := CodeOK; c <= CodeCorrupt; c++ {
+		if s := c.String(); len(s) == 0 || s[len(s)-1] == ')' {
+			t.Fatalf("code %d has placeholder name %q", uint32(c), s)
+		}
+	}
+	if (&Error{Code: CodeBackpressure}).Temporary() != true {
+		t.Fatal("backpressure must be temporary")
+	}
+	if (&Error{Code: CodeQuotaSteps}).Temporary() {
+		t.Fatal("quota exhaustion must not be temporary")
+	}
+	if (&Error{Code: CodeCorrupt}).Temporary() != true {
+		t.Fatal("corruption must be temporary (reconnect + resume recovers)")
+	}
+}

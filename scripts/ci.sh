@@ -17,6 +17,15 @@ go test -race ./...
 go test -race -run 'Parallel' . ./internal/core
 go test -run='^$' -bench=. -benchtime=1x ./...
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=10s ./internal/core
+go test -run='^$' -fuzz=FuzzDecodeEvents -fuzztime=10s ./internal/obs
+
+# Serving-layer gate: the wire/session/breaker suites and the chaos matrix
+# under the race detector, then the teaserve smoke — a live server replayed
+# through every injected wire-fault class, requiring byte-exact stats or
+# structured errors (DESIGN.md §13).
+go test -race ./internal/serve/... ./internal/faultinject
+go run ./cmd/teaserve -smoke
+echo "ci: serve gate ok"
 
 # Failure-semantics lint: no panic sites or exported no-error functions
 # beyond cmd/tealint/baseline.txt.

@@ -14,10 +14,12 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"github.com/lsc-tea/tea/internal/cfg"
 	"github.com/lsc-tea/tea/internal/core"
@@ -25,12 +27,14 @@ import (
 	"github.com/lsc-tea/tea/internal/faultinject"
 	"github.com/lsc-tea/tea/internal/isa"
 	"github.com/lsc-tea/tea/internal/progs"
+	"github.com/lsc-tea/tea/internal/serve"
 	"github.com/lsc-tea/tea/internal/trace"
 	"github.com/lsc-tea/tea/internal/verify"
 )
 
 const outDir = "internal/core/testdata/decode_corpus"
 const badDir = "internal/verify/testdata"
+const wireDir = "internal/serve/testdata/wire_corpus"
 
 func main() {
 	if err := run(); err != nil {
@@ -71,7 +75,56 @@ func run() error {
 	if err := os.MkdirAll(badDir, 0o755); err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(badDir, "badcfg.bin"), bad, 0o644)
+	if err := os.WriteFile(filepath.Join(badDir, "badcfg.bin"), bad, 0o644); err != nil {
+		return err
+	}
+	return writeWireCorpus()
+}
+
+// writeWireCorpus emits internal/serve/testdata/wire_corpus: one valid
+// framed message per wire type plus deterministic fault-injected mutants
+// of each full frame (header, checksum and payload all in scope).
+// TestWireCorpus reads the files back and requires the valid frames to
+// parse exactly and every mutant to fail — if at all — with a structured
+// *serve.Error, keeping the serving layer's rejection paths covered by
+// plain `go test`.
+func writeWireCorpus() error {
+	if err := os.MkdirAll(wireDir, 0o755); err != nil {
+		return err
+	}
+	stats := core.Stats{Blocks: 1000, Instrs: 4000, TraceBlocks: 600, Desyncs: 2, Resyncs: 2}
+	seeds := []struct {
+		name    string
+		payload []byte
+	}{
+		{"hello", (&serve.Hello{Version: serve.ProtoVersion, Tenant: "corpus"}).Append(nil)},
+		{"helloack", (&serve.HelloAck{Version: serve.ProtoVersion}).Append(nil)},
+		{"open", (&serve.Open{Image: "figure2", Resume: "s00000001"}).Append(nil)},
+		{"openack", (&serve.OpenAck{Session: "s00000001", Gen: 1, Watermark: 128}).Append(nil)},
+		{"edges", serve.AppendEdges(nil, []core.Edge{
+			{Label: 0x400, Instrs: 12}, {Label: 0x41c, Instrs: 3}, {Label: 0x400, Instrs: 12},
+		})},
+		{"edgesack", (&serve.EdgesAck{Watermark: 131}).Append(nil)},
+		{"stats", (&serve.StatsMsg{Stats: stats, Final: core.NTE, Watermark: 1000}).Append(nil)},
+		{"error", serve.AppendError(nil, &serve.Error{Code: serve.CodeBackpressure, Msg: "corpus", RetryAfter: 50 * time.Millisecond})},
+		{"publish", (&serve.Publish{Image: "figure2", Data: []byte{1, 2, 3, 4}}).Append(nil)},
+		{"publishack", (&serve.PublishAck{Gen: 2}).Append(nil)},
+	}
+	for _, seed := range seeds {
+		var frame bytes.Buffer
+		if err := serve.WriteFrame(&frame, seed.payload); err != nil {
+			return err
+		}
+		if err := writeTo(wireDir, seed.name+"-valid", frame.Bytes()); err != nil {
+			return err
+		}
+		for i, mut := range faultinject.Corpus(271828, frame.Bytes(), 12) {
+			if err := writeTo(wireDir, fmt.Sprintf("%s-mut%02d", seed.name, i), mut); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // makeBadCFG records an mret TEA and forges one same-trace link that skips
@@ -123,5 +176,9 @@ func hasErrRule(r *verify.Report, rule string) bool {
 }
 
 func write(name string, data []byte) error {
-	return os.WriteFile(filepath.Join(outDir, name+".bin"), data, 0o644)
+	return writeTo(outDir, name, data)
+}
+
+func writeTo(dir, name string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, name+".bin"), data, 0o644)
 }

@@ -43,6 +43,8 @@ import (
 	"github.com/lsc-tea/tea/internal/optim"
 	"github.com/lsc-tea/tea/internal/pin"
 	"github.com/lsc-tea/tea/internal/profile"
+	"github.com/lsc-tea/tea/internal/serve"
+	"github.com/lsc-tea/tea/internal/serve/client"
 	"github.com/lsc-tea/tea/internal/teatool"
 	"github.com/lsc-tea/tea/internal/trace"
 	"github.com/lsc-tea/tea/internal/ucsim"
@@ -310,6 +312,22 @@ func ParallelReplay(c *Compiled, stream []StreamEdge, shards int) (ReplayStats, 
 	return core.ParallelReplay(c, stream, shards)
 }
 
+// SequentialReplayContext is SequentialReplay honoring cancellation: it
+// polls ctx every few thousand edges and returns ctx.Err() with zero stats
+// if the context ends first (a prefix's stats are not the sequential
+// answer, so partial accounting is deliberately withheld).
+func SequentialReplayContext(ctx context.Context, c *Compiled, stream []StreamEdge) (ReplayStats, StateID, error) {
+	return core.SequentialReplayContext(ctx, c, stream)
+}
+
+// ParallelReplayContext is ParallelReplay honoring cancellation: every
+// shard worker polls a shared flag and abandons its slice when the context
+// ends, so a cancelled replay releases its goroutines promptly instead of
+// finishing the stream.
+func ParallelReplayContext(ctx context.Context, c *Compiled, stream []StreamEdge, shards int) (ReplayStats, StateID, error) {
+	return core.ParallelReplayContext(ctx, c, stream, shards)
+}
+
 // Observability (runtime metrics, event tracing, profiling hooks).
 type (
 	// Obs is an observability context: a metrics registry, a bounded event
@@ -505,4 +523,60 @@ func Verify(a *Automaton, p *Program, c LookupConfig) *VerifyReport {
 // decode rejection surfaces as a W-DEC finding carrying the byte offset.
 func VerifyImage(data []byte, p *Program, c LookupConfig) *VerifyReport {
 	return verify.Image(data, cfg.NewCache(p, cfg.StarDBT), c)
+}
+
+// Serving (long-running replay service; see DESIGN.md §13 for the failure
+// semantics these types implement).
+type (
+	// Server hosts a fleet of compiled TEA images and serves concurrent
+	// replay sessions over the length-prefixed binary wire protocol, with
+	// per-tenant quotas, backpressure, panic isolation and a per-image
+	// circuit breaker gated on re-verification.
+	Server = serve.Server
+	// ServeConfig configures a Server (quotas, breaker, timeouts).
+	ServeConfig = serve.Config
+	// ServeQuota bounds one tenant's concurrency, steps and bytes.
+	ServeQuota = serve.Quota
+	// ServeError is the structured, wire-stable error every session
+	// failure surfaces as; Temporary() marks the retryable codes.
+	ServeError = serve.Error
+	// ServeCode is the stable error taxonomy of the serving layer.
+	ServeCode = serve.Code
+	// ServeClient is the session client: idempotent resume over
+	// reconnects with jittered exponential backoff. One per session;
+	// not safe for concurrent use.
+	ServeClient = client.Client
+	// ServeClientConfig configures a ServeClient (tenant, dialer,
+	// retry budget, per-operation timeout).
+	ServeClientConfig = client.Config
+)
+
+// The wire-stable error codes of the serving layer (DESIGN.md §13).
+const (
+	ServeCodeOK             = serve.CodeOK
+	ServeCodeProto          = serve.CodeProto
+	ServeCodeUnknownImage   = serve.CodeUnknownImage
+	ServeCodeUnknownSession = serve.CodeUnknownSession
+	ServeCodeBackpressure   = serve.CodeBackpressure
+	ServeCodeQuotaSteps     = serve.CodeQuotaSteps
+	ServeCodeQuotaBytes     = serve.CodeQuotaBytes
+	ServeCodeDeadline       = serve.CodeDeadline
+	ServeCodeQuarantined    = serve.CodeQuarantined
+	ServeCodeBadImage       = serve.CodeBadImage
+	ServeCodeShutdown       = serve.CodeShutdown
+	ServeCodeInternal       = serve.CodeInternal
+	ServeCodeCorrupt        = serve.CodeCorrupt
+)
+
+// NewServer creates a replay server; Host images on it, then Serve a
+// listener. Shutdown drains attached sessions before returning.
+func NewServer(c ServeConfig) *Server { return serve.NewServer(c) }
+
+// NewServeClient creates a session client from an explicit configuration
+// (cfg.Dial must be set; see DialServe for the TCP shorthand).
+func NewServeClient(cfg ServeClientConfig) (*ServeClient, error) { return client.New(cfg) }
+
+// DialServe creates a session client that dials addr over TCP.
+func DialServe(addr string, cfg ServeClientConfig) (*ServeClient, error) {
+	return client.Dial(addr, cfg)
 }

@@ -3,7 +3,11 @@ package tea_test
 import (
 	"context"
 	"errors"
+	"fmt"
+	"net"
+	"sync"
 	"testing"
+	"time"
 
 	tea "github.com/lsc-tea/tea"
 	"github.com/lsc-tea/tea/internal/faultinject"
@@ -236,5 +240,201 @@ func TestDecodeAgainstPerturbedProgram(t *testing.T) {
 				t.Errorf("%v seed %d: decode returned an empty automaton without error", kind, seed)
 			}
 		}
+	}
+}
+
+// serveFixtureImage is one hosted image plus the exact answer every
+// completed session must reproduce.
+type serveFixtureImage struct {
+	name  string
+	prog  *tea.Program
+	auto  *tea.Automaton
+	edges []tea.StreamEdge
+	want  tea.ReplayStats
+	final tea.StateID
+}
+
+// buildServeFixture records progA and progB as two distinct images — their
+// streams and stats differ, so any cross-tenant or cross-image state leak
+// in the server shows up as a wrong-answer failure in the storm below.
+func buildServeFixture(t *testing.T) []serveFixtureImage {
+	t.Helper()
+	var images []serveFixtureImage
+	for _, d := range []struct{ name, src string }{{"imga", progA}, {"imgb", progB}} {
+		p := tea.MustAssemble(d.name, d.src)
+		set, err := tea.RecordTraces(p, "mret", tea.TraceConfig{HotThreshold: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := tea.Build(set)
+		edges, _, err := tea.CaptureStream(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, final := tea.SequentialReplay(tea.Compile(a, tea.LookupConfig{}), edges)
+		images = append(images, serveFixtureImage{d.name, p, a, edges, want, final})
+	}
+	if images[0].want == images[1].want {
+		t.Fatal("fixture images must have distinguishable stats")
+	}
+	return images
+}
+
+// startServeFixture hosts the images on a loopback listener through the
+// facade and returns the server plus its address.
+func startServeFixture(t *testing.T, cfg tea.ServeConfig) (*tea.Server, string, []serveFixtureImage) {
+	t.Helper()
+	images := buildServeFixture(t)
+	s := tea.NewServer(cfg)
+	for _, img := range images {
+		if err := s.Host(img.name, img.prog, img.auto); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, l.Addr().String(), images
+}
+
+// TestServeSessionStorm is the facade-level robustness storm (run under
+// -race): several tenants replay different images concurrently, a fraction
+// of the sessions are cancelled mid-flight, and every outcome must be the
+// session's own exact answer or a structured error — never a hang, a
+// panic, or another image's stats.
+func TestServeSessionStorm(t *testing.T) {
+	s, addr, images := startServeFixture(t, tea.ServeConfig{
+		IdleTimeout: 2 * time.Second,
+		Quota:       tea.ServeQuota{MaxConcurrent: 32, MaxParked: 64},
+	})
+	const (
+		tenants  = 4
+		sessions = 4
+	)
+	var wg sync.WaitGroup
+	for ti := 0; ti < tenants; ti++ {
+		for si := 0; si < sessions; si++ {
+			wg.Add(1)
+			go func(ti, si int) {
+				defer wg.Done()
+				img := images[(ti+si)%len(images)]
+				label := fmt.Sprintf("tenant%d/s%d", ti, si)
+				c, err := tea.DialServe(addr, tea.ServeClientConfig{
+					Tenant:  fmt.Sprintf("tenant%d", ti),
+					Seed:    int64(ti*100 + si + 1),
+					Timeout: 2 * time.Second,
+				})
+				if err != nil {
+					t.Errorf("%s: dial: %v", label, err)
+					return
+				}
+				defer c.Close()
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				if (ti+si)%4 == 0 {
+					// Random mid-flight cancels: must surface as ctx.Err,
+					// never as a wedge or a server casualty.
+					cancel()
+					ctx, cancel = context.WithTimeout(context.Background(), time.Duration(1+ti+si)*time.Millisecond)
+				}
+				defer cancel()
+				stats, final, rerr := c.Replay(ctx, img.name, img.edges, 8+si*16)
+				if rerr == nil {
+					if *stats != img.want || final != img.final {
+						t.Errorf("%s: wrong answer:\n got %+v\nwant %+v", label, *stats, img.want)
+					}
+					return
+				}
+				var serr *tea.ServeError
+				if errors.As(rerr, &serr) {
+					return
+				}
+				if errors.Is(rerr, context.Canceled) || errors.Is(rerr, context.DeadlineExceeded) {
+					return
+				}
+				t.Errorf("%s: unstructured failure: %v", label, rerr)
+			}(ti, si)
+		}
+	}
+	wg.Wait()
+	if got := s.PanicsRecovered(); got != 0 {
+		t.Fatalf("server recovered %d panics during the storm, want 0", got)
+	}
+}
+
+// TestServeQuotaExhaustion drives both per-session quotas to exhaustion
+// through the facade and checks the structured codes: the step quota and
+// the byte quota each terminate only the offending session, and a fresh
+// session on the same server still gets the exact answer.
+func TestServeQuotaExhaustion(t *testing.T) {
+	_, addr, images := startServeFixture(t, tea.ServeConfig{
+		IdleTimeout: 2 * time.Second,
+		Quota:       tea.ServeQuota{MaxSessionEdges: 16},
+	})
+	img := images[0]
+	if uint64(len(img.edges)) <= 16 {
+		t.Fatalf("fixture stream too short (%d edges) to exhaust the quota", len(img.edges))
+	}
+	c, err := tea.DialServe(addr, tea.ServeClientConfig{Tenant: "greedy", Seed: 1, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, _, rerr := c.Replay(ctx, img.name, img.edges, 8)
+	var serr *tea.ServeError
+	if !errors.As(rerr, &serr) {
+		t.Fatalf("over-quota replay: err %v, want structured quota error", rerr)
+	}
+	if serr.Code != tea.ServeCodeQuotaSteps {
+		t.Fatalf("over-quota replay: code %v, want %v", serr.Code, tea.ServeCodeQuotaSteps)
+	}
+	if serr.Temporary() {
+		t.Fatal("quota exhaustion must not be marked retryable")
+	}
+
+	// A well-behaved session on the same server is untouched by the
+	// neighbor's exhaustion.
+	c2, err := tea.DialServe(addr, tea.ServeClientConfig{Tenant: "modest", Seed: 2, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	stats, final, rerr := c2.Replay(ctx, img.name, img.edges[:12], 4)
+	if rerr != nil {
+		t.Fatalf("under-quota replay: %v", rerr)
+	}
+	wantShort, wantFinal := tea.SequentialReplay(tea.Compile(img.auto, tea.LookupConfig{}), img.edges[:12])
+	if *stats != wantShort || final != wantFinal {
+		t.Fatalf("under-quota replay diverged:\n got %+v\nwant %+v", *stats, wantShort)
+	}
+}
+
+// TestServeByteQuotaExhaustion is the byte-quota twin: a tiny byte budget
+// terminates the session with CodeQuotaBytes.
+func TestServeByteQuotaExhaustion(t *testing.T) {
+	_, addr, images := startServeFixture(t, tea.ServeConfig{
+		IdleTimeout: 2 * time.Second,
+		Quota:       tea.ServeQuota{MaxSessionBytes: 64},
+	})
+	img := images[0]
+	c, err := tea.DialServe(addr, tea.ServeClientConfig{Tenant: "wordy", Seed: 3, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, _, rerr := c.Replay(ctx, img.name, img.edges, 64)
+	var serr *tea.ServeError
+	if !errors.As(rerr, &serr) || serr.Code != tea.ServeCodeQuotaBytes {
+		t.Fatalf("over-byte-quota replay: err %v, want CodeQuotaBytes", rerr)
 	}
 }
