@@ -14,6 +14,7 @@
 //	teabench -replaybench BENCH_replay.json  # replay hot-path ns/edge + allocs/edge
 //	teabench -recordbench BENCH_record.json  # recording hot-path ns/edge + allocs/edge
 //	teabench -obsbench BENCH_obs.json        # observability layer overhead (off vs on)
+//	teabench -pipebench BENCH_pipeline.json  # capture→process pipeline scaling + allocs
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 	replayBench := flag.String("replaybench", "", "run the replay micro-benchmark and write machine-readable results to this file (e.g. BENCH_replay.json)")
 	recordBench := flag.String("recordbench", "", "run the recording micro-benchmark and write machine-readable results to this file (e.g. BENCH_record.json)")
 	obsBench := flag.String("obsbench", "", "run the observability overhead micro-benchmark and write machine-readable results to this file (e.g. BENCH_obs.json)")
+	pipeBench := flag.String("pipebench", "", "run the capture→process pipeline micro-benchmark and write machine-readable results to this file (e.g. BENCH_pipeline.json)")
 	flag.Parse()
 	emitJSON = *jsonOut
 
@@ -129,6 +131,27 @@ func main() {
 		fmt.Printf("=== Observability layer: enabled vs disabled ns/edge ===\n")
 		fmt.Println(res.Render())
 		fmt.Fprintf(os.Stderr, "teabench: wrote %s\n", *obsBench)
+		return
+	}
+
+	if *pipeBench != "" {
+		res, err := expr.RunPipeBench(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*pipeBench, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "teabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== Capture→process pipeline: modeled scaling and allocs/edge ===\n")
+		fmt.Println(res.Render())
+		fmt.Fprintf(os.Stderr, "teabench: wrote %s\n", *pipeBench)
 		return
 	}
 

@@ -42,6 +42,9 @@ func main() {
 	top := flag.Int("top", 5, "with -profile: how many hottest traces to print")
 	compiled := flag.Bool("compiled", false, "with -replay: replay through the compiled flat automaton")
 	shards := flag.Int("shards", 1, "with -replay: capture the block stream and replay it in N parallel shards")
+	pipelineFlag := flag.Bool("pipeline", false, "decouple capture from processing: sequenced chunks, scan workers, reconciling drain (works with -record and -replay)")
+	workers := flag.Int("workers", 0, "with -pipeline: scan worker count (0 = GOMAXPROCS)")
+	chunkEdges := flag.Int("chunk", 0, "with -pipeline: edges per chunk (0 = default 4096)")
 	obsFlag := flag.Bool("obs", false, "attach the observability layer and print Prometheus metrics after the run")
 	eventsOut := flag.String("events", "", "with -obs: write the drained binary event log to this file (decode with teadump -events)")
 	serve := flag.String("serve", "", "with -replay: replay the stream in a loop and serve /metrics, /metrics.json, /debug/events and /debug/pprof on this address")
@@ -57,8 +60,29 @@ func main() {
 		o = tea.NewObs()
 	}
 
+	pcfg := tea.PipelineConfig{Workers: *workers, ChunkEdges: *chunkEdges, Obs: o}
+
 	switch {
 	case *record != "":
+		if *pipelineFlag {
+			a, stats, pm, err := tea.RecordPipeline(prog, *strategy, tea.TraceConfig{HotThreshold: *threshold}, pcfg)
+			if err != nil {
+				fail(err)
+			}
+			data, err := tea.Encode(a)
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*record, data, 0o644); err != nil {
+				fail(err)
+			}
+			set := a.Set()
+			fmt.Printf("pipeline-recorded %d traces (%d TBBs) with %s\n", set.Len(), set.NumTBBs(), *strategy)
+			fmt.Printf("recording-run coverage: %.1f%% of %d instructions\n", stats.Coverage()*100, stats.Instrs)
+			printPipeMetrics(pm)
+			emitObs(o, *eventsOut)
+			return
+		}
 		a, stats, err := tea.RecordOnlineObs(prog, *strategy, tea.TraceConfig{HotThreshold: *threshold}, tea.ConfigGlobalLocal, o)
 		if err != nil {
 			fail(err)
@@ -89,6 +113,17 @@ func main() {
 		}
 		if *serve != "" {
 			serveObs(prog, a, o, *shards, *serve)
+			return
+		}
+		if *pipelineFlag {
+			stats, pm, err := tea.ReplayPipeline(prog, a, pcfg)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("pipeline replay: %d chunks drained\n", pm.Drained)
+			printStats(stats)
+			printPipeMetrics(pm)
+			emitObs(o, *eventsOut)
 			return
 		}
 		if *shards > 1 {
@@ -190,6 +225,13 @@ func serveObs(prog *tea.Program, a *tea.Automaton, o *tea.Obs, shards int, addr 
 	if err := http.ListenAndServe(addr, tea.ObsHandler(o)); err != nil {
 		fail(err)
 	}
+}
+
+// printPipeMetrics prints the pipeline's self-telemetry after a -pipeline
+// run.
+func printPipeMetrics(m tea.PipelineMetrics) {
+	fmt.Printf("pipeline: %d chunks, %d backpressure waits, %d quiet / %d handoff / %d sequential, %d recompiles\n",
+		m.Drained, m.BackpressureWaits, m.QuietChunks, m.Handoffs, m.SeqChunks, m.Recompiles)
 }
 
 func printStats(s *tea.ReplayStats) {

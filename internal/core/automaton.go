@@ -177,6 +177,11 @@ func (a *Automaton) NumTrans() int {
 // State returns the state with the given id.
 func (a *Automaton) State(id StateID) *State { return a.states[id] }
 
+// Version returns the structural mutation counter: it advances on every
+// SyncTrace, so a consumer holding a compiled snapshot can tell whether the
+// automaton has changed underneath it since the snapshot was taken.
+func (a *Automaton) Version() uint64 { return a.version }
+
 // StateFor returns the state representing tbb.
 func (a *Automaton) StateFor(tbb *trace.TBB) (StateID, bool) {
 	id, ok := a.byTBB[tbb]

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"runtime"
-	"sync"
 	"sync/atomic"
 )
 
@@ -59,11 +58,6 @@ func ParallelReplayContext(ctx context.Context, c *Compiled, stream []Edge, shar
 		return SequentialReplayContext(ctx, c, stream)
 	}
 
-	bounds := make([]int, shards+1)
-	for i := 0; i <= shards; i++ {
-		bounds[i] = i * len(stream) / shards
-	}
-
 	var cancelled atomic.Bool
 	stop := make(chan struct{})
 	defer close(stop)
@@ -77,76 +71,9 @@ func ParallelReplayContext(ctx context.Context, c *Compiled, stream []Edge, shar
 		}()
 	}
 
-	res := make([]shardTrace, shards)
-	var wg sync.WaitGroup
-	for i := 0; i < shards; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			seg := stream[bounds[i]:bounds[i+1]]
-			r := &res[i]
-			cur, desynced := NTE, false
-			if i == 0 {
-				for k := range seg {
-					if k%cancelStride == 0 && cancelled.Load() {
-						return
-					}
-					cur, desynced = c.step(cur, desynced, seg[k].Label, seg[k].Instrs, &r.stats)
-				}
-				r.curs = []StateID{cur}
-				r.desyn = []bool{desynced}
-				return
-			}
-			r.curs = make([]StateID, len(seg))
-			r.desyn = make([]bool, len(seg))
-			for k := range seg {
-				if k%cancelStride == 0 && cancelled.Load() {
-					r.curs = nil // mark the shard abandoned
-					return
-				}
-				cur, desynced = c.step(cur, desynced, seg[k].Label, seg[k].Instrs, &r.stats)
-				r.curs[k] = cur
-				r.desyn[k] = desynced
-			}
-		}(i)
-	}
-	wg.Wait()
-	if cancelled.Load() || ctx.Err() != nil {
+	st, cur, ok := parallelReplay(c, stream, shards, nil, &cancelled)
+	if !ok || ctx.Err() != nil {
 		return Stats{}, NTE, ctx.Err()
 	}
-
-	// No cancellation: merge exactly as ParallelReplay does.
-	total := res[0].stats
-	cur := res[0].curs[0]
-	desynced := res[0].desyn[0]
-	for i := 1; i < shards; i++ {
-		seg := stream[bounds[i]:bounds[i+1]]
-		r := &res[i]
-		var trueSt Stats
-		tcur, tdes := cur, desynced
-		conv := -1
-		for j := 0; j < len(seg); j++ {
-			tcur, tdes = c.step(tcur, tdes, seg[j].Label, seg[j].Instrs, &trueSt)
-			if tcur == r.curs[j] && tdes == r.desyn[j] {
-				conv = j
-				break
-			}
-		}
-		if conv < 0 {
-			total.add(&trueSt)
-			cur, desynced = tcur, tdes
-			continue
-		}
-		var specSt Stats
-		scur, sdes := NTE, false
-		for j := 0; j <= conv; j++ {
-			scur, sdes = c.step(scur, sdes, seg[j].Label, seg[j].Instrs, &specSt)
-		}
-		shard := r.stats
-		shard.sub(&specSt)
-		shard.add(&trueSt)
-		total.add(&shard)
-		cur, desynced = r.curs[len(seg)-1], r.desyn[len(seg)-1]
-	}
-	return total, cur, nil
+	return st, cur, nil
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"runtime"
-	"sync"
 )
 
 // This file implements sharded parallel replay over a Compiled automaton.
@@ -91,21 +90,14 @@ func SequentialReplay(c *Compiled, stream []Edge) (Stats, StateID) {
 	return st, cur
 }
 
-// shardTrace is one shard's speculative result: the stats it accumulated
-// from the guessed (NTE, in-sync) entry state plus the post-state
-// trajectory reconciliation compares against.
-type shardTrace struct {
-	stats Stats
-	curs  []StateID
-	desyn []bool
-}
-
 // ParallelReplay shards the stream into contiguous segments replayed
 // concurrently and merges the results. The merged Stats and final state are
 // byte-identical to SequentialReplay on the same stream (the reconciliation
 // argument above); the speed-up comes from the speculative segment replays
 // running on all cores with reconciliation touching only the short
-// non-converged prefix of each junction.
+// non-converged prefix of each junction. The scans run on the persistent
+// shard worker pool and every per-pass buffer is pooled (shard.go), so the
+// steady state allocates nothing.
 //
 // shards <= 1 (or a stream shorter than the shard count) falls back to
 // SequentialReplay; shards <= 0 selects GOMAXPROCS.
@@ -119,88 +111,13 @@ func ParallelReplay(c *Compiled, stream []Edge, shards int) (Stats, StateID) {
 	if shards <= 1 {
 		return SequentialReplay(c, stream)
 	}
-
-	// Even contiguous split: bounds[i]..bounds[i+1] is shard i's segment.
-	bounds := make([]int, shards+1)
-	for i := 0; i <= shards; i++ {
-		bounds[i] = i * len(stream) / shards
-	}
-
-	res := make([]shardTrace, shards)
-	var wg sync.WaitGroup
-	for i := 0; i < shards; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			seg := stream[bounds[i]:bounds[i+1]]
-			r := &res[i]
-			cur, desynced := NTE, false
-			if i == 0 {
-				// Shard 0 starts from the true initial state: its replay IS
-				// the sequential prefix, no trajectory needed.
-				for k := range seg {
-					cur, desynced = c.step(cur, desynced, seg[k].Label, seg[k].Instrs, &r.stats)
-				}
-				r.curs = []StateID{cur}
-				r.desyn = []bool{desynced}
-				return
-			}
-			r.curs = make([]StateID, len(seg))
-			r.desyn = make([]bool, len(seg))
-			for k := range seg {
-				cur, desynced = c.step(cur, desynced, seg[k].Label, seg[k].Instrs, &r.stats)
-				r.curs[k] = cur
-				r.desyn[k] = desynced
-			}
-		}(i)
-	}
-	wg.Wait()
-
-	// Junction reconciliation, left to right.
-	total := res[0].stats
-	cur := res[0].curs[0]
-	desynced := res[0].desyn[0]
-	for i := 1; i < shards; i++ {
-		seg := stream[bounds[i]:bounds[i+1]]
-		r := &res[i]
-
-		// Re-replay from the true entry state until the trajectory meets the
-		// speculative one.
-		var trueSt Stats
-		tcur, tdes := cur, desynced
-		conv := -1
-		for j := 0; j < len(seg); j++ {
-			tcur, tdes = c.step(tcur, tdes, seg[j].Label, seg[j].Instrs, &trueSt)
-			if tcur == r.curs[j] && tdes == r.desyn[j] {
-				conv = j
-				break
-			}
-		}
-		if conv < 0 {
-			// The trajectories never touched inside the segment (possible
-			// only on degenerate tiny shards): the true re-replay covered the
-			// whole segment, so it simply replaces the speculative result.
-			total.add(&trueSt)
-			cur, desynced = tcur, tdes
-			continue
-		}
-
-		// Swap accounting for the non-converged prefix [0..conv]: recompute
-		// what the speculative run charged there and exchange it for the
-		// true charges. The suffix increments are identical by induction.
-		var specSt Stats
-		scur, sdes := NTE, false
-		for j := 0; j <= conv; j++ {
-			scur, sdes = c.step(scur, sdes, seg[j].Label, seg[j].Instrs, &specSt)
-		}
-		shard := r.stats
-		shard.sub(&specSt)
-		shard.add(&trueSt)
-		total.add(&shard)
-		cur, desynced = r.curs[len(seg)-1], r.desyn[len(seg)-1]
-	}
-	return total, cur
+	st, cur, _ := parallelReplay(c, stream, shards, nil, nil)
+	return st, cur
 }
+
+// Add accumulates o into s field by field — the merge operation junction
+// reconciliation and the pipeline drain build totals with.
+func (s *Stats) Add(o *Stats) { s.add(o) }
 
 // add accumulates o into s field by field.
 func (s *Stats) add(o *Stats) {

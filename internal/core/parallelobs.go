@@ -2,8 +2,6 @@ package core
 
 import (
 	"runtime"
-	"sort"
-	"sync"
 
 	"github.com/lsc-tea/tea/internal/obs"
 )
@@ -109,22 +107,16 @@ func SequentialReplayObs(c *Compiled, stream []Edge, o *obs.Obs) (Stats, StateID
 	return st, cur
 }
 
-// shardTraceObs is one shard's speculative result plus its private event
-// sink.
-type shardTraceObs struct {
-	stats Stats
-	curs  []StateID
-	desyn []bool
-	evs   []obs.Event
-}
-
 // ParallelReplayObs is ParallelReplay with observability. The merged Stats
 // and final state stay byte-identical to SequentialReplay; additionally the
 // merged event stream — and therefore the ring contents and every derived
 // histogram — is identical to what SequentialReplayObs produces on the same
 // stream, because reconciliation splices speculative-prefix events out
 // exactly where it swaps speculative-prefix Stats out. Counter updates land
-// in per-shard cells. A nil context delegates to ParallelReplay.
+// in per-shard cells, the shard scans run SpecReplayObs's call-free loop on
+// the persistent pool, and the event sinks, trajectories and junction
+// scratch are all pooled (shard.go) — obs=on parallel replay allocates
+// nothing in the steady state. A nil context delegates to ParallelReplay.
 func ParallelReplayObs(c *Compiled, stream []Edge, shards int, o *obs.Obs) (Stats, StateID) {
 	if o == nil {
 		return ParallelReplay(c, stream, shards)
@@ -138,102 +130,6 @@ func ParallelReplayObs(c *Compiled, stream []Edge, shards int, o *obs.Obs) (Stat
 	if shards <= 1 {
 		return SequentialReplayObs(c, stream, o)
 	}
-
-	base := o.EdgeBase()
-	bounds := make([]int, shards+1)
-	for i := 0; i <= shards; i++ {
-		bounds[i] = i * len(stream) / shards
-	}
-
-	res := make([]shardTraceObs, shards)
-	var wg sync.WaitGroup
-	for i := 0; i < shards; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			seg := stream[bounds[i]:bounds[i+1]]
-			r := &res[i]
-			ebase := base + uint64(bounds[i])
-			cur, desynced := NTE, false
-			if i == 0 {
-				for k := range seg {
-					cur, desynced = c.stepObs(cur, desynced, seg[k].Label, seg[k].Instrs, &r.stats, &r.evs, ebase+uint64(k))
-				}
-				r.curs = []StateID{cur}
-				r.desyn = []bool{desynced}
-				return
-			}
-			r.curs = make([]StateID, len(seg))
-			r.desyn = make([]bool, len(seg))
-			for k := range seg {
-				cur, desynced = c.stepObs(cur, desynced, seg[k].Label, seg[k].Instrs, &r.stats, &r.evs, ebase+uint64(k))
-				r.curs[k] = cur
-				r.desyn[k] = desynced
-			}
-		}(i)
-	}
-	wg.Wait()
-
-	// Junction reconciliation, left to right — the only sequential section,
-	// so it carries the profiling span.
-	sp := obs.StartSpan(o, "parallel_reconcile")
-	obsFoldReplay(o, 0, &res[0].stats)
-	merged := res[0].evs
-	total := res[0].stats
-	cur := res[0].curs[0]
-	desynced := res[0].desyn[0]
-	for i := 1; i < shards; i++ {
-		seg := stream[bounds[i]:bounds[i+1]]
-		r := &res[i]
-		ebase := base + uint64(bounds[i])
-
-		var trueSt Stats
-		trueEvs := make([]obs.Event, 0, 16)
-		tcur, tdes := cur, desynced
-		conv := -1
-		for j := 0; j < len(seg); j++ {
-			tcur, tdes = c.stepObs(tcur, tdes, seg[j].Label, seg[j].Instrs, &trueSt, &trueEvs, ebase+uint64(j))
-			if tcur == r.curs[j] && tdes == r.desyn[j] {
-				conv = j
-				break
-			}
-		}
-		if conv < 0 {
-			// The trajectories never touched: the true re-replay covered the
-			// whole segment and replaces the speculative result, events and
-			// all.
-			obsFoldReplay(o, i, &trueSt)
-			total.add(&trueSt)
-			merged = append(merged, trueEvs...)
-			cur, desynced = tcur, tdes
-			continue
-		}
-
-		// Swap accounting and events for the non-converged prefix [0..conv]:
-		// the speculative charges there are recomputed and exchanged for the
-		// true ones; the suffix is identical by induction, so its
-		// speculative events are kept verbatim.
-		var specSt Stats
-		specEvs := r.evs[:0:0]
-		scur, sdes := NTE, false
-		for j := 0; j <= conv; j++ {
-			scur, sdes = c.stepObs(scur, sdes, seg[j].Label, seg[j].Instrs, &specSt, &specEvs, ebase+uint64(j))
-		}
-		shard := r.stats
-		shard.sub(&specSt)
-		shard.add(&trueSt)
-		obsFoldReplay(o, i, &shard)
-		total.add(&shard)
-		// Events with timestamps past the junction edge are the kept suffix.
-		junction := ebase + uint64(conv)
-		cut := sort.Search(len(r.evs), func(k int) bool { return r.evs[k].Edge > junction })
-		merged = append(merged, trueEvs...)
-		merged = append(merged, r.evs[cut:]...)
-		cur, desynced = r.curs[len(seg)-1], r.desyn[len(seg)-1]
-	}
-	sp.End()
-
-	o.AdvanceEdges(uint64(len(stream)))
-	o.IngestReplay(merged)
-	return total, cur
+	st, cur, _ := parallelReplay(c, stream, shards, o, nil)
+	return st, cur
 }

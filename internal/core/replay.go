@@ -30,9 +30,11 @@ type Replayer struct {
 
 	// obs is the (nil when disabled) observability sink; obsFolded remembers
 	// the stats already folded into its counters, so FlushObs charges deltas
-	// and never double-counts.
+	// and never double-counts. probeEvs is ReplayProbeEvents' reusable batch
+	// buffer.
 	obs       *obs.Obs
 	obsFolded Stats
+	probeEvs  []obs.Event
 
 	// gen is the local-cache generation. AddEntry bumps it instead of
 	// walking and zeroing every allocated cache; a cache whose stamp lags
@@ -411,6 +413,11 @@ func (r *Replayer) AccountOnly(instrs uint64) {
 // ForceState repositions the cursor (used by the recorder after trace
 // creation finishes and the automaton has changed underneath the cursor).
 func (r *Replayer) ForceState(s StateID) { r.cur = s }
+
+// ForceDesync overrides the degradation flag alongside ForceState: the
+// pipeline drain repositions the cursor to a reconciled (state, desync)
+// pair before handing a chunk suffix to the sequential recorder.
+func (r *Replayer) ForceDesync(d bool) { r.desynced = d }
 
 func (r *Replayer) account(state StateID, instrs uint64) {
 	r.stats.AccountTail(state, instrs)

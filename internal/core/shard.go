@@ -1,0 +1,766 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/obs"
+)
+
+// This file factors the sharded-replay machinery of parallel.go into
+// reusable primitives: speculative segment scans (SpecReplay, SpecReplayObs,
+// SpecRecord), junction reconciliation (Reconciler), and a persistent
+// worker pool with pooled per-pass buffers. ParallelReplay,
+// ParallelReplayObs and ParallelReplayContext are thin entry points over
+// these, and internal/pipeline runs the same scans on sequence-stamped
+// chunks of a *live* stream — the decoupled capture→process pipeline.
+//
+// Two properties carry everything (DESIGN.md §9, §14):
+//
+//   - Memorylessness: with local caches excluded, consuming one edge is a
+//     pure function of (cursor, desync flag, edge), so a segment scanned
+//     speculatively from (NTE, in-sync) differs from the true replay only
+//     in a prefix that ends where the two trajectories first touch.
+//
+//   - Swap accounting: reconciliation re-replays that prefix from the true
+//     entry state, subtracts the speculative prefix's charges and adds the
+//     true prefix's. The suffix is identical by induction, so the merged
+//     Stats (and events, and record-mode candidate decisions) are
+//     byte-identical to a sequential pass.
+//
+// The pool exists for the zero-alloc invariant: `go func` closures, per-pass
+// result slices and per-junction event scratch all allocate, which is why
+// BENCH_obs.json used to show ~0.0007–0.003 allocs/edge on the parallel
+// rows. Persistent workers fed job pointers over a channel, a mutex-guarded
+// job free list (immune to GC clearing, unlike sync.Pool), and SpecResults
+// that reuse their buffers bring the steady state to exactly 0 allocs/edge.
+
+// SpecResult is one segment's speculative scan result: the Stats charged
+// from the guessed (NTE, in-sync) entry, the post-state trajectory
+// reconciliation compares against, and — depending on the scan — collected
+// events (replay+obs) or head candidates and probe records (record mode).
+// The buffers are reused across scans via Reset.
+type SpecResult struct {
+	Stats Stats
+	Curs  []StateID
+	Desyn []bool
+	// Evs are the events of an obs scan, stamped with global edge indices.
+	Evs []obs.Event
+	// Cands are a record scan's head candidates in edge order.
+	Cands []RecCand
+	// Miss are a record scan's trace-side global-container searches, replayed
+	// against the live index at drain time for probe-depth observability.
+	Miss []ProbeRec
+
+	// abandoned marks a cancelled scan (context path); the merge is skipped.
+	abandoned bool
+}
+
+// Reset prepares the result for a segment of n edges, reusing capacity.
+func (r *SpecResult) Reset(n int) {
+	r.Stats = Stats{}
+	if cap(r.Curs) < n {
+		r.Curs = make([]StateID, n)
+		r.Desyn = make([]bool, n)
+	} else {
+		r.Curs = r.Curs[:n]
+		r.Desyn = r.Desyn[:n]
+	}
+	r.Evs = r.Evs[:0]
+	r.Cands = r.Cands[:0]
+	r.Miss = r.Miss[:0]
+	r.abandoned = false
+}
+
+// RecCand is one recording head candidate observed by a speculative record
+// scan: the stream offset within the chunk and the candidate head address.
+// The drain replays the hot-counter policy over these in order.
+type RecCand struct {
+	Idx  int32
+	Head uint64
+}
+
+// ProbeRec is one trace-side miss of a record scan: the edge offset, the
+// state the miss left, and the label searched. The reference recorder
+// resolves these through its live global container (emitting probe-depth
+// observations); a speculative scan resolves them against the immutable
+// compiled entry table, so the drain re-issues the container searches to
+// keep the observability registry byte-identical.
+type ProbeRec struct {
+	Idx   int32
+	From  int32
+	Label uint64
+}
+
+// SpecReplay speculatively replays seg from (NTE, in-sync) with the
+// memoryless transition function, recording the post-state trajectory.
+func (c *Compiled) SpecReplay(seg []Edge, r *SpecResult) {
+	r.Reset(len(seg))
+	cur, des := NTE, false
+	for k := range seg {
+		cur, des = c.step(cur, des, seg[k].Label, seg[k].Instrs, &r.Stats)
+		r.Curs[k] = cur
+		r.Desyn[k] = des
+	}
+}
+
+// specReplayCancel is SpecReplay with cancellation polling; it reports
+// whether the scan ran to completion.
+func (c *Compiled) specReplayCancel(seg []Edge, r *SpecResult, cancelled *atomic.Bool) bool {
+	r.Reset(len(seg))
+	cur, des := NTE, false
+	for k := range seg {
+		if k%cancelStride == 0 && cancelled.Load() {
+			r.abandoned = true
+			return false
+		}
+		cur, des = c.step(cur, des, seg[k].Label, seg[k].Instrs, &r.Stats)
+		r.Curs[k] = cur
+		r.Desyn[k] = des
+	}
+	return true
+}
+
+// SpecReplayObs is SpecReplay with event collection: identical Stats and
+// trajectory, with the segment's events appended to r.Evs stamped
+// ebase+offset. The hot loop is written out manually (rather than calling
+// stepObs per edge) so the common in-trace path stays branch-light and
+// call-free — this loop is what removes the parallel obs=on cliff.
+func (c *Compiled) SpecReplayObs(seg []Edge, ebase uint64, r *SpecResult) {
+	r.Reset(len(seg))
+	evs := r.Evs
+	st := &r.Stats
+	states := c.state
+	cur, des := NTE, false
+	for k := range seg {
+		label, instrs := seg[k].Label, seg[k].Instrs
+		if instrs != 0 {
+			st.Blocks++
+			st.Instrs += instrs
+			if cur != NTE {
+				st.TraceBlocks++
+				st.TraceInstrs += instrs
+			}
+		}
+		var next StateID
+		if cur != NTE {
+			rec := &states[cur]
+			if rec.lab0 == label {
+				st.InTraceHits++
+				next = rec.tgt0
+			} else if rec.lab1 == label {
+				st.InTraceHits++
+				next = rec.tgt1
+			} else if t, ok := c.nextSlow(cur, label); ok {
+				st.InTraceHits++
+				next = t
+			} else {
+				eidx := ebase + uint64(k)
+				if !rec.plausible(label) {
+					st.Desyncs++
+					des = true
+					evs = append(evs, obs.Event{Edge: eidx, Aux: label, State: int32(cur), Kind: obs.EvDesync})
+				}
+				st.GlobalLookups++
+				t, ok, depth := c.entryProbes(label)
+				evs = append(evs, obs.Event{Edge: eidx, Aux: depth, State: int32(cur), Kind: obs.EvCacheMissProbe})
+				if ok {
+					st.GlobalHits++
+					next = t
+				}
+				if next == NTE {
+					st.TraceExits++
+					evs = append(evs, obs.Event{Edge: eidx, Aux: label, State: int32(cur), Kind: obs.EvTraceExit})
+				} else {
+					st.TraceLinks++
+					evs = append(evs, obs.Event{Edge: eidx, Aux: label, State: int32(next), Kind: obs.EvEntryTableHit})
+				}
+			}
+		} else {
+			st.GlobalLookups++
+			if t, ok := c.entry(label); ok {
+				st.GlobalHits++
+				next = t
+				st.TraceEnters++
+				evs = append(evs, obs.Event{Edge: ebase + uint64(k), Aux: label, State: int32(next), Kind: obs.EvTraceEnter})
+			}
+		}
+		if next != NTE && des {
+			des = false
+			st.Resyncs++
+			evs = append(evs, obs.Event{Edge: ebase + uint64(k), Aux: label, State: int32(next), Kind: obs.EvResync})
+		}
+		cur = next
+		r.Curs[k] = cur
+		r.Desyn[k] = des
+	}
+	r.Evs = evs
+}
+
+// recStep consumes one record-mode edge: the memoryless transition (exactly
+// step, keyed by the destination block head) plus the head-candidate and
+// probe-record classification the fused MRET scan applies. A nil To edge is
+// account-only (AccountTail semantics), matching Recorder.Observe.
+func (c *Compiled) recStep(cur StateID, des bool, e *cfg.Edge, instrs uint64, st *Stats) (next StateID, ndes bool, cand bool, miss bool, head uint64) {
+	if e.To == nil {
+		st.AccountTail(cur, instrs)
+		return cur, des, false, false, 0
+	}
+	head = e.To.Head
+	if instrs != 0 {
+		st.Blocks++
+		st.Instrs += instrs
+		if cur != NTE {
+			st.TraceBlocks++
+			st.TraceInstrs += instrs
+		}
+	}
+	// backFast(e): taken edge whose source block's terminator is a direct
+	// backward branch — the BackSrc precomputation shared with the strategies.
+	back := e.Taken && e.From != nil && e.From.BackSrc
+	prev := cur
+	hit := false
+	if cur != NTE {
+		rec := &c.state[cur]
+		if rec.lab0 == head {
+			hit = true
+			next = rec.tgt0
+		} else if rec.lab1 == head {
+			hit = true
+			next = rec.tgt1
+		} else if t, ok := c.nextSlow(cur, head); ok {
+			hit = true
+			next = t
+		}
+		if hit {
+			st.InTraceHits++
+		} else {
+			miss = true
+			if !rec.plausible(head) {
+				st.Desyncs++
+				des = true
+			}
+			st.GlobalLookups++
+			if t, ok := c.entry(head); ok {
+				st.GlobalHits++
+				next = t
+			}
+			if next == NTE {
+				st.TraceExits++
+			} else {
+				st.TraceLinks++
+			}
+		}
+	} else {
+		st.GlobalLookups++
+		if t, ok := c.entry(head); ok {
+			st.GlobalHits++
+			next = t
+			st.TraceEnters++
+		}
+	}
+	if next != NTE && des {
+		des = false
+		st.Resyncs++
+	}
+	// Head-candidate policy, mirroring MRET.ObserveFused decide-before-mutate:
+	// an in-trace hit on a taken backward branch whose target anchors no
+	// trace, or any transition that lands in cold code off a trace exit or a
+	// taken backward branch. (The fused scan's Root[cur] test is only a probe
+	// shortcut: a root hit implies the head is traced, which c.entry answers
+	// identically.)
+	if hit {
+		if back {
+			if _, traced := c.entry(head); !traced {
+				cand = true
+			}
+		}
+	} else if next == NTE {
+		cand = prev != NTE || back
+	}
+	return next, des, cand, miss, head
+}
+
+// SpecRecord speculatively scans a record-mode chunk from (NTE, in-sync)
+// against the frozen compiled snapshot: the memoryless transition charges
+// r.Stats, the trajectory feeds reconciliation, and the strategy-side
+// effects are *deferred* — head candidates and trace-side misses are
+// collected for the drain to replay in sequence order instead of being
+// applied to shared state.
+func (c *Compiled) SpecRecord(edges []cfg.Edge, instrs []uint64, r *SpecResult) {
+	r.Reset(len(edges))
+	cur, des := NTE, false
+	for k := range edges {
+		var cand, miss bool
+		var head uint64
+		cur, des, cand, miss, head = c.recStep(cur, des, &edges[k], instrs[k], &r.Stats)
+		if cand {
+			r.Cands = append(r.Cands, RecCand{Idx: int32(k), Head: head})
+		}
+		if miss {
+			r.Miss = append(r.Miss, ProbeRec{Idx: int32(k), From: int32(r.prevState(k)), Label: head})
+		}
+		r.Curs[k] = cur
+		r.Desyn[k] = des
+	}
+}
+
+// prevState returns the state before edge k of a partially filled
+// trajectory (NTE before the first edge).
+func (r *SpecResult) prevState(k int) StateID {
+	if k == 0 {
+		return NTE
+	}
+	return r.Curs[k-1]
+}
+
+// RecReplay replays edges[:upto] of a record-mode chunk from (cur, des)
+// with the true transition function, returning the charges and exit state.
+// The drain uses it to account the prefix of a chunk that ends in a
+// recording trigger before handing the suffix to the sequential recorder.
+func (c *Compiled) RecReplay(edges []cfg.Edge, instrs []uint64, cur StateID, des bool, upto int) (Stats, StateID, bool) {
+	var st Stats
+	for j := 0; j < upto; j++ {
+		cur, des, _, _, _ = c.recStep(cur, des, &edges[j], instrs[j], &st)
+	}
+	return st, cur, des
+}
+
+// RecMerge is the outcome of reconciling one speculatively scanned
+// record-mode chunk against its true entry state.
+type RecMerge struct {
+	// Delta is the chunk's Stats contribution if accepted wholesale.
+	Delta Stats
+	// Cands / Miss are the reconciled candidate and probe lists: the true
+	// prefix's recomputed entries followed by the speculative suffix's. The
+	// slices alias Reconciler scratch (or the SpecResult) and are valid only
+	// until the next Merge* call.
+	Cands []RecCand
+	Miss  []ProbeRec
+	// ExitCur / ExitDes is the chunk's true exit state.
+	ExitCur StateID
+	ExitDes bool
+}
+
+// Reconciler carries the drain-side scratch buffers junction merges reuse
+// across batches; the zero value is ready to use.
+type Reconciler struct {
+	trueEvs []obs.Event
+	specEvs []obs.Event
+	cands   []RecCand
+	miss    []ProbeRec
+}
+
+// Merge reconciles one speculatively scanned segment against its true entry
+// state (cur, des), returning the segment's true Stats contribution and exit
+// state. When the entry state matches the speculation's (NTE, in-sync) the
+// speculative result is exact and is returned without re-replay.
+func (rc *Reconciler) Merge(c *Compiled, seg []Edge, cur StateID, des bool, r *SpecResult) (Stats, StateID, bool) {
+	n := len(seg)
+	if n == 0 {
+		return Stats{}, cur, des
+	}
+	if cur == NTE && !des {
+		return r.Stats, r.Curs[n-1], r.Desyn[n-1]
+	}
+	var trueSt Stats
+	tcur, tdes := cur, des
+	conv := -1
+	for j := 0; j < n; j++ {
+		tcur, tdes = c.step(tcur, tdes, seg[j].Label, seg[j].Instrs, &trueSt)
+		if tcur == r.Curs[j] && tdes == r.Desyn[j] {
+			conv = j
+			break
+		}
+	}
+	if conv < 0 {
+		// The trajectories never touched (degenerate tiny segments): the true
+		// re-replay covered the whole segment and replaces the speculation.
+		return trueSt, tcur, tdes
+	}
+	var specSt Stats
+	scur, sdes := NTE, false
+	for j := 0; j <= conv; j++ {
+		scur, sdes = c.step(scur, sdes, seg[j].Label, seg[j].Instrs, &specSt)
+	}
+	out := r.Stats
+	out.sub(&specSt)
+	out.add(&trueSt)
+	return out, r.Curs[n-1], r.Desyn[n-1]
+}
+
+// MergeObs is Merge with event splicing: the reconciled segment's events are
+// appended to *merged — the true prefix's events followed by the
+// speculative suffix's — so the concatenation over all segments equals the
+// sequential event stream.
+func (rc *Reconciler) MergeObs(c *Compiled, seg []Edge, ebase uint64, cur StateID, des bool, r *SpecResult, merged *[]obs.Event) (Stats, StateID, bool) {
+	n := len(seg)
+	if n == 0 {
+		return Stats{}, cur, des
+	}
+	if cur == NTE && !des {
+		*merged = append(*merged, r.Evs...)
+		return r.Stats, r.Curs[n-1], r.Desyn[n-1]
+	}
+	var trueSt Stats
+	rc.trueEvs = rc.trueEvs[:0]
+	tcur, tdes := cur, des
+	conv := -1
+	for j := 0; j < n; j++ {
+		tcur, tdes = c.stepObs(tcur, tdes, seg[j].Label, seg[j].Instrs, &trueSt, &rc.trueEvs, ebase+uint64(j))
+		if tcur == r.Curs[j] && tdes == r.Desyn[j] {
+			conv = j
+			break
+		}
+	}
+	if conv < 0 {
+		*merged = append(*merged, rc.trueEvs...)
+		return trueSt, tcur, tdes
+	}
+	var specSt Stats
+	rc.specEvs = rc.specEvs[:0]
+	scur, sdes := NTE, false
+	for j := 0; j <= conv; j++ {
+		scur, sdes = c.stepObs(scur, sdes, seg[j].Label, seg[j].Instrs, &specSt, &rc.specEvs, ebase+uint64(j))
+	}
+	out := r.Stats
+	out.sub(&specSt)
+	out.add(&trueSt)
+	// Speculative events stamped past the junction edge are the kept suffix.
+	junction := ebase + uint64(conv)
+	cut := evsAfter(r.Evs, junction)
+	*merged = append(*merged, rc.trueEvs...)
+	*merged = append(*merged, r.Evs[cut:]...)
+	return out, r.Curs[n-1], r.Desyn[n-1]
+}
+
+// evsAfter returns the index of the first event stamped strictly after
+// edge. Hand-rolled binary search: the sort.Search closure would escape on
+// the zero-alloc path.
+func evsAfter(evs []obs.Event, edge uint64) int {
+	lo, hi := 0, len(evs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if evs[mid].Edge <= edge {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// MergeRecord reconciles one speculatively scanned record-mode chunk: the
+// returned Delta, candidate list and probe list are exactly what a true
+// scan from (cur, des) would have produced, with only the non-converged
+// prefix re-replayed.
+func (rc *Reconciler) MergeRecord(c *Compiled, edges []cfg.Edge, instrs []uint64, cur StateID, des bool, r *SpecResult) RecMerge {
+	n := len(edges)
+	m := RecMerge{ExitCur: cur, ExitDes: des}
+	if n == 0 {
+		return m
+	}
+	if cur == NTE && !des {
+		m.Delta = r.Stats
+		m.Cands = r.Cands
+		m.Miss = r.Miss
+		m.ExitCur, m.ExitDes = r.Curs[n-1], r.Desyn[n-1]
+		return m
+	}
+	rc.cands = rc.cands[:0]
+	rc.miss = rc.miss[:0]
+	var trueSt Stats
+	tcur, tdes := cur, des
+	conv := -1
+	for j := 0; j < n; j++ {
+		prev := tcur
+		var cand, miss bool
+		var head uint64
+		tcur, tdes, cand, miss, head = c.recStep(tcur, tdes, &edges[j], instrs[j], &trueSt)
+		if cand {
+			rc.cands = append(rc.cands, RecCand{Idx: int32(j), Head: head})
+		}
+		if miss {
+			rc.miss = append(rc.miss, ProbeRec{Idx: int32(j), From: int32(prev), Label: head})
+		}
+		if tcur == r.Curs[j] && tdes == r.Desyn[j] {
+			conv = j
+			break
+		}
+	}
+	if conv < 0 {
+		m.Delta = trueSt
+		m.Cands = rc.cands
+		m.Miss = rc.miss
+		m.ExitCur, m.ExitDes = tcur, tdes
+		return m
+	}
+	var specSt Stats
+	scur, sdes := NTE, false
+	for j := 0; j <= conv; j++ {
+		scur, sdes, _, _, _ = c.recStep(scur, sdes, &edges[j], instrs[j], &specSt)
+	}
+	delta := r.Stats
+	delta.sub(&specSt)
+	delta.add(&trueSt)
+	for _, cd := range r.Cands {
+		if int(cd.Idx) > conv {
+			rc.cands = append(rc.cands, cd)
+		}
+	}
+	for _, pr := range r.Miss {
+		if int(pr.Idx) > conv {
+			rc.miss = append(rc.miss, pr)
+		}
+	}
+	m.Delta = delta
+	m.Cands = rc.cands
+	m.Miss = rc.miss
+	m.ExitCur, m.ExitDes = r.Curs[n-1], r.Desyn[n-1]
+	return m
+}
+
+// FoldReplayObs charges a Stats delta to the replay counter set under the
+// given shard's cells — the exported form of the fold the parallel and
+// pipeline drains use at sequence boundaries.
+func FoldReplayObs(o *obs.Obs, shard int, d *Stats) { obsFoldReplay(o, shard, d) }
+
+// ReplayProbeEvents re-issues the trace-side global-container searches a
+// speculative record scan resolved against the compiled snapshot: one live
+// index lookup per ProbeRec, feeding the probe-depth histograms and
+// CacheMissProbe events exactly as the sequential recorder's resolve path
+// would, without touching Stats (the chunk's counters were already folded
+// from the scan). No-op with no context attached — the searches exist only
+// for observability.
+func (r *Replayer) ReplayProbeEvents(misses []ProbeRec, base uint64) {
+	o := r.obs
+	if o == nil || len(misses) == 0 {
+		return
+	}
+	evs := r.probeEvs[:0]
+	for _, m := range misses {
+		before := r.index.Probes()
+		r.index.Lookup(m.Label)
+		depth := r.index.Probes() - before
+		o.Replay.ProbeDepth.Observe(depth)
+		evs = append(evs, obs.Event{Edge: base + uint64(m.Idx), Aux: depth, State: m.From, Kind: obs.EvCacheMissProbe})
+	}
+	o.Tracer.EmitBatch(evs)
+	o.SetEdge(evs[len(evs)-1].Edge)
+	r.probeEvs = evs
+}
+
+// ---------------------------------------------------------------------------
+// Persistent shard worker pool.
+
+// parJob is one parallel replay pass: the descriptor the persistent workers
+// and the calling goroutine both draw shards from, plus every buffer the
+// pass needs. Jobs recycle through a free list so the steady state
+// allocates nothing.
+type parJob struct {
+	c      *Compiled
+	stream []Edge
+	bounds []int
+	res    []SpecResult
+	nshard int
+	useObs bool
+	base   uint64
+	cancel *atomic.Bool
+
+	// next is the shard-claim ticket; its Store in init publishes the fields
+	// above to the workers that observe it.
+	next atomic.Int32
+	wg   sync.WaitGroup
+
+	rc     Reconciler
+	merged []obs.Event
+
+	link *parJob // free-list link
+}
+
+var (
+	parMu      sync.Mutex
+	parFreeJob *parJob
+	parQueue   chan *parJob
+	parSpawned atomic.Int32
+)
+
+// parMaxWorkers caps the persistent helper pool; the calling goroutine
+// always participates, so shard counts beyond the cap still complete.
+const parMaxWorkers = 16
+
+// ensureParWorkers lazily spawns the persistent shard workers, sized to the
+// host (GOMAXPROCS-1 helpers; the caller is the final worker).
+func ensureParWorkers() {
+	parMu.Lock()
+	defer parMu.Unlock()
+	want := runtime.GOMAXPROCS(0) - 1
+	if want > parMaxWorkers {
+		want = parMaxWorkers
+	}
+	if parQueue == nil {
+		parQueue = make(chan *parJob, 64)
+	}
+	for int(parSpawned.Load()) < want {
+		parSpawned.Add(1)
+		go func() {
+			for j := range parQueue {
+				j.run()
+			}
+		}()
+	}
+}
+
+func acquireParJob() *parJob {
+	parMu.Lock()
+	defer parMu.Unlock()
+	if j := parFreeJob; j != nil {
+		parFreeJob = j.link
+		j.link = nil
+		return j
+	}
+	return &parJob{}
+}
+
+func releaseParJob(j *parJob) {
+	// Drop the pass-specific references so a parked job cannot pin a
+	// Compiled image or a captured stream; the scratch buffers are the
+	// point of the pool and stay.
+	j.c = nil
+	j.stream = nil
+	j.cancel = nil
+	parMu.Lock()
+	j.link = parFreeJob
+	parFreeJob = j
+	parMu.Unlock()
+}
+
+// init prepares the job for one pass. Field writes happen before the
+// next.Store(0) publication; workers claim shards with next.Add, which
+// synchronizes with the store.
+func (j *parJob) init(c *Compiled, stream []Edge, shards int, useObs bool, base uint64, cancel *atomic.Bool) {
+	j.c = c
+	j.stream = stream
+	j.nshard = shards
+	j.useObs = useObs
+	j.base = base
+	j.cancel = cancel
+	if cap(j.bounds) < shards+1 {
+		j.bounds = make([]int, shards+1)
+	} else {
+		j.bounds = j.bounds[:shards+1]
+	}
+	for i := 0; i <= shards; i++ {
+		j.bounds[i] = i * len(stream) / shards
+	}
+	if cap(j.res) < shards {
+		nr := make([]SpecResult, shards)
+		copy(nr, j.res[:cap(j.res)])
+		j.res = nr
+	} else {
+		j.res = j.res[:shards]
+	}
+	j.wg.Add(shards)
+	j.next.Store(0)
+}
+
+// run claims and scans shards until none remain. Both the persistent
+// workers and the calling goroutine run this; a worker that receives the
+// job after every shard is claimed (a stale queue entry) returns
+// immediately.
+func (j *parJob) run() {
+	for {
+		k := int(j.next.Add(1)) - 1
+		if k >= j.nshard {
+			return
+		}
+		j.scanShard(k)
+		j.wg.Done()
+	}
+}
+
+func (j *parJob) scanShard(k int) {
+	seg := j.stream[j.bounds[k]:j.bounds[k+1]]
+	r := &j.res[k]
+	switch {
+	case j.cancel != nil:
+		j.c.specReplayCancel(seg, r, j.cancel)
+	case j.useObs:
+		j.c.SpecReplayObs(seg, j.base+uint64(j.bounds[k]), r)
+	default:
+		j.c.SpecReplay(seg, r)
+	}
+}
+
+// dispatch offers the job to idle persistent workers (never blocking the
+// caller: a full queue just means the caller scans more shards itself),
+// participates, and waits for every shard.
+func (j *parJob) dispatch() {
+	helpers := j.nshard - 1
+	if n := int(parSpawned.Load()); helpers > n {
+		helpers = n
+	}
+offer:
+	for i := 0; i < helpers; i++ {
+		select {
+		case parQueue <- j:
+		default:
+			break offer // queue full; the caller scans the rest itself
+		}
+	}
+	j.run()
+	j.wg.Wait()
+}
+
+// parallelReplay is the engine behind ParallelReplay, ParallelReplayObs and
+// ParallelReplayContext: speculative shard scans on the persistent pool,
+// then left-to-right junction reconciliation. The caller guarantees
+// 2 <= shards <= len(stream). Returns ok=false when cancelled.
+func parallelReplay(c *Compiled, stream []Edge, shards int, o *obs.Obs, cancel *atomic.Bool) (Stats, StateID, bool) {
+	ensureParWorkers()
+	j := acquireParJob()
+	var base uint64
+	if o != nil {
+		base = o.EdgeBase()
+	}
+	j.init(c, stream, shards, o != nil, base, cancel)
+	j.dispatch()
+	if cancel != nil && cancel.Load() {
+		releaseParJob(j)
+		return Stats{}, NTE, false
+	}
+
+	var total Stats
+	cur, des := NTE, false
+	if o == nil {
+		for i := 0; i < shards; i++ {
+			seg := stream[j.bounds[i]:j.bounds[i+1]]
+			d, c2, d2 := j.rc.Merge(c, seg, cur, des, &j.res[i])
+			total.add(&d)
+			cur, des = c2, d2
+		}
+		releaseParJob(j)
+		return total, cur, true
+	}
+
+	// Junction reconciliation is the only sequential section, so it carries
+	// the profiling span; counters fold per shard into per-shard cells and
+	// the merged, edge-ordered event stream feeds the shared ingest path.
+	sp := obs.StartSpan(o, "parallel_reconcile")
+	j.merged = j.merged[:0]
+	for i := 0; i < shards; i++ {
+		seg := stream[j.bounds[i]:j.bounds[i+1]]
+		ebase := base + uint64(j.bounds[i])
+		d, c2, d2 := j.rc.MergeObs(c, seg, ebase, cur, des, &j.res[i], &j.merged)
+		obsFoldReplay(o, i, &d)
+		total.add(&d)
+		cur, des = c2, d2
+	}
+	sp.End()
+	o.AdvanceEdges(uint64(len(stream)))
+	o.IngestReplay(j.merged)
+	releaseParJob(j)
+	return total, cur, true
+}

@@ -126,6 +126,20 @@ func (m *Machine) RepIters() uint64 { return m.repIters }
 // every REP iteration counts as one instruction (§4.1).
 func (m *Machine) PinSteps() uint64 { return m.steps - m.repOps + m.repIters }
 
+// StepMark turns a monotonically increasing instruction counter into
+// per-edge deltas: an edge producer calls Delta once per block boundary
+// with the current total (Steps or PinSteps, whichever convention it
+// reports) and receives the instructions retired since the previous
+// boundary. The zero value marks the start of execution.
+type StepMark uint64
+
+// Delta returns total minus the mark and advances the mark to total.
+func (k *StepMark) Delta(total uint64) uint64 {
+	d := total - uint64(*k)
+	*k = StepMark(total)
+	return d
+}
+
 // SetObserver attaches (or, with nil, detaches) a per-instruction observer.
 func (m *Machine) SetObserver(o Observer) { m.obs = o }
 

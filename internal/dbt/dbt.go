@@ -130,6 +130,20 @@ const ctxCheckMask = 1<<10 - 1
 // cannot hang the caller when the context carries a deadline or is
 // cancelled. The partial Result is returned alongside ctx.Err().
 func (t *Translator) RunWithContext(ctx context.Context, p *isa.Program, sel trace.Strategy, maxSteps uint64) (*Result, error) {
+	return t.run(ctx, p, sel, maxSteps, nil)
+}
+
+// RunTee is RunWithContext, additionally teeing every observed block edge —
+// including the final nil-To halt edge, whose instrs carry the trailing
+// count — with its StarDBT-counted instruction delta into sink. This is the
+// translator-side producer for the capture→process pipeline: the DBT keeps
+// translating and recording at full speed while a decoupled TEA consumer
+// rides along on the teed stream.
+func (t *Translator) RunTee(ctx context.Context, p *isa.Program, sel trace.Strategy, maxSteps uint64, sink func(e cfg.Edge, instrs uint64)) (*Result, error) {
+	return t.run(ctx, p, sel, maxSteps, sink)
+}
+
+func (t *Translator) run(ctx context.Context, p *isa.Program, sel trace.Strategy, maxSteps uint64, sink func(e cfg.Edge, instrs uint64)) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -152,7 +166,7 @@ func (t *Translator) RunWithContext(ctx context.Context, p *isa.Program, sel tra
 	var pos *trace.TBB
 	set := sel.Set()
 
-	var prevSteps uint64
+	var mark cpu.StepMark
 	var canceled error
 	var iter uint64
 	for {
@@ -179,12 +193,13 @@ func (t *Translator) RunWithContext(ctx context.Context, p *isa.Program, sel tra
 		}
 
 		// Account the instructions of the block that just finished.
-		steps := m.Steps()
-		instrs := steps - prevSteps
-		prevSteps = steps
+		instrs := mark.Delta(m.Steps())
 		res.Instrs += instrs
 		if pos != nil {
 			res.TraceInstrs += instrs
+		}
+		if sink != nil {
+			sink(e, instrs)
 		}
 
 		if e.To == nil {

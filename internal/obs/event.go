@@ -112,6 +112,37 @@ func (t *Tracer) Emit(e Event) {
 	t.mu.Unlock()
 }
 
+// EmitBatch appends a whole event list under one lock acquisition, with the
+// same final ring contents, head position and dropped count as emitting the
+// events one by one: when the batch is larger than the ring only its tail
+// survives, and that tail is copied in at most two contiguous runs.
+func (t *Tracer) EmitBatch(events []Event) {
+	k := uint64(len(events))
+	if k == 0 {
+		return
+	}
+	t.mu.Lock()
+	c := uint64(len(t.buf))
+	if room := c - t.head; t.head >= c {
+		t.dropped += k
+	} else if k > room {
+		t.dropped += k - room
+	}
+	src := events
+	if k > c {
+		src = events[k-c:]
+	}
+	start := (t.head + k - uint64(len(src))) & (c - 1)
+	n := c - start
+	if n > uint64(len(src)) {
+		n = uint64(len(src))
+	}
+	copy(t.buf[start:], src[:n])
+	copy(t.buf, src[n:])
+	t.head += k
+	t.mu.Unlock()
+}
+
 // Snapshot returns the buffered events oldest-first without clearing them,
 // plus the count of events the ring has overwritten.
 func (t *Tracer) Snapshot() (events []Event, dropped uint64) {

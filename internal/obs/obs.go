@@ -188,32 +188,42 @@ func (o *Obs) SyncEvent(state int32, blocks uint64) {
 	o.Tracer.Emit(Event{Edge: o.curEdge, Aux: blocks, State: state, Kind: EvSync})
 }
 
-// IngestReplay feeds a pre-collected, edge-ordered event list through the
-// same emitters the per-edge paths use, so the ring contents and the
-// derived histograms (probe depth, visit length, resync gap) come out
-// identical whether events were emitted online (sequential replay) or
-// collected per shard and spliced at junctions (parallel replay).
+// IngestReplay feeds a pre-collected, edge-ordered event list into the
+// tracer and the derived histograms (probe depth, visit length, resync
+// gap), so the ring contents and histograms come out identical whether
+// events were emitted online (sequential replay) or collected per shard
+// and spliced at junctions (parallel replay). The window/histogram effects
+// of each event are applied in order, but the ring writes go through one
+// batched, single-lock emit — the hot cost of ingesting a whole chunk's
+// events at a drain.
 func (o *Obs) IngestReplay(events []Event) {
 	for i := range events {
 		e := &events[i]
 		o.curEdge = e.Edge
 		switch e.Kind {
 		case EvTraceEnter:
-			o.TraceEnter(e.State, e.Aux)
+			o.inVisit = true
+			o.visitEdge = e.Edge
 		case EvTraceExit:
-			o.TraceExit(e.State, e.Aux)
+			if o.inVisit {
+				o.Replay.VisitEdges.Observe(e.Edge - o.visitEdge)
+				o.inVisit = false
+			}
 		case EvDesync:
-			o.DesyncEvent(e.State, e.Aux)
+			if !o.inGap {
+				o.inGap = true
+				o.gapEdge = e.Edge
+			}
 		case EvResync:
-			o.ResyncEvent(e.State, e.Aux)
+			if o.inGap {
+				o.Replay.ResyncGap.Observe(e.Edge - o.gapEdge)
+				o.inGap = false
+			}
 		case EvCacheMissProbe:
-			o.CacheMissProbe(e.State, e.Aux)
-		case EvEntryTableHit:
-			o.EntryTableHit(e.State, e.Aux)
-		default:
-			o.Tracer.Emit(*e)
+			o.Replay.ProbeDepth.Observe(e.Aux)
 		}
 	}
+	o.Tracer.EmitBatch(events)
 }
 
 // Span measures the wall time of one delimited region into a counter pair

@@ -1,0 +1,63 @@
+package pipeline
+
+import (
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/pin"
+)
+
+// ReplayFeed adapts a ReplayPipeline to the pin.Tool interface, making the
+// instrumentation engine a pipeline producer: each reported branch edge is
+// appended to the current chunk (the analysis routine never waits on TEA
+// work), and the trailing instructions of the halt edge and Fini accumulate
+// for the caller to fold in with Stats.AccountTail — the same split
+// CaptureTool uses.
+type ReplayFeed struct {
+	p    *ReplayPipeline
+	tail uint64
+}
+
+var _ pin.Tool = (*ReplayFeed)(nil)
+
+// NewReplayFeed wraps a started replay pipeline as a pintool.
+func NewReplayFeed(p *ReplayPipeline) *ReplayFeed { return &ReplayFeed{p: p} }
+
+// Edge feeds one reported edge into the pipeline; the final nil-To edge
+// carries only trailing instructions.
+func (f *ReplayFeed) Edge(e cfg.Edge, instrs uint64) {
+	if e.To == nil {
+		f.tail += instrs
+		return
+	}
+	f.p.FeedEdge(e.To.Head, instrs)
+}
+
+// Fini accumulates the unreported tail of a capped or cancelled run.
+func (f *ReplayFeed) Fini(instrs uint64) { f.tail += instrs }
+
+// Tail returns the trailing instruction count not represented as stream
+// edges; fold it into the barrier Stats with Stats.AccountTail.
+func (f *ReplayFeed) Tail() uint64 { return f.tail }
+
+// RecordFeed adapts a RecordPipeline to the pin.Tool interface. Every
+// reported edge — including the final nil-To halt edge, which the recorder
+// accounts without transitioning — passes through to the pipeline; Fini's
+// trailing count accumulates for RecordPipeline.AccountTail.
+type RecordFeed struct {
+	p    *RecordPipeline
+	tail uint64
+}
+
+var _ pin.Tool = (*RecordFeed)(nil)
+
+// NewRecordFeed wraps a started record pipeline as a pintool.
+func NewRecordFeed(p *RecordPipeline) *RecordFeed { return &RecordFeed{p: p} }
+
+// Edge feeds one reported edge into the pipeline.
+func (f *RecordFeed) Edge(e cfg.Edge, instrs uint64) { f.p.FeedEdge(e, instrs) }
+
+// Fini accumulates the unreported tail of a capped or cancelled run.
+func (f *RecordFeed) Fini(instrs uint64) { f.tail += instrs }
+
+// Tail returns the trailing instruction count; account it with
+// RecordPipeline.AccountTail before the final Barrier.
+func (f *RecordFeed) Tail() uint64 { return f.tail }

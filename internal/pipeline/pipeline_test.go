@@ -1,0 +1,587 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/cpu"
+	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/obs"
+	"github.com/lsc-tea/tea/internal/trace"
+	"github.com/lsc-tea/tea/internal/workload"
+)
+
+// testProgram builds the seeded synthetic program the identity tests run.
+func testProgram(t testing.TB, seed int64) *isa.Program {
+	t.Helper()
+	spec, _ := workload.ByName("181.mcf")
+	spec.Seed = seed
+	spec.WorkScale = 8
+	return workload.Program(spec)
+}
+
+// captureEdges records the full dynamic block-edge stream of p — every
+// cfg.Edge including the final nil-To halt edge — with StarDBT-counted
+// instruction deltas. This is the record-mode currency.
+func captureEdges(t testing.TB, p *isa.Program) ([]cfg.Edge, []uint64) {
+	t.Helper()
+	m := cpu.New(p)
+	r := cfg.NewRunner(m, cfg.StarDBT)
+	var edges []cfg.Edge
+	var instrs []uint64
+	var mark cpu.StepMark
+	for {
+		e, ok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		edges = append(edges, e)
+		instrs = append(instrs, mark.Delta(m.Steps()))
+		if e.To == nil {
+			break
+		}
+	}
+	if len(edges) < 50 {
+		t.Fatalf("edge stream too short: %d", len(edges))
+	}
+	return edges, instrs
+}
+
+// labelStream converts a cfg-edge stream into replay currency, dropping
+// the nil-To halt edge (its instructions are the tail).
+func labelStream(edges []cfg.Edge, instrs []uint64) ([]core.Edge, uint64) {
+	var out []core.Edge
+	var tail uint64
+	for i, e := range edges {
+		if e.To == nil {
+			tail += instrs[i]
+			continue
+		}
+		out = append(out, core.Edge{Label: e.To.Head, Instrs: instrs[i]})
+	}
+	return out, tail
+}
+
+// perturb corrupts every n-th label so replays desync and resync.
+func perturb(stream []core.Edge, n int) []core.Edge {
+	out := append([]core.Edge(nil), stream...)
+	for i := n; i < len(out); i += n {
+		out[i].Label = 0xdead0000 + uint64(i)
+	}
+	return out
+}
+
+// buildAutomaton records a trace set on p and builds its TEA.
+func buildAutomaton(t testing.TB, p *isa.Program) *core.Automaton {
+	t.Helper()
+	s, ok := trace.NewStrategy("mret", p, trace.Config{HotThreshold: 8})
+	if !ok {
+		t.Fatal("mret strategy")
+	}
+	set, _, err := trace.Record(cpu.New(p), cfg.StarDBT, s, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Build(set)
+}
+
+func registryJSON(t testing.TB, o *obs.Obs) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := o.Reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// registryDeterministic renders the registry with wall-clock span
+// nanosecond counters zeroed: record-mode syncs time themselves, and
+// elapsed nanoseconds are the one legitimately nondeterministic metric.
+func registryDeterministic(t testing.TB, o *obs.Obs) string {
+	t.Helper()
+	var metrics []map[string]any
+	raw := registryJSON(t, o)
+	if err := json.Unmarshal([]byte(raw), &metrics); err != nil {
+		t.Fatalf("registry JSON: %v\n%s", err, raw)
+	}
+	for _, m := range metrics {
+		if name, _ := m["name"].(string); strings.HasSuffix(name, "_ns_total") {
+			m["value"] = 0
+		}
+	}
+	out, err := json.Marshal(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// feedAll pushes a label stream through a replay pipeline in uneven bursts
+// so partial chunks and Flush boundaries get exercised too.
+func feedAll(p *ReplayPipeline, stream []core.Edge) {
+	for i := 0; i < len(stream); {
+		n := 1 + (i*7)%97
+		if i+n > len(stream) {
+			n = len(stream) - i
+		}
+		p.Feed(stream[i : i+n])
+		i += n
+	}
+}
+
+// TestReplayPipelineMatchesSequential: Stats, final cursor and desync flag
+// equal SequentialReplay for a grid of worker counts, chunk sizes and ring
+// depths, on clean and desyncing streams.
+func TestReplayPipelineMatchesSequential(t *testing.T) {
+	p := testProgram(t, 1)
+	a := buildAutomaton(t, p)
+	edges, instrs := captureEdges(t, p)
+	base, _ := labelStream(edges, instrs)
+	c := core.Compile(a, core.ConfigGlobalNoLocal)
+
+	for _, sc := range []struct {
+		name   string
+		stream []core.Edge
+	}{
+		{"clean", base},
+		{"desyncs", perturb(base, 5)},
+	} {
+		wantSt, wantCur := core.SequentialReplay(c, sc.stream)
+		for _, cfgCase := range []Config{
+			{Workers: 1, ChunkEdges: 64, Depth: 4},
+			{Workers: 2, ChunkEdges: 256, Depth: 8},
+			{Workers: 4, ChunkEdges: 1000, Depth: 32},
+			{Workers: 3, ChunkEdges: 1 << 14, Depth: 4},
+		} {
+			pl := NewReplay(c, cfgCase)
+			feedAll(pl, sc.stream)
+			gotSt, gotCur := pl.Barrier()
+			m := pl.Metrics()
+			pl.Close()
+			if gotSt != wantSt || gotCur != wantCur {
+				t.Fatalf("%s %+v: diverges:\nseq  %+v cur=%d\npipe %+v cur=%d",
+					sc.name, cfgCase, wantSt, wantCur, gotSt, gotCur)
+			}
+			if m.Published != m.Drained {
+				t.Fatalf("%s %+v: published %d != drained %d", sc.name, cfgCase, m.Published, m.Drained)
+			}
+		}
+	}
+}
+
+// TestReplayPipelineObsIdentity: with observability attached, the folded
+// registry, ingested event stream, Stats and cursor are byte-identical to
+// SequentialReplayObs.
+func TestReplayPipelineObsIdentity(t *testing.T) {
+	p := testProgram(t, 2)
+	a := buildAutomaton(t, p)
+	edges, instrs := captureEdges(t, p)
+	base, _ := labelStream(edges, instrs)
+	c := core.Compile(a, core.ConfigGlobalNoLocal)
+
+	for _, sc := range []struct {
+		name   string
+		stream []core.Edge
+	}{
+		{"clean", base},
+		{"desyncs", perturb(base, 4)},
+	} {
+		seqO := obs.NewWith(obs.NewRegistry(), 1<<16)
+		wantSt, wantCur := core.SequentialReplayObs(c, sc.stream, seqO)
+		wantEvents, _ := seqO.Tracer.Snapshot()
+		wantJSON := registryJSON(t, seqO)
+
+		for _, workers := range []int{1, 2, 4} {
+			o := obs.NewWith(obs.NewRegistry(), 1<<16)
+			pl := NewReplay(c, Config{Workers: workers, ChunkEdges: 300, Depth: 8, Obs: o})
+			feedAll(pl, sc.stream)
+			gotSt, gotCur := pl.Barrier()
+			pl.Close()
+			if gotSt != wantSt || gotCur != wantCur {
+				t.Fatalf("%s w=%d: stats diverge:\nseq  %+v cur=%d\npipe %+v cur=%d",
+					sc.name, workers, wantSt, wantCur, gotSt, gotCur)
+			}
+			if got := registryJSON(t, o); got != wantJSON {
+				t.Fatalf("%s w=%d: registry JSON diverges:\nseq  %s\npipe %s", sc.name, workers, wantJSON, got)
+			}
+			gotEvents, _ := o.Tracer.Snapshot()
+			if len(gotEvents) != len(wantEvents) {
+				t.Fatalf("%s w=%d: %d events, want %d", sc.name, workers, len(gotEvents), len(wantEvents))
+			}
+			for i := range wantEvents {
+				if gotEvents[i] != wantEvents[i] {
+					t.Fatalf("%s w=%d: event %d differs:\n%+v\n%+v",
+						sc.name, workers, i, gotEvents[i], wantEvents[i])
+				}
+			}
+		}
+	}
+}
+
+// TestQuickReplayPipelineIdentity is the property test: random worker
+// counts, chunk sizes, depths and perturbation periods never break the
+// sequential equivalence.
+func TestQuickReplayPipelineIdentity(t *testing.T) {
+	p := testProgram(t, 3)
+	a := buildAutomaton(t, p)
+	edges, instrs := captureEdges(t, p)
+	base, _ := labelStream(edges, instrs)
+	c := core.Compile(a, core.ConfigGlobalNoLocal)
+
+	f := func(wBits, chunkBits, depthBits, perturbBits uint8) bool {
+		workers := 1 + int(wBits%5)
+		chunk := 1 + int(chunkBits)*11
+		depth := 4 << (depthBits % 4)
+		stream := base
+		if n := int(perturbBits % 8); n >= 2 {
+			stream = perturb(base, n*3)
+		}
+		wantSt, wantCur := core.SequentialReplay(c, stream)
+		pl := NewReplay(c, Config{Workers: workers, ChunkEdges: chunk, Depth: depth})
+		feedAll(pl, stream)
+		gotSt, gotCur := pl.Barrier()
+		pl.Close()
+		if gotSt != wantSt || gotCur != wantCur {
+			t.Logf("w=%d chunk=%d depth=%d: diverges", workers, chunk, depth)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReplayPipelineReset: a pipeline reused across passes produces the
+// same answer every pass, with no buffer state bleeding through.
+func TestReplayPipelineReset(t *testing.T) {
+	p := testProgram(t, 4)
+	a := buildAutomaton(t, p)
+	edges, instrs := captureEdges(t, p)
+	stream, _ := labelStream(edges, instrs)
+	c := core.Compile(a, core.ConfigGlobalNoLocal)
+	wantSt, wantCur := core.SequentialReplay(c, stream)
+
+	pl := NewReplay(c, Config{Workers: 2, ChunkEdges: 512, Depth: 8})
+	defer pl.Close()
+	for pass := 0; pass < 3; pass++ {
+		feedAll(pl, stream)
+		gotSt, gotCur := pl.Barrier()
+		if gotSt != wantSt || gotCur != wantCur {
+			t.Fatalf("pass %d diverges:\nseq  %+v cur=%d\npipe %+v cur=%d",
+				pass, wantSt, wantCur, gotSt, gotCur)
+		}
+		pl.Reset()
+	}
+}
+
+// recordReference replays the full edge stream through a sequential
+// recorder `passes` times and returns its encoded automaton, stats and
+// registry JSON (when o is non-nil).
+func recordReference(t testing.TB, p *isa.Program, edges []cfg.Edge, instrs []uint64, passes int, o *obs.Obs) ([]byte, core.Stats, string) {
+	t.Helper()
+	s, _ := trace.NewStrategy("mret", p, trace.Config{HotThreshold: 8})
+	rec := core.NewRecorder(s, core.ConfigGlobalNoLocal)
+	if o != nil {
+		rec.SetObs(o)
+	}
+	for i := 0; i < passes; i++ {
+		rec.ObserveBatch(edges, instrs)
+	}
+	rec.Replayer().AccountOnly(7)
+	if o != nil {
+		rec.Replayer().FlushObs()
+	}
+	data, err := core.Encode(rec.Automaton())
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := ""
+	if o != nil {
+		js = registryDeterministic(t, o)
+	}
+	return data, *rec.Replayer().Stats(), js
+}
+
+// runRecordPipeline feeds the same stream through a record pipeline and
+// returns the matching triple.
+func runRecordPipeline(t testing.TB, p *isa.Program, edges []cfg.Edge, instrs []uint64, passes int, c Config) ([]byte, core.Stats, string, Metrics) {
+	t.Helper()
+	s, _ := trace.NewStrategy("mret", p, trace.Config{HotThreshold: 8})
+	pl := NewRecord(s, c)
+	for i := 0; i < passes; i++ {
+		for k := range edges {
+			pl.FeedEdge(edges[k], instrs[k])
+		}
+	}
+	pl.AccountTail(7)
+	st := pl.Barrier()
+	m := pl.Metrics()
+	pl.Close()
+	data, err := core.Encode(pl.Recorder().Automaton())
+	if err != nil {
+		t.Fatal(err)
+	}
+	js := ""
+	if c.Obs != nil {
+		js = registryDeterministic(t, c.Obs)
+	}
+	return data, st, js, m
+}
+
+// TestRecordPipelineMatchesSequential: the final automaton bytes and Stats
+// equal a sequential recorder's across worker counts and chunk sizes. Two
+// passes over the stream drive the trace set to saturation so the second
+// pass exercises the quiet path against a compiled snapshot.
+func TestRecordPipelineMatchesSequential(t *testing.T) {
+	p := testProgram(t, 5)
+	edges, instrs := captureEdges(t, p)
+	wantAuto, wantSt, _ := recordReference(t, p, edges, instrs, 2, nil)
+
+	for _, cfgCase := range []Config{
+		{Workers: 1, ChunkEdges: 128, Depth: 4},
+		{Workers: 2, ChunkEdges: 512, Depth: 8},
+		{Workers: 4, ChunkEdges: 2048, Depth: 16},
+	} {
+		gotAuto, gotSt, _, m := runRecordPipeline(t, p, edges, instrs, 2, cfgCase)
+		if !bytes.Equal(gotAuto, wantAuto) {
+			t.Fatalf("%+v: automaton bytes diverge (%d vs %d bytes)", cfgCase, len(gotAuto), len(wantAuto))
+		}
+		if gotSt != wantSt {
+			t.Fatalf("%+v: stats diverge:\nseq  %+v\npipe %+v", cfgCase, wantSt, gotSt)
+		}
+		if m.Published != m.Drained {
+			t.Fatalf("%+v: published %d != drained %d", cfgCase, m.Published, m.Drained)
+		}
+		t.Logf("%+v: quiet=%d seq=%d handoffs=%d recompiles=%d",
+			cfgCase, m.QuietChunks, m.SeqChunks, m.Handoffs, m.Recompiles)
+	}
+}
+
+// TestRecordPipelineQuietPathEngages: on a saturated second pass with a
+// small chunk size, at least one chunk must be accepted on the quiet path —
+// otherwise the scaling mechanism is dead code and the test suite would
+// never notice.
+func TestRecordPipelineQuietPathEngages(t *testing.T) {
+	p := testProgram(t, 5)
+	edges, instrs := captureEdges(t, p)
+	_, _, _, m := runRecordPipeline(t, p, edges, instrs, 4, Config{Workers: 2, ChunkEdges: 256, Depth: 8})
+	if m.QuietChunks == 0 {
+		t.Fatalf("no quiet chunks on a saturated stream: %+v", m)
+	}
+}
+
+// TestRecordPipelineObsIdentity: with observability attached, the full
+// registry JSON — counters, probe-depth histograms, sync spans — equals the
+// sequential recorder's.
+func TestRecordPipelineObsIdentity(t *testing.T) {
+	p := testProgram(t, 6)
+	edges, instrs := captureEdges(t, p)
+	refO := obs.NewWith(obs.NewRegistry(), 1<<16)
+	wantAuto, wantSt, wantJSON := recordReference(t, p, edges, instrs, 3, refO)
+
+	for _, workers := range []int{1, 2, 4} {
+		o := obs.NewWith(obs.NewRegistry(), 1<<16)
+		gotAuto, gotSt, gotJSON, _ := runRecordPipeline(t, p, edges, instrs, 3,
+			Config{Workers: workers, ChunkEdges: 384, Depth: 8, Obs: o})
+		if !bytes.Equal(gotAuto, wantAuto) {
+			t.Fatalf("w=%d: automaton bytes diverge", workers)
+		}
+		if gotSt != wantSt {
+			t.Fatalf("w=%d: stats diverge:\nseq  %+v\npipe %+v", workers, wantSt, gotSt)
+		}
+		if gotJSON != wantJSON {
+			t.Fatalf("w=%d: registry JSON diverges:\nseq  %s\npipe %s", workers, wantJSON, gotJSON)
+		}
+	}
+}
+
+// TestRecordPipelineFallbackStrategy: a strategy without the QuietObserver
+// extension (ctt) degrades to sequential chunks with identical results.
+func TestRecordPipelineFallbackStrategy(t *testing.T) {
+	p := testProgram(t, 7)
+	edges, instrs := captureEdges(t, p)
+
+	ref, _ := trace.NewStrategy("ctt", p, trace.Config{HotThreshold: 8})
+	rrec := core.NewRecorder(ref, core.ConfigGlobalNoLocal)
+	rrec.ObserveBatch(edges, instrs)
+	wantAuto, err := core.Encode(rrec.Automaton())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSt := *rrec.Replayer().Stats()
+
+	s, _ := trace.NewStrategy("ctt", p, trace.Config{HotThreshold: 8})
+	pl := NewRecord(s, Config{Workers: 2, ChunkEdges: 256, Depth: 8})
+	for k := range edges {
+		pl.FeedEdge(edges[k], instrs[k])
+	}
+	st := pl.Barrier()
+	m := pl.Metrics()
+	pl.Close()
+	gotAuto, err := core.Encode(pl.Recorder().Automaton())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotAuto, wantAuto) || st != wantSt {
+		t.Fatalf("ctt fallback diverges:\nseq  %+v\npipe %+v", wantSt, st)
+	}
+	if m.QuietChunks != 0 || m.Handoffs != 0 {
+		t.Fatalf("ctt must run fully sequential: %+v", m)
+	}
+	if m.SeqChunks != m.Drained {
+		t.Fatalf("ctt: %d sequential chunks of %d drained", m.SeqChunks, m.Drained)
+	}
+}
+
+// TestRecordPipelineFaultInjection splices the stream mid-way (dropping a
+// window of edges) so the recorder hits implausible transitions: the
+// graceful-degradation accounting — Desyncs and Resyncs — must match the
+// sequential recorder exactly, as must everything else.
+func TestRecordPipelineFaultInjection(t *testing.T) {
+	p := testProgram(t, 8)
+	edges, instrs := captureEdges(t, p)
+	cut0, cut1 := len(edges)/3, len(edges)/3+len(edges)/4
+	sedges := append(append([]cfg.Edge(nil), edges[:cut0]...), edges[cut1:]...)
+	sinstrs := append(append([]uint64(nil), instrs[:cut0]...), instrs[cut1:]...)
+
+	wantAuto, wantSt, _ := recordReference(t, p, sedges, sinstrs, 2, nil)
+	gotAuto, gotSt, _, _ := runRecordPipeline(t, p, sedges, sinstrs, 2,
+		Config{Workers: 3, ChunkEdges: 200, Depth: 8})
+	if !bytes.Equal(gotAuto, wantAuto) {
+		t.Fatal("spliced stream: automaton bytes diverge")
+	}
+	if gotSt != wantSt {
+		t.Fatalf("spliced stream: stats diverge:\nseq  %+v\npipe %+v", wantSt, gotSt)
+	}
+	if wantSt.Desyncs == 0 {
+		t.Fatal("splice produced no desyncs; fault injection is not exercising degradation")
+	}
+}
+
+// TestReplayPipelineFaultInjection: mid-stream desyncs on the replay side
+// propagate the same Desyncs/Resyncs counts as the sequential replayer.
+func TestReplayPipelineFaultInjection(t *testing.T) {
+	p := testProgram(t, 9)
+	a := buildAutomaton(t, p)
+	edges, instrs := captureEdges(t, p)
+	base, _ := labelStream(edges, instrs)
+	stream := perturb(base, 13)
+	c := core.Compile(a, core.ConfigGlobalNoLocal)
+
+	wantSt, _ := core.SequentialReplay(c, stream)
+	if wantSt.Desyncs == 0 {
+		t.Fatal("perturbation produced no desyncs")
+	}
+	pl := NewReplay(c, Config{Workers: 4, ChunkEdges: 100, Depth: 4})
+	feedAll(pl, stream)
+	gotSt, _ := pl.Barrier()
+	pl.Close()
+	if gotSt.Desyncs != wantSt.Desyncs || gotSt.Resyncs != wantSt.Resyncs {
+		t.Fatalf("desync accounting diverges: seq %d/%d pipe %d/%d",
+			wantSt.Desyncs, wantSt.Resyncs, gotSt.Desyncs, gotSt.Resyncs)
+	}
+}
+
+// TestPipelineBackpressure: a tiny ring forces the producer through the
+// high-watermark path; it must wait-and-count, never deadlock or drop.
+func TestPipelineBackpressure(t *testing.T) {
+	p := testProgram(t, 10)
+	a := buildAutomaton(t, p)
+	edges, instrs := captureEdges(t, p)
+	stream, _ := labelStream(edges, instrs)
+	c := core.Compile(a, core.ConfigGlobalNoLocal)
+
+	wantSt, wantCur := core.SequentialReplay(c, stream)
+	pl := NewReplay(c, Config{Workers: 1, ChunkEdges: 8, Depth: 4})
+	feedAll(pl, stream)
+	gotSt, gotCur := pl.Barrier()
+	m := pl.Metrics()
+	pl.Close()
+	if gotSt != wantSt || gotCur != wantCur {
+		t.Fatal("backpressured replay diverges from sequential")
+	}
+	if m.Published != m.Drained || m.Published == 0 {
+		t.Fatalf("chunk accounting broken: %+v", m)
+	}
+	t.Logf("depth-4 run: %d chunks, %d backpressure waits", m.Published, m.BackpressureWaits)
+}
+
+// TestReplayPipelineZeroAllocSteadyState: after a warm pass, feeding a full
+// stream through the pipeline allocates nothing on the producer path — the
+// chunk buffers, scan results and reconciliation scratch all recycle.
+func TestReplayPipelineZeroAllocSteadyState(t *testing.T) {
+	p := testProgram(t, 11)
+	a := buildAutomaton(t, p)
+	edges, instrs := captureEdges(t, p)
+	stream, _ := labelStream(edges, instrs)
+	c := core.Compile(a, core.ConfigGlobalNoLocal)
+
+	pl := NewReplay(c, Config{Workers: 2, ChunkEdges: 1024, Depth: 8})
+	defer pl.Close()
+	pass := func() {
+		pl.Feed(stream)
+		pl.Barrier()
+		pl.Reset()
+	}
+	pass() // warm: chunk payloads, SpecResult slices and junction scratch grow once
+	pass()
+	if allocs := testing.AllocsPerRun(3, pass); allocs > 0 {
+		t.Fatalf("steady-state pass allocates %.1f times", allocs)
+	}
+}
+
+// TestCaptureMachineMatchesRunner: the cpu-level producer delivers exactly
+// the runner's edge stream (including the halt edge) to the tool.
+func TestCaptureMachineMatchesRunner(t *testing.T) {
+	p := testProgram(t, 12)
+	wantEdges, wantInstrs := captureEdges(t, p)
+
+	var gotEdges []cfg.Edge
+	var gotInstrs []uint64
+	var finis int
+	tool := &edgeCollector{edges: &gotEdges, instrs: &gotInstrs, finis: &finis}
+	if err := CaptureMachine(nil, cpu.New(p), cfg.StarDBT, 0, tool); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotEdges) != len(wantEdges) || finis != 1 {
+		t.Fatalf("%d edges (want %d), %d finis", len(gotEdges), len(wantEdges), finis)
+	}
+	// Blocks come from two separate caches; compare by identity-defining
+	// fields, not pointers.
+	head := func(b *cfg.Block) uint64 {
+		if b == nil {
+			return ^uint64(0)
+		}
+		return b.Head
+	}
+	for i := range wantEdges {
+		if head(gotEdges[i].From) != head(wantEdges[i].From) ||
+			head(gotEdges[i].To) != head(wantEdges[i].To) ||
+			gotEdges[i].Taken != wantEdges[i].Taken ||
+			gotInstrs[i] != wantInstrs[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+type edgeCollector struct {
+	edges  *[]cfg.Edge
+	instrs *[]uint64
+	finis  *int
+}
+
+func (c *edgeCollector) Edge(e cfg.Edge, instrs uint64) {
+	*c.edges = append(*c.edges, e)
+	*c.instrs = append(*c.instrs, instrs)
+}
+
+func (c *edgeCollector) Fini(instrs uint64) { *c.finis++ }

@@ -1,0 +1,60 @@
+package pipeline
+
+import (
+	"context"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/cpu"
+	"github.com/lsc-tea/tea/internal/pin"
+)
+
+// produceCheckMask batches the producer loop's context polls to one per
+// 1024 block edges, matching the pin engine and the dbt translator.
+const produceCheckMask = 1<<10 - 1
+
+// CaptureMachine is the cpu-level pipeline producer: it drives m through
+// the dynamic block runner and reports every block edge — with its
+// StarDBT-counted instruction delta — to tool, bypassing the
+// instrumentation engine's cost model entirely. The final nil-To halt edge
+// carries the trailing instructions of the last block, and Fini delivers
+// the unreported tail of a step-capped or cancelled run, exactly like the
+// pin engine's callback contract. The machine is reset before the run.
+func CaptureMachine(ctx context.Context, m *cpu.Machine, style cfg.Style, maxSteps uint64, tool pin.Tool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := cfg.NewRunner(m, style)
+	var mark cpu.StepMark
+	var canceled error
+	var iter uint64
+	for {
+		if maxSteps > 0 && m.Steps() >= maxSteps {
+			break
+		}
+		if iter&produceCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				canceled = ctx.Err()
+			default:
+			}
+			if canceled != nil {
+				break
+			}
+		}
+		iter++
+		e, ok, err := r.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		instrs := mark.Delta(m.Steps())
+		tool.Edge(e, instrs)
+		if e.To == nil {
+			break
+		}
+	}
+	tool.Fini(mark.Delta(m.Steps()))
+	return canceled
+}

@@ -1,0 +1,78 @@
+package pipeline
+
+import (
+	"sync/atomic"
+)
+
+// ring is a bounded lock-free MPMC queue of chunk pointers (Vyukov's
+// sequence-stamped array queue): each slot carries its own sequence stamp,
+// enqueue and dequeue positions advance by CAS, and a producer or consumer
+// that loses a race simply re-reads — no slot is ever locked and no
+// operation blocks. Capacity must be a power of two.
+//
+// Two rings carry the pipeline's chunks: the work ring (producer → scan
+// workers) and the free ring (drain → producer, recycling chunk buffers so
+// the steady state allocates nothing). The slot stamp protocol makes the
+// payload write visible before the slot is claimable: push stores ch before
+// the releasing seq store, pop loads seq (acquire) before reading ch.
+type ring struct {
+	mask  uint64
+	slots []ringSlot
+	_     [40]byte // keep enq off the header's cache line
+	enq   atomic.Uint64
+	_     [56]byte
+	deq   atomic.Uint64
+	_     [56]byte
+}
+
+type ringSlot struct {
+	seq atomic.Uint64
+	ch  *chunk
+	_   [48]byte // one slot per cache line: adjacent slots never false-share
+}
+
+func newRing(capacity int) *ring {
+	r := &ring{mask: uint64(capacity - 1), slots: make([]ringSlot, capacity)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues c, reporting false when the ring is full. Never blocks.
+func (r *ring) push(c *chunk) bool {
+	for {
+		pos := r.enq.Load()
+		s := &r.slots[pos&r.mask]
+		switch d := int64(s.seq.Load()) - int64(pos); {
+		case d == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.ch = c
+				s.seq.Store(pos + 1)
+				return true
+			}
+		case d < 0:
+			return false
+		}
+	}
+}
+
+// pop dequeues the oldest chunk, reporting false when the ring is empty.
+// Never blocks.
+func (r *ring) pop() (*chunk, bool) {
+	for {
+		pos := r.deq.Load()
+		s := &r.slots[pos&r.mask]
+		switch d := int64(s.seq.Load()) - int64(pos+1); {
+		case d == 0:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				c := s.ch
+				s.ch = nil
+				s.seq.Store(pos + r.mask + 1)
+				return c, true
+			}
+		case d < 0:
+			return nil, false
+		}
+	}
+}

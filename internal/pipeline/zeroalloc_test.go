@@ -1,0 +1,49 @@
+package pipeline
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/obs"
+)
+
+// TestReplayPipelineObsZeroAllocSteadyState: with the observability layer
+// attached, the warmed pipeline must stay allocation-free — per-shard folds,
+// the merged event splice and the batched tracer ingest all recycle their
+// buffers. Measured by direct malloc counting over many passes (not
+// AllocsPerRun) so a one-off background allocation cannot hide a real
+// per-pass cost, with a small slack for unrelated runtime activity.
+func TestReplayPipelineObsZeroAllocSteadyState(t *testing.T) {
+	p := testProgram(t, 7)
+	edges, instrs := captureEdges(t, p)
+	stream, _ := labelStream(edges, instrs)
+	a := buildAutomaton(t, p)
+	c := core.Compile(a, core.ConfigGlobalNoLocal)
+	o := obs.New()
+	pl := NewReplay(c, Config{Workers: 2, Obs: o})
+	defer pl.Close()
+	pass := func() {
+		pl.Feed(stream)
+		pl.Barrier()
+		pl.Reset()
+	}
+	for i := 0; i < 12; i++ {
+		pass() // warm: every chunk buffer, scan result and fold buffer grows once
+	}
+	runtime.GC()
+	const passes = 200
+	before := mallocs()
+	for i := 0; i < passes; i++ {
+		pass()
+	}
+	if n := mallocs() - before; n > passes/10 {
+		t.Fatalf("%d allocations over %d obs-on passes, want ~0", n, passes)
+	}
+}
+
+func mallocs() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.Mallocs
+}

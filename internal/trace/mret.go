@@ -138,6 +138,25 @@ func (m *MRET) room() bool {
 	return m.cfg.MaxSetBlocks <= 0 || m.set.NumTBBs() < m.cfg.MaxSetBlocks
 }
 
+// HotCandidate implements QuietObserver: it answers, without mutating
+// anything, whether counting this head candidate would trigger recording —
+// exactly the decide-before-mutate test ObserveFused applies.
+func (m *MRET) HotCandidate(head uint64) bool {
+	return m.counters.Get(head)+1 >= m.cfg.HotThreshold && m.room()
+}
+
+// CountCandidate implements QuietObserver: the non-triggering arm of the
+// candidate policy.
+func (m *MRET) CountCandidate(head uint64) { m.counters.Inc(head) }
+
+// SeekTBB implements QuietObserver: it repositions the trace-following
+// cursor, re-establishing lockstep after out-of-band (speculatively
+// scanned) edges were accounted past the strategy.
+func (m *MRET) SeekTBB(t *TBB) { m.pos = t }
+
+// CursorTBB implements QuietObserver.
+func (m *MRET) CursorTBB() *TBB { return m.pos }
+
 // ObserveFused implements FusedObserver: one scan performs both the
 // replayer's automaton dispatch (cursor, counters — via v) and MRET's own
 // bookkeeping, because the automaton's transitions mirror the TBB links the

@@ -1,6 +1,8 @@
 // Command benchdiff compares two machine-readable benchmark files
-// (BENCH_replay.json / BENCH_record.json — both share the {target, rows[]}
-// shape keyed by bench+config) and fails when the new run regresses.
+// (BENCH_replay.json / BENCH_record.json / BENCH_obs.json /
+// BENCH_pipeline.json — all share the {target, rows[]} shape keyed by
+// bench+config, plus the obs mode and pipeline worker count where the file
+// distinguishes them) and fails when the new run regresses.
 //
 // Checks:
 //
@@ -45,7 +47,8 @@ import (
 type row struct {
 	Bench    string  `json:"bench"`
 	Config   string  `json:"config"`
-	Obs      string  `json:"obs"` // BENCH_obs.json only: "off"/"on"; empty elsewhere
+	Obs      string  `json:"obs"`     // BENCH_obs.json only: "off"/"on"; empty elsewhere
+	Workers  int     `json:"workers"` // BENCH_pipeline.json only; zero elsewhere
 	NsPerOp  float64 `json:"ns_per_edge"`
 	AllocsPO float64 `json:"allocs_per_edge"`
 }
@@ -70,15 +73,21 @@ func load(path string) (*file, error) {
 	return &f, nil
 }
 
-func key(r row) string { return r.Bench + "\x00" + r.Config + "\x00" + r.Obs }
+func key(r row) string {
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%d", r.Bench, r.Config, r.Obs, r.Workers)
+}
 
-// label names a row in failure messages, including the obs mode when the
-// file distinguishes one.
+// label names a row in failure messages, including the obs mode and worker
+// count when the file distinguishes them.
 func label(r row) string {
-	if r.Obs == "" {
-		return r.Bench + "/" + r.Config
+	l := r.Bench + "/" + r.Config
+	if r.Obs != "" {
+		l += "/obs-" + r.Obs
 	}
-	return r.Bench + "/" + r.Config + "/obs-" + r.Obs
+	if r.Workers != 0 {
+		l += fmt.Sprintf("/w%d", r.Workers)
+	}
+	return l
 }
 
 func main() {

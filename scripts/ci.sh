@@ -75,3 +75,15 @@ echo "ci: replaybench gate ok"
 go run ./cmd/teabench -obsbench "$bin/obs.json" -target 300000 -bench mcf
 go run ./scripts/benchdiff -base BENCH_obs.json -new "$bin/obs.json" -gate 30 -zero-allocs compiled-batch
 echo "ci: obsbench gate ok"
+
+# Pipeline gate: the decoupled capture→process pipeline must stay
+# byte-identical to sequential under the race detector (the property test
+# randomizes worker counts and chunk sizes), and a one-benchmark smoke of
+# the pipeline micro-benchmark must hold both hard claims — zero
+# steady-state allocs/edge on every pipe row, and the ≥3× modeled recording
+# scaling self-gate inside RunPipeBench — without regressing the shared
+# rows of the checked-in baseline.
+go test -race ./internal/pipeline
+go run ./cmd/teabench -pipebench "$bin/pipe.json" -target 300000 -bench mcf
+go run ./scripts/benchdiff -base BENCH_pipeline.json -new "$bin/pipe.json" -gate 30 -zero-allocs pipe
+echo "ci: pipebench gate ok"

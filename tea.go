@@ -42,6 +42,7 @@ import (
 	"github.com/lsc-tea/tea/internal/obs"
 	"github.com/lsc-tea/tea/internal/optim"
 	"github.com/lsc-tea/tea/internal/pin"
+	"github.com/lsc-tea/tea/internal/pipeline"
 	"github.com/lsc-tea/tea/internal/profile"
 	"github.com/lsc-tea/tea/internal/serve"
 	"github.com/lsc-tea/tea/internal/serve/client"
@@ -326,6 +327,95 @@ func SequentialReplayContext(ctx context.Context, c *Compiled, stream []StreamEd
 // finishing the stream.
 func ParallelReplayContext(ctx context.Context, c *Compiled, stream []StreamEdge, shards int) (ReplayStats, StateID, error) {
 	return core.ParallelReplayContext(ctx, c, stream, shards)
+}
+
+// Pipeline (decoupled online capture→process; DESIGN.md §14).
+type (
+	// PipelineConfig sizes a capture→process pipeline (workers, chunk
+	// edges, ring depth, optional Obs context).
+	PipelineConfig = pipeline.Config
+	// PipelineMetrics is the pipeline's self-telemetry snapshot
+	// (published/drained chunks, backpressure waits, quiet/sequential/
+	// handoff chunk split, snapshot recompiles).
+	PipelineMetrics = pipeline.Metrics
+	// PipelineReplayer is a live replay pipeline: feed edges from any
+	// producer, Barrier for the sequential-identical answer.
+	PipelineReplayer = pipeline.ReplayPipeline
+	// PipelineRecorder is a live online-recording pipeline: the recorder
+	// runs on the drain while workers scan chunks speculatively.
+	PipelineRecorder = pipeline.RecordPipeline
+	// PipelineReplayFeed / PipelineRecordFeed adapt the pipelines to the
+	// pintool interface, making the instrumentation engine a producer.
+	PipelineReplayFeed = pipeline.ReplayFeed
+	PipelineRecordFeed = pipeline.RecordFeed
+	// PinTool is the pintool interface every edge producer feeds.
+	PinTool = pin.Tool
+)
+
+// NewPipelineReplayFeed wraps a replay pipeline as a pintool.
+func NewPipelineReplayFeed(p *PipelineReplayer) *PipelineReplayFeed {
+	return pipeline.NewReplayFeed(p)
+}
+
+// NewPipelineRecordFeed wraps a record pipeline as a pintool.
+func NewPipelineRecordFeed(p *PipelineRecorder) *PipelineRecordFeed {
+	return pipeline.NewRecordFeed(p)
+}
+
+// NewReplayPipeline starts a replay pipeline over a compiled automaton.
+// Feeding is single-producer; Close it when done.
+func NewReplayPipeline(c *Compiled, pc PipelineConfig) *PipelineReplayer {
+	return pipeline.NewReplay(c, pc)
+}
+
+// NewRecordPipeline starts an online-recording pipeline around a fresh
+// recorder on s (always cache-less, as required for reconcilable chunk
+// scans). Feeding is single-producer; Close it when done.
+func NewRecordPipeline(s Strategy, pc PipelineConfig) *PipelineRecorder {
+	return pipeline.NewRecord(s, pc)
+}
+
+// ReplayPipeline is ReplayCompiled with capture decoupled from processing:
+// the Pin-like engine's analysis routine only appends edges to sequenced
+// chunks while scan workers and a reconciling drain do the automaton work
+// concurrently. Stats are identical to ReplayCompiled with
+// ConfigGlobalNoLocal; the pipeline's self-telemetry rides along.
+func ReplayPipeline(p *Program, a *Automaton, pc PipelineConfig) (*ReplayStats, PipelineMetrics, error) {
+	pl := pipeline.NewReplay(core.Compile(a, core.ConfigGlobalNoLocal), pc)
+	feed := pipeline.NewReplayFeed(pl)
+	_, err := pin.New().Run(p, feed, 0)
+	st, cur := pl.Barrier()
+	m := pl.Metrics()
+	pl.Close()
+	st.AccountTail(cur, feed.Tail())
+	return &st, m, err
+}
+
+// RecordPipeline is RecordOnline with capture decoupled from recording —
+// the paper's online use case at DBT speed: the frontend streams edge
+// chunks and never waits for TEA maintenance. The final automaton and
+// stats are byte-identical to RecordOnline with ConfigGlobalNoLocal.
+func RecordPipeline(p *Program, strategy string, tc TraceConfig, pc PipelineConfig) (*Automaton, *ReplayStats, PipelineMetrics, error) {
+	s, ok := trace.NewStrategy(strategy, p, tc)
+	if !ok {
+		return nil, nil, PipelineMetrics{}, &UnknownStrategyError{Name: strategy}
+	}
+	pl := pipeline.NewRecord(s, pc)
+	feed := pipeline.NewRecordFeed(pl)
+	_, err := pin.New().Run(p, feed, 0)
+	pl.AccountTail(feed.Tail())
+	st := pl.Barrier()
+	m := pl.Metrics()
+	pl.Close()
+	return pl.Recorder().Automaton(), &st, m, err
+}
+
+// CapturePipeline drives the program's dynamic block stream straight from
+// the interpreter (no instrumentation cost model) into any pintool — the
+// cpu-level pipeline producer. RunTee on the DBT side and the pin engine
+// itself are the other two producers.
+func CapturePipeline(ctx context.Context, p *Program, maxSteps uint64, tool PinTool) error {
+	return pipeline.CaptureMachine(ctx, cpu.New(p), cfg.StarDBT, maxSteps, tool)
 }
 
 // Observability (runtime metrics, event tracing, profiling hooks).
