@@ -1,231 +1,21 @@
-// Command tealint is a stdlib go/ast source lint enforcing the repository's
-// failure-semantics conventions in the packages that own them:
+// Command tealint is deprecated: its panic-site and exported-no-error
+// ratchet moved into cmd/teavet's failsem analyzer, which runs on full type
+// information (a shadowed panic no longer counts; a concrete *serve.Error
+// result satisfies the error convention) and shares one baseline with the
+// hotalloc and atomicmix checks at cmd/teavet/baseline.txt.
 //
-//   - no new panic( calls in internal/core, internal/optim, internal/trace,
-//     internal/isa, internal/serve (+ client) and internal/faultinject —
-//     the panic→error conversions keep regressing risk,
-//     so panics are ratcheted: every existing call site is recorded in a
-//     baseline, and any call beyond the baseline fails the lint;
-//   - exported functions in those packages that return no error are flagged
-//     the same way, so new API defaults to reporting failures as errors.
-//
-// The baseline lives at cmd/tealint/baseline.txt; regenerate it with
-// `go run ./cmd/tealint -update` after an intentional change. The lint
-// fails (exit 1) only on findings beyond the baseline, so it ratchets
-// downward without demanding a flag-day cleanup.
-//
-// Usage (from the repository root, as scripts/ci.sh does):
-//
-//	go run ./cmd/tealint            # lint against the baseline
-//	go run ./cmd/tealint -update    # rewrite the baseline
+// This shim exists so stale invocations fail loudly with a pointer instead
+// of silently vetting nothing. It performs no analysis and always exits 2.
 package main
 
 import (
-	"bufio"
-	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"os"
-	"path/filepath"
-	"sort"
-	"strconv"
-	"strings"
 )
 
-// lintDirs are the packages whose failure semantics the lint guards.
-var lintDirs = []string{
-	"internal/core",
-	"internal/optim",
-	"internal/trace",
-	"internal/isa",
-	"internal/serve",
-	"internal/serve/client",
-	"internal/faultinject",
-}
-
 func main() {
-	root := flag.String("root", ".", "repository root")
-	baselinePath := flag.String("baseline", "cmd/tealint/baseline.txt", "baseline file (relative to -root)")
-	update := flag.Bool("update", false, "rewrite the baseline from the current source")
-	flag.Parse()
-
-	findings, err := collect(*root)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tealint:", err)
-		os.Exit(2)
-	}
-	path := filepath.Join(*root, *baselinePath)
-	if *update {
-		if err := writeBaseline(path, findings); err != nil {
-			fmt.Fprintln(os.Stderr, "tealint:", err)
-			os.Exit(2)
-		}
-		fmt.Printf("tealint: baseline updated (%d entries)\n", len(findings))
-		return
-	}
-	baseline, err := readBaseline(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tealint:", err)
-		os.Exit(2)
-	}
-
-	bad := 0
-	for _, key := range sortedKeys(findings) {
-		if findings[key] > baseline[key] {
-			fmt.Printf("tealint: %s: %d occurrence(s), baseline allows %d\n", key, findings[key], baseline[key])
-			bad++
-		}
-	}
-	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "tealint: %d finding(s) beyond baseline; convert to errors or run `go run ./cmd/tealint -update` for an intentional change\n", bad)
-		os.Exit(1)
-	}
-	// Stale entries are informational: the ratchet moved down.
-	for _, key := range sortedKeys(baseline) {
-		if findings[key] < baseline[key] {
-			fmt.Printf("tealint: note: %s below baseline (%d < %d); consider -update\n", key, findings[key], baseline[key])
-		}
-	}
-	fmt.Printf("tealint: ok (%d call sites within baseline)\n", len(findings))
-}
-
-// collect parses every non-test file in the linted packages and counts the
-// two finding kinds, keyed "kind pkg.Func".
-func collect(root string) (map[string]int, error) {
-	out := make(map[string]int)
-	fset := token.NewFileSet()
-	for _, dir := range lintDirs {
-		pkg := filepath.Base(dir)
-		entries, err := os.ReadDir(filepath.Join(root, dir))
-		if err != nil {
-			return nil, err
-		}
-		for _, e := range entries {
-			name := e.Name()
-			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-				continue
-			}
-			f, err := parser.ParseFile(fset, filepath.Join(root, dir, name), nil, 0)
-			if err != nil {
-				return nil, err
-			}
-			lintFile(out, pkg, f)
-		}
-	}
-	return out, nil
-}
-
-// lintFile records panic call sites per enclosing function and exported
-// functions whose results carry no error.
-func lintFile(out map[string]int, pkg string, f *ast.File) {
-	for _, decl := range f.Decls {
-		fd, ok := decl.(*ast.FuncDecl)
-		if !ok {
-			continue
-		}
-		fn := funcKey(pkg, fd)
-		if fd.Body != nil {
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-					out["panic "+fn]++
-				}
-				return true
-			})
-		}
-		if fd.Name.IsExported() && !returnsError(fd.Type) {
-			out["noerror "+fn] = 1
-		}
-	}
-}
-
-// funcKey renders pkg.Func or pkg.(*Recv).Method.
-func funcKey(pkg string, fd *ast.FuncDecl) string {
-	if fd.Recv != nil && len(fd.Recv.List) == 1 {
-		return pkg + "." + recvString(fd.Recv.List[0].Type) + "." + fd.Name.Name
-	}
-	return pkg + "." + fd.Name.Name
-}
-
-func recvString(t ast.Expr) string {
-	switch e := t.(type) {
-	case *ast.StarExpr:
-		return "(*" + recvString(e.X) + ")"
-	case *ast.Ident:
-		return e.Name
-	case *ast.IndexExpr: // generic receiver
-		return recvString(e.X)
-	case *ast.IndexListExpr:
-		return recvString(e.X)
-	default:
-		return "?"
-	}
-}
-
-// returnsError reports whether any result type is the predeclared error.
-func returnsError(ft *ast.FuncType) bool {
-	if ft.Results == nil {
-		return false
-	}
-	for _, field := range ft.Results.List {
-		if id, ok := field.Type.(*ast.Ident); ok && id.Name == "error" {
-			return true
-		}
-	}
-	return false
-}
-
-func sortedKeys(m map[string]int) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-// readBaseline parses "key count" lines; missing file means empty baseline.
-func readBaseline(path string) (map[string]int, error) {
-	out := make(map[string]int)
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return out, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		i := strings.LastIndexByte(line, ' ')
-		if i < 0 {
-			return nil, fmt.Errorf("%s: malformed baseline line %q", path, line)
-		}
-		n, err := strconv.Atoi(line[i+1:])
-		if err != nil {
-			return nil, fmt.Errorf("%s: malformed baseline line %q", path, line)
-		}
-		out[line[:i]] = n
-	}
-	return out, sc.Err()
-}
-
-func writeBaseline(path string, findings map[string]int) error {
-	var b strings.Builder
-	b.WriteString("# tealint baseline: accepted panic call sites and exported no-error\n")
-	b.WriteString("# functions in the guarded packages (see lintDirs). The lint fails only on\n")
-	b.WriteString("# findings beyond these counts. Regenerate: go run ./cmd/tealint -update\n")
-	for _, key := range sortedKeys(findings) {
-		fmt.Fprintf(&b, "%s %d\n", key, findings[key])
-	}
-	return os.WriteFile(path, []byte(b.String()), 0o644)
+	fmt.Fprintln(os.Stderr, "tealint is deprecated: the panic/no-error ratchet is now cmd/teavet's failsem analyzer.")
+	fmt.Fprintln(os.Stderr, "run instead:  go run ./cmd/teavet          (vet against cmd/teavet/baseline.txt)")
+	fmt.Fprintln(os.Stderr, "              go run ./cmd/teavet -update  (re-ratchet after an intentional change)")
+	os.Exit(2)
 }

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoClean runs the full suite over the repository exactly as CI does
+// and requires a clean exit: the checked-in baseline and wirelock golden
+// must match the tree this test ships with.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module analysis load")
+	}
+	if code := run("../..", "cmd/teavet/baseline.txt", "cmd/teavet/wirelock.json", false, io.Discard); code != 0 {
+		t.Fatalf("teavet over the repository exited %d, want 0 (run `go run ./cmd/teavet` for details)", code)
+	}
+}
+
+// TestSelftest is the in-process half of the CI negative self-test: the
+// fixture module must make every analyzer produce findings and the suite
+// exit 1. If a rewrite of an analyzer silently stops flagging, this fails
+// before CI does.
+func TestSelftest(t *testing.T) {
+	var buf bytes.Buffer
+	code := run("testdata/selftest", "baseline.txt", "wirelock.json", false, &buf)
+	if code != 1 {
+		t.Fatalf("teavet over the selftest fixture exited %d, want 1\n%s", code, buf.String())
+	}
+	out := buf.String()
+	for _, marker := range []string{
+		"hotalloc core.Kernel make",
+		"atomicmix core.Mixed.n plain",
+		"failsem panic core.Reset",
+		"wirelock: wire constant Code.CodeProto renumbered",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("selftest output lost the %q finding:\n%s", marker, out)
+		}
+	}
+}
+
+// TestBaselineRoundTrip pins the baseline grammar: counts parse, inline
+// `# justification` comments are ignored by the reader but preserved by
+// the writer across -update regeneration.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	orig := "# header\n" +
+		"failsem panic core.X 2  # guards an API-misuse invariant\n" +
+		"hotalloc core.Y make 1\n"
+	if err := os.WriteFile(path, []byte(orig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["failsem panic core.X"] != 2 || got["hotalloc core.Y make"] != 1 {
+		t.Fatalf("readBaseline = %v", got)
+	}
+	// Regenerate with a changed count: the justification must survive.
+	if err := writeBaseline(path, map[string]int{
+		"failsem panic core.X":  1,
+		"hotalloc core.Y make":  1,
+		"atomicmix core.Z copy": 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+	if !strings.Contains(text, "failsem panic core.X 1  # guards an API-misuse invariant") {
+		t.Errorf("justification comment lost across rewrite:\n%s", text)
+	}
+	reread, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reread["failsem panic core.X"] != 1 || reread["atomicmix core.Z copy"] != 3 {
+		t.Errorf("rewritten baseline rereads as %v", reread)
+	}
+}
+
+// TestBaselineMalformed rejects lines without a trailing count.
+func TestBaselineMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	if err := os.WriteFile(path, []byte("justonetoken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(path); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module selftest
+
+go 1.22

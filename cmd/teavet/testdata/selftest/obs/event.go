@@ -1,0 +1,11 @@
+// Package obs matches its golden exactly; it exists so the selftest
+// exercises a multi-group wirelock diff with exactly one drifting group.
+package obs
+
+// EventKind mirrors the repo's event-tag shape.
+type EventKind uint8
+
+const (
+	EvEnter EventKind = 1
+	EvExit  EventKind = 2
+)

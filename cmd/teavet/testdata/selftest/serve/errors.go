@@ -1,0 +1,11 @@
+// Package serve renumbers a wire constant relative to wirelock.json, so
+// wirelock must produce a hard finding here.
+package serve
+
+// Code mirrors the repo's wire-failure taxonomy shape.
+type Code uint32
+
+const (
+	CodeOK    Code = 0
+	CodeProto Code = 3 // renumbered: the golden records 1
+)

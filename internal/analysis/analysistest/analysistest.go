@@ -1,0 +1,180 @@
+// Package analysistest runs a driver.Analyzer over a self-contained fixture
+// module and checks its diagnostics against `// want` comments in the
+// fixture sources — the stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is a directory holding its own go.mod (the go tool ignores it in
+// the enclosing module because it lives under testdata/). Expectations are
+// written on the offending line:
+//
+//	m[k] = v // want `map write`
+//	x := f() // want `first` `second`
+//
+// Each backquoted or double-quoted string is a regexp that must match the
+// message of a distinct diagnostic reported on that line; diagnostics on a
+// line with no matching expectation, and expectations no diagnostic
+// matched, both fail the test. Diagnostics with an invalid position (a
+// finding about absent code) match `// want:file` expectations declared on
+// any line of the named file — pass "-" to match position-less findings.
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/analysis/driver"
+)
+
+// wantRe captures the expectation strings on a `// want` comment;
+// wantFileRe the `// want:FILE` whole-file form.
+var (
+	wantRe     = regexp.MustCompile("//\\s*want((?:\\s+(?:`[^`]*`|\"[^\"]*\"))+)")
+	wantFileRe = regexp.MustCompile("//\\s*want:(\\S+)((?:\\s+(?:`[^`]*`|\"[^\"]*\"))+)")
+)
+
+// expectation is one unmatched want regexp.
+type expectation struct {
+	file string // fixture-relative path
+	line int    // 0 for whole-file expectations
+	re   *regexp.Regexp
+}
+
+// Run loads the fixture module at dir (relative paths resolve against the
+// test's working directory), runs the analyzer, and reports any mismatch
+// between diagnostics and `// want` expectations as test errors. It returns
+// the diagnostics so a test can make further assertions (ratchet keys,
+// ordering).
+func Run(t *testing.T, dir string, a *driver.Analyzer) []driver.Diagnostic {
+	t.Helper()
+	prog, err := driver.Load(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := driver.Run(prog, a)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("resolving %s: %v", dir, err)
+	}
+	rel := func(path string) string {
+		if r, err := filepath.Rel(abs, path); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+		return path
+	}
+
+	var wants []*expectation
+	for _, p := range prog.Packages {
+		for _, f := range p.Files {
+			wants = append(wants, fileWants(t, prog, f, rel)...)
+		}
+	}
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		file, line := "-", 0
+		if d.Pos.IsValid() {
+			file, line = rel(d.Pos.Filename), d.Pos.Line
+		}
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != file {
+				continue
+			}
+			if w.line != line && w.line != 0 {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", dir, posLabel(file, line), d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s: no diagnostic matched want %q at %s", dir, w.re, posLabel(w.file, w.line))
+		}
+	}
+	return diags
+}
+
+func posLabel(file string, line int) string {
+	if line == 0 {
+		return file
+	}
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// fileWants extracts the expectations declared in one parsed file.
+// `// want:FILE re...` comments expect diagnostics anywhere in FILE
+// (including "-" for position-less findings); plain `// want re...`
+// expects them on the comment's own line.
+func fileWants(t *testing.T, prog *driver.Program, f *ast.File, rel func(string) string) []*expectation {
+	t.Helper()
+	var out []*expectation
+	tf := prog.Fset.File(f.Pos())
+	self := rel(tf.Name())
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			file, line := self, prog.Fset.Position(c.Pos()).Line
+			var quoted string
+			if m := wantFileRe.FindStringSubmatch(c.Text); m != nil {
+				file, line, quoted = m[1], 0, m[2]
+			} else if m := wantRe.FindStringSubmatch(c.Text); m != nil {
+				quoted = m[1]
+			} else {
+				continue
+			}
+			for _, q := range splitQuoted(quoted) {
+				re, err := regexp.Compile(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", self, line, q, err)
+				}
+				out = append(out, &expectation{file: file, line: line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted pulls the payloads out of a run of `...` / "..." segments.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return out
+		}
+		quote := s[0]
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[1:1+end])
+		s = s[2+end:]
+	}
+}

@@ -1,0 +1,228 @@
+// Package atomicmix flags struct fields that are accessed both atomically
+// and with plain loads/stores — the mixed-access race class in
+// internal/pipeline's rings and internal/serve's counters that `go test
+// -race` only catches when the schedule happens to interleave the two
+// access kinds. The Go memory model gives a plain access racing an atomic
+// one undefined behaviour; the repo's rule is: once a field is touched
+// through sync/atomic anywhere, every access outside its constructors must
+// be atomic.
+//
+// Two finding kinds:
+//
+//	plain — a field passed to a sync/atomic function (atomic.AddUint64(&f)
+//	        etc.) somewhere is read or written directly elsewhere. Accesses
+//	        inside functions whose name starts with New/new/make (value
+//	        construction, before the value is shared) are exempt.
+//	copy  — a field of one of the sync/atomic struct types (atomic.Uint64,
+//	        atomic.Pointer[T], ...) is used other than as a method-call
+//	        receiver or an operand of &: copying such a value reads its
+//	        word non-atomically and forks its identity.
+//
+// Keys are "<pkg>.<Struct>.<field> <kind>", position-independent so the
+// cmd/teavet ratchet survives unrelated edits.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/lsc-tea/tea/internal/analysis/driver"
+)
+
+// Analyzer is the mixed atomic/plain access check.
+var Analyzer = &driver.Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag plain accesses to struct fields that are elsewhere accessed through sync/atomic",
+	Run:  run,
+}
+
+func run(pass *driver.Pass) error {
+	prog := pass.Prog
+
+	// Pass 1: collect every field whose address reaches a sync/atomic
+	// function, and every selector already accounted as a sanctioned use —
+	// the &f of an atomic call, the receiver of an atomic-type method
+	// call, or a bare &f handing the field out by pointer.
+	atomicFields := make(map[*types.Var]string) // field -> rendered key
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, p := range prog.Packages {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isAtomicFuncCall(p.Info, n) {
+						for _, arg := range n.Args {
+							if sel := addressedField(p.Info, arg); sel != nil {
+								fld := fieldOf(p.Info, sel)
+								atomicFields[fld] = fieldKey(fld)
+								sanctioned[sel] = true
+							}
+						}
+					}
+				case *ast.SelectorExpr:
+					// Receiver of an atomic-type method call: p.pub.Load().
+					if isAtomicMethod(p.Info, n) {
+						if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && fieldOf(p.Info, sel) != nil {
+							sanctioned[sel] = true
+						}
+					}
+				case *ast.UnaryExpr:
+					// &p.pub passes the field by pointer, not by value.
+					if n.Op == token.AND {
+						if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && fieldOf(p.Info, sel) != nil {
+							sanctioned[sel] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: any selector resolving to an atomically-accessed field that
+	// pass 1 did not sanction is a plain access; any unsanctioned selector
+	// to a field of a sync/atomic struct type is a value copy.
+	for _, p := range prog.Packages {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || isConstructorName(fd.Name.Name) {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || sanctioned[sel] {
+						return true
+					}
+					fld := fieldOf(p.Info, sel)
+					if fld == nil {
+						return true
+					}
+					if key, ok := atomicFields[fld]; ok {
+						pass.Report(sel.Pos(), key+" plain",
+							"field %s is accessed atomically elsewhere; this plain access races it (use sync/atomic or move into a constructor)", key)
+					} else if isAtomicStructType(fld.Type()) {
+						pass.Report(sel.Pos(), fieldKey(fld)+" copy",
+							"field %s has atomic type %s; copying it reads the word non-atomically", fieldKey(fld), fld.Type())
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// addressedField unwraps &expr down to a field selector, or returns nil.
+func addressedField(info *types.Info, arg ast.Expr) *ast.SelectorExpr {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok || fieldOf(info, sel) == nil {
+		return nil
+	}
+	return sel
+}
+
+// isAtomicFuncCall reports whether the call invokes a sync/atomic
+// package-level function (AddUint64, LoadPointer, ...).
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isAtomicMethod reports whether the selector names a method of one of the
+// sync/atomic struct types (Uint64.Load, Pointer[T].Store, ...).
+func isAtomicMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return false
+	}
+	fn := s.Obj().(*types.Func)
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicStructType reports whether t is one of the sync/atomic struct
+// types. Pointers to them are deliberately not unwrapped: copying a
+// *atomic.Bool copies the pointer, which is harmless.
+func isAtomicStructType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		if alias, ok := t.(*types.Alias); ok {
+			return isAtomicStructType(types.Unalias(alias))
+		}
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// fieldOf resolves a selector to the struct field it selects, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// isConstructorName exempts value-construction helpers, where the value is
+// not yet shared and plain initialization is the idiom.
+func isConstructorName(name string) bool {
+	return strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") ||
+		strings.HasPrefix(name, "make") || name == "init"
+}
+
+// fieldKey renders pkg.Struct.field.
+func fieldKey(fld *types.Var) string {
+	pkg := "?"
+	if fld.Pkg() != nil {
+		pkg = fld.Pkg().Name()
+	}
+	owner := "?"
+	if named := owningNamed(fld); named != nil {
+		owner = named.Obj().Name()
+	}
+	return pkg + "." + owner + "." + fld.Name()
+}
+
+// owningNamed finds the named struct type declaring the field by scanning
+// the field's package scope (types.Var carries no back-pointer). Fields of
+// unnamed (anonymous) struct types come back nil and render as "?".
+func owningNamed(fld *types.Var) *types.Named {
+	if fld.Pkg() == nil {
+		return nil
+	}
+	scope := fld.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == fld {
+				return named
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,38 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/analysis/analysistest"
+	"github.com/lsc-tea/tea/internal/analysis/atomicmix"
+)
+
+// TestFlagging checks both finding kinds against the fixture's `// want`
+// expectations and the position-independent ratchet-key shape.
+func TestFlagging(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src/atomics", atomicmix.Analyzer)
+	want := map[string]int{
+		"atomicmix a.Counter.n plain":   2,
+		"atomicmix a.Counter.hits copy": 1,
+	}
+	got := make(map[string]int)
+	for _, d := range diags {
+		got[d.Key]++
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("key %q: got %d findings, want %d (all: %v)", k, got[k], n, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("unexpected ratchet keys: got %v, want %v", got, want)
+	}
+}
+
+// TestClean verifies disciplined atomic use — method calls, &field
+// hand-offs, pointer-to-atomic copies — produces no findings.
+func TestClean(t *testing.T) {
+	if diags := analysistest.Run(t, "testdata/src/atomicsclean", atomicmix.Analyzer); len(diags) != 0 {
+		t.Errorf("clean fixture produced %d diagnostics", len(diags))
+	}
+}

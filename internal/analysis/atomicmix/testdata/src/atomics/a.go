@@ -1,0 +1,59 @@
+// Package a exercises both atomicmix finding kinds plus every sanctioned
+// access shape: atomic-call arguments, atomic-method receivers, &field
+// pointer hand-offs, constructor initialization and never-atomic fields.
+package a
+
+import "sync/atomic"
+
+// Counter mixes a legacy uint64 driven through sync/atomic functions with
+// an atomic.Uint64 and a field never touched atomically.
+type Counter struct {
+	n    uint64
+	hits atomic.Uint64
+	cold int
+}
+
+// NewCounter initializes plainly: constructors are exempt because the
+// value is not shared yet.
+func NewCounter(start uint64) *Counter {
+	c := &Counter{}
+	c.n = start
+	c.cold = 1
+	return c
+}
+
+// Add is the sanctioned access pattern for both fields.
+func (c *Counter) Add() {
+	atomic.AddUint64(&c.n, 1)
+	c.hits.Add(1)
+}
+
+// Bad reads an atomically-driven field without sync/atomic.
+func (c *Counter) Bad() uint64 {
+	return c.n // want `field a\.Counter\.n is accessed atomically elsewhere; this plain access races it`
+}
+
+// BadStore writes it plainly, which races Add.
+func (c *Counter) BadStore(v uint64) {
+	c.n = v // want `field a\.Counter\.n is accessed atomically elsewhere`
+}
+
+// BadCopy copies an atomic-typed field by value, forking its identity.
+func (c *Counter) BadCopy() atomic.Uint64 {
+	return c.hits // want `field a\.Counter\.hits has atomic type sync/atomic\.Uint64; copying it reads the word non-atomically`
+}
+
+// Ok loads through sync/atomic.
+func (c *Counter) Ok() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// OkPtr hands the atomic field out by pointer — no value copy.
+func (c *Counter) OkPtr() *atomic.Uint64 {
+	return &c.hits
+}
+
+// OkCold touches a field no one accesses atomically.
+func (c *Counter) OkCold() int {
+	return c.cold
+}

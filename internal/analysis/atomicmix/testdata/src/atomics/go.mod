@@ -1,0 +1,3 @@
+module atomics
+
+go 1.22

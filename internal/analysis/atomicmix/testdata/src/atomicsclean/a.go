@@ -1,0 +1,35 @@
+// Package a is the non-flagging control: disciplined atomic use — method
+// receivers, pointer hand-offs, pointer-to-atomic copies — must stay clean.
+package a
+
+import "sync/atomic"
+
+// Gauge uses the atomic struct types exclusively through their methods.
+type Gauge struct {
+	val  atomic.Int64
+	stop *atomic.Bool
+}
+
+// NewGauge wires a shared stop flag; copying the *atomic.Bool pointer is
+// harmless and must not be flagged.
+func NewGauge(stop *atomic.Bool) *Gauge {
+	return &Gauge{stop: stop}
+}
+
+// Set stores through the atomic method.
+func (g *Gauge) Set(v int64) {
+	if g.stop.Load() {
+		return
+	}
+	g.val.Store(v)
+}
+
+// Get loads through the atomic method.
+func (g *Gauge) Get() int64 {
+	return g.val.Load()
+}
+
+// Stop shares the pointer, not the value.
+func (g *Gauge) Stop() *atomic.Bool {
+	return g.stop
+}

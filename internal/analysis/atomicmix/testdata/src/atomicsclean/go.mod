@@ -1,0 +1,3 @@
+module atomicsclean
+
+go 1.22

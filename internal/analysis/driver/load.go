@@ -1,0 +1,148 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	Error      *listErr
+}
+
+type listErr struct {
+	Err string
+}
+
+// Load typechecks every package the patterns name inside the module rooted
+// at (or containing) dir, plus nothing else: dependencies — the standard
+// library and, for fixture modules, nothing more — are imported from the
+// compiler export data `go list -export` leaves in the build cache, so the
+// loader needs no network, no GOPATH layout and no third-party machinery.
+// Non-test files only, parsed with comments (analyzers read directives).
+//
+// Packages come back in dependency order, so an analyzer walking
+// Program.Packages sees a callee's package before its callers'.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,Standard,GoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", dir, err, errb.String())
+	}
+
+	var module []*listPkg
+	exports := make(map[string]string)
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", dir, err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: package %s: %s", dir, p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard {
+			pp := p
+			module = append(module, &pp)
+		}
+	}
+	if len(module) == 0 {
+		return nil, fmt.Errorf("go list %s: no module packages matched %v", dir, patterns)
+	}
+
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package, len(module)),
+	}
+
+	// Imports resolve first against the module packages already typechecked
+	// (dependency order guarantees they exist by the time a dependent needs
+	// them), then against export data from the build cache.
+	gcLookup := func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	gc := importer.ForCompiler(prog.Fset, "gc", gcLookup)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if p := prog.byPath[path]; p != nil {
+			return p.Pkg, nil
+		}
+		return gc.Import(path)
+	})
+
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	for _, lp := range module {
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(prog.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", filepath.Join(lp.Dir, name), err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp, Sizes: sizes}
+		tpkg, err := conf.Check(lp.ImportPath, prog.Fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typechecking %s: %v", lp.ImportPath, err)
+		}
+		p := &Package{
+			ImportPath: lp.ImportPath,
+			Name:       lp.Name,
+			Dir:        lp.Dir,
+			Files:      files,
+			Pkg:        tpkg,
+			Info:       info,
+		}
+		prog.Packages = append(prog.Packages, p)
+		prog.byPath[lp.ImportPath] = p
+	}
+	return prog, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,3 @@
+module mini
+
+go 1.22

@@ -1,0 +1,17 @@
+// Package lib is the dependency: the driver must typecheck it before main
+// and serve cross-package FuncDecl lookups into it.
+package lib
+
+import "strings"
+
+// Twice doubles a string using the stdlib, proving export-data imports
+// resolve.
+func Twice(s string) string {
+	return strings.Repeat(s, 2)
+}
+
+// Thing carries a method for the method-index path.
+type Thing struct{ N int }
+
+// Bump increments.
+func (t *Thing) Bump() { t.N++ }

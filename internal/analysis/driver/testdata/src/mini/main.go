@@ -1,0 +1,11 @@
+// Package mini is the root package depending on lib.
+package mini
+
+import "mini/lib"
+
+// Use exercises a cross-package call.
+func Use() string {
+	t := lib.Thing{}
+	t.Bump()
+	return lib.Twice("ab")
+}

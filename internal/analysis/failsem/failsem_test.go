@@ -1,0 +1,53 @@
+package failsem_test
+
+import (
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/analysis/analysistest"
+	"github.com/lsc-tea/tea/internal/analysis/driver"
+	"github.com/lsc-tea/tea/internal/analysis/failsem"
+)
+
+// TestGuarded checks both finding kinds against the fixture wants and the
+// tealint-compatible key grammar; the fixture also carries the non-flagging
+// cases (error-returning API, concrete error types, unexported helpers, a
+// shadowed panic, and an unguarded package that panics freely).
+func TestGuarded(t *testing.T) {
+	a := failsem.New([]string{"internal/core"})
+	diags := analysistest.Run(t, "testdata/src/failfix", a)
+	want := map[string]bool{
+		"failsem panic core.(*Engine).Run":         true,
+		"failsem noerror core.Reset":               true,
+		"failsem noerror core.(*CodedError).Error": true,
+	}
+	got := make(map[string]bool)
+	for _, d := range diags {
+		got[d.Key] = true
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing key %q (got %v)", k, got)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("unexpected keys: got %v, want %v", got, want)
+	}
+}
+
+// TestUnguarded runs with a guard list matching nothing: the same fixture
+// must be silent, proving findings come from the guard match, not the
+// constructs. analysistest would demand the `// want` comments still match,
+// so this drives the driver directly.
+func TestUnguarded(t *testing.T) {
+	prog, err := driver.Load("testdata/src/failfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.Run(prog, failsem.New([]string{"does/not/exist"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("unguarded run produced %d diagnostics: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,8 @@
+// Package free is outside the guarded list: nothing here is flagged.
+package free
+
+// Explode panics and returns no error, but the package owns no failure
+// semantics, so failsem stays silent.
+func Explode() {
+	panic("unguarded")
+}

@@ -1,0 +1,57 @@
+// Package core is guarded: panic call sites and exported no-error
+// functions are ratcheted here.
+package core
+
+import "errors"
+
+// Engine exists to exercise the method key grammar.
+type Engine struct{}
+
+// Run panics on bad input — the call site is flagged under the
+// pkg.(*Recv).Method key grammar.
+func (e *Engine) Run(n int) error {
+	if n < 0 {
+		panic("negative") // want `panic in core\.\(\*Engine\)\.Run: convert to a structured error`
+	}
+	return nil
+}
+
+// Reset is exported and reports nothing.
+func Reset() { // want `exported core\.Reset returns no error`
+	cleanup()
+}
+
+// Parse returns a plain error: the convention is satisfied.
+func Parse(s string) (int, error) {
+	if s == "" {
+		return 0, errors.New("empty")
+	}
+	return len(s), nil
+}
+
+// CodedError is a concrete error type.
+type CodedError struct{ Code int }
+
+// Error implements error; it is itself an exported method with no error
+// result, so the ratchet counts it (the repo baselines these).
+func (e *CodedError) Error() string { return "coded" } // want `exported core\.\(\*CodedError\)\.Error returns no error`
+
+// Load returns a concrete *CodedError, not the error interface; typed
+// analysis sees it is assignable to error, so no finding.
+func Load(n int) (int, *CodedError) {
+	if n < 0 {
+		return 0, &CodedError{Code: n}
+	}
+	return n, nil
+}
+
+// cleanup is unexported: the no-error convention only binds exported API.
+func cleanup() {}
+
+// Shadowed calls a local variable named panic — the typed check resolves
+// the builtin and must not flag it.
+func Shadowed() error {
+	panic := func(string) {}
+	panic("not the builtin")
+	return nil
+}

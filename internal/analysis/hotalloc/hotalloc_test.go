@@ -1,0 +1,47 @@
+package hotalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/analysis/analysistest"
+	"github.com/lsc-tea/tea/internal/analysis/hotalloc"
+)
+
+// TestFlagging checks every construct class against the fixture's `// want`
+// expectations, plus the ratchet-key shape and closure attribution.
+func TestFlagging(t *testing.T) {
+	diags := analysistest.Run(t, "testdata/src/hot", hotalloc.Analyzer)
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics from the flagging fixture")
+	}
+	keys := make(map[string]bool)
+	for _, d := range diags {
+		if d.Key == "" {
+			t.Errorf("hotalloc produced an unkeyed (hard) diagnostic: %s", d.Message)
+		}
+		keys[d.Key] = true
+	}
+	// The closure member is keyed under its own name, not the root's.
+	if !keys["hotalloc a.callee mapwrite"] {
+		t.Errorf("missing closure-callee key %q in %v", "hotalloc a.callee mapwrite", keys)
+	}
+	if !keys["hotalloc a.Hot make"] {
+		t.Errorf("missing root key %q in %v", "hotalloc a.Hot make", keys)
+	}
+	// The callee's finding is attributed to the root that reached it.
+	for _, d := range diags {
+		if d.Key == "hotalloc a.callee mapwrite" && !strings.Contains(d.Message, "(root a.Hot)") {
+			t.Errorf("callee finding not attributed to root a.Hot: %s", d.Message)
+		}
+	}
+}
+
+// TestClean runs the analyzer over a realistic pre-sized kernel that must
+// produce no findings (the fixture has no want comments, so any diagnostic
+// fails the run).
+func TestClean(t *testing.T) {
+	if diags := analysistest.Run(t, "testdata/src/hotclean", hotalloc.Analyzer); len(diags) != 0 {
+		t.Errorf("clean fixture produced %d diagnostics", len(diags))
+	}
+}

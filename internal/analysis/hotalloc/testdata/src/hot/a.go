@@ -1,0 +1,37 @@
+// Package a exercises every hotalloc construct class from a //tea:hotpath
+// root and checks the closure follows direct calls.
+package a
+
+var (
+	sink      []int
+	sinkMap   = map[string]int{}
+	sinkIface any
+	sinkStr   string
+)
+
+type pair struct{ x, y int }
+
+// Hot is a hot-path root: builtin allocators plus a direct callee.
+//
+//tea:hotpath
+func Hot(n int) {
+	s := make([]int, n)    // want `make allocates`
+	p := new(int)          // want `new allocates`
+	sink = append(sink, n) // want `append may grow and reallocate`
+	_ = s
+	_ = p
+	callee(n)
+}
+
+// callee is not annotated; it is hot because Hot calls it directly.
+func callee(n int) {
+	sinkMap["k"] = n // want `map write may grow the bucket array`
+}
+
+// Cold allocates freely: it is neither annotated nor reachable from a
+// root, so nothing in it is flagged.
+func Cold(n int) {
+	_ = make([]int, n)
+	sinkMap["c"] = n
+	_ = []int{n}
+}

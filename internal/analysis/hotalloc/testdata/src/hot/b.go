@@ -1,0 +1,35 @@
+package a
+
+import "fmt"
+
+// HotMore covers the remaining construct classes: composites, boxing,
+// string building, conversions, closures, defer-in-loop, go statements
+// and fmt/variadic calls. Value struct literals and capture-free func
+// literals appear as non-flagging controls.
+//
+//tea:hotpath
+func HotMore(n int, bs []byte) {
+	v := []int{1, 2, n} // want `slice literal allocates its backing array`
+	_ = v
+	m := map[int]int{} // want `map literal allocates`
+	_ = m
+	pp := &pair{x: n} // want `&composite literal escapes to the heap`
+	_ = pp
+	vp := pair{x: n, y: 2} // value struct literal: a store, not flagged
+	_ = vp
+	sinkIface = n                // want `int value boxed into interface`
+	sinkStr += "x"               // want `string \+= concatenation allocates`
+	sinkStr = sinkStr + "y"      // want `string concatenation allocates`
+	_ = string(bs)               // want `string/slice conversion copies`
+	f := func() int { return n } // want `func literal captures n and allocates`
+	_ = f
+	g := func() int { return 1 } // capture-free literal: not flagged
+	_ = g
+	for i := 0; i < n; i++ {
+		defer cleanup() // want `defer inside a loop allocates per iteration`
+	}
+	go cleanup()   // want `go statement spawns a goroutine`
+	fmt.Println(n) // want `fmt\.Println call formats through interfaces` `variadic call materializes its argument slice` `int value boxed into interface`
+}
+
+func cleanup() {}

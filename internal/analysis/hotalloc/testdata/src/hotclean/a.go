@@ -1,0 +1,42 @@
+// Package a is the non-flagging control: a realistic pre-sized kernel loop
+// under //tea:hotpath that hotalloc must pass without findings.
+package a
+
+// Table is a pre-sized flat transition table.
+type Table struct {
+	next []int32
+	buf  [64]uint64
+}
+
+// Advance walks edges through the table writing into caller-owned storage:
+// index reads/writes, slicing an existing array, value-struct copies and a
+// direct call to a clean helper, none of which allocate.
+//
+//tea:hotpath
+func (t *Table) Advance(edges []int32, out []uint64) int {
+	n := 0
+	scratch := t.buf[:0]
+	for i, e := range edges {
+		if int(e) >= len(t.next) {
+			break
+		}
+		s := t.next[e]
+		if i < len(out) {
+			out[i] = uint64(s)
+		}
+		if len(scratch) < cap(scratch) {
+			scratch = scratch[:len(scratch)+1]
+			scratch[len(scratch)-1] = uint64(s)
+		}
+		n += step(int(s))
+	}
+	return n
+}
+
+// step is in the hot closure and stays allocation-free.
+func step(s int) int {
+	if s < 0 {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,3 @@
+module wire_drift
+
+go 1.22

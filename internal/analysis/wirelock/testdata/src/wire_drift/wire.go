@@ -1,0 +1,13 @@
+// Package wire drifts from its golden in all three ways: CodeGone (=2 in
+// the golden) was removed, CodeSlow was renumbered 1 -> 5, and CodeNew was
+// appended. Removal findings anchor on the type declaration.
+package wire
+
+// Code is a wire-stable enumeration.
+type Code uint32 // want `wire constant Code\.CodeGone \(=2\) removed; values are append-only`
+
+const (
+	CodeOK   Code = 0
+	CodeSlow Code = 5 // want `wire constant Code\.CodeSlow renumbered 1 -> 5`
+	CodeNew  Code = 9 // want `wire constant Code\.CodeNew \(=9\) not in golden; run -update to lock the appended value`
+)

@@ -1,0 +1,3 @@
+module wire_ok
+
+go 1.22

@@ -1,0 +1,12 @@
+// Package wire is the non-flagging wirelock control: the checked-in golden
+// matches these constants exactly.
+package wire
+
+// Code is a wire-stable enumeration.
+type Code uint32
+
+const (
+	CodeOK   Code = 0
+	CodeSlow Code = 1
+	CodeBad  Code = 2
+)

@@ -110,6 +110,8 @@ func (r *CompiledReplayer) AccountOnly(instrs uint64) {
 // instrumented twin; the disabled path below carries no obs code at all
 // (not even nil checks inside the loop), so its code generation is exactly
 // the pre-observability fast path.
+//
+//tea:hotpath
 func (r *CompiledReplayer) AdvanceBatch(edges []Edge) StateID {
 	if r.obs != nil {
 		return r.advanceBatchObs(edges)

@@ -98,6 +98,7 @@ func (r *CompiledReplayer) Obs() *obs.Obs { return r.obs }
 func (r *Recorder) SetObs(o *obs.Obs) {
 	r.obs = o
 	r.rep.SetObs(o)
+	r.syncSpan = obs.NewSpanTimer(o, "record_sync")
 	if o != nil {
 		r.lastSync = o.EdgeBase()
 	}

@@ -52,9 +52,12 @@ type Recorder struct {
 	view  trace.AutoView
 
 	// obs is the (nil when disabled) observability sink; lastSync is the
-	// edge-clock reading at the previous sync, for the sync-gap histogram.
+	// edge-clock reading at the previous sync, for the sync-gap histogram;
+	// syncSpan holds the span counters pre-resolved at SetObs time so the
+	// sync path never takes the registry lock or builds metric names.
 	obs      *obs.Obs
 	lastSync uint64
+	syncSpan obs.SpanTimer
 }
 
 // NewRecorder creates a recorder around the selection strategy, with the
@@ -159,6 +162,8 @@ func (r *Recorder) Observe(e cfg.Edge, instrs uint64) {
 // and the view's cursor are (transiently, after an immediate trace link)
 // out of lockstep, it consumes nothing and the recorder steps one edge
 // sequentially until they reconverge.
+//
+//tea:hotpath
 func (r *Recorder) ObserveBatch(edges []cfg.Edge, instrs []uint64) {
 	if len(edges) != len(instrs) {
 		panic("core: ObserveBatch edges/instrs length mismatch")
@@ -223,7 +228,7 @@ func (r *Recorder) Snapshot() *Automaton { return r.auto.Clone() }
 // trace), so this is where the span timing, churn histogram and occupancy
 // gauges live — never on the per-edge path.
 func (r *Recorder) sync(t *trace.Trace) {
-	sp := obs.StartSpan(r.obs, "record_sync")
+	sp := r.syncSpan.Start()
 	r.auto.SyncTrace(t)
 	entered := false
 	if head, ok := r.auto.EntryFor(t.EntryAddr()); ok {

@@ -58,10 +58,10 @@ type Replayer struct {
 	// plausible-successor test per state. The view is stamped with the
 	// automaton's version and rebuilt lazily after a sync, so steady-state
 	// recording (no syncs) never rebuilds or allocates.
-	flatVersion uint64
-	flatStart   []int32
-	flatLabels  []uint64
-	flatTargets []int32
+	flatVersion  uint64
+	flatStart    []int32
+	flatLabels   []uint64
+	flatTargets  []int32
 	flatTBBs     []*trace.TBB
 	flatRoot     []bool
 	flatWild     []bool

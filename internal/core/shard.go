@@ -96,6 +96,8 @@ type ProbeRec struct {
 
 // SpecReplay speculatively replays seg from (NTE, in-sync) with the
 // memoryless transition function, recording the post-state trajectory.
+//
+//tea:hotpath
 func (c *Compiled) SpecReplay(seg []Edge, r *SpecResult) {
 	r.Reset(len(seg))
 	cur, des := NTE, false
@@ -128,6 +130,8 @@ func (c *Compiled) specReplayCancel(seg []Edge, r *SpecResult, cancelled *atomic
 // ebase+offset. The hot loop is written out manually (rather than calling
 // stepObs per edge) so the common in-trace path stays branch-light and
 // call-free — this loop is what removes the parallel obs=on cliff.
+//
+//tea:hotpath
 func (c *Compiled) SpecReplayObs(seg []Edge, ebase uint64, r *SpecResult) {
 	r.Reset(len(seg))
 	evs := r.Evs
@@ -289,6 +293,8 @@ func (c *Compiled) recStep(cur StateID, des bool, e *cfg.Edge, instrs uint64, st
 // effects are *deferred* — head candidates and trace-side misses are
 // collected for the drain to replay in sequence order instead of being
 // applied to shared state.
+//
+//tea:hotpath
 func (c *Compiled) SpecRecord(edges []cfg.Edge, instrs []uint64, r *SpecResult) {
 	r.Reset(len(edges))
 	cur, des := NTE, false
@@ -320,6 +326,8 @@ func (r *SpecResult) prevState(k int) StateID {
 // with the true transition function, returning the charges and exit state.
 // The drain uses it to account the prefix of a chunk that ends in a
 // recording trigger before handing the suffix to the sequential recorder.
+//
+//tea:hotpath
 func (c *Compiled) RecReplay(edges []cfg.Edge, instrs []uint64, cur StateID, des bool, upto int) (Stats, StateID, bool) {
 	var st Stats
 	for j := 0; j < upto; j++ {

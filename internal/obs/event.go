@@ -116,6 +116,8 @@ func (t *Tracer) Emit(e Event) {
 // same final ring contents, head position and dropped count as emitting the
 // events one by one: when the batch is larger than the ring only its tail
 // survives, and that tail is copied in at most two contiguous runs.
+//
+//tea:hotpath
 func (t *Tracer) EmitBatch(events []Event) {
 	k := uint64(len(events))
 	if k == 0 {

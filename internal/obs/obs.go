@@ -257,6 +257,35 @@ func (s Span) End() {
 	s.calls.Add(1)
 }
 
+// SpanTimer is a pre-resolved span: the two counters StartSpan would look
+// up (registry mutex, name concatenation) are bound once at construction,
+// so Start on a repeating site — the recorder's sync span fires once per
+// created or extended trace — touches no shared state beyond the clock.
+// The zero SpanTimer (and a nil Obs) starts inert spans, so call sites
+// need no guard.
+type SpanTimer struct {
+	ns, calls *Counter
+}
+
+// NewSpanTimer resolves the counters for a span named tea_span_<name>.
+func NewSpanTimer(o *Obs, name string) SpanTimer {
+	if o == nil {
+		return SpanTimer{}
+	}
+	return SpanTimer{
+		ns:    o.Reg.Counter("tea_span_"+name+"_ns_total", "wall nanoseconds inside "+name),
+		calls: o.Reg.Counter("tea_span_"+name+"_calls_total", "entries into "+name),
+	}
+}
+
+// Start opens a span against the pre-resolved counters.
+func (t SpanTimer) Start() Span {
+	if t.ns == nil {
+		return Span{}
+	}
+	return Span{ns: t.ns, calls: t.calls, start: time.Now()}
+}
+
 // Probe is a nil-safe handle on one histogram for a fixed shard, letting
 // hot paths capture the lookup once and observe without re-hashing names.
 type Probe struct {

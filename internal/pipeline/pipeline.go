@@ -152,8 +152,8 @@ type pipe struct {
 	wg sync.WaitGroup
 
 	// Producer-side state (owned by the feeding goroutine).
-	cur *chunk
-	cum uint64 // edges published so far
+	cur   *chunk
+	cum   uint64 // edges published so far
 	obase uint64
 }
 

@@ -234,6 +234,8 @@ func (p *RecordPipeline) FeedEdge(e cfg.Edge, instrs uint64) {
 // slices — so both must stay unmodified until the next Barrier. Only a
 // partially filled head or tail chunk is copied. Prefer it over FeedEdge
 // when edges arrive batched.
+//
+//tea:hotpath
 func (p *RecordPipeline) Feed(edges []cfg.Edge, instrs []uint64) {
 	ce := p.pipe.cfg.ChunkEdges
 	// Finish a partially filled per-edge chunk by copying into it.

@@ -21,18 +21,18 @@ import (
 // that stay put under perturbations the TEA genuinely does not describe
 // (cold-code layout, raw instruction totals, cache-layer luck).
 type semantic struct {
-	traceBlocks, traceInstrs           uint64
-	inTraceHits                        uint64
-	enters, links, exits               uint64
-	desyncs, resyncs                   uint64
-	final                              core.StateID
+	traceBlocks, traceInstrs uint64
+	inTraceHits              uint64
+	enters, links, exits     uint64
+	desyncs, resyncs         uint64
+	final                    core.StateID
 }
 
 func semanticOf(s core.Stats, final core.StateID) semantic {
 	return semantic{
 		traceBlocks: s.TraceBlocks, traceInstrs: s.TraceInstrs,
 		inTraceHits: s.InTraceHits,
-		enters: s.TraceEnters, links: s.TraceLinks, exits: s.TraceExits,
+		enters:      s.TraceEnters, links: s.TraceLinks, exits: s.TraceExits,
 		desyncs: s.Desyncs, resyncs: s.Resyncs,
 		final: final,
 	}

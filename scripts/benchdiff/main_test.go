@@ -79,6 +79,51 @@ func TestGateKeysOnObsMode(t *testing.T) {
 	}
 }
 
+func TestGateKeysOnWorkers(t *testing.T) {
+	// Pipeline rows share bench+config and differ only in the worker count;
+	// the workers field must keep a w1 row from being compared against w4.
+	base := writeBench(t, "base.json", `{"target": 300000, "rows": [
+	  {"bench": "mcf", "config": "pipe", "workers": 1, "ns_per_edge": 12.0, "allocs_per_edge": 0},
+	  {"bench": "mcf", "config": "pipe", "workers": 4, "ns_per_edge": 4.0, "allocs_per_edge": 0}
+	]}`)
+	fresh := writeBench(t, "fresh.json", `{"target": 300000, "rows": [
+	  {"bench": "mcf", "config": "pipe", "workers": 1, "ns_per_edge": 12.5, "allocs_per_edge": 0},
+	  {"bench": "mcf", "config": "pipe", "workers": 4, "ns_per_edge": 4.1, "allocs_per_edge": 0}
+	]}`)
+	if err := run(base, fresh, 25, "", 10); err != nil {
+		t.Fatalf("workers-keyed rows misrouted: %v", err)
+	}
+	// Only the w4 row regresses; the failure must name it via the /w4 label
+	// and leave the healthy w1 row out of it.
+	slow := writeBench(t, "slow.json", `{"target": 300000, "rows": [
+	  {"bench": "mcf", "config": "pipe", "workers": 1, "ns_per_edge": 12.0, "allocs_per_edge": 0},
+	  {"bench": "mcf", "config": "pipe", "workers": 4, "ns_per_edge": 9.0, "allocs_per_edge": 0}
+	]}`)
+	err := run(base, slow, 25, "", 10)
+	if err == nil || !strings.Contains(err.Error(), "mcf/pipe/w4") {
+		t.Fatalf("regressing w4 row not identified: %v", err)
+	}
+	if strings.Contains(err.Error(), "mcf/pipe/w1") {
+		t.Fatalf("healthy w1 row dragged into the failure: %v", err)
+	}
+}
+
+func TestMissingWorkersRowFailsAtSameTarget(t *testing.T) {
+	// At equal targets the default comparison demands every baseline row;
+	// dropping one worker-count row must fail and name it.
+	base := writeBench(t, "base.json", `{"target": 300000, "rows": [
+	  {"bench": "mcf", "config": "pipe", "workers": 1, "ns_per_edge": 12.0, "allocs_per_edge": 0},
+	  {"bench": "mcf", "config": "pipe", "workers": 4, "ns_per_edge": 4.0, "allocs_per_edge": 0}
+	]}`)
+	fresh := writeBench(t, "fresh.json", `{"target": 300000, "rows": [
+	  {"bench": "mcf", "config": "pipe", "workers": 1, "ns_per_edge": 12.0, "allocs_per_edge": 0}
+	]}`)
+	err := run(base, fresh, 25, "", 0)
+	if err == nil || !strings.Contains(err.Error(), "mcf/pipe/w4") || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("dropped w4 row not reported: %v", err)
+	}
+}
+
 func TestZeroAllocsStillExact(t *testing.T) {
 	leaky := writeBench(t, "leaky.json", `{"target": 300000, "rows": [
 	  {"bench": "mcf", "config": "compiled-batch", "obs": "off", "ns_per_edge": 6.0, "allocs_per_edge": 0.0001}
@@ -86,5 +131,29 @@ func TestZeroAllocsStillExact(t *testing.T) {
 	err := run("", leaky, 25, "compiled-batch", 0)
 	if err == nil || !strings.Contains(err.Error(), "want 0") {
 		t.Fatalf("zero-alloc check accepted a nonzero row: %v", err)
+	}
+}
+
+func TestZeroAllocsScopedToMatchingConfigs(t *testing.T) {
+	// Only rows whose config contains the substring are held to zero; a
+	// reference row may allocate freely.
+	mixed := writeBench(t, "mixed.json", `{"target": 300000, "rows": [
+	  {"bench": "mcf", "config": "batch", "workers": 2, "ns_per_edge": 6.0, "allocs_per_edge": 0},
+	  {"bench": "mcf", "config": "reference-hash-local", "ns_per_edge": 30.0, "allocs_per_edge": 2.5}
+	]}`)
+	if err := run("", mixed, 25, "batch", 0); err != nil {
+		t.Fatalf("zero-alloc check leaked onto non-matching rows: %v", err)
+	}
+}
+
+func TestZeroAllocsFailsWhenMatchingNothing(t *testing.T) {
+	// A typo'd (or renamed-away) config substring must fail loudly instead
+	// of silently checking zero rows.
+	fresh := writeBench(t, "fresh.json", `{"target": 300000, "rows": [
+	  {"bench": "mcf", "config": "pipe", "workers": 2, "ns_per_edge": 6.0, "allocs_per_edge": 0}
+	]}`)
+	err := run("", fresh, 25, "no-such-config", 0)
+	if err == nil || !strings.Contains(err.Error(), "matched nothing") {
+		t.Fatalf("empty zero-alloc match not reported: %v", err)
 	}
 }

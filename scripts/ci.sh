@@ -3,14 +3,24 @@
 # race detector (which covers the sharded parallel-replay tests), a
 # one-iteration smoke of every benchmark so the bench code cannot rot
 # silently, a short fuzz run over the wire-format decoder (the robustness
-# surface most exposed to hostile input), the tealint failure-semantics
-# ratchet, and the static-verifier gate: every checked-in valid corpus image
-# must verify with zero findings, and the known-bad image (decodes cleanly,
-# CFG-impossible link) must be flagged. Run from the repo root:
+# surface most exposed to hostile input), the teavet typed-analysis suite
+# (with a negative self-test proving the analyzers still flag), and the
+# static-verifier gate: every checked-in valid corpus image must verify with
+# zero findings, and the known-bad image (decodes cleanly, CFG-impossible
+# link) must be flagged. Run from the repo root:
 #
 #   ./scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Formatting gate: gofmt must be clean everywhere, fixture modules under
+# testdata/ included (they are parsed by the analysis tests).
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "ci: gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 go vet ./...
 go test -race ./...
@@ -27,14 +37,38 @@ go test -race ./internal/serve/... ./internal/faultinject
 go run ./cmd/teaserve -smoke
 echo "ci: serve gate ok"
 
-# Failure-semantics lint: no panic sites or exported no-error functions
-# beyond cmd/tealint/baseline.txt.
-go run ./cmd/tealint
+bin="$(mktemp -d)"
+trap 'rm -rf "$bin"' EXIT
+
+# Typed static-analysis gate: the four teavet analyzers (hotalloc,
+# atomicmix, wirelock, failsem) against the checked-in ratchet baseline and
+# wire-format golden. Built as a binary so the exact exit code is visible
+# (`go run` collapses every nonzero status to 1).
+go build -o "$bin/teavet" ./cmd/teavet
+"$bin/teavet"
+# Negative self-test, mirroring the badcfg.bin check below: the fixture
+# module must keep producing findings from every analyzer (exit 1). If a
+# refactor makes an analyzer silently stop flagging, this catches it.
+rc=0
+"$bin/teavet" -root cmd/teavet/testdata/selftest \
+    -baseline baseline.txt -wirelock wirelock.json \
+    > "$bin/selftest.out" || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "ci: teavet selftest should exit 1 (findings), got $rc" >&2
+    cat "$bin/selftest.out" >&2
+    exit 1
+fi
+for analyzer in hotalloc atomicmix wirelock failsem; do
+    if ! grep -q "$analyzer" "$bin/selftest.out"; then
+        echo "ci: teavet selftest lost its $analyzer findings" >&2
+        cat "$bin/selftest.out" >&2
+        exit 1
+    fi
+done
+echo "ci: teavet gate ok"
 
 # Static-verifier gate. Built as a binary so the exact exit code is visible
 # (`go run` collapses every nonzero status to 1).
-bin="$(mktemp -d)"
-trap 'rm -rf "$bin"' EXIT
 go build -o "$bin/teadump" ./cmd/teadump
 for f in internal/core/testdata/decode_corpus/*-valid.bin; do
     "$bin/teadump" -bench figure2 -verify "$f"
