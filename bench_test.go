@@ -375,6 +375,17 @@ func BenchmarkCompiledReplay(b *testing.B) {
 			}
 			reportPerEdge(b, uint64(b.N)*uint64(len(f.stream)))
 		})
+		b.Run(wl+"/compiled-stride", func(b *testing.B) {
+			r := core.NewCompiledReplayer(core.Specialize(compiled, f.stream))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reset()
+				r.AdvanceBatch(f.stream)
+			}
+			reportPerEdge(b, uint64(b.N)*uint64(len(f.stream)))
+			b.ReportMetric(float64(r.StrideEdges())/float64(len(f.stream)), "cycle-hit-rate")
+		})
 	}
 }
 

@@ -11,6 +11,7 @@
 //	teadump -bench mcf file.tea -states      # full state listing
 //	teadump -bench mcf file.tea -dot         # Graphviz digraph
 //	teadump -bench mcf file.tea -verify      # static invariant audit (exit 3 on findings)
+//	teadump -bench mcf file.tea -verify -stride tab.teas  # also re-prove a stride table (C-STRIDE)
 //	teadump -events trace.evlog              # decode a binary event log (teaprof -events)
 package main
 
@@ -32,6 +33,7 @@ func main() {
 	target := flag.Uint64("target", 1_000_000, "dynamic instruction target for -bench")
 	states := flag.Bool("states", false, "print the full state listing")
 	verify := flag.Bool("verify", false, "statically verify the TEA (automaton, compiled form, image); exit 3 on findings")
+	strideFile := flag.String("stride", "", "with -verify: TEAS stride-table blob to attach and re-prove (C-STRIDE)")
 	dot := flag.Bool("dot", false, "print a Graphviz digraph")
 	dcfgDot := flag.Bool("dcfg", false, "print the dynamic CFG (code-replicating view, §3) as Graphviz")
 	traceID := flag.Int("trace", 0, "disassemble one trace by ID (1-based)")
@@ -65,12 +67,34 @@ func main() {
 		// Exit codes let CI distinguish the failure modes: 1 = the image did
 		// not decode (handled above), 3 = it decoded but a rule fired.
 		r := tea.Verify(a, prog, tea.ConfigGlobalLocal)
+		strides := 0
+		if *strideFile != "" {
+			// A stride blob is verified like the image: decode is only a
+			// structural bound; C-STRIDE then re-proves every entry against
+			// this TEA's compiled form, so a blob recorded for a different
+			// TEA (or tampered with) fails here even though it decoded.
+			blob, err := os.ReadFile(*strideFile)
+			if err != nil {
+				fail(err)
+			}
+			tab, err := tea.DecodeStrideTable(blob)
+			if err != nil {
+				fail(fmt.Errorf("%s: %v", *strideFile, err))
+			}
+			strides = len(tab)
+			r.Merge(tea.VerifyStrideTable(a, tea.ConfigGlobalLocal, tab))
+		}
 		if out := r.String(); out != "" {
 			fmt.Print(out)
 		}
 		if len(r.Findings) > 0 {
 			fmt.Fprintf(os.Stderr, "teadump: %s: %d finding(s)\n", flag.Arg(0), len(r.Findings))
 			os.Exit(3)
+		}
+		if *strideFile != "" {
+			fmt.Printf("verify: %s + %s ok (%d states, %d traces, %d stride entries, 0 findings)\n",
+				flag.Arg(0), *strideFile, a.NumStates(), a.Set().Len(), strides)
+			return
 		}
 		fmt.Printf("verify: %s ok (%d states, %d traces, 0 findings)\n",
 			flag.Arg(0), a.NumStates(), a.Set().Len())

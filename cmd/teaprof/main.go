@@ -9,6 +9,7 @@
 //	teaprof -bench mcf -replay out.tea              # replay (Table 2 mode)
 //	teaprof -bench mcf -replay out.tea -profile     # + per-trace profile
 //	teaprof -bench mcf -replay out.tea -compiled    # batched compiled replay
+//	teaprof -bench mcf -replay out.tea -layout      # SoA/stride-table layout report
 //	teaprof -bench mcf -replay out.tea -shards 4    # sharded parallel replay
 //	teaprof -asm prog.s -record out.tea             # use an assembly file
 //	teaprof -bench gcc -record out.tea -strategy tt # TT instead of MRET
@@ -41,6 +42,7 @@ func main() {
 	profileFlag := flag.Bool("profile", false, "with -replay: collect and print the trace profile")
 	top := flag.Int("top", 5, "with -profile: how many hottest traces to print")
 	compiled := flag.Bool("compiled", false, "with -replay: replay through the compiled flat automaton")
+	layout := flag.Bool("layout", false, "with -replay: print the compiled form's memory-layout report (SoA residency, stride-table occupancy, cycle hit rate)")
 	shards := flag.Int("shards", 1, "with -replay: capture the block stream and replay it in N parallel shards")
 	pipelineFlag := flag.Bool("pipeline", false, "decouple capture from processing: sequenced chunks, scan workers, reconciling drain (works with -record and -replay)")
 	workers := flag.Int("workers", 0, "with -pipeline: scan worker count (0 = GOMAXPROCS)")
@@ -113,6 +115,24 @@ func main() {
 		}
 		if *serve != "" {
 			serveObs(prog, a, o, *shards, *serve)
+			return
+		}
+		if *layout {
+			// Specialize against the program's own captured stream so the
+			// report shows the stride table this TEA would actually carry,
+			// then replay once to measure how much of the stream it fuses.
+			stream, _, err := tea.CaptureStream(prog)
+			if err != nil {
+				fail(err)
+			}
+			sp := tea.Specialize(tea.Compile(a, tea.ConfigGlobalLocal), stream)
+			fmt.Print(tea.CompiledLayout(sp))
+			r := tea.NewCompiledReplayer(sp)
+			r.AdvanceBatch(stream)
+			if len(stream) > 0 {
+				fmt.Printf("cycle hit rate:      %.1f%% of %d captured edges consumed by fused cycles\n",
+					100*float64(r.StrideEdges())/float64(len(stream)), len(stream))
+			}
 			return
 		}
 		if *pipelineFlag {

@@ -6,6 +6,8 @@ package core
 // never perturb the representation it is auditing, and the hot replay paths
 // stay untouched.
 
+import "unsafe"
+
 // Labels returns a copy of the state's in-trace transition labels in table
 // order (sorted ascending by construction).
 func (s *State) Labels() []uint64 {
@@ -31,18 +33,39 @@ const ImpossibleLabel = impossibleLabel
 // slot placement and filter coverage on an audit snapshot.
 const FibHash = fibHash
 
-// Audit flag bits mirroring the compiled stateRec plausibility flags.
+// Audit flag bits mirroring the compiled cold-record plausibility flags.
 const (
 	AuditFlagIndirect = flagIndirect
 	AuditFlagBranch   = flagBranch
 	AuditFlagFallThru = flagFallThru
 )
 
-// StateAudit is the audit view of one compiled state record.
+// HotRecSize and ColdRecSize expose the compiled record geometry for the
+// verifier's C-SOA layout rule: the hot record must stay exactly half a
+// 64-byte cache line, the cold record no wider than the hot one.
+const (
+	HotRecSize  = int(unsafe.Sizeof(hotRec{}))
+	ColdRecSize = int(unsafe.Sizeof(coldRec{}))
+)
+
+// NoStride is the sentinel stride index of a state that anchors no fused
+// cycle (and the chain terminator in StrideEntry.Next).
+const NoStride = noStride
+
+// MaxStrideLen is the longest admissible fused-cycle pattern, exported so
+// the verifier can bound decoded tables with the same constant Specialize
+// enforces.
+const MaxStrideLen = maxStrideLen
+
+// StateAudit is the audit view of one compiled state record — the hot and
+// cold halves of the SoA split recombined.
 type StateAudit struct {
 	Lab0, Lab1 uint64
 	Tgt0, Tgt1 StateID
-	Flags      uint8
+	// Stride is the head of the state's stride-entry chain (NoStride when
+	// the state anchors no fused cycle).
+	Stride int32
+	Flags  uint8
 	// BranchTarget and FallThrough are plausibleSuccessor's precomputed
 	// inputs (valid when the corresponding flag bit is set, zero otherwise).
 	BranchTarget uint64
@@ -66,8 +89,11 @@ type CompiledAudit struct {
 	Off     []uint32
 	Labels  []uint64
 	Targets []StateID
-	// States are the 64-byte hot records, one per state.
+	// States are the recombined hot+cold records, one per state.
 	States []StateAudit
+	// Stride is the fused trace-cycle table (empty when unspecialized),
+	// deep-copied entry by entry.
+	Stride []StrideEntry
 	// Ent is the open-addressed entry table with its probe parameters.
 	Ent      []EntrySlotAudit
 	EntMask  uint64
@@ -86,7 +112,8 @@ func (c *Compiled) Audit() CompiledAudit {
 		Off:       append([]uint32(nil), c.off...),
 		Labels:    append([]uint64(nil), c.labels...),
 		Targets:   append([]StateID(nil), c.targets...),
-		States:    make([]StateAudit, len(c.state)),
+		States:    make([]StateAudit, len(c.hot)),
+		Stride:    StrideTableCopy(c.stride),
 		Ent:       make([]EntrySlotAudit, len(c.ent)),
 		EntMask:   c.entMask,
 		EntShift:  c.entShift,
@@ -95,13 +122,15 @@ func (c *Compiled) Audit() CompiledAudit {
 		FiltShift: c.filtShift,
 		LocalSize: c.localSize,
 	}
-	for i, rec := range c.state {
+	for i, rec := range c.hot {
+		cr := c.cold[i]
 		v.States[i] = StateAudit{
 			Lab0: rec.lab0, Lab1: rec.lab1,
 			Tgt0: rec.tgt0, Tgt1: rec.tgt1,
-			Flags:        rec.flags,
-			BranchTarget: rec.btgt,
-			FallThrough:  rec.fthru,
+			Stride:       rec.stride,
+			Flags:        cr.flags,
+			BranchTarget: cr.btgt,
+			FallThrough:  cr.fthru,
 		}
 	}
 	for i, e := range c.ent {
@@ -121,4 +150,17 @@ func (c *Compiled) NextState(s StateID, label uint64) (StateID, bool) {
 // and open-addressed probe sequence.
 func (c *Compiled) EntryLookup(addr uint64) (StateID, bool) {
 	return c.entry(addr)
+}
+
+// StrideProve re-runs Specialize's admission proof for a claimed fused
+// cycle: it walks pat from anchor through the production cache-less
+// transition function and rebuilds the entire entry — trajectory, miss
+// classification, crossing count, both per-traversal Stats deltas and the
+// derived tile. ok is false when the pattern is inadmissible (bad shape, a
+// desync mid-pattern, or a trajectory that does not close on its anchor).
+// The verifier's C-STRIDE rule holds a decoded table against this ground
+// truth, so a forged entry can only pass by being byte-identical to what
+// the production simulation derives.
+func (c *Compiled) StrideProve(anchor StateID, pat []Edge) (StrideEntry, bool) {
+	return buildStrideEntry(c, anchor, pat)
 }

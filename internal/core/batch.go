@@ -1,8 +1,20 @@
 package core
 
 import (
+	"unsafe"
+
 	"github.com/lsc-tea/tea/internal/obs"
 )
+
+// strideLookahead is the software-prefetch distance of the fused consume
+// loops, in edges. The 4-wide unroll retires one 64-byte cache line of
+// stream per iteration, so hinting a single line strideLookahead edges
+// (= strideLookahead/4 lines) ahead on every iteration walks the prefetch
+// front exactly one line per iteration at a constant 512-byte lead — far
+// enough to cover DRAM latency at the unroll's consumption rate, near
+// enough not to thrash L1. See DESIGN.md §16 for the measurements behind
+// the distance.
+const strideLookahead = 32
 
 // Edge is one event of a dynamic block stream in replay currency: the
 // previously executing block retired Instrs dynamic instructions and
@@ -43,6 +55,21 @@ type CompiledReplayer struct {
 	// predicted-not-taken branch per slow-path edge.
 	obs *obs.Obs
 
+	// strideEdges counts edges consumed through fused stride-table hits. It
+	// lives outside Stats on purpose: Stats must stay byte-identical to the
+	// reference replayer, and the reference has no stride path. The ratio
+	// strideEdges/total is the bench suite's cycle_hit_rate.
+	strideEdges uint64
+
+	// cacheGen counts local-cache slot writes; warmGen[si] memoizes, per
+	// stride entry, the generation at which its warm check last passed
+	// (stored as gen+1 so the zero value means "never checked"). Once the
+	// caches reach steady state no slot is written again, cacheGen stops
+	// moving, and the per-attach warm check collapses from a chain of
+	// dependent cache loads to one integer compare.
+	cacheGen uint64
+	warmGen  []uint64
+
 	one [1]Edge // backing for the single-edge Advance, keeping it alloc-free
 }
 
@@ -59,6 +86,9 @@ func NewCompiledReplayer(c *Compiled) *CompiledReplayer {
 	r := &CompiledReplayer{c: c, cur: NTE}
 	if c.localSize > 0 {
 		r.cache = make([]cacheSlot, c.NumStates()*c.localSize)
+		if len(c.stride) > 0 {
+			r.warmGen = make([]uint64, len(c.stride))
+		}
 	}
 	return r
 }
@@ -75,12 +105,18 @@ func (r *CompiledReplayer) Stats() *Stats { return &r.stats }
 // Desynced reports whether the cursor is currently desynchronized.
 func (r *CompiledReplayer) Desynced() bool { return r.desynced }
 
+// StrideEdges returns how many edges were consumed through fused
+// stride-table hits (0 on an unspecialized Compiled). Deliberately not part
+// of Stats, which stays byte-identical to the reference replayer.
+func (r *CompiledReplayer) StrideEdges() uint64 { return r.strideEdges }
+
 // Reset rewinds the cursor to NTE and zeroes the statistics, keeping the
 // (warm) local caches — the same contract as Replayer.Reset.
 func (r *CompiledReplayer) Reset() {
 	r.cur = NTE
 	r.desynced = false
 	r.stats = Stats{}
+	r.strideEdges = 0
 }
 
 // Advance consumes one edge; it is AdvanceBatch over a single-element batch.
@@ -106,6 +142,14 @@ func (r *CompiledReplayer) AccountOnly(instrs uint64) {
 // in locals across the whole batch, writing them back once — the amortized
 // form of calling Advance per edge, with identical results.
 //
+// On a Specialize'd Compiled the loop first tries the cursor's fused
+// stride-table chain: a hit consumes the cycle's k edges (and every
+// immediately repeating traversal) with one flat comparison per traversal
+// and a constant-time stats update, then falls back to the per-edge kernel
+// at the cycle exit. Stride hits are byte-equivalent to k per-edge steps —
+// Specialize only admits cycles whose every transition is an in-trace hit —
+// so Stats, cursor and desync behaviour are unchanged.
+//
 // With an observability context attached the batch routes through the
 // instrumented twin; the disabled path below carries no obs code at all
 // (not even nil checks inside the loop), so its code generation is exactly
@@ -116,6 +160,261 @@ func (r *CompiledReplayer) AdvanceBatch(edges []Edge) StateID {
 	if r.obs != nil {
 		return r.advanceBatchObs(edges)
 	}
+	if len(r.c.stride) == 0 {
+		return r.advanceBatchPlain(edges)
+	}
+	c := r.c
+	cur, desynced := r.cur, r.desynced
+	st := r.stats
+	strideEdges := r.strideEdges
+	cacheGen := r.cacheGen
+	localSize := c.localSize
+	var localMask uint64
+	if localSize > 0 {
+		localMask = uint64(localSize - 1)
+	}
+	// Hoist the arrays into locals: the in-loop stores to the cache slice
+	// would otherwise force the compiler to reload every slice header on
+	// each iteration (the stores could alias them).
+	hot := c.hot
+	cold := c.cold
+	strides := c.stride
+	probes := c.strideProbe
+	cache := r.cache
+	n := len(edges)
+
+	for k := 0; k < n; {
+		if cur == NTE {
+			// From NTE every transition searches the global container.
+			label, instrs := edges[k].Label, edges[k].Instrs
+			k++
+			if instrs != 0 {
+				st.Blocks++
+				st.Instrs += instrs
+			}
+			st.GlobalLookups++
+			if t, ok := c.entry(label); ok {
+				st.GlobalHits++
+				st.TraceEnters++
+				if desynced {
+					desynced = false
+					st.Resyncs++
+				}
+				cur = t
+			}
+			continue
+		}
+
+		rec := &hot[cur]
+
+		// Fused trace-cycle fast path: when the cursor anchors a stride
+		// chain and is in sync, one flat 16*k-byte comparison consumes a
+		// whole cycle traversal — and repeats of it — without touching the
+		// per-edge slots at all. The chain walks the compact probe array
+		// (first edge, length, miss/crossing counts), so a probe miss costs
+		// two scalar compares against an L1-resident record and never
+		// dereferences the full entry; a single-edge miss-free match — the
+		// dominant fused shape — resolves from the probe record alone. Long
+		// runs upgrade to whole-tile compares (the pattern pre-repeated to
+		// ~128 edges) so steady state runs at vectorized-memequal speed; the
+		// upgrade is gated on a few confirmed traversals first, so short
+		// runs never pay for a failed tile compare.
+		if si := rec.stride; si >= 0 && !desynced {
+			matched := false
+			for si >= 0 {
+				p := &probes[si]
+				m := int(p.m)
+				if m > n-k || edges[k] != p.first {
+					si = p.next
+					continue
+				}
+				if m == 1 && p.miss == 0 && p.first.Instrs != 0 {
+					// In-trace self-loop run: Edges == 1, Instrs ==
+					// first.Instrs, all in-trace hits — the whole delta comes
+					// from the record. The 4-wide leg issues independent
+					// compares (no carried dependency), which is what the
+					// typical 5-40 edge run length rewards; tiles only start
+					// paying past ~100 edges.
+					runs := uint64(1)
+					k++
+					pe := p.first
+					for k+4 <= n && edges[k] == pe && edges[k+1] == pe && edges[k+2] == pe && edges[k+3] == pe {
+						runs += 4
+						k += 4
+						if k+strideLookahead < n {
+							prefetchT0(unsafe.Pointer(&edges[k+strideLookahead]))
+						}
+					}
+					for k < n && edges[k] == pe {
+						runs++
+						k++
+					}
+					st.Blocks += runs
+					st.TraceBlocks += runs
+					st.Instrs += pe.Instrs * runs
+					st.TraceInstrs += pe.Instrs * runs
+					st.InTraceHits += runs
+					strideEdges += runs
+					matched = true
+					break
+				}
+				e := &strides[si]
+				if m > 1 && !edgesEqual(edges[k:k+m], e.Pattern) {
+					si = p.next
+					continue
+				}
+				// Entries with miss positions are fused on the cached kernel
+				// only while the local cache already holds each non-NTE miss's
+				// resolution (a warm hit never writes the slot); the
+				// cache-less configuration resolves every miss through the
+				// immutable entry table, which the simulation proved, so it
+				// needs no check. The check memoizes on the cache write
+				// generation: while no slot has been written since the last
+				// pass, warmth cannot have been lost.
+				if p.miss != 0 && localSize > 0 && r.warmGen[si] != cacheGen+1 {
+					if !r.strideMissWarm(e) {
+						si = p.next
+						continue
+					}
+					r.warmGen[si] = cacheGen + 1
+				}
+				runs := uint64(1)
+				k += m
+				if m == 1 {
+					pe := e.Pattern[0]
+					for k+4 <= n && edges[k] == pe && edges[k+1] == pe && edges[k+2] == pe && edges[k+3] == pe {
+						runs += 4
+						k += 4
+						if k+strideLookahead < n {
+							prefetchT0(unsafe.Pointer(&edges[k+strideLookahead]))
+						}
+					}
+					for k < n && edges[k] == pe {
+						runs++
+						k++
+					}
+				} else {
+					for m <= n-k && edgesEqual(edges[k:k+m], e.Pattern) {
+						runs++
+						k += m
+						if runs == 4 {
+							if tl := len(e.Tile); tl != 0 {
+								for tl <= n-k && edgesEqual(edges[k:k+tl], e.Tile) {
+									runs += e.TileReps
+									k += tl
+								}
+							}
+						}
+					}
+				}
+				// The Stats delta of runs traversals is the simulated
+				// per-traversal delta scaled: the warm-cache expansion when
+				// embedded caches are live, the cache-less one otherwise.
+				if localSize > 0 {
+					st.addScaled(&e.DeltaLocal, runs)
+				} else {
+					st.addScaled(&e.DeltaGlobal, runs)
+				}
+				strideEdges += e.Edges * runs
+				matched = true
+				break
+			}
+			if matched {
+				continue // a traversal exits where it entered: cur unchanged
+			}
+		}
+
+		// Account the finished block to the state that covered it. The
+		// initial pseudo-edge carries no finished block (instrs == 0).
+		label, instrs := edges[k].Label, edges[k].Instrs
+		k++
+		if instrs != 0 {
+			st.Blocks++
+			st.Instrs += instrs
+			st.TraceBlocks++
+			st.TraceInstrs += instrs
+		}
+
+		// In-trace fast path: branchless 2-way select over the two inlined
+		// slots — a conditional move, so a run of alternating slot hits
+		// (the usual cycle-exit pattern) carries no slot-order branch to
+		// mispredict. Measured neutral on slot-stable streams and ahead on
+		// alternating ones; see DESIGN.md §16.
+		hit0 := rec.lab0 == label
+		next := rec.tgt1
+		if hit0 {
+			next = rec.tgt0
+		}
+		if hit0 || rec.lab1 == label {
+			st.InTraceHits++
+		} else if t, ok := c.nextSlow(cur, label); ok {
+			st.InTraceHits++
+			next = t
+		} else {
+			if !cold[cur].plausible(label) {
+				st.Desyncs++
+				desynced = true
+			}
+			// Trace exit or trace-to-trace link: local cache (when
+			// compiled in) in front of the flat entry table, caching
+			// negative results exactly like the reference resolve.
+			if localSize > 0 {
+				slot := &cache[int(cur)*localSize+int((label>>1)&localMask)]
+				if slot.label == label {
+					st.LocalHits++
+					next = slot.tgt
+				} else {
+					st.LocalMisses++
+					st.GlobalLookups++
+					if t, ok := c.entry(label); ok {
+						st.GlobalHits++
+						next = t
+					} else {
+						next = NTE
+					}
+					slot.label = label
+					slot.tgt = next
+					cacheGen++
+				}
+			} else {
+				st.GlobalLookups++
+				if t, ok := c.entry(label); ok {
+					st.GlobalHits++
+					next = t
+				} else {
+					next = NTE
+				}
+			}
+			if next == NTE {
+				st.TraceExits++
+			} else {
+				st.TraceLinks++
+			}
+		}
+
+		if next != NTE && desynced {
+			desynced = false
+			st.Resyncs++
+		}
+		cur = next
+	}
+
+	r.cur, r.desynced = cur, desynced
+	r.stats = st
+	r.strideEdges = strideEdges
+	r.cacheGen = cacheGen
+	return cur
+}
+
+// advanceBatchPlain is the unspecialized batch kernel: one edge per
+// iteration, no stride probes. A form without a stride table can never hit
+// one, and measurement showed the specialized loop's per-edge stride check
+// and irregular advance cost an unspecialized replay ~25% on slot-stable
+// streams — so the dispatch above keeps the two shapes separate instead of
+// paying for the table that isn't there.
+//
+//tea:hotpath
+func (r *CompiledReplayer) advanceBatchPlain(edges []Edge) StateID {
 	c := r.c
 	cur, desynced := r.cur, r.desynced
 	st := r.stats
@@ -127,7 +426,8 @@ func (r *CompiledReplayer) AdvanceBatch(edges []Edge) StateID {
 	// Hoist the arrays into locals: the in-loop stores to the cache slice
 	// would otherwise force the compiler to reload every slice header on
 	// each iteration (the stores could alias them).
-	states := c.state
+	hot := c.hot
+	cold := c.cold
 	cache := r.cache
 
 	for k := range edges {
@@ -147,7 +447,7 @@ func (r *CompiledReplayer) AdvanceBatch(edges []Edge) StateID {
 		var next StateID
 		if cur != NTE {
 			// In-trace fast path: the two inlined successor slots.
-			rec := &states[cur]
+			rec := &hot[cur]
 			if rec.lab0 == label {
 				st.InTraceHits++
 				next = rec.tgt0
@@ -158,7 +458,7 @@ func (r *CompiledReplayer) AdvanceBatch(edges []Edge) StateID {
 				st.InTraceHits++
 				next = t
 			} else {
-				if !rec.plausible(label) {
+				if !cold[cur].plausible(label) {
 					st.Desyncs++
 					desynced = true
 				}
@@ -225,19 +525,28 @@ func (r *CompiledReplayer) AdvanceBatch(edges []Edge) StateID {
 // context attached: identical Stats, cursor and desync behaviour, plus
 // events stamped base+k on the slow branches and one counter fold from the
 // batch's stats delta in the epilogue. Kept structurally parallel to the
-// disabled loop above; the differential tests hold the two against each
-// other.
+// disabled loop above — including the fused stride fast path, which emits
+// no events because a fused traversal is all in-trace hits and the per-edge
+// kernel only emits from slow branches; the differential tests hold the two
+// against each other.
+//
+//tea:hotpath
 func (r *CompiledReplayer) advanceBatchObs(edges []Edge) StateID {
 	c := r.c
 	cur, desynced := r.cur, r.desynced
 	st := r.stats
+	strideEdges := r.strideEdges
 	localSize := c.localSize
 	var localMask uint64
 	if localSize > 0 {
 		localMask = uint64(localSize - 1)
 	}
-	states := c.state
+	hot := c.hot
+	cold := c.cold
+	strides := c.stride
+	probes := c.strideProbe
 	cache := r.cache
+	n := len(edges)
 
 	// Events carry base+k as their logical timestamp and the counters fold
 	// once from the batch's stats delta in the epilogue, so even enabled
@@ -246,61 +555,148 @@ func (r *CompiledReplayer) advanceBatchObs(edges []Edge) StateID {
 	base := o.EdgeBase()
 	prev := st
 
-	for k := range edges {
-		label, instrs := edges[k].Label, edges[k].Instrs
+	for k := 0; k < n; {
+		if cur == NTE {
+			label, instrs := edges[k].Label, edges[k].Instrs
+			kAt := uint64(k)
+			k++
+			if instrs != 0 {
+				st.Blocks++
+				st.Instrs += instrs
+			}
+			st.GlobalLookups++
+			if t, ok := c.entry(label); ok {
+				st.GlobalHits++
+				st.TraceEnters++
+				o.SetEdge(base + kAt)
+				o.TraceEnter(int32(t), label)
+				if desynced {
+					desynced = false
+					st.Resyncs++
+					o.SetEdge(base + kAt)
+					o.ResyncEvent(int32(t), label)
+				}
+				cur = t
+			}
+			continue
+		}
 
-		if instrs != 0 {
-			st.Blocks++
-			st.Instrs += instrs
-			if cur != NTE {
-				st.TraceBlocks++
-				st.TraceInstrs += instrs
+		rec := &hot[cur]
+
+		if si := rec.stride; si >= 0 && !desynced {
+			matched := false
+			for si >= 0 {
+				p := &probes[si]
+				m := int(p.m)
+				// The instrumented twin fuses only miss-free patterns: every
+				// miss position — warm trace link, trace exit or NTE crossing
+				// — emits an event on the per-edge path (EntryTableHit fires
+				// even on warm local hits), and a fused traversal must
+				// suppress nothing. Pure in-trace traversals emit nothing.
+				if p.miss != 0 || m > n-k || edges[k] != p.first {
+					si = p.next
+					continue
+				}
+				if m == 1 && p.first.Instrs != 0 {
+					runs := uint64(1)
+					k++
+					pe := p.first
+					for k+4 <= n && edges[k] == pe && edges[k+1] == pe && edges[k+2] == pe && edges[k+3] == pe {
+						runs += 4
+						k += 4
+						if k+strideLookahead < n {
+							prefetchT0(unsafe.Pointer(&edges[k+strideLookahead]))
+						}
+					}
+					for k < n && edges[k] == pe {
+						runs++
+						k++
+					}
+					st.Blocks += runs
+					st.TraceBlocks += runs
+					st.Instrs += pe.Instrs * runs
+					st.TraceInstrs += pe.Instrs * runs
+					st.InTraceHits += runs
+					strideEdges += runs
+					matched = true
+					break
+				}
+				e := &strides[si]
+				if m > 1 && !edgesEqual(edges[k:k+m], e.Pattern) {
+					si = p.next
+					continue
+				}
+				runs := uint64(1)
+				k += m
+				if m == 1 {
+					pe := e.Pattern[0]
+					for k < n && edges[k] == pe {
+						runs++
+						k++
+					}
+				} else {
+					for m <= n-k && edgesEqual(edges[k:k+m], e.Pattern) {
+						runs++
+						k += m
+						if runs == 4 {
+							if tl := len(e.Tile); tl != 0 {
+								for tl <= n-k && edgesEqual(edges[k:k+tl], e.Tile) {
+									runs += e.TileReps
+									k += tl
+								}
+							}
+						}
+					}
+				}
+				// Miss-free traversals have identical deltas under every
+				// cache configuration (no slow-path counters at all).
+				st.addScaled(&e.DeltaGlobal, runs)
+				strideEdges += e.Edges * runs
+				matched = true
+				break
+			}
+			if matched {
+				continue
 			}
 		}
 
-		var next StateID
-		if cur != NTE {
-			rec := &states[cur]
-			if rec.lab0 == label {
-				st.InTraceHits++
-				next = rec.tgt0
-			} else if rec.lab1 == label {
-				st.InTraceHits++
-				next = rec.tgt1
-			} else if t, ok := c.nextSlow(cur, label); ok {
-				st.InTraceHits++
-				next = t
-			} else {
-				if !rec.plausible(label) {
-					st.Desyncs++
-					desynced = true
-					o.SetEdge(base + uint64(k))
-					o.DesyncEvent(int32(cur), label)
-				}
-				if localSize > 0 {
-					slot := &cache[int(cur)*localSize+int((label>>1)&localMask)]
-					if slot.label == label {
-						st.LocalHits++
-						next = slot.tgt
-					} else {
-						st.LocalMisses++
-						st.GlobalLookups++
-						t, ok, depth := c.entryProbes(label)
-						o.SetEdge(base + uint64(k))
-						o.CacheMissProbe(int32(cur), depth)
-						if ok {
-							st.GlobalHits++
-							next = t
-						} else {
-							next = NTE
-						}
-						slot.label = label
-						slot.tgt = next
-					}
+		label, instrs := edges[k].Label, edges[k].Instrs
+		kAt := uint64(k)
+		k++
+		if instrs != 0 {
+			st.Blocks++
+			st.Instrs += instrs
+			st.TraceBlocks++
+			st.TraceInstrs += instrs
+		}
+
+		hit0 := rec.lab0 == label
+		next := rec.tgt1
+		if hit0 {
+			next = rec.tgt0
+		}
+		if hit0 || rec.lab1 == label {
+			st.InTraceHits++
+		} else if t, ok := c.nextSlow(cur, label); ok {
+			st.InTraceHits++
+			next = t
+		} else {
+			if !cold[cur].plausible(label) {
+				st.Desyncs++
+				desynced = true
+				o.SetEdge(base + kAt)
+				o.DesyncEvent(int32(cur), label)
+			}
+			if localSize > 0 {
+				slot := &cache[int(cur)*localSize+int((label>>1)&localMask)]
+				if slot.label == label {
+					st.LocalHits++
+					next = slot.tgt
 				} else {
+					st.LocalMisses++
 					st.GlobalLookups++
 					t, ok, depth := c.entryProbes(label)
-					o.SetEdge(base + uint64(k))
+					o.SetEdge(base + kAt)
 					o.CacheMissProbe(int32(cur), depth)
 					if ok {
 						st.GlobalHits++
@@ -308,34 +704,37 @@ func (r *CompiledReplayer) advanceBatchObs(edges []Edge) StateID {
 					} else {
 						next = NTE
 					}
+					slot.label = label
+					slot.tgt = next
+					r.cacheGen++
 				}
-				if next == NTE {
-					st.TraceExits++
-					o.SetEdge(base + uint64(k))
-					o.TraceExit(int32(cur), label)
+			} else {
+				st.GlobalLookups++
+				t, ok, depth := c.entryProbes(label)
+				o.SetEdge(base + kAt)
+				o.CacheMissProbe(int32(cur), depth)
+				if ok {
+					st.GlobalHits++
+					next = t
 				} else {
-					st.TraceLinks++
-					o.SetEdge(base + uint64(k))
-					o.EntryTableHit(int32(next), label)
+					next = NTE
 				}
 			}
-		} else {
-			st.GlobalLookups++
-			if t, ok := c.entry(label); ok {
-				st.GlobalHits++
-				next = t
-				st.TraceEnters++
-				o.SetEdge(base + uint64(k))
-				o.TraceEnter(int32(next), label)
+			if next == NTE {
+				st.TraceExits++
+				o.SetEdge(base + kAt)
+				o.TraceExit(int32(cur), label)
 			} else {
-				next = NTE
+				st.TraceLinks++
+				o.SetEdge(base + kAt)
+				o.EntryTableHit(int32(next), label)
 			}
 		}
 
 		if next != NTE && desynced {
 			desynced = false
 			st.Resyncs++
-			o.SetEdge(base + uint64(k))
+			o.SetEdge(base + kAt)
 			o.ResyncEvent(int32(next), label)
 		}
 		cur = next
@@ -343,11 +742,45 @@ func (r *CompiledReplayer) advanceBatchObs(edges []Edge) StateID {
 
 	r.cur, r.desynced = cur, desynced
 	r.stats = st
+	r.strideEdges = strideEdges
 	o.AdvanceEdges(uint64(len(edges)))
 	d := st
 	d.sub(&prev)
 	obsFoldReplay(o, 0, &d)
 	return cur
+}
+
+// strideMissWarm reports whether every miss position of e consumed from a
+// non-NTE state currently resolves as a warm local-cache hit to exactly the
+// state the trajectory proves (slot.tgt == NTE is a valid warm negative
+// hit). That is the condition under which fusing the traversal is
+// byte-equivalent to per-edge replay on the cached kernels: a warm hit
+// charges LocalHits plus the link/exit counter and never writes the slot,
+// which is exactly DeltaLocal's expansion. Positions consumed from NTE
+// bypass the cache on every kernel (the immutable entry table answers
+// them), so they need no check. Called once per chain attach and only for
+// entries with misses; callers guarantee localSize > 0.
+//
+//tea:hotpath
+func (r *CompiledReplayer) strideMissWarm(e *StrideEntry) bool {
+	localSize := r.c.localSize
+	localMask := uint64(localSize - 1)
+	cache := r.cache
+	for _, p := range e.MissPos {
+		from := e.Anchor
+		if p > 0 {
+			from = e.States[p-1]
+		}
+		if from == NTE {
+			continue
+		}
+		lbl := e.Pattern[p].Label
+		slot := &cache[int(from)*localSize+int((lbl>>1)&localMask)]
+		if slot.label != lbl || slot.tgt != e.States[p] {
+			return false
+		}
+	}
+	return true
 }
 
 // nextSlow scans the tail of a state's transition span; only states with

@@ -1,5 +1,16 @@
 package core
 
+import "unsafe"
+
+// The SoA split is only a win if the hot record really is a half cache line:
+// two per 64-byte line, and the cold record no wider than the hot one. Break
+// the build, not the benchmark, if a field addition upsets that.
+var (
+	_ = [1]struct{}{}[unsafe.Sizeof(hotRec{})-32]  // hotRec exactly 32 bytes
+	_ = [1]struct{}{}[32-unsafe.Sizeof(hotRec{})]  // (both directions)
+	_ = [32]struct{}{}[unsafe.Sizeof(coldRec{})-1] // coldRec at most 32 bytes
+)
+
 // Compiled is a frozen Automaton lowered into contiguous flat arrays — the
 // replay-side counterpart of Table 4's lookup ablation, taken to its
 // logical end: no pointers chased per transition, no interface dispatch
@@ -10,15 +21,25 @@ package core
 //
 //   - off[s]..off[s+1] spans the state's in-trace transitions inside the
 //     shared labels/targets arenas (the flattened State.labels/targets).
-//   - state packs each state's hot data — the two inlined successor slots
-//     plus plausibleSuccessor's precomputed inputs (indirect flag, branch
-//     target, fall-through address) — into one 64-byte record, so both the
-//     in-trace fast path and the desync check touch a single cache line and
-//     chase no *trace.TBB pointer. Trace states overwhelmingly have at most
-//     two successors — the direct branch target and the fall-through — so
-//     the common transition is two compares against adjacent words, no span
-//     lookup at all. States with one transition duplicate it into both
-//     slots; states with none park the impossible label in both.
+//   - hot and cold split each state's record structure-of-arrays style. The
+//     hot record carries only what the in-trace fast path consumes — the two
+//     inlined successor slots and the state's stride-table head — packed
+//     into 32 bytes so two records share one cache line, doubling the
+//     fast path's effective cache density over the old 64-byte combined
+//     record. Trace states overwhelmingly have at most two successors — the
+//     direct branch target and the fall-through — so the common transition
+//     is two compares against adjacent words, no span lookup at all. States
+//     with one transition duplicate it into both slots; states with none
+//     park the impossible label in both.
+//   - cold carries plausibleSuccessor's precomputed inputs (indirect flag,
+//     branch target, fall-through address). It is touched only on a slot
+//     miss — the desync check — so steady-state in-trace replay never pulls
+//     its lines into cache at all.
+//   - stride is the fused trace-cycle table built by Specialize (nil on an
+//     unspecialized form): each entry is one steady-state cycle of the
+//     automaton — k (label, instrs) edges returning to their anchor state —
+//     that the batch kernels consume k edges at a time via one flat slice
+//     comparison (specialize.go).
 //   - ent is the entry table — the global container — as an open-addressed
 //     hash with linear probing at <=50% load, key and value interleaved per
 //     slot, replacing the EntryIndex interface on the frozen path.
@@ -34,7 +55,13 @@ type Compiled struct {
 	labels  []uint64
 	targets []StateID
 
-	state []stateRec
+	hot    []hotRec
+	cold   []coldRec
+	stride []StrideEntry
+	// strideProbe mirrors stride entry-for-entry with just the fields the
+	// probe loop reads (first edge, length, links, chain link) — one compact
+	// L1-resident array instead of a pointer chase per chain step.
+	strideProbe []strideProbeRec
 
 	ent      []entSlot
 	entMask  uint64
@@ -52,17 +79,31 @@ type Compiled struct {
 	cfg       LookupConfig
 }
 
-// stateRec packs one state's hot replay data — the two inlined successor
-// slots and the desync-check fields — padded to 64 bytes so a record never
-// straddles two cache lines.
-type stateRec struct {
+// hotRec is the fast-path half of a state: the two inlined successor slots
+// plus the head of the state's stride-entry chain (noStride when the state
+// anchors no fused cycle). Exactly 32 bytes — two records per 64-byte cache
+// line — so the stride check rides in what used to be padding and costs the
+// in-trace path zero extra lines.
+type hotRec struct {
 	lab0, lab1 uint64
-	btgt       uint64
-	fthru      uint64
 	tgt0, tgt1 StateID
-	flags      uint8
-	_          [23]byte
+	stride     int32
+	_          [4]byte
 }
+
+// coldRec is the slot-miss half: plausibleSuccessor's precomputed inputs.
+// Only the desync check reads it, so it stays out of the fast path's cache
+// footprint entirely.
+type coldRec struct {
+	btgt  uint64
+	fthru uint64
+	flags uint8
+	_     [7]byte
+}
+
+// noStride marks a state that anchors no stride entry and terminates
+// stride-entry chains.
+const noStride = int32(-1)
 
 // entSlot is one open-addressed entry-table slot; val < 0 marks an empty
 // slot (valid entry states are trace heads, never NTE).
@@ -100,7 +141,8 @@ func Compile(a *Automaton, cfg LookupConfig) *Compiled {
 		a:       a,
 		cfg:     cfg,
 		off:     make([]uint32, n+1),
-		state:   make([]stateRec, n),
+		hot:     make([]hotRec, n),
+		cold:    make([]coldRec, n),
 		labels:  make([]uint64, 0, a.NumTrans()),
 		targets: make([]StateID, 0, a.NumTrans()),
 	}
@@ -114,7 +156,7 @@ func Compile(a *Automaton, cfg LookupConfig) *Compiled {
 		c.labels = append(c.labels, s.labels...)
 		c.targets = append(c.targets, s.targets...)
 
-		rec := stateRec{lab0: impossibleLabel, lab1: impossibleLabel}
+		rec := hotRec{lab0: impossibleLabel, lab1: impossibleLabel, stride: noStride}
 		switch {
 		case len(s.labels) >= 2:
 			rec.lab0, rec.tgt0 = s.labels[0], s.targets[0]
@@ -124,20 +166,22 @@ func Compile(a *Automaton, cfg LookupConfig) *Compiled {
 			rec.lab1, rec.tgt1 = rec.lab0, rec.tgt0
 		}
 
+		var cr coldRec
 		if s.TBB != nil {
 			term := s.TBB.Block.Term
 			if term.IsIndirect() {
-				rec.flags |= flagIndirect
+				cr.flags |= flagIndirect
 			} else if term.IsBranch() {
-				rec.flags |= flagBranch
-				rec.btgt = term.Target
+				cr.flags |= flagBranch
+				cr.btgt = term.Target
 			}
 			if ft, ok := s.TBB.Block.FallThrough(); ok {
-				rec.flags |= flagFallThru
-				rec.fthru = ft
+				cr.flags |= flagFallThru
+				cr.fthru = ft
 			}
 		}
-		c.state[i] = rec
+		c.hot[i] = rec
+		c.cold[i] = cr
 	}
 	c.off[n] = uint32(len(c.labels))
 
@@ -192,7 +236,15 @@ func (c *Compiled) Automaton() *Automaton { return c.a }
 func (c *Compiled) Config() LookupConfig { return c.cfg }
 
 // NumStates returns the state count including NTE.
-func (c *Compiled) NumStates() int { return len(c.state) }
+func (c *Compiled) NumStates() int { return len(c.hot) }
+
+// Specialized reports whether the form carries a fused trace-cycle stride
+// table (built by Specialize).
+func (c *Compiled) Specialized() bool { return len(c.stride) > 0 }
+
+// NumStrideEntries returns the size of the stride table (0 when the form is
+// unspecialized).
+func (c *Compiled) NumStrideEntries() int { return len(c.stride) }
 
 // NumEntries returns the number of trace entries in the flat entry table.
 func (c *Compiled) NumEntries() int { return c.entLen }
@@ -204,7 +256,7 @@ func (c *Compiled) LocalSize() int { return c.localSize }
 // then the remainder of the state's span (only states with more than two
 // transitions — indirect-branch TBBs — ever reach the scan).
 func (c *Compiled) next(s StateID, label uint64) (StateID, bool) {
-	rec := &c.state[s]
+	rec := &c.hot[s]
 	if rec.lab0 == label {
 		return rec.tgt0, true
 	}
@@ -265,7 +317,7 @@ func (c *Compiled) entryProbes(addr uint64) (StateID, bool, uint64) {
 // plausible mirrors plausibleSuccessor on the precomputed per-state fields:
 // control leaving the record's block can arrive at label only via the branch
 // target, the fall-through, or anywhere after an indirect terminator.
-func (rec *stateRec) plausible(label uint64) bool {
+func (rec *coldRec) plausible(label uint64) bool {
 	f := rec.flags
 	if f&flagIndirect != 0 {
 		return true
@@ -276,8 +328,8 @@ func (rec *stateRec) plausible(label uint64) bool {
 	return f&flagFallThru != 0 && label == rec.fthru
 }
 
-// plausible resolves the state's record; the hot loops use the record they
-// already hold instead.
+// plausible resolves the state's cold record; the hot loops index the cold
+// array directly on their miss paths instead.
 func (c *Compiled) plausible(s StateID, label uint64) bool {
-	return c.state[s].plausible(label)
+	return c.cold[s].plausible(label)
 }

@@ -35,7 +35,7 @@ func (c *Compiled) step(cur StateID, desynced bool, label, instrs uint64, st *St
 	}
 	var next StateID
 	if cur != NTE {
-		rec := &c.state[cur]
+		rec := &c.hot[cur]
 		if rec.lab0 == label {
 			st.InTraceHits++
 			next = rec.tgt0
@@ -46,7 +46,7 @@ func (c *Compiled) step(cur StateID, desynced bool, label, instrs uint64, st *St
 			st.InTraceHits++
 			next = t
 		} else {
-			if !rec.plausible(label) {
+			if !c.cold[cur].plausible(label) {
 				st.Desyncs++
 				desynced = true
 			}

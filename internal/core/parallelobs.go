@@ -38,7 +38,7 @@ func (c *Compiled) stepObs(cur StateID, desynced bool, label, instrs uint64, st 
 	}
 	var next StateID
 	if cur != NTE {
-		rec := &c.state[cur]
+		rec := &c.hot[cur]
 		if rec.lab0 == label {
 			st.InTraceHits++
 			next = rec.tgt0
@@ -49,7 +49,7 @@ func (c *Compiled) stepObs(cur StateID, desynced bool, label, instrs uint64, st 
 			st.InTraceHits++
 			next = t
 		} else {
-			if !rec.plausible(label) {
+			if !c.cold[cur].plausible(label) {
 				st.Desyncs++
 				desynced = true
 				*evs = append(*evs, obs.Event{Edge: eidx, Aux: label, State: int32(cur), Kind: obs.EvDesync})

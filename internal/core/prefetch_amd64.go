@@ -1,0 +1,16 @@
+//go:build amd64
+
+package core
+
+import "unsafe"
+
+// prefetchT0 issues a PREFETCHT0 hint for the cache line holding p. The
+// instruction never faults, but Go pointer rules still apply to forming p:
+// callers clamp the lookahead index inside the slice.
+//
+//go:noescape
+func prefetchT0(p unsafe.Pointer)
+
+// havePrefetch lets the layout report say whether the stride kernels issue
+// real prefetch hints on this architecture.
+const havePrefetch = true

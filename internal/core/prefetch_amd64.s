@@ -1,0 +1,10 @@
+// Software prefetch for the fused stride kernels (DESIGN.md §16). A
+// non-temporal hint would evict the stream too early; T0 keeps the line in
+// every level, which is right for edges that are about to be compared.
+#include "textflag.h"
+
+// func prefetchT0(p unsafe.Pointer)
+TEXT ·prefetchT0(SB), NOSPLIT, $0-8
+	MOVQ p+0(FP), AX
+	PREFETCHT0 (AX)
+	RET

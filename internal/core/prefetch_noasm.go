@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package core
+
+import "unsafe"
+
+// prefetchT0 is a no-op on architectures without the assembly helper; the
+// stride kernels degrade to relying on the hardware prefetcher alone.
+func prefetchT0(p unsafe.Pointer) { _ = p }
+
+// havePrefetch lets the layout report say whether the stride kernels issue
+// real prefetch hints on this architecture.
+const havePrefetch = false

@@ -114,6 +114,25 @@ type Stats struct {
 // transition (Desyncs > 0).
 func (s *Stats) Desynced() bool { return s.Desyncs > 0 }
 
+// addScaled accumulates n copies of delta d — the fused stride kernels use
+// it to collapse n proved traversals into one Stats update.
+func (s *Stats) addScaled(d *Stats, n uint64) {
+	s.Blocks += d.Blocks * n
+	s.Instrs += d.Instrs * n
+	s.TraceBlocks += d.TraceBlocks * n
+	s.TraceInstrs += d.TraceInstrs * n
+	s.InTraceHits += d.InTraceHits * n
+	s.LocalHits += d.LocalHits * n
+	s.LocalMisses += d.LocalMisses * n
+	s.GlobalLookups += d.GlobalLookups * n
+	s.GlobalHits += d.GlobalHits * n
+	s.TraceEnters += d.TraceEnters * n
+	s.TraceLinks += d.TraceLinks * n
+	s.TraceExits += d.TraceExits * n
+	s.Desyncs += d.Desyncs * n
+	s.Resyncs += d.Resyncs * n
+}
+
 // Coverage returns the fraction of dynamic instructions executed while
 // inside a trace (the "Coverage" column of Tables 2 and 3).
 func (s *Stats) Coverage() float64 {

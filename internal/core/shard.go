@@ -97,14 +97,92 @@ type ProbeRec struct {
 // SpecReplay speculatively replays seg from (NTE, in-sync) with the
 // memoryless transition function, recording the post-state trajectory.
 //
+// On a Specialize'd Compiled the scan consumes whole stride-table cycles at
+// a time; a fused traversal still fills the per-edge trajectory (the cycle's
+// precomputed state sequence, never desynced) so junction reconciliation
+// sees exactly what a per-edge scan would have recorded.
+//
 //tea:hotpath
 func (c *Compiled) SpecReplay(seg []Edge, r *SpecResult) {
+	if len(c.stride) == 0 {
+		r.Reset(len(seg))
+		cur, des := NTE, false
+		for k := range seg {
+			cur, des = c.step(cur, des, seg[k].Label, seg[k].Instrs, &r.Stats)
+			r.Curs[k] = cur
+			r.Desyn[k] = des
+		}
+		return
+	}
 	r.Reset(len(seg))
+	st := &r.Stats
+	hot := c.hot
+	strides := c.stride
+	probes := c.strideProbe
+	curs, desyn := r.Curs, r.Desyn
 	cur, des := NTE, false
-	for k := range seg {
-		cur, des = c.step(cur, des, seg[k].Label, seg[k].Instrs, &r.Stats)
-		r.Curs[k] = cur
-		r.Desyn[k] = des
+	n := len(seg)
+	for k := 0; k < n; {
+		if cur != NTE && !des {
+			if si := hot[cur].stride; si >= 0 {
+				matched := false
+				for si >= 0 {
+					p := &probes[si]
+					m := int(p.m)
+					if m > n-k || seg[k] != p.first {
+						si = p.next
+						continue
+					}
+					e := &strides[si]
+					// The memoryless scan is exactly the simulation that
+					// proved the entry — every miss resolves through the
+					// immutable entry table — so entries fuse unconditionally
+					// here, charged DeltaGlobal per traversal. The trajectory
+					// is the proved state sequence (NTE may appear
+					// mid-pattern on cold-code excursions), never desynced.
+					runs := uint64(0)
+					if m == 1 {
+						pe := e.Pattern[0]
+						s0 := e.States[0]
+						for k < n && seg[k] == pe {
+							curs[k] = s0
+							desyn[k] = false
+							k++
+							runs++
+						}
+					} else {
+						if !edgesEqual(seg[k:k+m], e.Pattern) {
+							si = p.next
+							continue
+						}
+						for {
+							copy(curs[k:k+m], e.States)
+							for j := k; j < k+m; j++ {
+								desyn[j] = false
+							}
+							k += m
+							runs++
+							if m > n-k || !edgesEqual(seg[k:k+m], e.Pattern) {
+								break
+							}
+						}
+					}
+					if runs != 0 {
+						st.addScaled(&e.DeltaGlobal, runs)
+						matched = true
+						break
+					}
+					si = p.next
+				}
+				if matched {
+					continue // the cycle exits where it entered: cur unchanged
+				}
+			}
+		}
+		cur, des = c.step(cur, des, seg[k].Label, seg[k].Instrs, st)
+		curs[k] = cur
+		desyn[k] = des
+		k++
 	}
 }
 
@@ -136,9 +214,70 @@ func (c *Compiled) SpecReplayObs(seg []Edge, ebase uint64, r *SpecResult) {
 	r.Reset(len(seg))
 	evs := r.Evs
 	st := &r.Stats
-	states := c.state
+	hot := c.hot
+	cold := c.cold
+	strides := c.stride
+	probes := c.strideProbe
+	specialized := len(strides) > 0
+	curs, desyn := r.Curs, r.Desyn
 	cur, des := NTE, false
-	for k := range seg {
+	n := len(seg)
+	for k := 0; k < n; {
+		// Fused stride fast path, mirroring SpecReplay's — except that miss
+		// positions emit events on this scan's per-edge path (probe,
+		// entry-table-hit, exit records), so only miss-free entries fuse
+		// here: their traversals are all in-trace hits, which emit nothing,
+		// and the event stream is untouched by fusing.
+		if specialized && cur != NTE && !des {
+			if si := hot[cur].stride; si >= 0 {
+				matched := false
+				for si >= 0 {
+					p := &probes[si]
+					m := int(p.m)
+					if p.miss != 0 || m > n-k || seg[k] != p.first {
+						si = p.next
+						continue
+					}
+					e := &strides[si]
+					runs := uint64(0)
+					if m == 1 {
+						pe := e.Pattern[0]
+						s0 := e.States[0]
+						for k < n && seg[k] == pe {
+							curs[k] = s0
+							desyn[k] = false
+							k++
+							runs++
+						}
+					} else {
+						if !edgesEqual(seg[k:k+m], e.Pattern) {
+							si = p.next
+							continue
+						}
+						for {
+							copy(curs[k:k+m], e.States)
+							for j := k; j < k+m; j++ {
+								desyn[j] = false
+							}
+							k += m
+							runs++
+							if m > n-k || !edgesEqual(seg[k:k+m], e.Pattern) {
+								break
+							}
+						}
+					}
+					if runs != 0 {
+						st.addScaled(&e.DeltaGlobal, runs)
+						matched = true
+						break
+					}
+					si = p.next
+				}
+				if matched {
+					continue
+				}
+			}
+		}
 		label, instrs := seg[k].Label, seg[k].Instrs
 		if instrs != 0 {
 			st.Blocks++
@@ -150,7 +289,7 @@ func (c *Compiled) SpecReplayObs(seg []Edge, ebase uint64, r *SpecResult) {
 		}
 		var next StateID
 		if cur != NTE {
-			rec := &states[cur]
+			rec := &hot[cur]
 			if rec.lab0 == label {
 				st.InTraceHits++
 				next = rec.tgt0
@@ -162,7 +301,7 @@ func (c *Compiled) SpecReplayObs(seg []Edge, ebase uint64, r *SpecResult) {
 				next = t
 			} else {
 				eidx := ebase + uint64(k)
-				if !rec.plausible(label) {
+				if !cold[cur].plausible(label) {
 					st.Desyncs++
 					des = true
 					evs = append(evs, obs.Event{Edge: eidx, Aux: label, State: int32(cur), Kind: obs.EvDesync})
@@ -197,8 +336,9 @@ func (c *Compiled) SpecReplayObs(seg []Edge, ebase uint64, r *SpecResult) {
 			evs = append(evs, obs.Event{Edge: ebase + uint64(k), Aux: label, State: int32(next), Kind: obs.EvResync})
 		}
 		cur = next
-		r.Curs[k] = cur
-		r.Desyn[k] = des
+		curs[k] = cur
+		desyn[k] = des
+		k++
 	}
 	r.Evs = evs
 }
@@ -227,7 +367,7 @@ func (c *Compiled) recStep(cur StateID, des bool, e *cfg.Edge, instrs uint64, st
 	prev := cur
 	hit := false
 	if cur != NTE {
-		rec := &c.state[cur]
+		rec := &c.hot[cur]
 		if rec.lab0 == head {
 			hit = true
 			next = rec.tgt0
@@ -242,7 +382,7 @@ func (c *Compiled) recStep(cur StateID, des bool, e *cfg.Edge, instrs uint64, st
 			st.InTraceHits++
 		} else {
 			miss = true
-			if !rec.plausible(head) {
+			if !c.cold[cur].plausible(head) {
 				st.Desyncs++
 				des = true
 			}

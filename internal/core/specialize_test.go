@@ -1,0 +1,309 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/cfg"
+	"github.com/lsc-tea/tea/internal/obs"
+)
+
+// testStream drives the recorded program again and captures its edges.
+func testStream(t *testing.T) (*Automaton, []Edge) {
+	t.Helper()
+	a, m := buildTestAutomaton(t)
+	var stream []Edge
+	r := cfg.NewRunner(m, cfg.StarDBT)
+	var prev uint64
+	for {
+		e, ok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || e.To == nil {
+			break
+		}
+		steps := r.Machine().Steps()
+		stream = append(stream, Edge{Label: e.To.Head, Instrs: steps - prev})
+		prev = steps
+	}
+	if len(stream) < 20 {
+		t.Fatalf("stream too short: %d edges", len(stream))
+	}
+	return a, stream
+}
+
+// TestSpecializeFindsCycles: the loop-nest test program must yield at least
+// one fused cycle, every entry must be self-consistent, and the original
+// Compiled must stay untouched.
+func TestSpecializeFindsCycles(t *testing.T) {
+	a, stream := testStream(t)
+	c := Compile(a, ConfigGlobalLocal)
+	spec := Specialize(c, stream)
+
+	if c.Specialized() {
+		t.Fatal("Specialize mutated its input")
+	}
+	if !spec.Specialized() {
+		t.Fatal("no stride entries found on a loop-nest automaton")
+	}
+	tab := spec.StrideTable()
+	for i, e := range tab {
+		if len(e.Pattern) == 0 || len(e.Pattern) != len(e.States) {
+			t.Fatalf("entry %d: pattern/states shape %d/%d", i, len(e.Pattern), len(e.States))
+		}
+		if e.Exit != e.Anchor {
+			t.Fatalf("entry %d: exit %d != anchor %d", i, e.Exit, e.Anchor)
+		}
+		if e.States[len(e.States)-1] != e.Anchor {
+			t.Fatalf("entry %d: trajectory does not return to anchor", i)
+		}
+		if e.Edges != uint64(len(e.Pattern)) {
+			t.Fatalf("entry %d: Edges %d != k %d", i, e.Edges, len(e.Pattern))
+		}
+		miss := map[int32]bool{}
+		for _, p := range e.MissPos {
+			miss[p] = true
+		}
+		// Re-run the admission proof: simulate the pattern with the
+		// production transition function, checking the trajectory, the
+		// in-trace/miss classification and the cache-less delta.
+		var sum uint64
+		var delta Stats
+		cur, des := e.Anchor, false
+		for j, p := range e.Pattern {
+			inTrace := false
+			if cur != NTE {
+				if _, ok := spec.NextState(cur, p.Label); ok {
+					inTrace = true
+				}
+			}
+			if inTrace == miss[int32(j)] {
+				t.Fatalf("entry %d edge %d: miss classification mismatch (in-trace=%v, MissPos says %v)",
+					i, j, inTrace, miss[int32(j)])
+			}
+			cur, des = spec.step(cur, des, p.Label, p.Instrs, &delta)
+			if des {
+				t.Fatalf("entry %d edge %d: pattern desyncs under simulation", i, j)
+			}
+			if cur != e.States[j] {
+				t.Fatalf("entry %d edge %d: production walk %d != recorded %d",
+					i, j, cur, e.States[j])
+			}
+			sum += p.Instrs
+		}
+		if sum != e.Instrs {
+			t.Fatalf("entry %d: Instrs %d != pattern sum %d", i, e.Instrs, sum)
+		}
+		if delta != e.DeltaGlobal {
+			t.Fatalf("entry %d: DeltaGlobal %+v != simulated %+v", i, e.DeltaGlobal, delta)
+		}
+		// DeltaLocal and Crossings must be exactly the declared rewrite of
+		// the simulated delta.
+		var cross uint64
+		dl := e.DeltaGlobal
+		for _, p := range e.MissPos {
+			from := e.Anchor
+			if p > 0 {
+				from = e.States[p-1]
+			}
+			if from == NTE || e.States[p] == NTE {
+				cross++
+			}
+			if from == NTE {
+				continue
+			}
+			dl.GlobalLookups--
+			if e.States[p] != NTE {
+				dl.GlobalHits--
+			}
+			dl.LocalHits++
+		}
+		if cross != e.Crossings {
+			t.Fatalf("entry %d: Crossings %d != recomputed %d", i, e.Crossings, cross)
+		}
+		if dl != e.DeltaLocal {
+			t.Fatalf("entry %d: DeltaLocal %+v != derived %+v", i, e.DeltaLocal, dl)
+		}
+	}
+}
+
+// TestSpecializedBatchMatchesUnspecialized replays the captured stream (and
+// single-edge Advance) through the specialized and plain forms: identical
+// Stats and cursor, and the stride path must actually fire.
+func TestSpecializedBatchMatchesUnspecialized(t *testing.T) {
+	a, stream := testStream(t)
+	for _, lk := range []LookupConfig{ConfigGlobalLocal, {Global: GlobalHash}} {
+		c := Compile(a, lk)
+		// Sample-selected is the production shape; the nil sample keeps every
+		// static candidate and must be just as exact (selection is a cost
+		// model, not a soundness condition).
+		for _, sample := range map[string][]Edge{"sampled": stream, "static": nil} {
+			spec := Specialize(c, sample)
+
+			plain := NewCompiledReplayer(c)
+			plain.AdvanceBatch(stream)
+
+			fused := NewCompiledReplayer(spec)
+			fused.AdvanceBatch(stream)
+
+			if *plain.Stats() != *fused.Stats() || plain.Cur() != fused.Cur() {
+				t.Fatalf("%+v: specialized batch diverges:\nplain %+v cur=%d\nfused %+v cur=%d",
+					lk, *plain.Stats(), plain.Cur(), *fused.Stats(), fused.Cur())
+			}
+			if sample != nil && fused.StrideEdges() == 0 {
+				t.Fatalf("%+v: stride path never fired on a loop-heavy stream", lk)
+			}
+			if plain.StrideEdges() != 0 {
+				t.Fatalf("%+v: unspecialized replayer reported stride hits", lk)
+			}
+
+			single := NewCompiledReplayer(spec)
+			for _, e := range stream {
+				single.Advance(e.Label, e.Instrs)
+			}
+			if *single.Stats() != *fused.Stats() || single.Cur() != fused.Cur() {
+				t.Fatalf("%+v: single-edge specialized replay diverges", lk)
+			}
+		}
+	}
+}
+
+// TestSpecializedMidCycleDesync corrupts labels inside the steady-state
+// cycle region and checks the specialized replayer against the reference —
+// Desyncs/Resyncs byte-exact even when the fault lands mid-traversal.
+func TestSpecializedMidCycleDesync(t *testing.T) {
+	a, stream := testStream(t)
+	c := Compile(a, ConfigGlobalLocal)
+	spec := Specialize(c, stream)
+
+	for _, at := range []int{len(stream) / 4, len(stream) / 2, len(stream) - 2} {
+		for _, label := range []uint64{0xdeadbeef, 0, stream[0].Label} {
+			mut := append([]Edge(nil), stream...)
+			mut[at].Label = label
+
+			ref := NewReplayer(a, ConfigGlobalLocal)
+			for _, e := range mut {
+				ref.Advance(e.Label, e.Instrs)
+			}
+			fused := NewCompiledReplayer(spec)
+			fused.AdvanceBatch(mut)
+			if *ref.Stats() != *fused.Stats() || ref.Cur() != fused.Cur() {
+				t.Fatalf("fault at %d label 0x%x: specialized diverges from reference:\nref   %+v cur=%d\nfused %+v cur=%d",
+					at, label, *ref.Stats(), ref.Cur(), *fused.Stats(), fused.Cur())
+			}
+		}
+	}
+}
+
+// TestSpecializedSpecReplayTrajectory holds the stride-aware speculative
+// scan against the per-edge one: identical Stats and per-edge trajectory,
+// which is what junction reconciliation consumes.
+func TestSpecializedSpecReplayTrajectory(t *testing.T) {
+	a, stream := testStream(t)
+	c := Compile(a, LookupConfig{Global: GlobalHash})
+	spec := Specialize(c, stream)
+
+	var plain, fused SpecResult
+	c.SpecReplay(stream, &plain)
+	spec.SpecReplay(stream, &fused)
+
+	if plain.Stats != fused.Stats {
+		t.Fatalf("SpecReplay stats diverge:\nplain %+v\nfused %+v", plain.Stats, fused.Stats)
+	}
+	if !reflect.DeepEqual(plain.Curs, fused.Curs) {
+		t.Fatal("SpecReplay trajectories diverge")
+	}
+	if !reflect.DeepEqual(plain.Desyn, fused.Desyn) {
+		t.Fatal("SpecReplay desync trajectories diverge")
+	}
+
+	// Dirty the result buffers with a desynced pass, then rerun the clean
+	// stream: stale Desyn values must not leak through the stride path.
+	mut := append([]Edge(nil), stream...)
+	for i := range mut {
+		mut[i].Label ^= 0xf00d
+	}
+	spec.SpecReplay(mut, &fused)
+	spec.SpecReplay(stream, &fused)
+	if plain.Stats != fused.Stats || !reflect.DeepEqual(plain.Desyn, fused.Desyn) {
+		t.Fatal("stride SpecReplay leaked stale trajectory state across Reset")
+	}
+}
+
+// TestSpecializedParallelAndSequential: sequential, parallel-4 and the
+// stride-aware forms all agree byte for byte.
+func TestSpecializedParallelAndSequential(t *testing.T) {
+	a, stream := testStream(t)
+	c := Compile(a, LookupConfig{Global: GlobalHash})
+	spec := Specialize(c, stream)
+
+	seqSt, seqCur := SequentialReplay(c, stream)
+	specSeqSt, specSeqCur := SequentialReplay(spec, stream)
+	parSt, parCur := ParallelReplay(spec, stream, 4)
+
+	if seqSt != specSeqSt || seqCur != specSeqCur {
+		t.Fatalf("specialized SequentialReplay diverges:\nplain %+v\nspec  %+v", seqSt, specSeqSt)
+	}
+	if seqSt != parSt || seqCur != parCur {
+		t.Fatalf("specialized ParallelReplay diverges:\nseq %+v cur=%d\npar %+v cur=%d",
+			seqSt, seqCur, parSt, parCur)
+	}
+}
+
+// TestStrideZeroAllocSteadyState is the permanent 0 allocs/edge gate for
+// the stride path, obs off and on.
+func TestStrideZeroAllocSteadyState(t *testing.T) {
+	a, stream := testStream(t)
+	spec := Specialize(Compile(a, ConfigGlobalLocal), stream)
+
+	r := NewCompiledReplayer(spec)
+	r.AdvanceBatch(stream) // warm caches
+	if n := testing.AllocsPerRun(20, func() { r.AdvanceBatch(stream) }); n != 0 {
+		t.Fatalf("stride AdvanceBatch obs=off allocates %.2f per batch, want 0", n)
+	}
+
+	ro := NewCompiledReplayer(spec)
+	ro.SetObs(obs.New())
+	ro.AdvanceBatch(stream)
+	if n := testing.AllocsPerRun(20, func() { ro.AdvanceBatch(stream) }); n != 0 {
+		t.Fatalf("stride AdvanceBatch obs=on allocates %.2f per batch, want 0", n)
+	}
+}
+
+// TestStrideTableRoundTrip: encode → decode is deep-equal, and the decoded
+// table attached via WithStrideTable replays identically to the original
+// specialized form.
+func TestStrideTableRoundTrip(t *testing.T) {
+	a, stream := testStream(t)
+	c := Compile(a, ConfigGlobalLocal)
+	spec := Specialize(c, stream)
+
+	tab := spec.StrideTable()
+	blob := EncodeStrideTable(tab)
+	back, err := DecodeStrideTable(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tab, back) {
+		t.Fatal("stride table round trip not deep-equal")
+	}
+
+	attached := c.WithStrideTable(back)
+	want := NewCompiledReplayer(spec)
+	want.AdvanceBatch(stream)
+	got := NewCompiledReplayer(attached)
+	got.AdvanceBatch(stream)
+	if *want.Stats() != *got.Stats() || want.StrideEdges() != got.StrideEdges() {
+		t.Fatal("decoded stride table replays differently from Specialize's")
+	}
+
+	// Corrupt wire bytes must yield a structured *DecodeError, never a panic.
+	for _, cut := range []int{0, 3, 5, len(blob) / 2, len(blob) - 1} {
+		if _, err := DecodeStrideTable(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		} else if _, ok := err.(*DecodeError); !ok {
+			t.Fatalf("truncation at %d: error %T, want *DecodeError", cut, err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+// Stride-table wire format: a small self-contained blob so a specialized
+// form's cycle table can be shipped next to an encoded automaton, decoded
+// unvalidated through WithStrideTable, and judged by the verifier's
+// C-STRIDE rules — the same decode-then-verify discipline as the automaton
+// image itself. Layout ("TEAS" magic + version byte, then varints):
+//
+//	count, then per entry:
+//	  anchor, exit, next+1 (so NoStride encodes as 0), k,
+//	  k × (label, instrs), k × state, miss, miss × position, crossings,
+//	  edges, instrs, 14 × DeltaGlobal counter, 14 × DeltaLocal counter
+//
+// Tiles are derived (Pattern repeated), never carried on the wire. Every
+// rejection path returns a *DecodeError naming the field; hostile counts
+// are bounded against the remaining input before any allocation.
+
+import "encoding/binary"
+
+var strideMagic = [5]byte{'T', 'E', 'A', 'S', 2}
+
+// statsWireOrder fixes the on-wire counter order for the per-traversal
+// deltas; appendStats and readStats must agree field for field.
+func appendStats(out []byte, s *Stats) []byte {
+	out = binary.AppendUvarint(out, s.Blocks)
+	out = binary.AppendUvarint(out, s.Instrs)
+	out = binary.AppendUvarint(out, s.TraceBlocks)
+	out = binary.AppendUvarint(out, s.TraceInstrs)
+	out = binary.AppendUvarint(out, s.InTraceHits)
+	out = binary.AppendUvarint(out, s.LocalHits)
+	out = binary.AppendUvarint(out, s.LocalMisses)
+	out = binary.AppendUvarint(out, s.GlobalLookups)
+	out = binary.AppendUvarint(out, s.GlobalHits)
+	out = binary.AppendUvarint(out, s.TraceEnters)
+	out = binary.AppendUvarint(out, s.TraceLinks)
+	out = binary.AppendUvarint(out, s.TraceExits)
+	out = binary.AppendUvarint(out, s.Desyncs)
+	out = binary.AppendUvarint(out, s.Resyncs)
+	return out
+}
+
+func (d *strideDec) readStats(field string, s *Stats) {
+	s.Blocks = d.uvarint(field)
+	s.Instrs = d.uvarint(field)
+	s.TraceBlocks = d.uvarint(field)
+	s.TraceInstrs = d.uvarint(field)
+	s.InTraceHits = d.uvarint(field)
+	s.LocalHits = d.uvarint(field)
+	s.LocalMisses = d.uvarint(field)
+	s.GlobalLookups = d.uvarint(field)
+	s.GlobalHits = d.uvarint(field)
+	s.TraceEnters = d.uvarint(field)
+	s.TraceLinks = d.uvarint(field)
+	s.TraceExits = d.uvarint(field)
+	s.Desyncs = d.uvarint(field)
+	s.Resyncs = d.uvarint(field)
+}
+
+// EncodeStrideTable serializes a stride table (as returned by
+// (*Compiled).StrideTable).
+func EncodeStrideTable(tab []StrideEntry) []byte {
+	out := make([]byte, 0, 64+64*len(tab))
+	out = append(out, strideMagic[:]...)
+	out = binary.AppendUvarint(out, uint64(len(tab)))
+	for _, e := range tab {
+		out = binary.AppendUvarint(out, uint64(uint32(e.Anchor)))
+		out = binary.AppendUvarint(out, uint64(uint32(e.Exit)))
+		out = binary.AppendUvarint(out, uint64(uint32(e.Next+1)))
+		out = binary.AppendUvarint(out, uint64(len(e.Pattern)))
+		for _, p := range e.Pattern {
+			out = binary.AppendUvarint(out, p.Label)
+			out = binary.AppendUvarint(out, p.Instrs)
+		}
+		for _, s := range e.States {
+			out = binary.AppendUvarint(out, uint64(uint32(s)))
+		}
+		out = binary.AppendUvarint(out, uint64(len(e.MissPos)))
+		for _, p := range e.MissPos {
+			out = binary.AppendUvarint(out, uint64(uint32(p)))
+		}
+		out = binary.AppendUvarint(out, e.Crossings)
+		out = binary.AppendUvarint(out, e.Edges)
+		out = binary.AppendUvarint(out, e.Instrs)
+		out = appendStats(out, &e.DeltaGlobal)
+		out = appendStats(out, &e.DeltaLocal)
+	}
+	return out
+}
+
+// DecodeStrideTable parses a stride-table blob. The result is structurally
+// well-formed but semantically unverified — attach it with WithStrideTable
+// and run the verifier's C-STRIDE rules before trusting it.
+func DecodeStrideTable(data []byte) ([]StrideEntry, error) {
+	if len(data) < len(strideMagic) || string(data[:len(strideMagic)]) != string(strideMagic[:]) {
+		return nil, &DecodeError{Offset: 0, Field: "stride magic", Reason: "bad magic"}
+	}
+	d := strideDec{data: data, pos: len(strideMagic)}
+	count := d.uvarint("stride count")
+	// Each entry costs at least 6 wire bytes; reject hostile counts before
+	// sizing anything off them.
+	if count > uint64(len(data)) {
+		return nil, &DecodeError{Offset: d.pos, Field: "stride count",
+			Reason: "exceeds input size"}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	tab := make([]StrideEntry, 0, count)
+	for i := uint64(0); i < count && d.err == nil; i++ {
+		var e StrideEntry
+		e.Anchor = StateID(int32(uint32(d.uvarint("stride anchor"))))
+		e.Exit = StateID(int32(uint32(d.uvarint("stride exit"))))
+		e.Next = int32(uint32(d.uvarint("stride next"))) - 1
+		k := d.uvarint("stride pattern length")
+		if k > uint64(len(data)) || k > maxStrideLen*16 {
+			return nil, &DecodeError{Offset: d.pos, Field: "stride pattern length",
+				Reason: "exceeds input size or cap"}
+		}
+		e.Pattern = make([]Edge, 0, k)
+		for j := uint64(0); j < k && d.err == nil; j++ {
+			lab := d.uvarint("stride pattern label")
+			ins := d.uvarint("stride pattern instrs")
+			e.Pattern = append(e.Pattern, Edge{Label: lab, Instrs: ins})
+		}
+		e.States = make([]StateID, 0, k)
+		for j := uint64(0); j < k && d.err == nil; j++ {
+			e.States = append(e.States, StateID(int32(uint32(d.uvarint("stride state")))))
+		}
+		miss := d.uvarint("stride miss count")
+		// Miss positions index the pattern; out-of-range values would turn
+		// the unvalidated kernels into out-of-bounds reads, so bounding them
+		// is structural, not semantic.
+		if miss > k {
+			return nil, &DecodeError{Offset: d.pos, Field: "stride miss count",
+				Reason: "exceeds pattern length"}
+		}
+		if miss > 0 {
+			e.MissPos = make([]int32, 0, miss)
+		}
+		for j := uint64(0); j < miss && d.err == nil; j++ {
+			p := d.uvarint("stride miss position")
+			if p >= k {
+				return nil, &DecodeError{Offset: d.pos, Field: "stride miss position",
+					Reason: "exceeds pattern length"}
+			}
+			e.MissPos = append(e.MissPos, int32(p))
+		}
+		e.Crossings = d.uvarint("stride crossings")
+		if e.Crossings > miss {
+			return nil, &DecodeError{Offset: d.pos, Field: "stride crossings",
+				Reason: "exceeds miss count"}
+		}
+		e.Edges = d.uvarint("stride edges")
+		e.Instrs = d.uvarint("stride instrs")
+		d.readStats("stride delta global", &e.DeltaGlobal)
+		d.readStats("stride delta local", &e.DeltaLocal)
+		e.tile()
+		tab = append(tab, e)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(data) {
+		return nil, &DecodeError{Offset: d.pos, Field: "stride trailing bytes",
+			Reason: "unconsumed input"}
+	}
+	return tab, nil
+}
+
+// strideDec is a minimal error-latching varint reader over the blob.
+type strideDec struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *strideDec) uvarint(field string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.err = &DecodeError{Offset: d.pos, Field: field,
+			Reason: "truncated or malformed varint"}
+		return 0
+	}
+	d.pos += n
+	return v
+}

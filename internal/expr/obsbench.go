@@ -40,19 +40,20 @@ const obsBenchRounds = 3
 
 // RunObsBench measures the enabled and disabled cost of the observability
 // layer on the two replay fast paths: the compiled batched replayer and
-// the sharded parallel replayer. Like RunReplayBench it defaults to the
-// representative (mcf, gcc) pair.
+// the sharded parallel replayer. Like RunReplayBench it defaults to a
+// representative set: the (mcf, gcc) pair plus the 901.steady cycle
+// workload, where the stride kernel's obs-off/obs-on split matters most.
 func RunObsBench(opts Options) (*ObsBenchResult, error) {
 	opts = opts.withDefaults()
 	if len(opts.Benchmarks) == len(workload.Benchmarks()) {
-		var pair []workload.Spec
-		for _, name := range []string{"mcf", "gcc"} {
+		var set []workload.Spec
+		for _, name := range []string{"mcf", "gcc", "901.steady"} {
 			if s, ok := workload.ByName(name); ok {
-				pair = append(pair, s)
+				set = append(set, s)
 			}
 		}
-		if len(pair) > 0 {
-			opts.Benchmarks = pair
+		if len(set) > 0 {
+			opts.Benchmarks = set
 		}
 	}
 	benches, err := GenBenchmarks(opts)
@@ -92,10 +93,13 @@ func obsBenchStream(name string, a *core.Automaton, stream []core.Edge) ([]ObsBe
 	compiled := core.Compile(a, core.ConfigGlobalLocal)
 	compiledNoCache := core.Compile(a, core.ConfigGlobalNoLocal)
 
+	specialized := core.Specialize(compiled, stream)
+
 	// A single long-lived context per enabled case: counters and histograms
 	// accumulate across iterations exactly as they would in a long-running
 	// serve loop, so the measurement includes steady-state ring overwrites.
 	batchObs := obs.New()
+	strideObs := obs.New()
 	parObs := obs.New()
 
 	// The batch cursors live across iterations (Reset per pass), matching
@@ -104,6 +108,9 @@ func obsBenchStream(name string, a *core.Automaton, stream []core.Edge) ([]ObsBe
 	batchOff := core.NewCompiledReplayer(compiled)
 	batchOn := core.NewCompiledReplayer(compiled)
 	batchOn.SetObs(batchObs)
+	strideOff := core.NewCompiledReplayer(specialized)
+	strideOn := core.NewCompiledReplayer(specialized)
+	strideOn.SetObs(strideObs)
 
 	cases := []struct {
 		config string
@@ -117,6 +124,17 @@ func obsBenchStream(name string, a *core.Automaton, stream []core.Edge) ([]ObsBe
 		{"compiled-batch", "on", func() {
 			batchOn.Reset()
 			batchOn.AdvanceBatch(stream)
+		}},
+		// The obs-on stride kernel only fuses miss-free cycles (warm hits
+		// must fire EntryTableHit events), so its overhead row also shows
+		// the fusion the twin gives up for event fidelity.
+		{"compiled-stride", "off", func() {
+			strideOff.Reset()
+			strideOff.AdvanceBatch(stream)
+		}},
+		{"compiled-stride", "on", func() {
+			strideOn.Reset()
+			strideOn.AdvanceBatch(stream)
 		}},
 		{fmt.Sprintf("parallel-%d", replayBenchShards), "off", func() {
 			core.ParallelReplay(compiledNoCache, stream, replayBenchShards)

@@ -23,6 +23,9 @@ type ReplayBenchRow struct {
 	NsPerOp  float64 `json:"ns_per_edge"`
 	AllocsPO float64 `json:"allocs_per_edge"`
 	Coverage float64 `json:"coverage"`
+	// CycleHitRate is the fraction of the stream consumed by fused
+	// trace-cycle traversals (compiled-stride rows only; 0 elsewhere).
+	CycleHitRate float64 `json:"cycle_hit_rate"`
 }
 
 // ReplayBenchResult is the machine-readable replay micro-benchmark: the
@@ -37,22 +40,24 @@ type ReplayBenchResult struct {
 const replayBenchShards = 4
 
 // RunReplayBench measures ns/edge and allocs/edge for the reference
-// replayer (hash and B+ tree containers), the compiled replayer (single-edge
-// and batched) and the sharded parallel replayer, on a captured dynamic
-// block stream per benchmark. When opts names no benchmark subset it runs a
-// representative pair (mcf, gcc) instead of all 26 — wall-clock benchmarks
-// are serial by nature and the full suite adds minutes without information.
+// replayer (hash and B+ tree containers), the compiled replayer (single-edge,
+// batched, SoA-global and stride-specialized) and the sharded parallel
+// replayer, on a captured dynamic block stream per benchmark. When opts
+// names no benchmark subset it runs a representative set — the (mcf, gcc)
+// SPEC-like pair plus the steady-state cycle workloads the stride kernel
+// targets — instead of all benchmarks; wall-clock benchmarks are serial by
+// nature and the full suite adds minutes without information.
 func RunReplayBench(opts Options) (*ReplayBenchResult, error) {
 	opts = opts.withDefaults()
 	if len(opts.Benchmarks) == len(workload.Benchmarks()) {
-		var pair []workload.Spec
-		for _, name := range []string{"mcf", "gcc"} {
+		var set []workload.Spec
+		for _, name := range []string{"mcf", "gcc", "901.steady", "902.stream"} {
 			if s, ok := workload.ByName(name); ok {
-				pair = append(pair, s)
+				set = append(set, s)
 			}
 		}
-		if len(pair) > 0 {
-			opts.Benchmarks = pair
+		if len(set) > 0 {
+			opts.Benchmarks = set
 		}
 	}
 	benches, err := GenBenchmarks(opts)
@@ -99,12 +104,21 @@ func benchStream(name string, a *core.Automaton, stream []core.Edge) ([]ReplayBe
 		}
 		return r.Stats().Coverage()
 	}
+	specialized := core.Specialize(compiled, stream)
+	hitRate := 0.0
+	{
+		r := core.NewCompiledReplayer(specialized)
+		r.AdvanceBatch(stream)
+		hitRate = float64(r.StrideEdges()) / float64(len(stream))
+	}
+
 	cases := []struct {
 		config string
 		cov    float64
+		hit    float64
 		run    func(b *testing.B)
 	}{
-		{"reference-hash-local", refCov(hashLocal), func(b *testing.B) {
+		{"reference-hash-local", refCov(hashLocal), 0, func(b *testing.B) {
 			r := core.NewReplayer(a, hashLocal)
 			for i := 0; i < b.N; i++ {
 				r.Reset()
@@ -113,7 +127,7 @@ func benchStream(name string, a *core.Automaton, stream []core.Edge) ([]ReplayBe
 				}
 			}
 		}},
-		{"reference-btree-local", refCov(core.ConfigGlobalLocal), func(b *testing.B) {
+		{"reference-btree-local", refCov(core.ConfigGlobalLocal), 0, func(b *testing.B) {
 			r := core.NewReplayer(a, core.ConfigGlobalLocal)
 			for i := 0; i < b.N; i++ {
 				r.Reset()
@@ -122,7 +136,7 @@ func benchStream(name string, a *core.Automaton, stream []core.Edge) ([]ReplayBe
 				}
 			}
 		}},
-		{"compiled", coverageOf(compiled, stream), func(b *testing.B) {
+		{"compiled", coverageOf(compiled, stream), 0, func(b *testing.B) {
 			r := core.NewCompiledReplayer(compiled)
 			for i := 0; i < b.N; i++ {
 				r.Reset()
@@ -131,14 +145,35 @@ func benchStream(name string, a *core.Automaton, stream []core.Edge) ([]ReplayBe
 				}
 			}
 		}},
-		{"compiled-batch", coverageOf(compiled, stream), func(b *testing.B) {
+		{"compiled-batch", coverageOf(compiled, stream), 0, func(b *testing.B) {
 			r := core.NewCompiledReplayer(compiled)
 			for i := 0; i < b.N; i++ {
 				r.Reset()
 				r.AdvanceBatch(stream)
 			}
 		}},
-		{fmt.Sprintf("parallel-%d", replayBenchShards), seqCoverage(compiledNoCache, stream), func(b *testing.B) {
+		// compiled-soa: the batched kernel over the SoA hot array with the
+		// local caches off — the pure two-slots-plus-global-table path, so
+		// the SoA split's cost shows without cache effects on top.
+		{"compiled-soa", coverageOf(compiledNoCache, stream), 0, func(b *testing.B) {
+			r := core.NewCompiledReplayer(compiledNoCache)
+			for i := 0; i < b.N; i++ {
+				r.Reset()
+				r.AdvanceBatch(stream)
+			}
+		}},
+		// compiled-stride: the batched kernel over the stride-specialized
+		// form; on cycle-heavy streams whole steady-state traversals are
+		// consumed per table hit (cycle_hit_rate says how much of the
+		// stream fused).
+		{"compiled-stride", coverageOf(specialized, stream), hitRate, func(b *testing.B) {
+			r := core.NewCompiledReplayer(specialized)
+			for i := 0; i < b.N; i++ {
+				r.Reset()
+				r.AdvanceBatch(stream)
+			}
+		}},
+		{fmt.Sprintf("parallel-%d", replayBenchShards), seqCoverage(compiledNoCache, stream), 0, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				core.ParallelReplay(compiledNoCache, stream, replayBenchShards)
 			}
@@ -156,12 +191,13 @@ func benchStream(name string, a *core.Automaton, stream []core.Edge) ([]ReplayBe
 		}
 		perEdge := float64(r.N) * float64(len(stream))
 		rows = append(rows, ReplayBenchRow{
-			Bench:    name,
-			Config:   c.config,
-			Edges:    len(stream),
-			NsPerOp:  float64(r.T.Nanoseconds()) / perEdge,
-			AllocsPO: float64(r.MemAllocs) / perEdge,
-			Coverage: c.cov,
+			Bench:        name,
+			Config:       c.config,
+			Edges:        len(stream),
+			NsPerOp:      float64(r.T.Nanoseconds()) / perEdge,
+			AllocsPO:     float64(r.MemAllocs) / perEdge,
+			Coverage:     c.cov,
+			CycleHitRate: c.hit,
 		})
 	}
 	return rows, nil
@@ -180,11 +216,15 @@ func seqCoverage(c *core.Compiled, stream []core.Edge) float64 {
 
 // Render prints the replay benchmark as a table.
 func (r *ReplayBenchResult) Render() string {
-	t := stats.NewTable("benchmark", "config", "edges", "ns/edge", "allocs/edge", "coverage")
+	t := stats.NewTable("benchmark", "config", "edges", "ns/edge", "allocs/edge", "coverage", "cycle-hit")
 	for _, row := range r.Rows {
+		hit := "-"
+		if row.Config == "compiled-stride" {
+			hit = stats.Pct(row.CycleHitRate)
+		}
 		t.AddRow(row.Bench, row.Config, fmt.Sprintf("%d", row.Edges),
 			fmt.Sprintf("%.1f", row.NsPerOp), fmt.Sprintf("%.4f", row.AllocsPO),
-			stats.Pct(row.Coverage))
+			stats.Pct(row.Coverage), hit)
 	}
 	return t.String()
 }

@@ -35,6 +35,13 @@ import (
 //	C-EQ     structural equivalence: state-by-state, the compiled
 //	         transition function and entry lookup agree with the reference
 //	         automaton over the complete relevant label alphabet.
+//	C-SOA    the SoA record geometry holds: the hot record is exactly half
+//	         a 64-byte cache line (two per line), the cold record no wider.
+//	C-STRIDE every fused trace-cycle entry is byte-identical to what the
+//	         production admission simulation derives for its (anchor,
+//	         pattern) — trajectory, miss classification, crossings, both
+//	         per-traversal Stats deltas, tile — and the per-state chains
+//	         are well-formed (in-range, anchor-consistent, acyclic).
 func Compiled(c *core.Compiled) *Report {
 	r := &Report{}
 	v := c.Audit()
@@ -42,8 +49,155 @@ func Compiled(c *core.Compiled) *Report {
 	compiledStructural(r, v, a, c.Config())
 	compiledBisim(r, c, a, v)
 	compiledBTree(r, a.Entries(), c.Config().Fanout)
+	compiledSoA(r)
+	compiledStride(r, c, v)
 	r.normalize()
 	return r
+}
+
+// compiledSoA proves C-SOA: the structure-of-arrays split's record geometry.
+// The hot record (two inline slots + stride chain head) must stay exactly
+// half a 64-byte cache line so two states share a line on the fast path; the
+// cold plausibility record must not grow past it, or the slot-miss path
+// starts paying more lines than the layout promised.
+func compiledSoA(r *Report) {
+	if core.HotRecSize != 32 {
+		r.errf("C-SOA", -1, "hot", "hot record is %d bytes, want exactly 32 (two per cache line)", core.HotRecSize)
+	}
+	if core.ColdRecSize > core.HotRecSize {
+		r.errf("C-SOA", -1, "cold", "cold record (%d bytes) wider than the hot record (%d)", core.ColdRecSize, core.HotRecSize)
+	}
+}
+
+// compiledStride proves C-STRIDE over the audit snapshot. Every entry of
+// the fused trace-cycle table is re-proven through the production admission
+// simulation (core.StrideProve is the same code path Specialize admits
+// entries through): a decoded or forged entry passes only by being
+// byte-identical to what the simulation derives for its anchor and pattern.
+// On top of the per-entry proof the per-state chains must be structurally
+// sound: heads in range and anchored at their state, Next links in range
+// with the same anchor, no cycles, and no entry orphaned off every chain.
+func compiledStride(r *Report, c *core.Compiled, v core.CompiledAudit) {
+	tab := v.Stride
+	n := len(v.States)
+	for i := range tab {
+		e := &tab[i]
+		locus := fmt.Sprintf("stride[%d]", i)
+		if len(e.Pattern) == 0 || len(e.Pattern) > core.MaxStrideLen {
+			r.errf("C-STRIDE", e.Anchor, locus, "pattern length %d outside (0, %d]", len(e.Pattern), core.MaxStrideLen)
+			continue
+		}
+		if e.Anchor < 0 || int(e.Anchor) >= n {
+			r.errf("C-STRIDE", e.Anchor, locus, "anchor %d outside the %d-state form", e.Anchor, n)
+			continue
+		}
+		if e.Next != core.NoStride && (e.Next < 0 || int(e.Next) >= len(tab)) {
+			r.errf("C-STRIDE", e.Anchor, locus, "chain link %d outside the %d-entry table", e.Next, len(tab))
+		}
+		want, ok := c.StrideProve(e.Anchor, e.Pattern)
+		if !ok {
+			r.errf("C-STRIDE", e.Anchor, locus, "pattern is inadmissible: the production simulation desyncs or does not close on the anchor")
+			continue
+		}
+		if e.Exit != want.Exit {
+			r.errf("C-STRIDE", e.Anchor, locus, "exit %d, simulation proves %d", e.Exit, want.Exit)
+		}
+		if e.Edges != want.Edges || e.Instrs != want.Instrs {
+			r.errf("C-STRIDE", e.Anchor, locus, "edges/instrs %d/%d, simulation proves %d/%d", e.Edges, e.Instrs, want.Edges, want.Instrs)
+		}
+		if !stateSliceEq(e.States, want.States) {
+			r.errf("C-STRIDE", e.Anchor, locus, "trajectory %v, simulation proves %v", e.States, want.States)
+		}
+		if !int32SliceEq(e.MissPos, want.MissPos) {
+			r.errf("C-STRIDE", e.Anchor, locus, "miss positions %v, simulation proves %v", e.MissPos, want.MissPos)
+		}
+		if e.Crossings != want.Crossings {
+			r.errf("C-STRIDE", e.Anchor, locus, "crossings %d, simulation proves %d", e.Crossings, want.Crossings)
+		}
+		if e.DeltaGlobal != want.DeltaGlobal {
+			r.errf("C-STRIDE", e.Anchor, locus, "cache-less delta %+v, simulation proves %+v", e.DeltaGlobal, want.DeltaGlobal)
+		}
+		if e.DeltaLocal != want.DeltaLocal {
+			r.errf("C-STRIDE", e.Anchor, locus, "warm-cache delta %+v, simulation proves %+v", e.DeltaLocal, want.DeltaLocal)
+		}
+		if e.TileReps != want.TileReps || !edgeSliceEq(e.Tile, want.Tile) {
+			r.errf("C-STRIDE", e.Anchor, locus, "tile (%d reps, %d edges) does not match the derived tile (%d reps, %d edges)",
+				e.TileReps, len(e.Tile), want.TileReps, len(want.Tile))
+		}
+	}
+
+	// Chain well-formedness over the hot records' heads.
+	reached := make([]bool, len(tab))
+	for i := 0; i < n; i++ {
+		head := v.States[i].Stride
+		if head == core.NoStride {
+			continue
+		}
+		id := core.StateID(i)
+		locus := fmt.Sprintf("state %d chain", i)
+		if head < 0 || int(head) >= len(tab) {
+			r.errf("C-STRIDE", id, locus, "chain head %d outside the %d-entry table", head, len(tab))
+			continue
+		}
+		si, steps := head, 0
+		for si != core.NoStride {
+			if si < 0 || int(si) >= len(tab) {
+				r.errf("C-STRIDE", id, locus, "chain link %d outside the %d-entry table", si, len(tab))
+				break
+			}
+			if tab[si].Anchor != id {
+				r.errf("C-STRIDE", id, locus, "chain entry %d anchored at %d, not this state", si, tab[si].Anchor)
+				break
+			}
+			reached[si] = true
+			if steps++; steps > len(tab) {
+				r.errf("C-STRIDE", id, locus, "chain does not terminate within %d entries (cycle)", len(tab))
+				break
+			}
+			si = tab[si].Next
+		}
+	}
+	for i := range tab {
+		if !reached[i] {
+			r.warnf("C-STRIDE", tab[i].Anchor, fmt.Sprintf("stride[%d]", i), "entry unreachable from its anchor's chain (dead weight, never fused)")
+		}
+	}
+}
+
+func stateSliceEq(a, b []core.StateID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func int32SliceEq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func edgeSliceEq(a, b []core.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // compiledStructural runs every rule that needs only the audit snapshot

@@ -1,0 +1,169 @@
+package verify
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/dbt"
+	"github.com/lsc-tea/tea/internal/pin"
+	"github.com/lsc-tea/tea/internal/teatool"
+	"github.com/lsc-tea/tea/internal/trace"
+	"github.com/lsc-tea/tea/internal/workload"
+)
+
+// strideFixtureOnce caches the specialized fixture: capture and
+// specialization are deterministic, and the mutant tests only ever corrupt
+// deep copies of the table, never the shared Compiled.
+var strideFixtureOnce struct {
+	sync.Once
+	spec *core.Compiled
+	tab  []core.StrideEntry
+}
+
+// strideFixture builds a specialized compiled form from the 901.steady
+// cycle workload — the stream is ~99.9% fused, so Specialize always admits
+// entries — and returns it with a mutable copy of its stride table.
+func strideFixture(t *testing.T) (*core.Compiled, []core.StrideEntry) {
+	t.Helper()
+	strideFixtureOnce.Do(func() {
+		ws, ok := workload.ByName("901.steady")
+		if !ok {
+			return
+		}
+		p, err := workload.Generate(ws, 200_000)
+		if err != nil {
+			return
+		}
+		d, err := dbt.New().Run(p, "mret", trace.Config{HotThreshold: 8}, 0)
+		if err != nil {
+			return
+		}
+		cap := teatool.NewCaptureTool()
+		if _, err := pin.New().Run(p, cap, 0); err != nil {
+			return
+		}
+		c := core.Compile(core.Build(d.Set), core.ConfigGlobalLocal)
+		spec := core.Specialize(c, cap.Stream())
+		if !spec.Specialized() {
+			return
+		}
+		strideFixtureOnce.spec = spec
+		strideFixtureOnce.tab = spec.StrideTable()
+	})
+	if strideFixtureOnce.spec == nil {
+		t.Fatal("steady-state fixture yielded no stride entries")
+	}
+	return strideFixtureOnce.spec, core.StrideTableCopy(strideFixtureOnce.tab)
+}
+
+// strideReport reattaches a (possibly corrupted) table and runs the full
+// compiled rule set — exactly the path teadump -verify -stride takes.
+func strideReport(spec *core.Compiled, tab []core.StrideEntry) *Report {
+	return Compiled(spec.WithStrideTable(tab))
+}
+
+// TestStrideFixtureVerifiesClean: the table Specialize itself admitted must
+// pass C-STRIDE with zero findings (the bisimulation covers the specialized
+// form), both as-is and after a wire round trip.
+func TestStrideFixtureVerifiesClean(t *testing.T) {
+	spec, tab := strideFixture(t)
+	if r := Compiled(spec); !r.Clean() {
+		t.Fatalf("specialized form not clean:\n%s", r)
+	}
+	dec, err := core.DecodeStrideTable(core.EncodeStrideTable(tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := strideReport(spec, dec); !r.Clean() {
+		t.Fatalf("round-tripped table not clean:\n%s", r)
+	}
+}
+
+// TestStrideMutantsCaught: every semantic field of a stride entry is load-
+// bearing — forging any of them (the counters the kernel adds per fused
+// traversal, the trajectory the desync re-entry uses, the miss
+// classification the warm gate trusts) must surface as a C-STRIDE error.
+func TestStrideMutantsCaught(t *testing.T) {
+	spec, clean := strideFixture(t)
+	mutants := []struct {
+		name   string
+		mutate func(tab []core.StrideEntry)
+	}{
+		{"instrs", func(tab []core.StrideEntry) { tab[0].Instrs++ }},
+		{"edges", func(tab []core.StrideEntry) { tab[0].Edges++ }},
+		{"exit", func(tab []core.StrideEntry) { tab[0].Exit++ }},
+		{"crossings", func(tab []core.StrideEntry) { tab[0].Crossings++ }},
+		{"pattern-label", func(tab []core.StrideEntry) { tab[0].Pattern[0].Label ^= 0x40 }},
+		{"pattern-instrs", func(tab []core.StrideEntry) { tab[0].Pattern[0].Instrs++ }},
+		{"trajectory", func(tab []core.StrideEntry) { tab[0].States[0]++ }},
+		{"miss-pos", func(tab []core.StrideEntry) { tab[0].MissPos = append(tab[0].MissPos, 0) }},
+		{"delta-global", func(tab []core.StrideEntry) { tab[0].DeltaGlobal.Blocks++ }},
+		{"delta-local", func(tab []core.StrideEntry) { tab[0].DeltaLocal.LocalHits++ }},
+		{"tile-reps", func(tab []core.StrideEntry) {
+			if tab[0].TileReps > 0 {
+				tab[0].TileReps++
+			} else {
+				tab[0].TileReps = 1
+			}
+		}},
+		{"anchor-range", func(tab []core.StrideEntry) { tab[0].Anchor = core.StateID(1 << 20) }},
+		{"empty-pattern", func(tab []core.StrideEntry) { tab[0].Pattern = nil }},
+		{"chain-range", func(tab []core.StrideEntry) { tab[0].Next = int32(len(tab)) + 7 }},
+	}
+	for _, m := range mutants {
+		t.Run(m.name, func(t *testing.T) {
+			tab := core.StrideTableCopy(clean)
+			m.mutate(tab)
+			requireRule(t, strideReport(spec, tab), "C-STRIDE")
+		})
+	}
+}
+
+// TestStrideChainCycleCaught: a Next pointer looping back onto its own
+// entry must be flagged as a non-terminating chain, not walked forever.
+func TestStrideChainCycleCaught(t *testing.T) {
+	spec, tab := strideFixture(t)
+	for i := range tab {
+		tab[i].Next = int32(i) // every chain becomes a self-loop
+	}
+	r := strideReport(spec, tab)
+	requireRule(t, r, "C-STRIDE")
+	found := false
+	for _, f := range r.Findings {
+		if f.Rule == "C-STRIDE" && strings.Contains(f.Msg, "cycle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no chain-cycle finding:\n%s", r)
+	}
+}
+
+// TestStrideWrongAnchorChainCaught: an entry re-anchored at a different
+// state is unreachable from its true anchor's chain and mis-anchored on the
+// one that now heads it.
+func TestStrideWrongAnchorChainCaught(t *testing.T) {
+	spec, tab := strideFixture(t)
+	other := tab[0].Anchor + 1
+	if int(other) >= spec.NumStates() {
+		other = 0
+	}
+	tab[0].Anchor = other
+	requireRule(t, strideReport(spec, tab), "C-STRIDE")
+}
+
+// TestCompiledSoARuleHolds: the geometry rule passes on this architecture
+// (the hot record is compile-time asserted to 32 bytes, so C-SOA firing
+// would mean the audit constants drifted from the layout).
+func TestCompiledSoARuleHolds(t *testing.T) {
+	r := &Report{}
+	compiledSoA(r)
+	if !r.Clean() {
+		t.Fatalf("C-SOA fired on the real layout:\n%s", r)
+	}
+	if core.HotRecSize != 32 || core.ColdRecSize > core.HotRecSize {
+		t.Fatalf("geometry: hot=%d cold=%d", core.HotRecSize, core.ColdRecSize)
+	}
+}

@@ -18,10 +18,13 @@ import "fmt"
 // Suite labels a benchmark as SPECfp- or SPECint-like.
 type Suite string
 
-// The two SPEC CPU2000 suites.
+// The two SPEC CPU2000 suites, plus the synthetic steady-state suite that
+// stands in for the paper's Figure-1 regime (a hot trace executing its
+// steady-state cycle for the bulk of the run).
 const (
-	FP  Suite = "fp"
-	INT Suite = "int"
+	FP     Suite = "fp"
+	INT    Suite = "int"
+	STEADY Suite = "steady"
 )
 
 // Spec parameterizes one synthetic benchmark.
@@ -104,10 +107,27 @@ func Benchmarks() []Spec {
 	}
 }
 
+// CycleBenchmarks returns the synthetic steady-state specs: deep,
+// overwhelmingly biased loop nests whose captured edge streams are dominated
+// by one repeating trace cycle. They model the regime the paper's Figure 1
+// motivates TEA with — a hot trace spinning on its own steady-state cycle —
+// which the SPEC-like specs above deliberately do not reach (their streams
+// stay aperiodic). The stride replay gates measure fused-cycle replay here.
+func CycleBenchmarks() []Spec {
+	return []Spec{
+		// 901.steady: a 3-deep nest with 6-bit branch bias; ~99.9% of the
+		// stream lands inside fused cycles.
+		{Name: "901.steady", Suite: STEADY, Seed: 9010, Funcs: 2, Stmts: 6, LoopDepth: 3, LoopIters: 48, BranchProb: 0.02, BiasBits: 6, CallProb: 0.05},
+		// 902.stream: a wider 2-deep nest with longer trip counts; ~95% of
+		// the stream fuses, with periodic cycle re-entry.
+		{Name: "902.stream", Suite: STEADY, Seed: 9020, Funcs: 1, Stmts: 8, LoopDepth: 2, LoopIters: 64, BranchProb: 0.01, BiasBits: 6, CallProb: 0.02},
+	}
+}
+
 // ByName returns the spec with the given name (with or without the numeric
 // prefix, so both "176.gcc" and "gcc" resolve).
 func ByName(name string) (Spec, bool) {
-	for _, s := range Benchmarks() {
+	for _, s := range append(Benchmarks(), CycleBenchmarks()...) {
 		if s.Name == name {
 			return s, true
 		}

@@ -27,11 +27,20 @@
 //     subset), and any shared row regressing by more than <pct> percent
 //     fails the run.
 //
+//   - With -faster fast:slow:ratio:bench1,bench2: a speedup gate inside
+//     the new file alone. On every named benchmark, the fast config's
+//     ns/edge must be at least ratio× lower than the slow config's on the
+//     same (obs, workers) row. This is how CI holds the stride kernel to
+//     its promise (compiled-stride ≥ 1.5× compiled-batch on the
+//     steady-state workloads) without depending on the host's absolute
+//     speed.
+//
 // Usage:
 //
 //	go run ./scripts/benchdiff -base BENCH_record.json -new fresh.json
 //	go run ./scripts/benchdiff -new fresh.json -zero-allocs batch
 //	go run ./scripts/benchdiff -base BENCH_replay.json -new smoke.json -gate 25
+//	go run ./scripts/benchdiff -new fresh.json -faster compiled-stride:compiled-batch:1.5:901.steady,902.stream
 package main
 
 import (
@@ -96,6 +105,7 @@ func main() {
 	maxRegress := flag.Float64("max-regress", 25, "maximum allowed ns/edge regression over the baseline, in percent")
 	zeroAllocs := flag.String("zero-allocs", "", "require allocs/edge == 0 for every row whose config contains this substring")
 	gate := flag.Float64("gate", 0, "CI-gate mode: compare ns/edge on shared rows even across differing targets, failing above this percent (0 = off; requires -base)")
+	faster := flag.String("faster", "", "speedup gate fast:slow:ratio:bench1,bench2 — fast config must be ratio× faster than slow on the named benches of -new")
 	flag.Parse()
 
 	if *newPath == "" {
@@ -108,19 +118,90 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*basePath, *newPath, *maxRegress, *zeroAllocs, *gate); err != nil {
+	if err := run(*basePath, *newPath, *maxRegress, *zeroAllocs, *gate, *faster); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(basePath, newPath string, maxRegress float64, zeroAllocs string, gate float64) error {
+// fasterSpec is the parsed -faster directive.
+type fasterSpec struct {
+	fast, slow string
+	ratio      float64
+	benches    []string
+}
+
+func parseFaster(s string) (fasterSpec, error) {
+	parts := strings.SplitN(s, ":", 4)
+	if len(parts) != 4 {
+		return fasterSpec{}, fmt.Errorf("-faster wants fast:slow:ratio:bench1,bench2, got %q", s)
+	}
+	var ratio float64
+	if _, err := fmt.Sscanf(parts[2], "%g", &ratio); err != nil || ratio <= 0 {
+		return fasterSpec{}, fmt.Errorf("-faster ratio %q is not a positive number", parts[2])
+	}
+	benches := strings.Split(parts[3], ",")
+	if len(benches) == 0 || benches[0] == "" {
+		return fasterSpec{}, fmt.Errorf("-faster names no benchmarks in %q", s)
+	}
+	return fasterSpec{fast: parts[0], slow: parts[1], ratio: ratio, benches: benches}, nil
+}
+
+// checkFaster enforces the speedup gate on the new file: for every named
+// benchmark, every (obs, workers) row of the slow config must have a fast
+// twin at least ratio× quicker.
+func checkFaster(nf *file, spec fasterSpec) []string {
+	var failures []string
+	for _, bench := range spec.benches {
+		matched := false
+		for _, slow := range nf.Rows {
+			if slow.Bench != bench || slow.Config != spec.slow || slow.NsPerOp <= 0 {
+				continue
+			}
+			fastKey := slow
+			fastKey.Config = spec.fast
+			var fast *row
+			for i := range nf.Rows {
+				if key(nf.Rows[i]) == key(fastKey) {
+					fast = &nf.Rows[i]
+					break
+				}
+			}
+			if fast == nil {
+				failures = append(failures, fmt.Sprintf(
+					"%s: no %s row to compare against %s", bench, spec.fast, spec.slow))
+				continue
+			}
+			matched = true
+			if got := slow.NsPerOp / fast.NsPerOp; got < spec.ratio {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %s %.2f ns/edge is only %.2f× faster than %s %.2f (gate %.2f×)",
+					bench, spec.fast, fast.NsPerOp, got, spec.slow, slow.NsPerOp, spec.ratio))
+			}
+		}
+		if !matched {
+			failures = append(failures, fmt.Sprintf(
+				"%s: no %s rows found; speedup gate compared nothing", bench, spec.slow))
+		}
+	}
+	return failures
+}
+
+func run(basePath, newPath string, maxRegress float64, zeroAllocs string, gate float64, faster string) error {
 	nf, err := load(newPath)
 	if err != nil {
 		return err
 	}
 
 	var failures []string
+
+	if faster != "" {
+		spec, err := parseFaster(faster)
+		if err != nil {
+			return err
+		}
+		failures = append(failures, checkFaster(nf, spec)...)
+	}
 
 	if zeroAllocs != "" {
 		matched := 0

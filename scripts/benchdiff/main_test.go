@@ -27,7 +27,7 @@ func TestGatePassesOnSharedRowsAcrossTargets(t *testing.T) {
 	smoke := writeBench(t, "smoke.json", `{"target": 100000, "rows": [
 	  {"bench": "mcf", "config": "compiled-batch", "ns_per_edge": 6.5, "allocs_per_edge": 0}
 	]}`)
-	if err := run(base, smoke, 25, "", 10); err != nil {
+	if err := run(base, smoke, 25, "", 10, ""); err != nil {
 		t.Fatalf("gate failed on a subset within threshold: %v", err)
 	}
 }
@@ -37,7 +37,7 @@ func TestGateFailsOnRegression(t *testing.T) {
 	slow := writeBench(t, "slow.json", `{"target": 300000, "rows": [
 	  {"bench": "mcf", "config": "compiled-batch", "ns_per_edge": 9.0, "allocs_per_edge": 0}
 	]}`)
-	err := run(base, slow, 25, "", 10)
+	err := run(base, slow, 25, "", 10, "")
 	if err == nil || !strings.Contains(err.Error(), "gate +10%") {
 		t.Fatalf("gate accepted a +50%% regression: %v", err)
 	}
@@ -48,7 +48,7 @@ func TestGateFailsWhenNothingShared(t *testing.T) {
 	other := writeBench(t, "other.json", `{"target": 300000, "rows": [
 	  {"bench": "swim", "config": "reference-hash-local", "ns_per_edge": 30.0, "allocs_per_edge": 0}
 	]}`)
-	err := run(base, other, 25, "", 10)
+	err := run(base, other, 25, "", 10, "")
 	if err == nil || !strings.Contains(err.Error(), "gate compared nothing") {
 		t.Fatalf("gate passed with zero shared rows: %v", err)
 	}
@@ -65,7 +65,7 @@ func TestGateKeysOnObsMode(t *testing.T) {
 	  {"bench": "mcf", "config": "compiled-batch", "obs": "off", "ns_per_edge": 6.1, "allocs_per_edge": 0},
 	  {"bench": "mcf", "config": "compiled-batch", "obs": "on", "ns_per_edge": 9.1, "allocs_per_edge": 0}
 	]}`)
-	if err := run(base, fresh, 25, "", 10); err != nil {
+	if err := run(base, fresh, 25, "", 10, ""); err != nil {
 		t.Fatalf("obs-keyed rows misrouted: %v", err)
 	}
 	// The on-row regressing must name its obs mode.
@@ -73,7 +73,7 @@ func TestGateKeysOnObsMode(t *testing.T) {
 	  {"bench": "mcf", "config": "compiled-batch", "obs": "off", "ns_per_edge": 6.0, "allocs_per_edge": 0},
 	  {"bench": "mcf", "config": "compiled-batch", "obs": "on", "ns_per_edge": 20.0, "allocs_per_edge": 0}
 	]}`)
-	err := run(base, slow, 25, "", 10)
+	err := run(base, slow, 25, "", 10, "")
 	if err == nil || !strings.Contains(err.Error(), "mcf/compiled-batch/obs-on") {
 		t.Fatalf("regressing obs-on row not identified: %v", err)
 	}
@@ -90,7 +90,7 @@ func TestGateKeysOnWorkers(t *testing.T) {
 	  {"bench": "mcf", "config": "pipe", "workers": 1, "ns_per_edge": 12.5, "allocs_per_edge": 0},
 	  {"bench": "mcf", "config": "pipe", "workers": 4, "ns_per_edge": 4.1, "allocs_per_edge": 0}
 	]}`)
-	if err := run(base, fresh, 25, "", 10); err != nil {
+	if err := run(base, fresh, 25, "", 10, ""); err != nil {
 		t.Fatalf("workers-keyed rows misrouted: %v", err)
 	}
 	// Only the w4 row regresses; the failure must name it via the /w4 label
@@ -99,7 +99,7 @@ func TestGateKeysOnWorkers(t *testing.T) {
 	  {"bench": "mcf", "config": "pipe", "workers": 1, "ns_per_edge": 12.0, "allocs_per_edge": 0},
 	  {"bench": "mcf", "config": "pipe", "workers": 4, "ns_per_edge": 9.0, "allocs_per_edge": 0}
 	]}`)
-	err := run(base, slow, 25, "", 10)
+	err := run(base, slow, 25, "", 10, "")
 	if err == nil || !strings.Contains(err.Error(), "mcf/pipe/w4") {
 		t.Fatalf("regressing w4 row not identified: %v", err)
 	}
@@ -118,7 +118,7 @@ func TestMissingWorkersRowFailsAtSameTarget(t *testing.T) {
 	fresh := writeBench(t, "fresh.json", `{"target": 300000, "rows": [
 	  {"bench": "mcf", "config": "pipe", "workers": 1, "ns_per_edge": 12.0, "allocs_per_edge": 0}
 	]}`)
-	err := run(base, fresh, 25, "", 0)
+	err := run(base, fresh, 25, "", 0, "")
 	if err == nil || !strings.Contains(err.Error(), "mcf/pipe/w4") || !strings.Contains(err.Error(), "missing") {
 		t.Fatalf("dropped w4 row not reported: %v", err)
 	}
@@ -128,7 +128,7 @@ func TestZeroAllocsStillExact(t *testing.T) {
 	leaky := writeBench(t, "leaky.json", `{"target": 300000, "rows": [
 	  {"bench": "mcf", "config": "compiled-batch", "obs": "off", "ns_per_edge": 6.0, "allocs_per_edge": 0.0001}
 	]}`)
-	err := run("", leaky, 25, "compiled-batch", 0)
+	err := run("", leaky, 25, "compiled-batch", 0, "")
 	if err == nil || !strings.Contains(err.Error(), "want 0") {
 		t.Fatalf("zero-alloc check accepted a nonzero row: %v", err)
 	}
@@ -141,7 +141,7 @@ func TestZeroAllocsScopedToMatchingConfigs(t *testing.T) {
 	  {"bench": "mcf", "config": "batch", "workers": 2, "ns_per_edge": 6.0, "allocs_per_edge": 0},
 	  {"bench": "mcf", "config": "reference-hash-local", "ns_per_edge": 30.0, "allocs_per_edge": 2.5}
 	]}`)
-	if err := run("", mixed, 25, "batch", 0); err != nil {
+	if err := run("", mixed, 25, "batch", 0, ""); err != nil {
 		t.Fatalf("zero-alloc check leaked onto non-matching rows: %v", err)
 	}
 }
@@ -152,8 +152,57 @@ func TestZeroAllocsFailsWhenMatchingNothing(t *testing.T) {
 	fresh := writeBench(t, "fresh.json", `{"target": 300000, "rows": [
 	  {"bench": "mcf", "config": "pipe", "workers": 2, "ns_per_edge": 6.0, "allocs_per_edge": 0}
 	]}`)
-	err := run("", fresh, 25, "no-such-config", 0)
+	err := run("", fresh, 25, "no-such-config", 0, "")
 	if err == nil || !strings.Contains(err.Error(), "matched nothing") {
 		t.Fatalf("empty zero-alloc match not reported: %v", err)
+	}
+}
+
+const strideJSON = `{"target": 300000, "rows": [
+  {"bench": "901.steady", "config": "compiled-batch", "ns_per_edge": 3.2, "allocs_per_edge": 0},
+  {"bench": "901.steady", "config": "compiled-stride", "ns_per_edge": 0.4, "allocs_per_edge": 0},
+  {"bench": "902.stream", "config": "compiled-batch", "ns_per_edge": 4.1, "allocs_per_edge": 0},
+  {"bench": "902.stream", "config": "compiled-stride", "ns_per_edge": 1.5, "allocs_per_edge": 0}
+]}`
+
+func TestFasterGatePasses(t *testing.T) {
+	f := writeBench(t, "stride.json", strideJSON)
+	if err := run("", f, 25, "", 0, "compiled-stride:compiled-batch:1.5:901.steady,902.stream"); err != nil {
+		t.Fatalf("speedup gate failed on 8x/2.7x margins: %v", err)
+	}
+}
+
+func TestFasterGateFailsBelowRatio(t *testing.T) {
+	f := writeBench(t, "slow.json", `{"target": 300000, "rows": [
+	  {"bench": "901.steady", "config": "compiled-batch", "ns_per_edge": 3.2, "allocs_per_edge": 0},
+	  {"bench": "901.steady", "config": "compiled-stride", "ns_per_edge": 3.0, "allocs_per_edge": 0}
+	]}`)
+	err := run("", f, 25, "", 0, "compiled-stride:compiled-batch:1.5:901.steady")
+	if err == nil || !strings.Contains(err.Error(), "gate 1.50") {
+		t.Fatalf("speedup gate accepted a 1.07x ratio: %v", err)
+	}
+}
+
+func TestFasterGateFailsOnMissingRows(t *testing.T) {
+	f := writeBench(t, "nofast.json", `{"target": 300000, "rows": [
+	  {"bench": "901.steady", "config": "compiled-batch", "ns_per_edge": 3.2, "allocs_per_edge": 0}
+	]}`)
+	err := run("", f, 25, "", 0, "compiled-stride:compiled-batch:1.5:901.steady")
+	if err == nil || !strings.Contains(err.Error(), "no compiled-stride row") {
+		t.Fatalf("gate passed without the fast config's rows: %v", err)
+	}
+	empty := writeBench(t, "nobench.json", strideJSON)
+	err = run("", empty, 25, "", 0, "compiled-stride:compiled-batch:1.5:equake")
+	if err == nil || !strings.Contains(err.Error(), "compared nothing") {
+		t.Fatalf("gate passed on a benchmark with no rows: %v", err)
+	}
+}
+
+func TestFasterGateRejectsBadSpec(t *testing.T) {
+	f := writeBench(t, "any.json", strideJSON)
+	for _, bad := range []string{"a:b:1.5", "a:b:zero:mcf", "a:b:-1:mcf", "a:b:1.5:"} {
+		if err := run("", f, 25, "", 0, bad); err == nil {
+			t.Fatalf("malformed -faster %q accepted", bad)
+		}
 	}
 }

@@ -80,6 +80,20 @@ if [ "$rc" -ne 3 ]; then
     echo "ci: badcfg.bin should exit 3 (verifier findings), got $rc" >&2
     exit 1
 fi
+# Stride-table corpus (C-STRIDE): the table Specialize admitted for the
+# steady-state TEA must verify clean, and the forged blob — identical wire
+# format, one per-traversal delta off by one — must be flagged (exit 3).
+# The forgery is invisible to the decoder; only the admission re-proof
+# against the compiled form can catch it.
+"$bin/teadump" -bench 901.steady -target 200000 -verify \
+    -stride internal/verify/testdata/goodstride.teas internal/verify/testdata/steady.tea
+rc=0
+"$bin/teadump" -bench 901.steady -target 200000 -verify \
+    -stride internal/verify/testdata/badstride.teas internal/verify/testdata/steady.tea || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "ci: badstride.teas should exit 3 (C-STRIDE findings), got $rc" >&2
+    exit 1
+fi
 echo "ci: verify gate ok"
 
 # Recording fast-path gate: a quick recordbench run must hold the batched
@@ -102,12 +116,30 @@ go run ./cmd/teabench -replaybench "$bin/replay.json" -target 300000 -bench mcf
 go run ./scripts/benchdiff -base BENCH_replay.json -new "$bin/replay.json" -gate 25
 echo "ci: replaybench gate ok"
 
+# Stride speedup gate: on the steady-state cycle workloads the fused
+# trace-cycle kernel must deliver at least 1.5× over the plain batched
+# kernel. The gate is a ratio inside one run, so host speed drops out; the
+# measured margin is ~8× (901.steady) and ~2.7× (902.stream), leaving
+# honest headroom for a throttled runner. The exact zero-alloc claim for
+# the stride kernel is checked by the obsbench gate below (AllocsPerRun is
+# precise; replaybench's loop-averaged allocs legitimately show stray
+# one-time allocations).
+go run ./cmd/teabench -replaybench "$bin/stride.json" -target 300000 -bench 901.steady,902.stream
+go run ./scripts/benchdiff -new "$bin/stride.json" \
+    -faster compiled-stride:compiled-batch:1.5:901.steady,902.stream
+echo "ci: stride gate ok"
+
 # Observability gate: with no context attached the instrumented fast paths
-# must stay at their BENCH_obs.json numbers — in particular the compiled
-# batch path stays exactly zero allocs/edge in both modes — and enabling
-# the layer must not regress past its own checked-in baseline.
+# must stay at their BENCH_obs.json numbers — in particular every compiled
+# kernel (batch and stride) stays exactly zero allocs/edge in both modes —
+# and enabling the layer must not regress past its own checked-in baseline.
 go run ./cmd/teabench -obsbench "$bin/obs.json" -target 300000 -bench mcf
-go run ./scripts/benchdiff -base BENCH_obs.json -new "$bin/obs.json" -gate 30 -zero-allocs compiled-batch
+go run ./scripts/benchdiff -base BENCH_obs.json -new "$bin/obs.json" -gate 30 -zero-allocs compiled
+# Same claims where the stride kernel actually fuses: on 901.steady the
+# fused runs dominate (~99.9% of the stream), so this is the row that holds
+# the stride consume loops — prefetch included — to zero allocations.
+go run ./cmd/teabench -obsbench "$bin/obs9.json" -target 300000 -bench 901.steady
+go run ./scripts/benchdiff -base BENCH_obs.json -new "$bin/obs9.json" -gate 40 -zero-allocs compiled
 echo "ci: obsbench gate ok"
 
 # Pipeline gate: the decoupled capture→process pipeline must stay

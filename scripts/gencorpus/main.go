@@ -10,6 +10,17 @@
 // is impossible in the program's CFG. The static verifier must flag it
 // (A-CFG); scripts/ci.sh uses it as the negative test for the verify gate.
 //
+// And it emits the stride-table corpus for the same gate, recorded on the
+// 901.steady cycle workload at a 200k-instruction target (so `teadump
+// -bench 901.steady -target 200000` regenerates the identical program):
+//
+//	internal/verify/testdata/steady.tea        the TEA image
+//	internal/verify/testdata/goodstride.teas   the table Specialize admitted
+//	internal/verify/testdata/badstride.teas    one forged per-traversal delta
+//
+// badstride decodes cleanly — the wire format cannot see the forgery — and
+// is proven to trip C-STRIDE before being written, mirroring badcfg.
+//
 // Usage: go run ./scripts/gencorpus
 package main
 
@@ -26,15 +37,23 @@ import (
 	"github.com/lsc-tea/tea/internal/cpu"
 	"github.com/lsc-tea/tea/internal/faultinject"
 	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/pin"
 	"github.com/lsc-tea/tea/internal/progs"
 	"github.com/lsc-tea/tea/internal/serve"
+	"github.com/lsc-tea/tea/internal/teatool"
 	"github.com/lsc-tea/tea/internal/trace"
 	"github.com/lsc-tea/tea/internal/verify"
+	"github.com/lsc-tea/tea/internal/workload"
 )
 
 const outDir = "internal/core/testdata/decode_corpus"
 const badDir = "internal/verify/testdata"
 const wireDir = "internal/serve/testdata/wire_corpus"
+
+// strideCorpusTarget is the dynamic-size target the stride corpus records
+// 901.steady at; teadump must be invoked with the same -target to
+// regenerate the identical program.
+const strideCorpusTarget = 200_000
 
 func main() {
 	if err := run(); err != nil {
@@ -78,7 +97,86 @@ func run() error {
 	if err := os.WriteFile(filepath.Join(badDir, "badcfg.bin"), bad, 0o644); err != nil {
 		return err
 	}
+	if err := writeStrideCorpus(); err != nil {
+		return err
+	}
 	return writeWireCorpus()
+}
+
+// writeStrideCorpus records the 901.steady cycle workload, specializes its
+// compiled form against the captured stream, and emits the image plus a
+// good and a forged stride blob. Both blobs are proven before writing: the
+// good one must verify clean against the image's compiled form; the bad one
+// must decode (the forgery is semantic, invisible to the wire format) and
+// trip a C-STRIDE error, so the checked-in negative test cannot go stale.
+func writeStrideCorpus() error {
+	spec, ok := workload.ByName("901.steady")
+	if !ok {
+		return errors.New("901.steady not registered")
+	}
+	p, err := workload.Generate(spec, strideCorpusTarget)
+	if err != nil {
+		return err
+	}
+	s, _ := trace.NewStrategy("mret", p, trace.Config{HotThreshold: 8})
+	set, _, err := trace.Record(cpu.New(p), cfg.StarDBT, s, 0)
+	if err != nil {
+		return err
+	}
+	a := core.Build(set)
+	data, err := core.Encode(a)
+	if err != nil {
+		return err
+	}
+	cache := cfg.NewCache(p, cfg.StarDBT)
+	if r := verify.Image(data, cache, core.ConfigGlobalLocal); !r.OK() {
+		return fmt.Errorf("steady image does not verify:\n%s", r)
+	}
+
+	cap := teatool.NewCaptureTool()
+	if _, err := pin.New().Run(p, cap, 0); err != nil {
+		return err
+	}
+	c := core.Compile(a, core.ConfigGlobalLocal)
+	sp := core.Specialize(c, cap.Stream())
+	if !sp.Specialized() {
+		return errors.New("901.steady yielded no stride entries")
+	}
+	tab := sp.StrideTable()
+
+	good := core.EncodeStrideTable(tab)
+	dec, err := core.DecodeStrideTable(good)
+	if err != nil {
+		return fmt.Errorf("good stride blob does not decode: %v", err)
+	}
+	if r := verify.Compiled(c.WithStrideTable(dec)); !r.OK() {
+		return fmt.Errorf("good stride blob does not verify:\n%s", r)
+	}
+
+	// Forge the fused instruction total of the first entry: every traversal
+	// of that cycle would over-count Instrs, corrupting Stats silently.
+	tab[0].Instrs++
+	tab[0].DeltaGlobal.Instrs++
+	tab[0].DeltaLocal.Instrs++
+	bad := core.EncodeStrideTable(tab)
+	decBad, err := core.DecodeStrideTable(bad)
+	if err != nil {
+		return fmt.Errorf("bad stride blob must still decode, got: %v", err)
+	}
+	if r := verify.Compiled(c.WithStrideTable(decBad)); !hasErrRule(r, "C-STRIDE") {
+		return fmt.Errorf("forged stride blob does not trip C-STRIDE:\n%s", r)
+	}
+
+	for name, blob := range map[string][]byte{
+		"steady.tea":      data,
+		"goodstride.teas": good,
+		"badstride.teas":  bad,
+	} {
+		if err := os.WriteFile(filepath.Join(badDir, name), blob, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeWireCorpus emits internal/serve/testdata/wire_corpus: one valid

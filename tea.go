@@ -274,6 +274,43 @@ func NewCompiledReplayer(c *Compiled) *CompiledReplayer {
 	return core.NewCompiledReplayer(c)
 }
 
+// StrideEntry is one fused trace-cycle of a specialized compiled form: a
+// steady-state cycle proven through the production transition function,
+// with per-traversal Stats deltas the batch kernel adds wholesale
+// (DESIGN.md §16).
+type StrideEntry = core.StrideEntry
+
+// Specialize compiles the steady-state cycles of a captured stream into a
+// fused stride table attached to a copy of c (the input is untouched).
+// Every admitted entry is proven by simulation; when the sample shows the
+// table would fuse too little of the stream to pay for probing, the result
+// carries no table and replays through the unspecialized kernel.
+func Specialize(c *Compiled, stream []StreamEdge) *Compiled {
+	return core.Specialize(c, stream)
+}
+
+// CompiledLayout renders the compiled form's memory-layout report: SoA
+// array residency, entry-table load, prefetch capability and stride-table
+// occupancy (teaprof -layout).
+func CompiledLayout(c *Compiled) string { return c.Layout() }
+
+// EncodeStrideTable serializes a specialized form's stride table
+// (Compiled.StrideTable) in the TEAS wire format.
+func EncodeStrideTable(tab []StrideEntry) []byte { return core.EncodeStrideTable(tab) }
+
+// DecodeStrideTable parses a TEAS stride-table blob. The result is only
+// structurally bounded — semantic trust comes from VerifyStrideTable, which
+// re-proves every entry against the compiled form it is attached to.
+func DecodeStrideTable(data []byte) ([]StrideEntry, error) { return core.DecodeStrideTable(data) }
+
+// VerifyStrideTable attaches a decoded stride table to the automaton's
+// compiled form and runs the full compiled rule family over the result —
+// in particular C-STRIDE, which re-derives every entry through the
+// production admission simulation and rejects any forged field.
+func VerifyStrideTable(a *Automaton, c LookupConfig, tab []StrideEntry) *VerifyReport {
+	return verify.Compiled(core.Compile(a, c).WithStrideTable(tab))
+}
+
 // CaptureStream re-executes the program under the Pin-like engine recording
 // its dynamic block stream as replay currency: the edges to feed
 // AdvanceBatch or ParallelReplay, plus the unreported trailing instruction
