@@ -13,6 +13,7 @@
 //	teadump -bench mcf file.tea -verify      # static invariant audit (exit 3 on findings)
 //	teadump -bench mcf file.tea -verify -stride tab.teas  # also re-prove a stride table (C-STRIDE)
 //	teadump -events trace.evlog              # decode a binary event log (teaprof -events)
+//	teadump -flight flight.bin               # decode a flight-recorder artifact (/debug/flight)
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 	dcfgDot := flag.Bool("dcfg", false, "print the dynamic CFG (code-replicating view, §3) as Graphviz")
 	traceID := flag.Int("trace", 0, "disassemble one trace by ID (1-based)")
 	events := flag.Bool("events", false, "treat the file argument as a binary event log (teaprof -events) and decode it")
+	flight := flag.Bool("flight", false, "treat the file argument as a flight-recorder artifact (/debug/flight) and decode it")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -48,6 +50,10 @@ func main() {
 	if *events {
 		// Event logs are self-contained; no program or TEA is needed.
 		dumpEvents(flag.Arg(0))
+		return
+	}
+	if *flight {
+		dumpFlight(flag.Arg(0))
 		return
 	}
 	prog, err := cli.LoadProgram("teadump", *bench, *asmFile, *target)
@@ -151,8 +157,10 @@ func main() {
 }
 
 // dumpEvents decodes a binary event log and prints one deterministic line
-// per event: the logical edge timestamp, the kind, the automaton state the
-// event concerns, and the kind-specific payload.
+// per event: the logical edge timestamp, the source id (which session,
+// shard or worker emitted it; "-" for unattributed kernel events), the
+// kind, the automaton state the event concerns, and the kind-specific
+// payload.
 func dumpEvents(path string) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -163,9 +171,41 @@ func dumpEvents(path string) {
 		fail(err)
 	}
 	fmt.Printf("%s: %d events\n", path, len(events))
+	printEvents(events)
+}
+
+// printEvents renders decoded events in the deterministic -events layout.
+func printEvents(events []tea.ObsEvent) {
 	for _, e := range events {
-		fmt.Printf("edge %8d  %-14v state %4d  aux 0x%x\n", e.Edge, e.Kind, e.State, e.Aux)
+		src := "-"
+		if e.Src != 0 {
+			src = fmt.Sprintf("%d", e.Src)
+		}
+		fmt.Printf("edge %8d  src %8s  %-14v state %4d  aux 0x%x\n", e.Edge, src, e.Kind, e.State, e.Aux)
 	}
+}
+
+// dumpFlight decodes one flight-recorder artifact: the trip metadata, the
+// embedded event suffix (same layout as -events), and the size of the
+// frozen registry snapshot.
+func dumpFlight(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	rec, err := tea.DecodeFlight(data)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: flight artifact #%d\n", path, rec.Seq)
+	fmt.Printf("reason:  %s\n", rec.Reason)
+	fmt.Printf("source:  %d\n", rec.Src)
+	if rec.Err != "" {
+		fmt.Printf("error:   %s\n", rec.Err)
+	}
+	fmt.Printf("events:  %d (%d overwritten before snapshot)\n", len(rec.Events), rec.Dropped)
+	printEvents(rec.Events)
+	fmt.Printf("metrics: %d bytes of registry snapshot\n", len(rec.Metrics))
 }
 
 // indent prefixes every line with two spaces.

@@ -25,6 +25,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -36,6 +37,7 @@ import (
 	"github.com/lsc-tea/tea/internal/core"
 	"github.com/lsc-tea/tea/internal/faultinject"
 	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/obs"
 	"github.com/lsc-tea/tea/internal/progs"
 	"github.com/lsc-tea/tea/internal/serve"
 	"github.com/lsc-tea/tea/internal/serve/client"
@@ -210,6 +212,15 @@ func runSmoke(cfg serve.Config) error {
 		}
 	}
 
+	// Flight-recorder leg: a second server with a tiny edge quota kills the
+	// session with a structured error; the post-mortem artifact must be
+	// fetchable over the admin surface and fully decodable, ending with the
+	// EvSessionFail that terminated the session.
+	if err := smokeFlight(cfg, programs, automata, edges); err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	fmt.Printf("teaserve: smoke %-10s ok (quota kill -> decodable artifact)\n", "flight")
+
 	// Drain: readiness must flip before the listener closes, liveness after.
 	if !s.Health().Ready() {
 		return fmt.Errorf("server not ready while serving")
@@ -221,6 +232,79 @@ func runSmoke(cfg serve.Config) error {
 	}
 	if s.Health().Ready() || s.Health().Live() {
 		return fmt.Errorf("health flags not cleared after shutdown")
+	}
+	return nil
+}
+
+// smokeFlight drives one quota-doomed session and verifies the flight
+// recorder end to end: the artifact is served at /debug/flight/last on the
+// admin surface, decodes cleanly, and its event log ends with the
+// structured failure.
+func smokeFlight(cfg serve.Config, programs map[string]*isa.Program, automata map[string]*core.Automaton, edges []core.Edge) error {
+	cfg.Quota.MaxSessionEdges = 64
+	cfg.IdleTimeout = 2 * time.Second
+	s := serve.NewServer(cfg)
+	const image = "figure1"
+	if err := s.Host(image, programs[image], automata[image]); err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = s.Serve(l) }()
+	al, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	admin := &http.Server{Handler: s.Handler()}
+	go func() { _ = admin.Serve(al) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = admin.Shutdown(ctx)
+		_ = s.Shutdown(ctx)
+	}()
+
+	c, err := client.New(client.Config{
+		Tenant: "doomed",
+		Dial:   func() (net.Conn, error) { return net.Dial("tcp", l.Addr().String()) },
+		Seed:   7,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, _, rerr := c.Replay(ctx, image, edges, 512)
+	var serr *serve.Error
+	if !asStructured(rerr, &serr) || serr.Code != serve.CodeQuotaSteps {
+		return fmt.Errorf("expected quota-steps kill, got %v", rerr)
+	}
+
+	resp, err := http.Get("http://" + al.Addr().String() + "/debug/flight/last")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/flight/last: HTTP %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	rec, err := tea.DecodeFlight(raw)
+	if err != nil {
+		return fmt.Errorf("artifact does not decode: %w", err)
+	}
+	if rec.Reason != "session-fail" || rec.Err == "" || len(rec.Events) == 0 {
+		return fmt.Errorf("artifact incoherent: reason=%q err=%q events=%d", rec.Reason, rec.Err, len(rec.Events))
+	}
+	last := rec.Events[len(rec.Events)-1]
+	if last.Kind != obs.EvSessionFail || last.Aux != uint64(serve.CodeQuotaSteps) {
+		return fmt.Errorf("artifact does not end with the structured kill: %+v", last)
 	}
 	return nil
 }

@@ -1,13 +1,18 @@
 package expr
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"testing"
 
 	"github.com/lsc-tea/tea/internal/core"
 	"github.com/lsc-tea/tea/internal/dbt"
+	"github.com/lsc-tea/tea/internal/isa"
 	"github.com/lsc-tea/tea/internal/obs"
 	"github.com/lsc-tea/tea/internal/pin"
+	"github.com/lsc-tea/tea/internal/serve"
+	"github.com/lsc-tea/tea/internal/serve/client"
 	"github.com/lsc-tea/tea/internal/stats"
 	"github.com/lsc-tea/tea/internal/teatool"
 	"github.com/lsc-tea/tea/internal/workload"
@@ -83,6 +88,12 @@ func RunObsBench(opts Options) (*ObsBenchResult, error) {
 			return nil, err
 		}
 		res.Rows = append(res.Rows, rows...)
+
+		srows, err := obsBenchServe(b.Spec.Name, b.Prog, a, stream)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, srows...)
 	}
 	return res, nil
 }
@@ -165,6 +176,67 @@ func obsBenchStream(name string, a *core.Automaton, stream []core.Edge) ([]ObsBe
 			if round == 0 || ns < row.NsPerOp {
 				row.NsPerOp = ns
 			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// obsBenchServe times the full wire serve path — session open, batched
+// edge streaming over an in-memory connection, close — with the
+// per-session trace events disabled ("off", Config.DisableSessionEvents)
+// and enabled ("on", the default). The row is session ns/edge: frame
+// encode, CRC, server-side replay, per-tenant metric folds, and the final
+// stats ack all land in the number, so the off/on pair prices exactly
+// what the session event stream costs a serving deployment.
+func obsBenchServe(name string, prog *isa.Program, a *core.Automaton, stream []core.Edge) ([]ObsBenchRow, error) {
+	const image = "bench"
+	rows := make([]ObsBenchRow, 0, 2)
+	for _, mode := range []string{"off", "on"} {
+		s := serve.NewServer(serve.Config{DisableSessionEvents: mode == "off"})
+		if err := s.Host(image, prog, a); err != nil {
+			return nil, err
+		}
+		dial := func() (net.Conn, error) {
+			cc, sc := net.Pipe()
+			go s.ServeConn(sc)
+			return cc, nil
+		}
+		c, err := client.New(client.Config{Tenant: "bench", Dial: dial, Seed: 1})
+		if err != nil {
+			return nil, err
+		}
+		var passErr error
+		pass := func() {
+			if _, _, err := c.Replay(context.Background(), image, stream, 512); err != nil && passErr == nil {
+				passErr = err
+			}
+		}
+
+		row := ObsBenchRow{Bench: name, Config: "serve-session", Obs: mode, Edges: len(stream)}
+		// The serve path crosses goroutines, so allocs/edge here is the
+		// whole-process count (client framing + server session) — recorded
+		// for the trend line, not gated like the compiled rows.
+		row.AllocsPO = testing.AllocsPerRun(3, pass) / float64(len(stream))
+		for round := 0; round < obsBenchRounds; round++ {
+			r := testing.Benchmark(func(bb *testing.B) {
+				for i := 0; i < bb.N; i++ {
+					pass()
+				}
+			})
+			if r.N == 0 {
+				return nil, fmt.Errorf("%s/serve-session/%s: benchmark did not run", name, mode)
+			}
+			ns := float64(r.T.Nanoseconds()) / (float64(r.N) * float64(len(stream)))
+			if round == 0 || ns < row.NsPerOp {
+				row.NsPerOp = ns
+			}
+		}
+		if cerr := c.Close(); cerr != nil && passErr == nil {
+			passErr = cerr
+		}
+		if passErr != nil {
+			return nil, fmt.Errorf("%s/serve-session/%s: %w", name, mode, passErr)
 		}
 		rows = append(rows, row)
 	}

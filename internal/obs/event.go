@@ -38,6 +38,41 @@ const (
 	// EvSync: the online recorder synchronized a created/extended trace
 	// into the automaton. State = trace head state, Aux = trace block count.
 	EvSync
+	// EvSessionOpen: a serving session opened (fresh attach, not a resume).
+	// Src = session source id, Aux = image generation.
+	EvSessionOpen
+	// EvSessionResume: a parked session re-attached idempotently.
+	// Src = session source id, Aux = resume watermark (edges already applied).
+	EvSessionResume
+	// EvSessionClose: a session closed cleanly. Src = session source id,
+	// Aux = total edges replayed.
+	EvSessionClose
+	// EvSessionFail: a session terminated with a structured error or crossed
+	// the desync threshold. Src = session source id, Aux = serve error code
+	// (0 for a desync-threshold failure).
+	EvSessionFail
+	// EvQuotaReject: a per-tenant quota rejected work mid-session.
+	// Src = session source id, Aux = serve error code.
+	EvQuotaReject
+	// EvBackpressure: tenant admission pushed back (too many attached
+	// sessions). Aux = attached session count at rejection.
+	EvBackpressure
+	// EvBreakerTrip: a per-image circuit breaker opened. Src = source id of
+	// the session whose failure tripped it, Aux = image generation.
+	EvBreakerTrip
+	// EvPanicRecovered: a connection handler recovered a panic.
+	// Src = source id of the attached session (0 if none).
+	EvPanicRecovered
+	// EvClientRetry: the client retried a transient failure.
+	// Src = session source id, Aux = attempt number (1-based).
+	EvClientRetry
+	// EvChunkPublished: the pipeline producer published a sequenced chunk.
+	// Edge = chunk base edge index, Aux = chunk sequence number.
+	EvChunkPublished
+	// EvChunkDrained: the pipeline drain retired a sequenced chunk.
+	// Edge = chunk base edge index, Aux = chunk sequence number,
+	// Src = scan worker that processed it.
+	EvChunkDrained
 )
 
 // String returns the decoder's stable name for the kind.
@@ -57,6 +92,28 @@ func (k EventKind) String() string {
 		return "EntryTableHit"
 	case EvSync:
 		return "Sync"
+	case EvSessionOpen:
+		return "SessionOpen"
+	case EvSessionResume:
+		return "SessionResume"
+	case EvSessionClose:
+		return "SessionClose"
+	case EvSessionFail:
+		return "SessionFail"
+	case EvQuotaReject:
+		return "QuotaReject"
+	case EvBackpressure:
+		return "Backpressure"
+	case EvBreakerTrip:
+		return "BreakerTrip"
+	case EvPanicRecovered:
+		return "PanicRecovered"
+	case EvClientRetry:
+		return "ClientRetry"
+	case EvChunkPublished:
+		return "ChunkPublished"
+	case EvChunkDrained:
+		return "ChunkDrained"
 	}
 	return fmt.Sprintf("EventKind(%d)", uint8(k))
 }
@@ -64,10 +121,14 @@ func (k EventKind) String() string {
 // Event is one structured observation with a logical timestamp: Edge is the
 // number of stream edges consumed before the event fired (the replay
 // clock), so event logs are deterministic across runs and comparable
-// between sequential and parallel replays of the same stream.
+// between sequential and parallel replays of the same stream. Src is the
+// trace-context source id — which session, shard or worker emitted the
+// event — so spliced multi-source logs stay attributable; kernel-emitted
+// replay/record events leave it 0.
 type Event struct {
 	Edge  uint64    // logical edge index
 	Aux   uint64    // kind-specific payload (label, probe depth, ...)
+	Src   uint32    // source id (session/shard/worker), 0 = unattributed
 	State int32     // automaton state involved (int32(NTE) = -1 for none)
 	Kind  EventKind // what happened
 }
@@ -187,17 +248,24 @@ func (t *Tracer) Dropped() uint64 {
 	return t.dropped
 }
 
-// eventMagic heads every binary event log.
-const eventMagic = "TEAEVT1\n"
+// eventMagicV1 headed the original binary event log (no source ids);
+// eventMagic heads logs written today, which append a uvarint source id to
+// every event. DecodeEvents accepts both, so logs captured before trace
+// contexts existed still decode (with Src = 0 throughout).
+const (
+	eventMagicV1 = "TEAEVT1\n"
+	eventMagic   = "TEAEVT2\n"
+)
 
 // EncodeEvents serializes events into the compact binary log format:
 // the 8-byte magic, a uvarint event count, then per event a zigzag-varint
 // edge delta against the previous event (timestamps are near-sorted, so
-// deltas are small), the kind byte, a zigzag-varint state, and a uvarint
-// aux. Encoding is a pure function of the event list, so identical replays
-// produce identical logs.
+// deltas are small), the kind byte, a zigzag-varint state, a uvarint aux,
+// and a uvarint source id (0 for kernel events, so the common case costs
+// one byte). Encoding is a pure function of the event list, so identical
+// replays produce identical logs.
 func EncodeEvents(events []Event) []byte {
-	out := make([]byte, 0, len(eventMagic)+10+len(events)*6)
+	out := make([]byte, 0, len(eventMagic)+10+len(events)*7)
 	out = append(out, eventMagic...)
 	out = binary.AppendUvarint(out, uint64(len(events)))
 	prev := uint64(0)
@@ -208,6 +276,7 @@ func EncodeEvents(events []Event) []byte {
 		out = append(out, byte(e.Kind))
 		out = binary.AppendVarint(out, int64(e.State))
 		out = binary.AppendUvarint(out, e.Aux)
+		out = binary.AppendUvarint(out, uint64(e.Src))
 	}
 	return out
 }
@@ -242,7 +311,16 @@ func decodeErrf(off, event int, format string, args ...any) *EventDecodeError {
 // every varint, so truncated or corrupt logs return a structured
 // *EventDecodeError rather than garbage.
 func DecodeEvents(data []byte) ([]Event, error) {
-	if len(data) < len(eventMagic) || string(data[:len(eventMagic)]) != eventMagic {
+	if len(data) < len(eventMagic) {
+		return nil, decodeErrf(0, -1, "not an event log (bad magic)")
+	}
+	var hasSrc bool
+	switch string(data[:len(eventMagic)]) {
+	case eventMagic:
+		hasSrc = true
+	case eventMagicV1:
+		hasSrc = false
+	default:
 		return nil, decodeErrf(0, -1, "not an event log (bad magic)")
 	}
 	off := len(eventMagic)
@@ -280,11 +358,22 @@ func DecodeEvents(data []byte) ([]Event, error) {
 			return nil, decodeErrf(off, int(i), "truncated aux")
 		}
 		off += n
+		var src uint64
+		if hasSrc {
+			src, n = binary.Uvarint(data[off:])
+			if n <= 0 {
+				return nil, decodeErrf(off, int(i), "truncated source id")
+			}
+			if src > 1<<32-1 {
+				return nil, decodeErrf(off, int(i), "source id %d out of range", src)
+			}
+			off += n
+		}
 		prev += uint64(delta)
 		if state < -(1<<31) || state >= 1<<31 {
 			return nil, decodeErrf(off, int(i), "state %d out of range", state)
 		}
-		events = append(events, Event{Edge: prev, Aux: aux, State: int32(state), Kind: kind})
+		events = append(events, Event{Edge: prev, Aux: aux, Src: uint32(src), State: int32(state), Kind: kind})
 	}
 	if off != len(data) {
 		return nil, decodeErrf(off, int(count), "%d trailing bytes after %d events", len(data)-off, count)

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 )
 
@@ -113,5 +114,60 @@ func TestEventKindStrings(t *testing.T) {
 	}
 	if EventKind(200).String() != "EventKind(200)" {
 		t.Fatal("unknown kind should render numerically")
+	}
+}
+
+// TestEventSrcRoundTrip: source ids survive the v2 log format, including
+// the 32-bit extremes, and unattributed events still cost one src byte.
+func TestEventSrcRoundTrip(t *testing.T) {
+	events := []Event{
+		{Edge: 1, Aux: 2, Src: 0, State: -1, Kind: EvSessionOpen},
+		{Edge: 5, Aux: 3, Src: 1, State: -1, Kind: EvQuotaReject},
+		{Edge: 9, Aux: 4, Src: 1<<32 - 1, State: -1, Kind: EvSessionFail},
+		{Edge: 9, Aux: 0, Src: 77, State: 3, Kind: EvChunkDrained},
+	}
+	data := EncodeEvents(events)
+	got, err := DecodeEvents(data)
+	if err != nil {
+		t.Fatalf("DecodeEvents: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("%d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+// TestEventLogV1Decode: logs written before source ids existed (TEAEVT1
+// magic, no src field) still decode, with Src = 0 throughout.
+func TestEventLogV1Decode(t *testing.T) {
+	events := []Event{
+		{Edge: 10, Aux: 0x400, State: 2, Kind: EvTraceEnter},
+		{Edge: 12, Aux: 7, State: -1, Kind: EvDesync},
+	}
+	// Hand-encode the v1 layout: magic, count, then per event the edge
+	// delta, kind byte, state and aux — no src.
+	out := []byte(eventMagicV1)
+	out = binary.AppendUvarint(out, uint64(len(events)))
+	prev := uint64(0)
+	for i := range events {
+		e := &events[i]
+		out = binary.AppendVarint(out, int64(e.Edge-prev))
+		prev = e.Edge
+		out = append(out, byte(e.Kind))
+		out = binary.AppendVarint(out, int64(e.State))
+		out = binary.AppendUvarint(out, e.Aux)
+	}
+	got, err := DecodeEvents(out)
+	if err != nil {
+		t.Fatalf("DecodeEvents(v1): %v", err)
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("v1 event %d: %+v want %+v", i, got[i], events[i])
+		}
 	}
 }

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+)
+
+// FlightRecord is one post-mortem artifact: the tail of the event ring at
+// the moment something went wrong, plus a frozen registry snapshot, so the
+// question "what led up to this?" is answerable after the fact without any
+// always-on external collector. The event suffix is causally ordered (the
+// tracer preserves emit order) and always ends with the terminal event the
+// trip appended — for a failed session, the EvSessionFail carrying the
+// structured error code that killed it.
+type FlightRecord struct {
+	Seq     uint64  // trip sequence number within this recorder (1-based)
+	Reason  string  // trigger class: "breaker-open", "panic", "desync-threshold", "session-fail", "wire-error"
+	Src     uint32  // source id of the implicated session/shard (0 = none)
+	Err     string  // structured error that terminated the session ("" if none)
+	Dropped uint64  // events the ring had overwritten by snapshot time
+	Events  []Event // bounded event suffix, oldest first, ending with the terminal event
+	Metrics []byte  // registry state at trip time (WriteJSON output)
+}
+
+// DefaultFlightRecords is how many trip artifacts a recorder retains.
+const DefaultFlightRecords = 16
+
+// FlightRecorder is the always-on crash/anomaly capture layer: a bounded
+// ring of FlightRecords fed by Trip. It is cheap when nothing trips (one
+// pointer on the Obs context, no per-edge work) and bounded when
+// everything does — at most max records, each holding at most one tracer
+// ring's worth of events.
+type FlightRecorder struct {
+	tracer *Tracer
+	reg    *Registry
+	trips  *Counter
+
+	mu   sync.Mutex
+	recs []FlightRecord
+	seq  uint64
+	max  int
+}
+
+// NewFlightRecorder creates a recorder snapshotting the given tracer and
+// registry, retaining the most recent maxRecords artifacts (non-positive
+// means DefaultFlightRecords).
+func NewFlightRecorder(reg *Registry, tracer *Tracer, maxRecords int) *FlightRecorder {
+	if maxRecords <= 0 {
+		maxRecords = DefaultFlightRecords
+	}
+	f := &FlightRecorder{tracer: tracer, reg: reg, max: maxRecords}
+	if reg != nil {
+		f.trips = reg.Counter("tea_flight_trips_total",
+			"Flight-recorder trips (breaker opens, recovered panics, desync-threshold and failed sessions).")
+	}
+	return f
+}
+
+// Trip captures one artifact: it snapshots the event ring, appends the
+// terminal events to both the snapshot and the live ring (so the artifact
+// provably ends with the event that explains the trip, and later scrapes
+// see it too), freezes the registry as JSON, and files the record. It
+// returns the record's sequence number. Safe for concurrent use; nil-safe
+// so un-wired callers can trip unconditionally.
+func (f *FlightRecorder) Trip(reason string, src uint32, errMsg string, terminal ...Event) uint64 {
+	if f == nil {
+		return 0
+	}
+	var events []Event
+	var droppedN uint64
+	if f.tracer != nil {
+		events, droppedN = f.tracer.Snapshot()
+		f.tracer.EmitBatch(terminal)
+	}
+	events = append(events, terminal...)
+	var metrics []byte
+	if f.reg != nil {
+		var buf bytes.Buffer
+		if err := f.reg.WriteJSON(&buf); err == nil {
+			metrics = buf.Bytes()
+		}
+	}
+	if f.trips != nil {
+		f.trips.Add(1)
+	}
+	f.mu.Lock()
+	f.seq++
+	rec := FlightRecord{
+		Seq: f.seq, Reason: reason, Src: src, Err: errMsg,
+		Dropped: droppedN, Events: events, Metrics: metrics,
+	}
+	f.recs = append(f.recs, rec)
+	if len(f.recs) > f.max {
+		f.recs = append(f.recs[:0], f.recs[len(f.recs)-f.max:]...)
+	}
+	seq := f.seq
+	f.mu.Unlock()
+	return seq
+}
+
+// Records returns the retained artifacts, oldest first.
+func (f *FlightRecorder) Records() []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]FlightRecord(nil), f.recs...)
+}
+
+// Last returns the most recent artifact, if any trip has fired.
+func (f *FlightRecorder) Last() (FlightRecord, bool) {
+	if f == nil {
+		return FlightRecord{}, false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.recs) == 0 {
+		return FlightRecord{}, false
+	}
+	return f.recs[len(f.recs)-1], true
+}
+
+// Trips returns how many times the recorder has tripped since creation
+// (monotonic; not reduced by ring eviction).
+func (f *FlightRecorder) Trips() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.seq
+}
+
+// flightMagic heads every serialized flight-recorder artifact.
+const flightMagic = "TEAFLR1\n"
+
+// EncodeFlight serializes one artifact for offline verification: the
+// 8-byte magic, the trip metadata (seq, src, dropped as uvarints; reason
+// and err as length-prefixed strings), the length-prefixed registry JSON,
+// and the length-prefixed binary event log (EncodeEvents format, so
+// teadump and DecodeEvents read the embedded log directly).
+func EncodeFlight(rec FlightRecord) []byte {
+	log := EncodeEvents(rec.Events)
+	out := make([]byte, 0, len(flightMagic)+len(rec.Reason)+len(rec.Err)+len(rec.Metrics)+len(log)+40)
+	out = append(out, flightMagic...)
+	out = binary.AppendUvarint(out, rec.Seq)
+	out = binary.AppendUvarint(out, uint64(rec.Src))
+	out = binary.AppendUvarint(out, rec.Dropped)
+	out = binary.AppendUvarint(out, uint64(len(rec.Reason)))
+	out = append(out, rec.Reason...)
+	out = binary.AppendUvarint(out, uint64(len(rec.Err)))
+	out = append(out, rec.Err...)
+	out = binary.AppendUvarint(out, uint64(len(rec.Metrics)))
+	out = append(out, rec.Metrics...)
+	out = binary.AppendUvarint(out, uint64(len(log)))
+	out = append(out, log...)
+	return out
+}
+
+// DecodeFlight parses an artifact produced by EncodeFlight, validating
+// every length against the available bytes and fully decoding the embedded
+// event log, so a truncated or corrupt artifact yields a structured error
+// rather than garbage.
+func DecodeFlight(data []byte) (FlightRecord, error) {
+	var rec FlightRecord
+	if len(data) < len(flightMagic) || string(data[:len(flightMagic)]) != flightMagic {
+		return rec, decodeErrf(0, -1, "not a flight artifact (bad magic)")
+	}
+	off := len(flightMagic)
+	uv := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return 0, decodeErrf(off, -1, "truncated %s", what)
+		}
+		off += n
+		return v, nil
+	}
+	str := func(what string, max int) ([]byte, error) {
+		l, err := uv(what + " length")
+		if err != nil {
+			return nil, err
+		}
+		if l > uint64(len(data)-off) {
+			return nil, decodeErrf(off, -1, "%s length %d exceeds artifact size", what, l)
+		}
+		if max > 0 && l > uint64(max) {
+			return nil, decodeErrf(off, -1, "%s length %d too large", what, l)
+		}
+		b := data[off : off+int(l)]
+		off += int(l)
+		return b, nil
+	}
+	var err error
+	if rec.Seq, err = uv("seq"); err != nil {
+		return rec, err
+	}
+	src, err := uv("src")
+	if err != nil {
+		return rec, err
+	}
+	if src > 1<<32-1 {
+		return rec, decodeErrf(off, -1, "source id %d out of range", src)
+	}
+	rec.Src = uint32(src)
+	if rec.Dropped, err = uv("dropped"); err != nil {
+		return rec, err
+	}
+	reason, err := str("reason", 1<<10)
+	if err != nil {
+		return rec, err
+	}
+	rec.Reason = string(reason)
+	emsg, err := str("error", 1<<12)
+	if err != nil {
+		return rec, err
+	}
+	rec.Err = string(emsg)
+	metrics, err := str("metrics", 0)
+	if err != nil {
+		return rec, err
+	}
+	if len(metrics) > 0 {
+		rec.Metrics = append([]byte(nil), metrics...)
+	}
+	log, err := str("event log", 0)
+	if err != nil {
+		return rec, err
+	}
+	if off != len(data) {
+		return rec, decodeErrf(off, -1, "%d trailing bytes after artifact", len(data)-off)
+	}
+	if rec.Events, err = DecodeEvents(log); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}

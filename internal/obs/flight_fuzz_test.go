@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/lsc-tea/tea/internal/faultinject"
+)
+
+// FuzzDecodeFlight extends the hostile-log contract to the flight
+// artifact: for ANY input bytes DecodeFlight must terminate without
+// panicking, every failure must be a structured *EventDecodeError, and
+// every accepted artifact must survive a re-encode/decode round trip.
+func FuzzDecodeFlight(f *testing.F) {
+	for i, events := range fuzzSeedEvents() {
+		valid := EncodeFlight(FlightRecord{
+			Seq:     uint64(i + 1),
+			Reason:  "session-fail",
+			Src:     uint32(i),
+			Err:     "quota exhausted",
+			Dropped: uint64(i * 3),
+			Events:  events,
+			Metrics: []byte(`[{"name":"tea_flight_trips_total","kind":"counter","value":1}]`),
+		})
+		f.Add(valid)
+		j := faultinject.New(int64(len(valid)))
+		for k := 0; k < 8; k++ {
+			f.Add(j.Mutate(valid))
+			f.Add(j.Truncate(valid))
+		}
+		f.Add(valid[:len(valid)-1])
+		f.Add(append(bytes.Clone(valid), 0))
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte(flightMagic))
+	f.Add(append([]byte(flightMagic), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := DecodeFlight(data)
+		if err != nil {
+			var derr *EventDecodeError
+			if !errors.As(err, &derr) {
+				t.Fatalf("unstructured decode error %T: %v", err, err)
+			}
+			return
+		}
+		again, err := DecodeFlight(EncodeFlight(rec))
+		if err != nil {
+			t.Fatalf("re-encode of accepted artifact no longer decodes: %v", err)
+		}
+		if again.Seq != rec.Seq || again.Src != rec.Src || again.Dropped != rec.Dropped ||
+			again.Reason != rec.Reason || again.Err != rec.Err ||
+			!bytes.Equal(again.Metrics, rec.Metrics) || len(again.Events) != len(rec.Events) {
+			t.Fatalf("round trip changed artifact: %+v -> %+v", rec, again)
+		}
+		for i := range rec.Events {
+			if again.Events[i] != rec.Events[i] {
+				t.Fatalf("round trip changed event %d", i)
+			}
+		}
+	})
+}

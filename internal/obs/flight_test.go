@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlightTripEndsWithTerminal(t *testing.T) {
+	o := NewWith(NewRegistry(), 64)
+	for i := 0; i < 5; i++ {
+		o.Tracer.Emit(Event{Edge: uint64(i), State: -1, Kind: EvDesync})
+	}
+	term := Event{Edge: 5, Aux: 9, Src: 7, State: -1, Kind: EvSessionFail}
+	seq := o.Flight.Trip("session-fail", 7, "quota exhausted", term)
+	if seq != 1 {
+		t.Fatalf("seq %d, want 1", seq)
+	}
+	rec, ok := o.Flight.Last()
+	if !ok {
+		t.Fatal("no record after trip")
+	}
+	if rec.Reason != "session-fail" || rec.Src != 7 || rec.Err != "quota exhausted" {
+		t.Fatalf("record metadata wrong: %+v", rec)
+	}
+	if len(rec.Events) != 6 || rec.Events[len(rec.Events)-1] != term {
+		t.Fatalf("artifact does not end with the terminal event: %+v", rec.Events)
+	}
+	// The terminal event must also land in the live ring, so later trips and
+	// scrapes see it.
+	live, _ := o.Tracer.Snapshot()
+	if live[len(live)-1] != term {
+		t.Fatalf("live ring does not end with the terminal event: %+v", live[len(live)-1])
+	}
+	if !strings.Contains(string(rec.Metrics), "tea_flight_trips_total") {
+		t.Fatal("registry snapshot missing from artifact")
+	}
+	if o.Flight.Trips() != 1 {
+		t.Fatalf("Trips() = %d, want 1", o.Flight.Trips())
+	}
+}
+
+func TestFlightRingBounded(t *testing.T) {
+	f := NewFlightRecorder(nil, NewTracer(16), 3)
+	for i := 0; i < 10; i++ {
+		f.Trip("breaker-open", uint32(i), "")
+	}
+	recs := f.Records()
+	if len(recs) != 3 {
+		t.Fatalf("%d records retained, want 3", len(recs))
+	}
+	if recs[0].Seq != 8 || recs[2].Seq != 10 {
+		t.Fatalf("wrong window retained: %d..%d", recs[0].Seq, recs[2].Seq)
+	}
+	if f.Trips() != 10 {
+		t.Fatalf("Trips() = %d, want 10", f.Trips())
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	if f.Trip("panic", 0, "x") != 0 {
+		t.Fatal("nil Trip returned nonzero seq")
+	}
+	if f.Records() != nil || f.Trips() != 0 {
+		t.Fatal("nil accessors not empty")
+	}
+	if _, ok := f.Last(); ok {
+		t.Fatal("nil Last reported a record")
+	}
+}
+
+func TestFlightEncodeDecodeRoundTrip(t *testing.T) {
+	o := NewWith(NewRegistry(), 64)
+	o.Tracer.Emit(Event{Edge: 100, Aux: 3, Src: 2, State: 4, Kind: EvTraceEnter})
+	o.Flight.Trip("desync-threshold", 2, "too many desyncs",
+		Event{Edge: 101, Src: 2, State: -1, Kind: EvSessionFail})
+	rec, _ := o.Flight.Last()
+
+	data := EncodeFlight(rec)
+	got, err := DecodeFlight(data)
+	if err != nil {
+		t.Fatalf("DecodeFlight: %v", err)
+	}
+	if got.Seq != rec.Seq || got.Reason != rec.Reason || got.Src != rec.Src ||
+		got.Err != rec.Err || got.Dropped != rec.Dropped {
+		t.Fatalf("metadata diverges: %+v vs %+v", got, rec)
+	}
+	if string(got.Metrics) != string(rec.Metrics) {
+		t.Fatal("metrics snapshot diverges")
+	}
+	if len(got.Events) != len(rec.Events) {
+		t.Fatalf("%d events, want %d", len(got.Events), len(rec.Events))
+	}
+	for i := range rec.Events {
+		if got.Events[i] != rec.Events[i] {
+			t.Fatalf("event %d diverges: %+v vs %+v", i, got.Events[i], rec.Events[i])
+		}
+	}
+}
+
+func TestFlightDecodeRejectsCorrupt(t *testing.T) {
+	o := NewWith(NewRegistry(), 64)
+	o.Flight.Trip("panic", 1, "boom", Event{Edge: 1, State: -1, Kind: EvPanicRecovered})
+	rec, _ := o.Flight.Last()
+	data := EncodeFlight(rec)
+
+	if _, err := DecodeFlight(data[:4]); err == nil {
+		t.Fatal("truncated magic accepted")
+	}
+	if _, err := DecodeFlight(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated artifact accepted")
+	}
+	if _, err := DecodeFlight(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 1
+	if _, err := DecodeFlight(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Corrupt the embedded event log: flip its last byte (inside the final
+	// event's varints) — the decode must surface the event-log error.
+	bad = append([]byte(nil), data...)
+	bad[len(bad)-1] ^= 0x80
+	if _, err := DecodeFlight(bad); err == nil {
+		t.Fatal("corrupt embedded event log accepted")
+	}
+}

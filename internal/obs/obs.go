@@ -56,6 +56,12 @@ type Obs struct {
 	Replay *ReplayMetrics
 	Record *RecordMetrics
 
+	// Flight is the always-on post-mortem recorder: breaker opens,
+	// recovered panics and failed sessions snapshot the event ring and
+	// registry into a bounded artifact ring (see FlightRecorder). It costs
+	// nothing until something trips.
+	Flight *FlightRecorder
+
 	// edge is the logical clock: stream edges consumed so far. curEdge is
 	// the timestamp emitters stamp onto events; batch paths set it from a
 	// batch-local base + offset instead of ticking per edge.
@@ -79,6 +85,7 @@ func New() *Obs {
 // the given event-ring capacity.
 func NewWith(reg *Registry, tracerCap int) *Obs {
 	o := &Obs{Reg: reg, Tracer: NewTracer(tracerCap)}
+	o.Flight = NewFlightRecorder(reg, o.Tracer, 0)
 	c := func(name, help string) *Counter { return reg.Counter(name, help) }
 	o.Replay = &ReplayMetrics{
 		Blocks:        c("tea_replay_blocks_total", "stream edges consumed (block boundaries crossed)"),
@@ -186,6 +193,17 @@ func (o *Obs) EntryTableHit(state int32, label uint64) {
 // SyncEvent records a recorder synchronization (trace created or extended).
 func (o *Obs) SyncEvent(state int32, blocks uint64) {
 	o.Tracer.Emit(Event{Edge: o.curEdge, Aux: blocks, State: state, Kind: EvSync})
+}
+
+// SessionEvent emits one serve/pipeline-layer event stamped with an
+// explicit source id and logical clock (the session's edge watermark or
+// the chunk's base edge, not the replay clock), so spliced multi-session
+// event streams stay causally ordered per source. Alloc-free: one ring
+// write under the tracer lock.
+//
+//tea:hotpath
+func (o *Obs) SessionEvent(kind EventKind, src uint32, edge, aux uint64) {
+	o.Tracer.Emit(Event{Edge: edge, Aux: aux, Src: src, State: -1, Kind: kind})
 }
 
 // IngestReplay feeds a pre-collected, edge-ordered event list into the

@@ -142,23 +142,239 @@ func (h *Histogram) Bounds() []uint64 { return h.bounds }
 // Name returns the metric name.
 func (h *Histogram) Name() string { return h.name }
 
+// CounterVec is a counter family with one low-cardinality label dimension
+// (tenant, image, worker). Series are created on first use and capped at
+// maxSeries: once the cap is reached, every unseen label value shares one
+// overflow series rendered with the label value "_overflow", so a hostile
+// or runaway caller can inflate a single number but never the series set.
+// Release drops a series (an evicted tenant releases its label values); a
+// later With for the same value starts a fresh series at zero.
+type CounterVec struct {
+	name, help, label string
+	max               int
+	mu                sync.RWMutex
+	series            map[string]*Counter
+	overflow          *Counter
+}
+
+// With returns the counter for one label value, creating it on first use
+// (or returning the shared overflow counter past the series cap). The hit
+// path is a read-locked map lookup; pre-resolve in session state rather
+// than calling per edge.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c := v.series[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.series[value]; c != nil {
+		return c
+	}
+	if len(v.series) >= v.max {
+		if v.overflow == nil {
+			v.overflow = &Counter{name: v.name}
+		}
+		return v.overflow
+	}
+	c = &Counter{name: v.name}
+	v.series[value] = c
+	return c
+}
+
+// Release drops the series for one label value, reporting whether it
+// existed. The overflow series is never released.
+func (v *CounterVec) Release(value string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	_, ok := v.series[value]
+	delete(v.series, value)
+	return ok
+}
+
+// Len returns the live series count (excluding the overflow series).
+func (v *CounterVec) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.series)
+}
+
+// Name returns the metric name.
+func (v *CounterVec) Name() string { return v.name }
+
+// seriesView is one (label value, numeric value) pair in a deterministic
+// vec snapshot.
+type seriesView struct {
+	value string
+	num   uint64
+}
+
+// snapshotSeries returns the live series sorted by label value, with the
+// overflow series (if any writes overflowed) last under "_overflow".
+func (v *CounterVec) snapshotSeries() []seriesView {
+	v.mu.RLock()
+	out := make([]seriesView, 0, len(v.series)+1)
+	for val, c := range v.series {
+		out = append(out, seriesView{value: val, num: c.Value()})
+	}
+	overflow := v.overflow
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	if overflow != nil {
+		out = append(out, seriesView{value: "_overflow", num: overflow.Value()})
+	}
+	return out
+}
+
+// GaugeVec is a gauge family with one label dimension, with the same
+// bounded-cardinality and release semantics as CounterVec.
+type GaugeVec struct {
+	name, help, label string
+	max               int
+	mu                sync.RWMutex
+	series            map[string]*Gauge
+	overflow          *Gauge
+}
+
+// With returns the gauge for one label value, creating it on first use (or
+// returning the shared overflow gauge past the series cap).
+func (v *GaugeVec) With(value string) *Gauge {
+	v.mu.RLock()
+	g := v.series[value]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g := v.series[value]; g != nil {
+		return g
+	}
+	if len(v.series) >= v.max {
+		if v.overflow == nil {
+			v.overflow = &Gauge{name: v.name}
+		}
+		return v.overflow
+	}
+	g = &Gauge{name: v.name}
+	v.series[value] = g
+	return g
+}
+
+// Release drops the series for one label value, reporting whether it
+// existed.
+func (v *GaugeVec) Release(value string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	_, ok := v.series[value]
+	delete(v.series, value)
+	return ok
+}
+
+// Len returns the live series count (excluding the overflow series).
+func (v *GaugeVec) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.series)
+}
+
+// Name returns the metric name.
+func (v *GaugeVec) Name() string { return v.name }
+
+func (v *GaugeVec) snapshotSeries() []seriesView {
+	v.mu.RLock()
+	out := make([]seriesView, 0, len(v.series)+1)
+	for val, g := range v.series {
+		out = append(out, seriesView{value: val, num: g.Value()})
+	}
+	overflow := v.overflow
+	v.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].value < out[j].value })
+	if overflow != nil {
+		out = append(out, seriesView{value: "_overflow", num: overflow.Value()})
+	}
+	return out
+}
+
+// escapeLabelValue escapes a label value for the Prometheus text exposition
+// format (backslash, double quote and newline are the only characters that
+// need escaping; everything else passes through verbatim).
+func escapeLabelValue(v string) string {
+	needs := false
+	for i := 0; i < len(v); i++ {
+		if c := v[i]; c == '\\' || c == '"' || c == '\n' {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return v
+	}
+	out := make([]byte, 0, len(v)+8)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
 // Registry holds the named metrics of one observability context and renders
 // them in deterministic (sorted-by-name) order. Registration is idempotent:
 // asking for an existing name returns the existing metric, so hot-path
 // owners can pre-resolve their metric set without coordinating.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	hists       map[string]*Histogram
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+
+	cmu        sync.Mutex
+	collectors []func()
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		hists:       make(map[string]*Histogram),
+		counterVecs: make(map[string]*CounterVec),
+		gaugeVecs:   make(map[string]*GaugeVec),
+	}
+}
+
+// AddCollector registers fn to run at the start of every export
+// (WritePrometheus / WriteJSON), before the snapshot is taken. Subsystems
+// that keep their own hot-path counters outside the registry — the pipeline
+// keeps per-pipe atomics so workers never touch shared metric cells — sync
+// them into registry metrics here, paying the fold only when someone
+// actually scrapes.
+func (r *Registry) AddCollector(fn func()) {
+	r.cmu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.cmu.Unlock()
+}
+
+// collect runs the registered collectors. The list is copied first so a
+// collector can itself register metrics without deadlocking.
+func (r *Registry) collect() {
+	r.cmu.Lock()
+	fns := append([]func(){}, r.collectors...)
+	r.cmu.Unlock()
+	for _, fn := range fns {
+		fn()
 	}
 }
 
@@ -213,6 +429,52 @@ func (r *Registry) Histogram(name, help string, bounds []uint64) *Histogram {
 	return h
 }
 
+// DefaultMaxSeries is the per-vec series cap when the caller passes a
+// non-positive one.
+const DefaultMaxSeries = 64
+
+// CounterVec returns the labeled counter family registered under name,
+// creating it on first use with the given label name and series cap
+// (non-positive means DefaultMaxSeries). Later calls ignore label and
+// maxSeries and return the existing vec.
+func (r *Registry) CounterVec(name, help, label string, maxSeries int) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.counterVecs[name]; ok {
+		return v
+	}
+	r.checkName(name)
+	if !validMetricName(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	if maxSeries <= 0 {
+		maxSeries = DefaultMaxSeries
+	}
+	v := &CounterVec{name: name, help: help, label: label, max: maxSeries, series: make(map[string]*Counter)}
+	r.counterVecs[name] = v
+	return v
+}
+
+// GaugeVec returns the labeled gauge family registered under name, creating
+// it on first use with the given label name and series cap.
+func (r *Registry) GaugeVec(name, help, label string, maxSeries int) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.gaugeVecs[name]; ok {
+		return v
+	}
+	r.checkName(name)
+	if !validMetricName(label) {
+		panic(fmt.Sprintf("obs: invalid label name %q", label))
+	}
+	if maxSeries <= 0 {
+		maxSeries = DefaultMaxSeries
+	}
+	v := &GaugeVec{name: name, help: help, label: label, max: maxSeries, series: make(map[string]*Gauge)}
+	r.gaugeVecs[name] = v
+	return v
+}
+
 // checkName validates a metric name (called with r.mu held).
 func (r *Registry) checkName(name string) {
 	if !validMetricName(name) {
@@ -225,6 +487,12 @@ func (r *Registry) checkName(name string) {
 		panic(fmt.Sprintf("obs: metric %q already registered with a different kind", name))
 	}
 	if _, ok := r.hists[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different kind", name))
+	}
+	if _, ok := r.counterVecs[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q already registered with a different kind", name))
+	}
+	if _, ok := r.gaugeVecs[name]; ok {
 		panic(fmt.Sprintf("obs: metric %q already registered with a different kind", name))
 	}
 }
@@ -262,25 +530,75 @@ func (r *Registry) snapshot() (counters []*Counter, gauges []*Gauge, hists []*Hi
 	return counters, gauges, hists
 }
 
+// snapshotVecs gathers the labeled families sorted by name.
+func (r *Registry) snapshotVecs() (cvecs []*CounterVec, gvecs []*GaugeVec) {
+	r.mu.RLock()
+	for _, v := range r.counterVecs {
+		cvecs = append(cvecs, v)
+	}
+	for _, v := range r.gaugeVecs {
+		gvecs = append(gvecs, v)
+	}
+	r.mu.RUnlock()
+	sort.Slice(cvecs, func(i, j int) bool { return cvecs[i].name < cvecs[j].name })
+	sort.Slice(gvecs, func(i, j int) bool { return gvecs[i].name < gvecs[j].name })
+	return cvecs, gvecs
+}
+
 // WritePrometheus renders every metric in the Prometheus text exposition
 // format, sorted by name within each kind (counters, then gauges, then
-// histograms) so the output is stable and diffable.
+// histograms; labeled families merge into their kind's section by name,
+// series sorted by label value) so the output is stable and diffable.
+// Registered collectors run first, so out-of-registry subsystem counters
+// are folded in before the snapshot.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.collect()
 	counters, gauges, hists := r.snapshot()
-	for _, c := range counters {
-		if err := writeHeader(w, c.name, c.help, "counter"); err != nil {
+	cvecs, gvecs := r.snapshotVecs()
+	for ci, vi := 0, 0; ci < len(counters) || vi < len(cvecs); {
+		if vi >= len(cvecs) || (ci < len(counters) && counters[ci].name < cvecs[vi].name) {
+			c := counters[ci]
+			ci++
+			if err := writeHeader(w, c.name, c.help, "counter"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", c.name, c.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		v := cvecs[vi]
+		vi++
+		if err := writeHeader(w, v.name, v.help, "counter"); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s %d\n", c.name, c.Value()); err != nil {
-			return err
+		for _, s := range v.snapshotSeries() {
+			if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", v.name, v.label, escapeLabelValue(s.value), s.num); err != nil {
+				return err
+			}
 		}
 	}
-	for _, g := range gauges {
-		if err := writeHeader(w, g.name, g.help, "gauge"); err != nil {
+	for gi, vi := 0, 0; gi < len(gauges) || vi < len(gvecs); {
+		if vi >= len(gvecs) || (gi < len(gauges) && gauges[gi].name < gvecs[vi].name) {
+			g := gauges[gi]
+			gi++
+			if err := writeHeader(w, g.name, g.help, "gauge"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", g.name, g.Value()); err != nil {
+				return err
+			}
+			continue
+		}
+		v := gvecs[vi]
+		vi++
+		if err := writeHeader(w, v.name, v.help, "gauge"); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s %d\n", g.name, g.Value()); err != nil {
-			return err
+		for _, s := range v.snapshotSeries() {
+			if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", v.name, v.label, escapeLabelValue(s.value), s.num); err != nil {
+				return err
+			}
 		}
 	}
 	for _, h := range hists {
@@ -316,28 +634,53 @@ func writeHeader(w io.Writer, name, help, kind string) error {
 	return err
 }
 
-// jsonMetric is the JSON rendering of one metric.
+// jsonMetric is the JSON rendering of one metric (or one series of a
+// labeled family, which carries Label/LabelValue).
 type jsonMetric struct {
-	Name    string   `json:"name"`
-	Kind    string   `json:"kind"`
-	Value   *uint64  `json:"value,omitempty"`
-	Bounds  []uint64 `json:"bounds,omitempty"`
-	Buckets []uint64 `json:"buckets,omitempty"`
-	Count   *uint64  `json:"count,omitempty"`
-	Sum     *uint64  `json:"sum,omitempty"`
+	Name       string   `json:"name"`
+	Kind       string   `json:"kind"`
+	Label      string   `json:"label,omitempty"`
+	LabelValue string   `json:"label_value,omitempty"`
+	Value      *uint64  `json:"value,omitempty"`
+	Bounds     []uint64 `json:"bounds,omitempty"`
+	Buckets    []uint64 `json:"buckets,omitempty"`
+	Count      *uint64  `json:"count,omitempty"`
+	Sum        *uint64  `json:"sum,omitempty"`
 }
 
 // WriteJSON renders the registry as a deterministic JSON array (same order
 // as WritePrometheus), for machine diffing and the /metrics.json endpoint.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	r.collect()
 	counters, gauges, hists := r.snapshot()
+	cvecs, gvecs := r.snapshotVecs()
 	out := make([]jsonMetric, 0, len(counters)+len(gauges)+len(hists))
 	u := func(v uint64) *uint64 { return &v }
-	for _, c := range counters {
-		out = append(out, jsonMetric{Name: c.name, Kind: "counter", Value: u(c.Value())})
+	for ci, vi := 0, 0; ci < len(counters) || vi < len(cvecs); {
+		if vi >= len(cvecs) || (ci < len(counters) && counters[ci].name < cvecs[vi].name) {
+			c := counters[ci]
+			ci++
+			out = append(out, jsonMetric{Name: c.name, Kind: "counter", Value: u(c.Value())})
+			continue
+		}
+		v := cvecs[vi]
+		vi++
+		for _, s := range v.snapshotSeries() {
+			out = append(out, jsonMetric{Name: v.name, Kind: "counter", Label: v.label, LabelValue: s.value, Value: u(s.num)})
+		}
 	}
-	for _, g := range gauges {
-		out = append(out, jsonMetric{Name: g.name, Kind: "gauge", Value: u(g.Value())})
+	for gi, vi := 0, 0; gi < len(gauges) || vi < len(gvecs); {
+		if vi >= len(gvecs) || (gi < len(gauges) && gauges[gi].name < gvecs[vi].name) {
+			g := gauges[gi]
+			gi++
+			out = append(out, jsonMetric{Name: g.name, Kind: "gauge", Value: u(g.Value())})
+			continue
+		}
+		v := gvecs[vi]
+		vi++
+		for _, s := range v.snapshotSeries() {
+			out = append(out, jsonMetric{Name: v.name, Kind: "gauge", Label: v.label, LabelValue: s.value, Value: u(s.num)})
+		}
 	}
 	for _, h := range hists {
 		buckets, count, sum := h.Buckets()

@@ -120,7 +120,10 @@ func TestPrometheusGolden(t *testing.T) {
 	if err := o.Reg.WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
-	const golden = `# HELP tea_record_entries_total trace entry points registered
+	const golden = `# HELP tea_flight_trips_total Flight-recorder trips (breaker opens, recovered panics, desync-threshold and failed sessions).
+# TYPE tea_flight_trips_total counter
+tea_flight_trips_total 0
+# HELP tea_record_entries_total trace entry points registered
 # TYPE tea_record_entries_total counter
 tea_record_entries_total 0
 # HELP tea_record_syncs_total traces synchronized into the automaton

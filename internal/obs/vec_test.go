@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterVecSeriesAndRelease(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("tea_test_total", "test", "tenant", 2)
+	v.With("a").Add(1)
+	v.With("b").Add(2)
+	if v.With("a") != v.With("a") {
+		t.Fatal("With is not idempotent")
+	}
+	if v.Len() != 2 {
+		t.Fatalf("Len %d, want 2", v.Len())
+	}
+	// Past the cap, writes land on the shared overflow series.
+	v.With("c").Add(7)
+	v.With("d").Add(5)
+	if v.Len() != 2 {
+		t.Fatalf("Len %d after overflow, want 2", v.Len())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`tea_test_total{tenant="a"} 1`,
+		`tea_test_total{tenant="b"} 2`,
+		`tea_test_total{tenant="_overflow"} 12`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("scrape missing %q:\n%s", want, sb.String())
+		}
+	}
+	// Releasing a series frees its slot for a fresh label value.
+	if !v.Release("a") {
+		t.Fatal("Release(a) = false")
+	}
+	if v.Release("a") {
+		t.Fatal("double Release(a) = true")
+	}
+	v.With("e").Add(3)
+	if v.Len() != 2 {
+		t.Fatalf("Len %d after release+readmit, want 2", v.Len())
+	}
+	if got := v.With("e").Value(); got != 3 {
+		t.Fatalf("readmitted series value %d, want 3", got)
+	}
+}
+
+func TestGaugeVecSeriesAndRelease(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("tea_test_gen", "test", "image", 1)
+	v.With("img").Set(4)
+	v.With("spill").Set(9) // overflow
+	if v.Len() != 1 {
+		t.Fatalf("Len %d, want 1", v.Len())
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `tea_test_gen{image="img"} 4`) ||
+		!strings.Contains(sb.String(), `tea_test_gen{image="_overflow"} 9`) {
+		t.Fatalf("gauge vec scrape wrong:\n%s", sb.String())
+	}
+	if !v.Release("img") {
+		t.Fatal("Release(img) = false")
+	}
+	if v.Len() != 0 {
+		t.Fatalf("Len %d after release, want 0", v.Len())
+	}
+}
+
+// TestQuickVecBoundedCardinality is the property test behind the
+// multi-tenant metric contract: no matter what label values arrive in what
+// order, the live series count never exceeds the configured cap, and
+// releasing a value always frees capacity for a new one.
+func TestQuickVecBoundedCardinality(t *testing.T) {
+	f := func(names []string, maxBits uint8) bool {
+		max := 1 + int(maxBits%8)
+		v := NewRegistry().CounterVec("tea_q_total", "q", "tenant", max)
+		for _, n := range names {
+			v.With(n).Add(1)
+			if v.Len() > max {
+				return false
+			}
+		}
+		// Evict every admitted value; capacity must fully recover.
+		for _, n := range names {
+			v.Release(n)
+		}
+		if v.Len() != 0 {
+			return false
+		}
+		for i := 0; i < max; i++ {
+			v.With(fmt.Sprintf("fresh-%d", i)).Add(1)
+		}
+		return v.Len() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("tea_test_total", "test", "tenant", 4)
+	v.With(`a"b\c` + "\nd").Add(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `tea_test_total{tenant="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaped series %q missing:\n%s", want, sb.String())
+	}
+}
+
+func TestVecRegistrationValidated(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("tea_test_total", "test", "tenant", 0)
+	if v2 := r.CounterVec("tea_test_total", "test", "tenant", 0); v2 != v {
+		t.Fatal("re-registration did not return the existing vec")
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("cross-kind name", func() { r.GaugeVec("tea_test_total", "x", "tenant", 0) })
+	mustPanic("plain-metric clash", func() { r.Counter("tea_test_total", "x") })
+	mustPanic("bad label", func() { r.CounterVec("tea_other_total", "x", "bad label!", 0) })
+}
+
+func TestCollectorRunsAtExport(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tea_test_total", "test")
+	var backing uint64 = 41
+	var last uint64
+	r.AddCollector(func() {
+		c.Add(backing - last)
+		last = backing
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "tea_test_total 41") {
+		t.Fatalf("collector did not fold before export:\n%s", sb.String())
+	}
+	// A second export must fold the delta, not re-add the total.
+	backing = 43
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "tea_test_total 43") {
+		t.Fatalf("delta fold wrong on second export:\n%s", sb.String())
+	}
+}

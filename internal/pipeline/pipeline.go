@@ -20,6 +20,7 @@ package pipeline
 
 import (
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,6 +46,12 @@ type Config struct {
 	Depth int
 	// Obs attaches the observability context; nil runs dark.
 	Obs *obs.Obs
+	// TraceChunks emits an EvChunkPublished event when the producer stamps a
+	// chunk and an EvChunkDrained event when the drain merges it, stamping
+	// the scanning worker's id (1-based) as the event source. Off by
+	// default: chunk events are pipeline-shaped, so they would break the
+	// byte-identical-to-sequential event-stream contract if always on.
+	TraceChunks bool
 }
 
 func (c Config) withDefaults() Config {
@@ -65,10 +72,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Metrics is a snapshot of the pipeline's self-telemetry. It lives outside
-// the obs registry on purpose: the registry's contents are part of the
-// byte-identical-to-sequential contract, so pipeline-only counters must not
-// leak into it.
+// Metrics is a snapshot of the pipeline's self-telemetry. The counters live
+// in pipe-owned atomics — never in registry cells — because the registry's
+// folded contents are part of the byte-identical-to-sequential contract. A
+// scrape-time collector (registerObs) delta-folds these atomics into
+// tea_pipeline_* registry series, so unified dashboards still see them;
+// identity tests filter that prefix.
 type Metrics struct {
 	// Published / Drained count sequenced chunks in and out.
 	Published uint64
@@ -112,6 +121,8 @@ type chunk struct {
 	ownI   []uint64
 	snap   *recSnap // snapshot the scan ran against; nil = not scanned
 
+	worker int32 // id of the worker that scanned this chunk, for trace events
+
 	res core.SpecResult
 }
 
@@ -149,6 +160,11 @@ type pipe struct {
 	scan    func(*chunk) // worker-side speculative scan
 	drainFn func(*chunk) // drain-side in-order merge
 
+	// workerChunks[w] counts chunks scanned by worker w; padded so two
+	// workers finishing chunks never share a cache line.
+	workerChunks []padCount
+	traceChunks  bool
+
 	wg sync.WaitGroup
 
 	// Producer-side state (owned by the feeding goroutine).
@@ -161,6 +177,12 @@ type resSlot struct {
 	ready atomic.Uint64 // seq+1 once ch is valid
 	ch    *chunk
 	_     [48]byte
+}
+
+// padCount is a cache-line padded per-worker counter.
+type padCount struct {
+	n atomic.Uint64
+	_ [56]byte
 }
 
 // start allocates the rings and chunk buffers and spawns workers + drain.
@@ -182,10 +204,12 @@ func (p *pipe) start(record bool) {
 	}
 	if p.o != nil {
 		p.obase = p.o.EdgeBase()
+		p.traceChunks = p.cfg.TraceChunks
 	}
+	p.workerChunks = make([]padCount, p.cfg.Workers)
 	for w := 0; w < p.cfg.Workers; w++ {
 		p.wg.Add(1)
-		go p.workerLoop()
+		go p.workerLoop(w)
 	}
 	p.wg.Add(1)
 	go p.drainLoop()
@@ -201,7 +225,7 @@ func yield(spins int) {
 	time.Sleep(100 * time.Microsecond)
 }
 
-func (p *pipe) workerLoop() {
+func (p *pipe) workerLoop(w int) {
 	defer p.wg.Done()
 	spins := 0
 	for {
@@ -220,7 +244,9 @@ func (p *pipe) workerLoop() {
 			continue
 		}
 		spins = 0
+		c.worker = int32(w)
 		p.scan(c)
+		p.workerChunks[w].n.Add(1)
 		s := &p.resv[c.seq&uint64(p.cfg.Depth-1)]
 		s.ch = c
 		s.ready.Store(c.seq + 1)
@@ -244,6 +270,14 @@ func (p *pipe) drainLoop() {
 		spins = 0
 		c := s.ch
 		p.drainFn(c)
+		if p.traceChunks {
+			// Drain order is sequence order, so drained-chunk events are
+			// causally ordered in the stream; Src names the scanning worker.
+			p.o.Tracer.Emit(obs.Event{
+				Edge: c.base, Aux: c.seq, Src: uint32(c.worker) + 1,
+				State: -1, Kind: obs.EvChunkDrained,
+			})
+		}
 		// Recycle before advancing drained: the producer observing the
 		// drained count (Barrier) must also observe the merge results, and
 		// the free-ring push is what hands the buffer back.
@@ -274,6 +308,11 @@ func (p *pipe) publish(c *chunk, n int) {
 	c.seq = p.pub.Add(1) - 1
 	c.base = p.obase + p.cum
 	p.cum += uint64(n)
+	if p.traceChunks {
+		p.o.Tracer.Emit(obs.Event{
+			Edge: c.base, Aux: c.seq, State: -1, Kind: obs.EvChunkPublished,
+		})
+	}
 	p.work.push(c) // cannot fail: at most Depth chunks exist
 	p.cur = nil
 }
@@ -293,6 +332,53 @@ func (p *pipe) shutdown() {
 	p.quiesce()
 	p.closed.Store(true)
 	p.wg.Wait()
+}
+
+// registerObs installs a scrape-time collector that delta-folds the pipe's
+// self-telemetry atomics into tea_pipeline_* registry series, including a
+// per-worker chunk counter labeled with the worker index. The fold happens
+// only when the registry is rendered — never on the feed or drain paths —
+// so the pipeline hot paths stay allocation- and registry-free, and the
+// per-pipeline delta state means several pipelines sharing one registry sum
+// correctly.
+func (p *pipe) registerObs() {
+	if p.o == nil {
+		return
+	}
+	reg := p.o.Reg
+	published := reg.Counter("tea_pipeline_published_chunks_total", "Sequenced chunks handed to the scan workers.")
+	drained := reg.Counter("tea_pipeline_drained_chunks_total", "Sequenced chunks merged by the drain.")
+	waits := reg.Counter("tea_pipeline_backpressure_waits_total", "Producer yield loops at the chunk-ring high watermark.")
+	quiet := reg.Counter("tea_pipeline_quiet_chunks_total", "Record-mode chunks accepted wholesale from the speculative scan.")
+	seqc := reg.Counter("tea_pipeline_seq_chunks_total", "Record-mode chunks replayed through the sequential recorder.")
+	handoffs := reg.Counter("tea_pipeline_handoffs_total", "Record-mode chunks split at a hot-candidate handoff.")
+	recompiles := reg.Counter("tea_pipeline_recompiles_total", "Record-mode snapshot recompilations.")
+	workers := reg.CounterVec("tea_pipeline_worker_chunks_total", "Chunks scanned, by worker index.", "worker", 0)
+	labels := make([]string, len(p.workerChunks))
+	for w := range labels {
+		labels[w] = strconv.Itoa(w)
+	}
+	var mu sync.Mutex
+	var last Metrics
+	lastW := make([]uint64, len(p.workerChunks))
+	reg.AddCollector(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		m := p.Metrics()
+		published.Add(m.Published - last.Published)
+		drained.Add(m.Drained - last.Drained)
+		waits.Add(m.BackpressureWaits - last.BackpressureWaits)
+		quiet.Add(m.QuietChunks - last.QuietChunks)
+		seqc.Add(m.SeqChunks - last.SeqChunks)
+		handoffs.Add(m.Handoffs - last.Handoffs)
+		recompiles.Add(m.Recompiles - last.Recompiles)
+		last = m
+		for w := range p.workerChunks {
+			v := p.workerChunks[w].n.Load()
+			workers.With(labels[w]).Add(v - lastW[w])
+			lastW[w] = v
+		}
+	})
 }
 
 // Metrics returns a snapshot of the pipeline's self-telemetry.

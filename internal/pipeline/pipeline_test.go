@@ -3,6 +3,7 @@ package pipeline
 import (
 	"bytes"
 	"encoding/json"
+	"strconv"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -102,26 +103,41 @@ func registryJSON(t testing.TB, o *obs.Obs) string {
 	return b.String()
 }
 
-// registryDeterministic renders the registry with wall-clock span
-// nanosecond counters zeroed: record-mode syncs time themselves, and
-// elapsed nanoseconds are the one legitimately nondeterministic metric.
-func registryDeterministic(t testing.TB, o *obs.Obs) string {
+// registryComparable renders the registry JSON for identity comparison
+// against a sequential reference. tea_pipeline_* series are dropped — the
+// pipeline's self-telemetry exists only on the pipeline side by design,
+// while everything else stays under the byte-identical contract — and,
+// when zeroNs, wall-clock span nanosecond counters are zeroed (record-mode
+// syncs time themselves; elapsed nanoseconds are the one legitimately
+// nondeterministic metric).
+func registryComparable(t testing.TB, o *obs.Obs, zeroNs bool) string {
 	t.Helper()
 	var metrics []map[string]any
 	raw := registryJSON(t, o)
 	if err := json.Unmarshal([]byte(raw), &metrics); err != nil {
 		t.Fatalf("registry JSON: %v\n%s", err, raw)
 	}
+	kept := metrics[:0]
 	for _, m := range metrics {
-		if name, _ := m["name"].(string); strings.HasSuffix(name, "_ns_total") {
+		name, _ := m["name"].(string)
+		if strings.HasPrefix(name, "tea_pipeline_") {
+			continue
+		}
+		if zeroNs && strings.HasSuffix(name, "_ns_total") {
 			m["value"] = 0
 		}
+		kept = append(kept, m)
 	}
-	out, err := json.Marshal(metrics)
+	out, err := json.Marshal(kept)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return string(out)
+}
+
+// registryDeterministic is registryComparable with nanosecond zeroing on.
+func registryDeterministic(t testing.TB, o *obs.Obs) string {
+	return registryComparable(t, o, true)
 }
 
 // feedAll pushes a label stream through a replay pipeline in uneven bursts
@@ -195,12 +211,14 @@ func TestReplayPipelineObsIdentity(t *testing.T) {
 		{"desyncs", perturb(base, 4)},
 	} {
 		seqO := obs.NewWith(obs.NewRegistry(), 1<<16)
+		seedLabelSeries(seqO)
 		wantSt, wantCur := core.SequentialReplayObs(c, sc.stream, seqO)
 		wantEvents, _ := seqO.Tracer.Snapshot()
-		wantJSON := registryJSON(t, seqO)
+		wantJSON := registryComparable(t, seqO, false)
 
 		for _, workers := range []int{1, 2, 4} {
 			o := obs.NewWith(obs.NewRegistry(), 1<<16)
+			seedLabelSeries(o)
 			pl := NewReplay(c, Config{Workers: workers, ChunkEdges: 300, Depth: 8, Obs: o})
 			feedAll(pl, sc.stream)
 			gotSt, gotCur := pl.Barrier()
@@ -209,7 +227,7 @@ func TestReplayPipelineObsIdentity(t *testing.T) {
 				t.Fatalf("%s w=%d: stats diverge:\nseq  %+v cur=%d\npipe %+v cur=%d",
 					sc.name, workers, wantSt, wantCur, gotSt, gotCur)
 			}
-			if got := registryJSON(t, o); got != wantJSON {
+			if got := registryComparable(t, o, false); got != wantJSON {
 				t.Fatalf("%s w=%d: registry JSON diverges:\nseq  %s\npipe %s", sc.name, workers, wantJSON, got)
 			}
 			gotEvents, _ := o.Tracer.Snapshot()
@@ -224,6 +242,17 @@ func TestReplayPipelineObsIdentity(t *testing.T) {
 			}
 		}
 	}
+}
+
+// seedLabelSeries registers identical labeled vec series on a registry, so
+// the identity tests prove folded metrics stay byte-identical to sequential
+// with label dimensions enabled (not just on the plain-metric subset).
+func seedLabelSeries(o *obs.Obs) {
+	v := o.Reg.CounterVec("tea_test_tenant_edges_total", "identity-test labeled series", "tenant", 8)
+	v.With("alpha").Add(3)
+	v.With("beta").Add(5)
+	g := o.Reg.GaugeVec("tea_test_image_gen", "identity-test labeled gauge", "image", 8)
+	g.With("img").Set(2)
 }
 
 // TestQuickReplayPipelineIdentity is the property test: random worker
@@ -585,3 +614,118 @@ func (c *edgeCollector) Edge(e cfg.Edge, instrs uint64) {
 }
 
 func (c *edgeCollector) Fini(instrs uint64) { *c.finis++ }
+
+// pipelineSeries collects every tea_pipeline_* series from a registry
+// scrape into "name" or "name{value}" keys.
+func pipelineSeries(t testing.TB, o *obs.Obs) map[string]uint64 {
+	t.Helper()
+	var metrics []struct {
+		Name       string  `json:"name"`
+		LabelValue string  `json:"label_value"`
+		Value      *uint64 `json:"value"`
+	}
+	raw := registryJSON(t, o)
+	if err := json.Unmarshal([]byte(raw), &metrics); err != nil {
+		t.Fatalf("registry JSON: %v\n%s", err, raw)
+	}
+	got := map[string]uint64{}
+	for _, m := range metrics {
+		if !strings.HasPrefix(m.Name, "tea_pipeline_") || m.Value == nil {
+			continue
+		}
+		key := m.Name
+		if m.LabelValue != "" {
+			key += "{" + m.LabelValue + "}"
+		}
+		got[key] = *m.Value
+	}
+	return got
+}
+
+// TestPipelineMetricsRegistryParity: a registry scrape delta-folds the
+// pipe's atomics, so every tea_pipeline_* series equals the Metrics()
+// snapshot, the per-worker chunk series sum to the drained count, and a
+// second scrape does not double-fold.
+func TestPipelineMetricsRegistryParity(t *testing.T) {
+	p := testProgram(t, 13)
+	a := buildAutomaton(t, p)
+	edges, instrs := captureEdges(t, p)
+	stream, _ := labelStream(edges, instrs)
+	c := core.Compile(a, core.ConfigGlobalNoLocal)
+
+	o := obs.NewWith(obs.NewRegistry(), 1<<12)
+	pl := NewReplay(c, Config{Workers: 3, ChunkEdges: 128, Depth: 8, Obs: o})
+	defer pl.Close()
+	feedAll(pl, stream)
+	pl.Barrier()
+	m := pl.Metrics()
+
+	check := func(got map[string]uint64) {
+		t.Helper()
+		want := map[string]uint64{
+			"tea_pipeline_published_chunks_total":   m.Published,
+			"tea_pipeline_drained_chunks_total":     m.Drained,
+			"tea_pipeline_backpressure_waits_total": m.BackpressureWaits,
+			"tea_pipeline_quiet_chunks_total":       m.QuietChunks,
+			"tea_pipeline_seq_chunks_total":         m.SeqChunks,
+			"tea_pipeline_handoffs_total":           m.Handoffs,
+			"tea_pipeline_recompiles_total":         m.Recompiles,
+		}
+		for name, w := range want {
+			if got[name] != w {
+				t.Fatalf("%s = %d, want %d (snapshot %+v)", name, got[name], w, m)
+			}
+		}
+		var workerSum uint64
+		for w := 0; w < 3; w++ {
+			workerSum += got["tea_pipeline_worker_chunks_total{"+strconv.Itoa(w)+"}"]
+		}
+		if workerSum != m.Drained {
+			t.Fatalf("worker chunk series sum %d, want drained %d", workerSum, m.Drained)
+		}
+	}
+	check(pipelineSeries(t, o))
+	check(pipelineSeries(t, o)) // second scrape: deltas fold once, not twice
+}
+
+// TestReplayPipelineChunkTraceEvents: with TraceChunks on, every published
+// chunk lands an EvChunkPublished and an in-order EvChunkDrained carrying
+// the scanning worker's id as the event source; with it off (the default)
+// the event stream stays byte-identical to sequential, which
+// TestReplayPipelineObsIdentity already pins.
+func TestReplayPipelineChunkTraceEvents(t *testing.T) {
+	p := testProgram(t, 14)
+	a := buildAutomaton(t, p)
+	edges, instrs := captureEdges(t, p)
+	stream, _ := labelStream(edges, instrs)
+	c := core.Compile(a, core.ConfigGlobalNoLocal)
+
+	o := obs.NewWith(obs.NewRegistry(), 1<<16)
+	pl := NewReplay(c, Config{Workers: 2, ChunkEdges: 256, Depth: 8, Obs: o, TraceChunks: true})
+	feedAll(pl, stream)
+	pl.Barrier()
+	m := pl.Metrics()
+	pl.Close()
+
+	events, _ := o.Tracer.Snapshot()
+	var pub, drained uint64
+	nextDrain := uint64(0)
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EvChunkPublished:
+			pub++
+		case obs.EvChunkDrained:
+			if e.Aux != nextDrain {
+				t.Fatalf("drain events out of order: seq %d, want %d", e.Aux, nextDrain)
+			}
+			if e.Src == 0 || e.Src > 2 {
+				t.Fatalf("drained chunk %d: worker source id %d out of range", e.Aux, e.Src)
+			}
+			nextDrain++
+			drained++
+		}
+	}
+	if pub != m.Published || drained != m.Drained || pub == 0 {
+		t.Fatalf("chunk events %d/%d, metrics %d/%d", pub, drained, m.Published, m.Drained)
+	}
+}

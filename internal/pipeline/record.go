@@ -81,6 +81,7 @@ func NewRecord(strat trace.Strategy, cfg Config) *RecordPipeline {
 	p.scan = p.scanChunk
 	p.drainFn = p.drainChunk
 	p.start(true)
+	p.registerObs()
 	return p
 }
 

@@ -39,6 +39,7 @@ func NewReplay(c *core.Compiled, cfg Config) *ReplayPipeline {
 	p.scan = p.scanChunk
 	p.drainFn = p.drainChunk
 	p.start(false)
+	p.registerObs()
 	return p
 }
 

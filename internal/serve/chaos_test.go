@@ -23,6 +23,7 @@ import (
 	"github.com/lsc-tea/tea/internal/cpu"
 	"github.com/lsc-tea/tea/internal/faultinject"
 	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/obs"
 	"github.com/lsc-tea/tea/internal/pin"
 	"github.com/lsc-tea/tea/internal/progs"
 	"github.com/lsc-tea/tea/internal/serve"
@@ -302,5 +303,70 @@ func TestChaosConcurrentTenants(t *testing.T) {
 	wg.Wait()
 	if got := s.PanicsRecovered(); got != 0 {
 		t.Fatalf("server recovered %d panics during the storm, want 0", got)
+	}
+}
+
+// TestChaosFlightRecorderSuffix: for EVERY wire-fault class, a session that
+// the server kills with a structured error — here a tiny edge quota, hit
+// after the client claws its way through the faulty first connection — must
+// leave a flight artifact that (a) survives an encode/decode round trip,
+// and (b) whose event log ends with the EvSessionFail carrying the exact
+// code that terminated the session, preceded by its quota rejection. Run
+// with -race: trips happen on handler goroutines while this test scrapes.
+func TestChaosFlightRecorderSuffix(t *testing.T) {
+	images := chaosFixture(t)
+	img := images[0]
+	for fi, fault := range faultinject.WireFaults {
+		t.Run(fault.String(), func(t *testing.T) {
+			s, addr := startChaosServer(t, func(c *serve.Config) {
+				c.Quota = serve.Quota{MaxSessionEdges: 24}
+			})
+			c, err := client.New(client.Config{
+				Tenant:  "doomed",
+				Dial:    faultyFirstDialer(addr, int64(500+fi), fault, 2),
+				Seed:    int64(fi + 1),
+				Timeout: time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			_, _, rerr := c.Replay(ctx, img.name, img.edges, 32)
+			var serr *serve.Error
+			if !errors.As(rerr, &serr) || serr.Code != serve.CodeQuotaSteps {
+				t.Fatalf("expected quota-steps kill, got %v", rerr)
+			}
+
+			rec, ok := s.Obs().Flight.Last()
+			if !ok {
+				t.Fatal("no flight artifact after the kill")
+			}
+			if rec.Reason != "session-fail" || rec.Err == "" || rec.Src == 0 {
+				t.Fatalf("artifact metadata incoherent: reason=%q src=%d err=%q",
+					rec.Reason, rec.Src, rec.Err)
+			}
+			dec, derr := obs.DecodeFlight(obs.EncodeFlight(rec))
+			if derr != nil {
+				t.Fatalf("artifact does not decode: %v", derr)
+			}
+			n := len(dec.Events)
+			if n == 0 {
+				t.Fatal("artifact event log empty")
+			}
+			last := dec.Events[n-1]
+			if last.Kind != obs.EvSessionFail || last.Aux != uint64(serve.CodeQuotaSteps) ||
+				last.Src != rec.Src {
+				t.Fatalf("artifact suffix does not end with the structured kill: %+v", last)
+			}
+			if n < 2 || dec.Events[n-2].Kind != obs.EvQuotaReject ||
+				dec.Events[n-2].Src != rec.Src {
+				t.Fatalf("quota-reject event missing before the kill: %+v", dec.Events)
+			}
+			if len(dec.Metrics) == 0 {
+				t.Fatal("artifact carries no registry snapshot")
+			}
+		})
 	}
 }

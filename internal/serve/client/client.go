@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/lsc-tea/tea/internal/core"
+	"github.com/lsc-tea/tea/internal/obs"
 	"github.com/lsc-tea/tea/internal/serve"
 )
 
@@ -43,6 +44,11 @@ type Config struct {
 	Timeout time.Duration
 	// Seed makes the jitter deterministic for tests; 0 derives from time.
 	Seed int64
+	// Obs, when non-nil, receives client-side trace events (EvClientRetry,
+	// stamped with the session's source id and acknowledged watermark), so
+	// a spliced client+server event stream shows each retry in causal order
+	// with the server's park/resume events for the same source.
+	Obs *obs.Obs
 }
 
 // Config defaults.
@@ -227,8 +233,12 @@ func (c *Client) Replay(ctx context.Context, image string, edges []core.Edge, ba
 		sent      uint64 // acknowledged watermark
 		attempt   int
 	)
+	// The session's trace-context source id: proposed from the jitter rng
+	// (deterministic under Config.Seed, never 0), confirmed or replaced by
+	// the server's OpenAck echo.
+	src := uint32(c.rng.Int63())>>15 | 1
 	for {
-		stats, final, err := c.replayOnce(image, edges, batch, &sessionID, &sent)
+		stats, final, err := c.replayOnce(image, edges, batch, &sessionID, &sent, &src)
 		if err == nil {
 			return stats, final, nil
 		}
@@ -243,16 +253,19 @@ func (c *Client) Replay(ctx context.Context, image string, edges []core.Edge, ba
 			return nil, core.NTE, berr
 		}
 		attempt++
+		if c.cfg.Obs != nil {
+			c.cfg.Obs.SessionEvent(obs.EvClientRetry, src, sent, uint64(attempt))
+		}
 	}
 }
 
 // replayOnce drives one connection's worth of the session: (re)open,
 // stream the unacknowledged suffix, close for stats.
-func (c *Client) replayOnce(image string, edges []core.Edge, batch int, sessionID *string, sent *uint64) (*core.Stats, core.StateID, error) {
+func (c *Client) replayOnce(image string, edges []core.Edge, batch int, sessionID *string, sent *uint64, src *uint32) (*core.Stats, core.StateID, error) {
 	if err := c.ensure(); err != nil {
 		return nil, core.NTE, err
 	}
-	open := serve.Open{Image: image, Resume: *sessionID}
+	open := serve.Open{Image: image, Resume: *sessionID, Src: *src}
 	typ, body, err := c.roundTrip(open.Append(c.wbuf[:0]))
 	if err != nil {
 		return nil, core.NTE, err
@@ -266,6 +279,9 @@ func (c *Client) replayOnce(image string, edges []core.Edge, batch int, sessionI
 	}
 	*sessionID = ack.Session
 	*sent = ack.Watermark
+	if ack.Src != 0 {
+		*src = ack.Src
+	}
 	if *sent > uint64(len(edges)) {
 		return nil, core.NTE, &serve.Error{Code: serve.CodeProto, Msg: "server watermark beyond stream length"}
 	}
@@ -275,7 +291,7 @@ func (c *Client) replayOnce(image string, edges []core.Edge, batch int, sessionI
 		if end > uint64(len(edges)) {
 			end = uint64(len(edges))
 		}
-		payload := serve.AppendEdges(c.wbuf[:0], edges[*sent:end])
+		payload := serve.AppendEdges(c.wbuf[:0], edges[*sent:end], int64(*sent))
 		typ, body, err := c.roundTrip(payload)
 		if err != nil {
 			return nil, core.NTE, err

@@ -27,7 +27,7 @@ func parseBody(t FrameType, body []byte) error {
 		_, err := ParseOpenAck(body)
 		return err
 	case FrameEdges:
-		_, err := ParseEdges(body, nil)
+		_, _, err := ParseEdges(body, nil)
 		return err
 	case FrameEdgesAck:
 		_, err := ParseEdgesAck(body)

@@ -66,6 +66,7 @@ func (q Quota) withDefaults() Quota {
 type tenant struct {
 	name     string
 	attached int
+	conns    int        // live connections holding this tenant record
 	parked   []*session // attach order; evicted oldest-first beyond MaxParked
 
 	m tenantMetrics

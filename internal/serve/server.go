@@ -36,6 +36,15 @@ type Config struct {
 	// beyond it publishes are rejected with CodeBackpressure (0 selects
 	// DefaultMaxPublishInFlight).
 	MaxPublishInFlight int
+	// MaxTenantSeries caps the per-tenant label cardinality of the tenant
+	// metric families; tenants beyond the cap share one overflow series
+	// (0 selects obs.DefaultMaxSeries).
+	MaxTenantSeries int
+	// DisableSessionEvents turns off the per-session trace events
+	// (open/resume/close/fail/quota/backpressure) stamped into the event
+	// ring. The flight recorder still trips; only the steady-state event
+	// stream is silenced, which is the obs-off serve row in BENCH_obs.json.
+	DisableSessionEvents bool
 	// Obs receives the server's metrics and health; nil creates a private
 	// context (reachable via Server.Obs for scraping).
 	Obs *obs.Obs
@@ -66,17 +75,25 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// serveMetrics is the server's pre-resolved global metric set.
+// serveMetrics is the server's pre-resolved global metric set, plus the
+// labeled families for the per-tenant and per-image dimensions.
 type serveMetrics struct {
 	opened, resumed, completed, failed *obs.Counter
 	panics, rejBackpressure, rejQuota  *obs.Counter
 	breakerTrips, publishes, pubRej    *obs.Counter
 	edges, bytesIn, bytesOut           *obs.Counter
 	active, parked                     *obs.Gauge
+
+	tenantSessions, tenantEdges, tenantRejects *obs.CounterVec
+	imageGen                                   *obs.GaugeVec
+	imageTrips                                 *obs.CounterVec
 }
 
-// tenantMetrics is one tenant's pre-resolved metric cells, registered
-// lazily under a sanitized tenant name on first Hello.
+// tenantMetrics is one tenant's pre-resolved series, bound out of the
+// labeled families on first Hello so the per-frame paths never re-hash the
+// tenant name. The series are released when the tenant is evicted (no
+// connections, no attached or parked sessions), which is what keeps the
+// label sets bounded over a long-lived server.
 type tenantMetrics struct {
 	sessions, edges, rejects *obs.Counter
 }
@@ -142,8 +159,31 @@ func NewServer(cfg Config) *Server {
 		bytesOut:        c("tea_serve_bytes_out_total", "wire payload bytes sent"),
 		active:          o.Reg.Gauge("tea_serve_sessions_active", "sessions currently attached"),
 		parked:          o.Reg.Gauge("tea_serve_sessions_parked", "sessions parked for resume"),
+		tenantSessions: o.Reg.CounterVec("tea_serve_tenant_sessions_total",
+			"sessions opened per tenant", "tenant", cfg.MaxTenantSeries),
+		tenantEdges: o.Reg.CounterVec("tea_serve_tenant_edges_total",
+			"stream edges replayed per tenant", "tenant", cfg.MaxTenantSeries),
+		tenantRejects: o.Reg.CounterVec("tea_serve_tenant_rejects_total",
+			"admission and quota rejections per tenant", "tenant", cfg.MaxTenantSeries),
+		imageGen: o.Reg.GaugeVec("tea_serve_image_gen",
+			"last generation served per hosted image", "image", 0),
+		imageTrips: o.Reg.CounterVec("tea_serve_image_breaker_trips_total",
+			"circuit-breaker quarantines per hosted image", "image", 0),
 	}
 	return s
+}
+
+// event stamps one session-scoped trace event into the event ring: the
+// session's source id plus its accepted-edge watermark as the logical
+// clock, so a spliced multi-session stream stays causally ordered per
+// source. Disabled (one branch) when Config.DisableSessionEvents is set.
+//
+//tea:hotpath
+func (s *Server) event(kind obs.EventKind, src uint32, edge, aux uint64) {
+	if s.cfg.DisableSessionEvents {
+		return
+	}
+	s.obs.SessionEvent(kind, src, edge, aux)
 }
 
 // Host admits an automaton (static verification included) under name.
@@ -233,19 +273,58 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// tenantLocked returns (creating if needed) the tenant record. mu held.
+// tenantLocked returns (creating if needed) the tenant record, binding its
+// metric series out of the labeled families. mu held.
 func (s *Server) tenantLocked(name string) *tenant {
 	t, ok := s.tenants[name]
 	if !ok {
-		san := obs.SanitizeMetricName(name)
 		t = &tenant{name: name, m: tenantMetrics{
-			sessions: s.obs.Reg.Counter("tea_serve_tenant_"+san+"_sessions_total", "sessions opened by tenant "+name),
-			edges:    s.obs.Reg.Counter("tea_serve_tenant_"+san+"_edges_total", "edges replayed for tenant "+name),
-			rejects:  s.obs.Reg.Counter("tea_serve_tenant_"+san+"_rejects_total", "rejections for tenant "+name),
+			sessions: s.m.tenantSessions.With(name),
+			edges:    s.m.tenantEdges.With(name),
+			rejects:  s.m.tenantRejects.With(name),
 		}}
 		s.tenants[name] = t
 	}
 	return t
+}
+
+// releaseTenant drops one connection's reference on t, evicting the tenant
+// record — and releasing its metric series — once nothing keeps it alive:
+// no connections, no attached sessions, and no parked session still worth
+// resuming (a live, unexpired one pins the tenant; done or expired parks
+// only existed for idempotent stats re-fetch, and that grace ends with the
+// tenant's last connection — a later resume gets CodeUnknownSession). This
+// is the bound on per-tenant label cardinality: a tenant that came and went
+// costs nothing forever after.
+func (s *Server) releaseTenant(t *tenant) {
+	if t == nil {
+		return
+	}
+	s.mu.Lock()
+	t.conns--
+	evict := t.conns <= 0 && t.attached == 0
+	if evict {
+		now := time.Now()
+		for _, p := range t.parked {
+			if !p.done && !p.expired(now) {
+				evict = false
+				break
+			}
+		}
+	}
+	if evict {
+		for _, p := range t.parked {
+			delete(s.sessions, p.id)
+		}
+		t.parked = nil
+		delete(s.tenants, t.name)
+	}
+	s.mu.Unlock()
+	if evict {
+		s.m.tenantSessions.Release(t.name)
+		s.m.tenantEdges.Release(t.name)
+		s.m.tenantRejects.Release(t.name)
+	}
 }
 
 // connHandler is the per-connection state machine.
@@ -274,7 +353,18 @@ func (s *Server) ServeConn(conn net.Conn) {
 		if r := recover(); r != nil {
 			s.m.panics.Add(1)
 			serr := errf(CodeInternal, "recovered panic: %v", r)
-			h.finishSession(serr)
+			var src uint32
+			var edge uint64
+			if h.sess != nil {
+				src, edge = h.sess.src, h.sess.edges
+			}
+			s.event(obs.EvPanicRecovered, src, edge, 0)
+			if h.sess != nil {
+				h.finishSessionReason(serr, "panic")
+			} else {
+				s.obs.Flight.Trip("panic", src, serr.Error(),
+					obs.Event{Edge: edge, Src: src, State: -1, Kind: obs.EvPanicRecovered})
+			}
 			_ = h.sendError(serr)
 		}
 		h.detach()
@@ -282,6 +372,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		s.releaseTenant(h.tenant)
 	}()
 	if !h.handshake() {
 		return
@@ -338,6 +429,7 @@ func (h *connHandler) handshake() bool {
 	}
 	h.s.mu.Lock()
 	h.tenant = h.s.tenantLocked(hello.Tenant)
+	h.tenant.conns++
 	h.s.mu.Unlock()
 	ack := HelloAck{Version: ProtoVersion}
 	h.wbuf = ack.Append(h.wbuf[:0])
@@ -397,9 +489,11 @@ func (h *connHandler) handleOpen(body []byte) bool {
 	s := h.s
 	s.mu.Lock()
 	if h.tenant.attached >= q.MaxConcurrent {
+		attached := uint64(h.tenant.attached)
 		s.mu.Unlock()
 		s.m.rejBackpressure.Add(1)
 		h.tenant.m.rejects.Add(1)
+		s.event(obs.EvBackpressure, m.Src, 0, attached)
 		_ = h.sendError(errRetry(CodeBackpressure, q.RetryAfter,
 			"tenant %s at %d concurrent sessions", h.tenant.name, q.MaxConcurrent))
 		return true
@@ -415,10 +509,18 @@ func (h *connHandler) handleOpen(body []byte) bool {
 		return true
 	}
 
+	id := s.nextID.Add(1)
+	src := m.Src
+	if src == 0 {
+		// No client trace context: assign a server-side source id so the
+		// session's events are still attributable after splicing.
+		src = uint32(id)
+	}
 	sess := &session{
-		id:       fmt.Sprintf("s%08x", s.nextID.Add(1)),
+		id:       fmt.Sprintf("s%08x", id),
 		tenant:   h.tenant.name,
 		img:      img,
+		src:      src,
 		rep:      core.NewCompiledReplayer(img.Compiled),
 		deadline: time.Now().Add(q.SessionTimeout),
 		attached: true,
@@ -426,9 +528,11 @@ func (h *connHandler) handleOpen(body []byte) bool {
 	s.mu.Lock()
 	// Re-check under the lock: the slot may have been taken while verifying.
 	if h.tenant.attached >= q.MaxConcurrent {
+		attached := uint64(h.tenant.attached)
 		s.mu.Unlock()
 		s.m.rejBackpressure.Add(1)
 		h.tenant.m.rejects.Add(1)
+		s.event(obs.EvBackpressure, m.Src, 0, attached)
 		_ = h.sendError(errRetry(CodeBackpressure, q.RetryAfter,
 			"tenant %s at %d concurrent sessions", h.tenant.name, q.MaxConcurrent))
 		return true
@@ -440,8 +544,10 @@ func (h *connHandler) handleOpen(body []byte) bool {
 	s.m.opened.Add(1)
 	s.m.active.Set(s.activeCount())
 	h.tenant.m.sessions.Add(1)
+	s.m.imageGen.With(img.Name).Set(img.Gen)
+	s.event(obs.EvSessionOpen, src, 0, img.Gen)
 
-	ack := OpenAck{Session: sess.id, Gen: img.Gen}
+	ack := OpenAck{Session: sess.id, Gen: img.Gen, Src: src}
 	h.wbuf = ack.Append(h.wbuf[:0])
 	return h.write(h.wbuf) == nil
 }
@@ -484,8 +590,9 @@ func (h *connHandler) resume(token string) bool {
 	s.m.resumed.Add(1)
 	s.m.active.Set(s.activeCount())
 	s.m.parked.Set(s.parkedCount())
+	s.event(obs.EvSessionResume, sess.src, sess.edges, sess.edges)
 
-	ack := OpenAck{Session: sess.id, Gen: sess.img.Gen, Watermark: sess.edges}
+	ack := OpenAck{Session: sess.id, Gen: sess.img.Gen, Watermark: sess.edges, Src: sess.src}
 	h.wbuf = ack.Append(h.wbuf[:0])
 	return h.write(h.wbuf) == nil
 }
@@ -507,17 +614,29 @@ func (h *connHandler) handleEdges(body []byte) bool {
 	}
 	if serr := sess.chargeBytes(uint64(len(body)), h.s.cfg.Quota); serr != nil {
 		h.s.m.rejQuota.Add(1)
+		h.s.event(obs.EvQuotaReject, sess.src, sess.edges, uint64(serr.Code))
 		h.failSession(serr)
 		return true
 	}
-	edges, err := ParseEdges(body, h.edgeBuf)
+	edges, clock, err := ParseEdges(body, h.edgeBuf)
 	if err != nil {
 		_ = h.sendError(asError(err))
 		return false
 	}
 	h.edgeBuf = edges[:cap(edges)]
+	// Trace-context clock check: a batch that claims a watermark other than
+	// the session's accepted one means the sender's stream cursor desynced
+	// from the server's (a confused retry loop would otherwise replay edges
+	// twice or skip a suffix silently). Frames without a clock skip the
+	// check — old clients stay valid.
+	if clock != NoClock && uint64(clock) != sess.edges {
+		h.failSession(errf(CodeProto,
+			"stream clock skew: batch claims watermark %d, session %s at %d", clock, sess.id, sess.edges))
+		return true
+	}
 	if serr := sess.chargeEdges(uint64(len(edges)), h.s.cfg.Quota); serr != nil {
 		h.s.m.rejQuota.Add(1)
+		h.s.event(obs.EvQuotaReject, sess.src, sess.edges, uint64(serr.Code))
 		h.failSession(serr)
 		return true
 	}
@@ -610,6 +729,20 @@ func (h *connHandler) failSession(serr *Error) {
 // finishSession settles the attached session (if any, and not already
 // done), releases its concurrency slot, and feeds the image breaker.
 func (h *connHandler) finishSession(serr *Error) {
+	h.finishSessionReason(serr, "session-fail")
+}
+
+// finishSessionReason is finishSession with an explicit flight-recorder
+// trigger class (the panic path labels its artifact "panic" instead of
+// "session-fail"). Every terminating path lands in the event ring and —
+// when something actually went wrong — in a flight artifact whose event
+// log ends with the terminal event:
+//
+//   - structured error  → EvSessionFail (Aux = code) + artifact
+//   - desync threshold  → EvSessionFail (Aux = 0)    + artifact "desync-threshold"
+//   - clean completion  → EvSessionClose, no artifact
+//   - breaker trip      → additionally EvBreakerTrip + artifact "breaker-open"
+func (h *connHandler) finishSessionReason(serr *Error, reason string) {
 	sess := h.sess
 	if sess == nil || sess.done {
 		return
@@ -621,12 +754,25 @@ func (h *connHandler) finishSession(serr *Error) {
 	s.mu.Unlock()
 	if serr == nil {
 		s.m.completed.Add(1)
+		if sess.failed {
+			// Completed for the tenant, but desync-dominated: evidence
+			// against the image, and a post-mortem worth keeping.
+			s.obs.Flight.Trip("desync-threshold", sess.src, "",
+				obs.Event{Edge: sess.edges, Src: sess.src, State: -1, Kind: obs.EvSessionFail})
+		} else {
+			s.event(obs.EvSessionClose, sess.src, sess.edges, sess.edges)
+		}
 	} else {
 		s.m.failed.Add(1)
+		s.obs.Flight.Trip(reason, sess.src, serr.Error(),
+			obs.Event{Edge: sess.edges, Aux: uint64(serr.Code), Src: sess.src, State: -1, Kind: obs.EvSessionFail})
 	}
 	s.m.active.Set(s.activeCount())
 	if s.store.Result(sess.img.Name, sess.failed) {
 		s.m.breakerTrips.Add(1)
+		s.m.imageTrips.With(sess.img.Name).Add(1)
+		s.obs.Flight.Trip("breaker-open", sess.src, "",
+			obs.Event{Edge: sess.edges, Aux: sess.img.Gen, Src: sess.src, State: -1, Kind: obs.EvBreakerTrip})
 	}
 }
 

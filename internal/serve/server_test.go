@@ -12,6 +12,7 @@ import (
 	"github.com/lsc-tea/tea/internal/core"
 	"github.com/lsc-tea/tea/internal/cpu"
 	"github.com/lsc-tea/tea/internal/isa"
+	"github.com/lsc-tea/tea/internal/obs"
 	"github.com/lsc-tea/tea/internal/pin"
 	"github.com/lsc-tea/tea/internal/progs"
 	"github.com/lsc-tea/tea/internal/teatool"
@@ -148,7 +149,7 @@ func (tc *testConn) open(image, resume string) (OpenAck, *Error) {
 // edges sends one batch and returns the ack watermark or error.
 func (tc *testConn) sendEdges(batch []core.Edge) (uint64, *Error) {
 	tc.t.Helper()
-	tc.send(AppendEdges(nil, batch))
+	tc.send(AppendEdges(nil, batch, NoClock))
 	typ, body := tc.recv()
 	switch typ {
 	case FrameEdgesAck:
@@ -614,7 +615,9 @@ func TestTenantMetricsSanitized(t *testing.T) {
 	s := newTestServer(t, nil)
 	tc := dialPipe(t, s)
 	defer tc.c.Close()
-	// A hostile tenant name must not panic the metrics registry.
+	// A hostile tenant name must not panic the metrics registry, and the
+	// label value must land in the scrape with quote/backslash escaping so
+	// it cannot forge extra series or break the exposition format.
 	tc.hello(`evil" tenant{} -1`)
 	if _, serr := tc.open("img", ""); serr != nil {
 		t.Fatalf("open: %v", serr)
@@ -623,7 +626,236 @@ func TestTenantMetricsSanitized(t *testing.T) {
 	if err := s.Obs().Reg.WritePrometheus(&sb); err != nil {
 		t.Fatalf("WritePrometheus: %v", err)
 	}
-	if !strings.Contains(sb.String(), "tea_serve_tenant_evil") {
-		t.Fatal("sanitized tenant metric missing from scrape")
+	want := `tea_serve_tenant_sessions_total{tenant="evil\" tenant{} -1"}`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaped tenant series %q missing from scrape:\n%s", want, sb.String())
+	}
+}
+
+// TestStreamClockSkewRejected: a batch claiming a watermark other than the
+// session's accepted one is a desynced sender; the session dies with a
+// structured CodeProto error instead of silently double-applying edges.
+func TestStreamClockSkewRejected(t *testing.T) {
+	f := testFixture(t)
+	s := newTestServer(t, nil)
+	tc := dialPipe(t, s)
+	defer tc.c.Close()
+	tc.hello("acme")
+	if _, serr := tc.open("img", ""); serr != nil {
+		t.Fatalf("open: %v", serr)
+	}
+	if _, serr := tc.sendEdges(f.edges[:8]); serr != nil {
+		t.Fatalf("first batch: %v", serr)
+	}
+	// Claim watermark 3 while the session sits at 8.
+	tc.send(AppendEdges(nil, f.edges[8:16], 3))
+	typ, body := tc.recv()
+	if typ != FrameError {
+		t.Fatalf("skewed batch: got %v, want error frame", typ)
+	}
+	serr, err := ParseError(body)
+	if err != nil {
+		t.Fatalf("ParseError: %v", err)
+	}
+	if serr.Code != CodeProto || !strings.Contains(serr.Msg, "clock skew") {
+		t.Fatalf("got %v, want clock-skew proto error", serr)
+	}
+	// An honest clock is accepted.
+	tc2 := dialPipe(t, s)
+	defer tc2.c.Close()
+	tc2.hello("acme")
+	if _, serr := tc2.open("img", ""); serr != nil {
+		t.Fatalf("open2: %v", serr)
+	}
+	tc2.send(AppendEdges(nil, f.edges[:8], 0))
+	if typ, _ := tc2.recv(); typ != FrameEdgesAck {
+		t.Fatalf("honest clock: got %v, want ack", typ)
+	}
+	tc2.send(AppendEdges(nil, f.edges[8:16], 8))
+	if typ, _ := tc2.recv(); typ != FrameEdgesAck {
+		t.Fatalf("honest clock at 8: got %v, want ack", typ)
+	}
+}
+
+// TestSessionEventStream: an open → edges → close lifecycle lands causally
+// ordered events in the ring, all stamped with the session's source id.
+func TestSessionEventStream(t *testing.T) {
+	f := testFixture(t)
+	s := newTestServer(t, nil)
+	tc := dialPipe(t, s)
+	defer tc.c.Close()
+	tc.hello("acme")
+	ack, serr := tc.open("img", "")
+	if serr != nil {
+		t.Fatalf("open: %v", serr)
+	}
+	if ack.Src == 0 {
+		t.Fatal("server did not assign a source id")
+	}
+	if _, serr := tc.sendEdges(f.edges[:16]); serr != nil {
+		t.Fatalf("edges: %v", serr)
+	}
+	if _, serr := tc.closeSession(); serr != nil {
+		t.Fatalf("close: %v", serr)
+	}
+	events, _ := s.Obs().Tracer.Snapshot()
+	var kinds []obs.EventKind
+	for _, e := range events {
+		if e.Src != ack.Src {
+			t.Fatalf("event %v carries src %d, want %d", e.Kind, e.Src, ack.Src)
+		}
+		kinds = append(kinds, e.Kind)
+	}
+	want := []obs.EventKind{obs.EvSessionOpen, obs.EvSessionClose}
+	if len(kinds) != len(want) {
+		t.Fatalf("event kinds %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event kinds %v, want %v", kinds, want)
+		}
+	}
+	if last := events[len(events)-1]; last.Edge != 16 || last.Aux != 16 {
+		t.Fatalf("close event clock %d/%d, want 16/16", last.Edge, last.Aux)
+	}
+}
+
+// TestClientSrcProposalHonored: an Open carrying a client trace context gets
+// it echoed on the OpenAck and stamped on the session's events.
+func TestClientSrcProposalHonored(t *testing.T) {
+	s := newTestServer(t, nil)
+	tc := dialPipe(t, s)
+	defer tc.c.Close()
+	tc.hello("acme")
+	o := Open{Image: "img", Src: 0xbeef}
+	tc.send(o.Append(nil))
+	typ, body := tc.recv()
+	if typ != FrameOpenAck {
+		t.Fatalf("got %v", typ)
+	}
+	ack, err := ParseOpenAck(body)
+	if err != nil {
+		t.Fatalf("ParseOpenAck: %v", err)
+	}
+	if ack.Src != 0xbeef {
+		t.Fatalf("ack src %#x, want 0xbeef", ack.Src)
+	}
+	events, _ := s.Obs().Tracer.Snapshot()
+	if len(events) == 0 || events[0].Kind != obs.EvSessionOpen || events[0].Src != 0xbeef {
+		t.Fatalf("open event not stamped with client src: %+v", events)
+	}
+}
+
+// TestQuotaFailureTripsFlightRecorder: a quota-killed session must leave a
+// decodable flight artifact whose event log ends with the EvSessionFail
+// carrying the structured code that terminated it.
+func TestQuotaFailureTripsFlightRecorder(t *testing.T) {
+	f := testFixture(t)
+	s := newTestServer(t, func(c *Config) {
+		c.Quota = Quota{MaxSessionEdges: 10}
+	})
+	tc := dialPipe(t, s)
+	defer tc.c.Close()
+	tc.hello("acme")
+	ack, serr := tc.open("img", "")
+	if serr != nil {
+		t.Fatalf("open: %v", serr)
+	}
+	if _, serr := tc.sendEdges(f.edges[:32]); serr == nil || serr.Code != CodeQuotaSteps {
+		t.Fatalf("got %v, want quota-steps", serr)
+	}
+	rec, ok := s.Obs().Flight.Last()
+	if !ok {
+		t.Fatal("no flight artifact after quota kill")
+	}
+	if rec.Reason != "session-fail" || rec.Src != ack.Src || rec.Err == "" {
+		t.Fatalf("artifact metadata wrong: %+v", rec)
+	}
+	// The artifact must survive an encode/decode round trip and end with
+	// the terminal event.
+	dec, err := obs.DecodeFlight(obs.EncodeFlight(rec))
+	if err != nil {
+		t.Fatalf("DecodeFlight: %v", err)
+	}
+	last := dec.Events[len(dec.Events)-1]
+	if last.Kind != obs.EvSessionFail || last.Aux != uint64(CodeQuotaSteps) || last.Src != ack.Src {
+		t.Fatalf("artifact does not end with the quota failure: %+v", last)
+	}
+	// The quota rejection itself precedes the failure in the suffix.
+	if n := len(dec.Events); n < 2 || dec.Events[n-2].Kind != obs.EvQuotaReject {
+		t.Fatalf("quota-reject event missing before the failure: %+v", dec.Events)
+	}
+}
+
+// TestTenantEvictionReleasesSeries: when a tenant's last connection drops
+// and nothing resumable remains, its metric series leave the registry —
+// the per-tenant label set is bounded by live tenants, not by history.
+func TestTenantEvictionReleasesSeries(t *testing.T) {
+	f := testFixture(t)
+	s := newTestServer(t, nil)
+	tc := dialPipe(t, s)
+	tc.hello("evictme")
+	if _, serr := tc.open("img", ""); serr != nil {
+		t.Fatalf("open: %v", serr)
+	}
+	if _, serr := tc.sendEdges(f.edges[:8]); serr != nil {
+		t.Fatalf("edges: %v", serr)
+	}
+	if _, serr := tc.closeSession(); serr != nil {
+		t.Fatalf("close: %v", serr)
+	}
+	scrape := func() string {
+		var sb strings.Builder
+		if err := s.Obs().Reg.WritePrometheus(&sb); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		return sb.String()
+	}
+	if !strings.Contains(scrape(), `tenant="evictme"`) {
+		t.Fatal("tenant series missing while connected")
+	}
+	tc.c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for strings.Contains(scrape(), `tenant="evictme"`) {
+		if time.Now().After(deadline) {
+			t.Fatal("tenant series still present after last connection dropped")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// A returning tenant gets fresh series, starting from zero.
+	tc2 := dialPipe(t, s)
+	defer tc2.c.Close()
+	tc2.hello("evictme")
+	if !strings.Contains(scrape(), `tea_serve_tenant_sessions_total{tenant="evictme"} 0`) {
+		t.Fatalf("returning tenant did not get a fresh series:\n%s", scrape())
+	}
+}
+
+// TestDisableSessionEventsSilencesStream: the obs-off serve configuration
+// keeps the event ring empty while sessions still work and the flight
+// recorder still trips.
+func TestDisableSessionEventsSilencesStream(t *testing.T) {
+	f := testFixture(t)
+	s := newTestServer(t, func(c *Config) {
+		c.DisableSessionEvents = true
+		c.Quota = Quota{MaxSessionEdges: 10}
+	})
+	tc := dialPipe(t, s)
+	defer tc.c.Close()
+	tc.hello("acme")
+	if _, serr := tc.open("img", ""); serr != nil {
+		t.Fatalf("open: %v", serr)
+	}
+	if _, serr := tc.sendEdges(f.edges[:32]); serr == nil || serr.Code != CodeQuotaSteps {
+		t.Fatalf("got %v, want quota-steps", serr)
+	}
+	if _, ok := s.Obs().Flight.Last(); !ok {
+		t.Fatal("flight recorder silenced by DisableSessionEvents")
+	}
+	events, _ := s.Obs().Tracer.Snapshot()
+	// The flight trip appends only its terminal event; nothing else may
+	// have reached the ring.
+	if len(events) != 1 || events[0].Kind != obs.EvSessionFail {
+		t.Fatalf("session events leaked with DisableSessionEvents: %+v", events)
 	}
 }

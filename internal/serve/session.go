@@ -24,6 +24,7 @@ type session struct {
 	id     string
 	tenant string
 	img    *Image // pinned generation; publish swaps never touch it
+	src    uint32 // trace-context source id stamped on the session's events
 	rep    *core.CompiledReplayer
 
 	deadline time.Time // context deadline: crossing it fails the session

@@ -280,17 +280,23 @@ func ParseHelloAck(body []byte) (HelloAck, error) {
 	return m, r.done("HelloAck")
 }
 
-// Open opens a new session (Resume == "") or resumes a parked one.
+// Open opens a new session (Resume == "") or resumes a parked one. Src is
+// the client's trace-context source id: the stamp its events carry in
+// spliced event streams (0 asks the server to assign one). The field is
+// optional-trailing on the wire — frames from pre-trace-context clients
+// parse with Src 0, and the regression corpus of old frames stays valid.
 type Open struct {
 	Image  string
 	Resume string
+	Src    uint32
 }
 
 // Append serializes the message after a FrameOpen type byte.
 func (m *Open) Append(dst []byte) []byte {
 	dst = append(dst, byte(FrameOpen))
 	dst = appendString(dst, m.Image)
-	return appendString(dst, m.Resume)
+	dst = appendString(dst, m.Resume)
+	return binary.AppendUvarint(dst, uint64(m.Src))
 }
 
 // ParseOpen parses a FrameOpen body.
@@ -304,16 +310,29 @@ func ParseOpen(body []byte) (Open, error) {
 	if m.Resume, err = r.str("resume token"); err != nil {
 		return m, err
 	}
+	if r.off < len(r.data) {
+		src, err := r.uvarint("source id")
+		if err != nil {
+			return m, err
+		}
+		if src > 1<<32-1 {
+			return m, errf(CodeProto, "source id %d out of range", src)
+		}
+		m.Src = uint32(src)
+	}
 	return m, r.done("Open")
 }
 
 // OpenAck acknowledges Open: the session identity, the generation of the
 // image the session is pinned to, and the accepted-edge watermark (nonzero
-// only when resuming).
+// only when resuming). Src echoes the session's trace-context source id
+// (the client's requested id, or a server-assigned one when the client
+// sent 0); optional-trailing like Open.Src.
 type OpenAck struct {
 	Session   string
 	Gen       uint64
 	Watermark uint64
+	Src       uint32
 }
 
 // Append serializes the message after a FrameOpenAck type byte.
@@ -321,7 +340,8 @@ func (m *OpenAck) Append(dst []byte) []byte {
 	dst = append(dst, byte(FrameOpenAck))
 	dst = appendString(dst, m.Session)
 	dst = binary.AppendUvarint(dst, m.Gen)
-	return binary.AppendUvarint(dst, m.Watermark)
+	dst = binary.AppendUvarint(dst, m.Watermark)
+	return binary.AppendUvarint(dst, uint64(m.Src))
 }
 
 // ParseOpenAck parses a FrameOpenAck body.
@@ -338,13 +358,32 @@ func ParseOpenAck(body []byte) (OpenAck, error) {
 	if m.Watermark, err = r.uvarint("watermark"); err != nil {
 		return m, err
 	}
+	if r.off < len(r.data) {
+		src, err := r.uvarint("source id")
+		if err != nil {
+			return m, err
+		}
+		if src > 1<<32-1 {
+			return m, errf(CodeProto, "source id %d out of range", src)
+		}
+		m.Src = uint32(src)
+	}
 	return m, r.done("OpenAck")
 }
 
+// NoClock is the ParseEdges clock result for frames that carry no
+// trace-context clock (pre-trace-context senders).
+const NoClock = int64(-1)
+
 // AppendEdges serializes an Edges frame: a uvarint count, then per edge a
 // zigzag-varint label delta against the previous label and a uvarint
-// instruction count (the same delta idiom as the obs event log).
-func AppendEdges(dst []byte, edges []core.Edge) []byte {
+// instruction count (the same delta idiom as the obs event log), then —
+// when clock is not NoClock — the sender's logical stream clock: the edge
+// watermark this batch starts at, which the server checks against the
+// session's accepted watermark so a confused retry loop desyncing its own
+// stream surfaces as a structured CodeProto error instead of silently
+// replaying edges twice.
+func AppendEdges(dst []byte, edges []core.Edge, clock int64) []byte {
 	dst = append(dst, byte(FrameEdges))
 	dst = binary.AppendUvarint(dst, uint64(len(edges)))
 	prev := uint64(0)
@@ -353,24 +392,29 @@ func AppendEdges(dst []byte, edges []core.Edge) []byte {
 		prev = edges[i].Label
 		dst = binary.AppendUvarint(dst, edges[i].Instrs)
 	}
+	if clock != NoClock {
+		dst = binary.AppendUvarint(dst, uint64(clock))
+	}
 	return dst
 }
 
 // ParseEdges parses a FrameEdges body into dst (reused when large enough).
 // The declared count is validated against both MaxBatchEdges and the bytes
 // present (an edge occupies at least two bytes), so a forged count cannot
-// drive allocation.
-func ParseEdges(body []byte, dst []core.Edge) ([]core.Edge, error) {
+// drive allocation. The returned clock is the sender's stream clock, or
+// NoClock for frames without one (the field is optional-trailing, so old
+// corpus frames still parse).
+func ParseEdges(body []byte, dst []core.Edge) ([]core.Edge, int64, error) {
 	r := wireReader{data: body}
 	count, err := r.uvarint("edge count")
 	if err != nil {
-		return nil, err
+		return nil, NoClock, err
 	}
 	if count > MaxBatchEdges {
-		return nil, errf(CodeProto, "edge count %d exceeds MaxBatchEdges", count)
+		return nil, NoClock, errf(CodeProto, "edge count %d exceeds MaxBatchEdges", count)
 	}
 	if count > uint64(len(body))/2+1 {
-		return nil, errf(CodeProto, "edge count %d exceeds frame size", count)
+		return nil, NoClock, errf(CodeProto, "edge count %d exceeds frame size", count)
 	}
 	if uint64(cap(dst)) < count {
 		dst = make([]core.Edge, count)
@@ -380,16 +424,27 @@ func ParseEdges(body []byte, dst []core.Edge) ([]core.Edge, error) {
 	for i := uint64(0); i < count; i++ {
 		delta, err := r.varint("label delta")
 		if err != nil {
-			return nil, err
+			return nil, NoClock, err
 		}
 		prev += uint64(delta)
 		instrs, err := r.uvarint("instrs")
 		if err != nil {
-			return nil, err
+			return nil, NoClock, err
 		}
 		dst[i] = core.Edge{Label: prev, Instrs: instrs}
 	}
-	return dst, r.done("Edges")
+	clock := NoClock
+	if r.off < len(r.data) {
+		c, err := r.uvarint("stream clock")
+		if err != nil {
+			return nil, NoClock, err
+		}
+		if c > 1<<62 {
+			return nil, NoClock, errf(CodeProto, "stream clock %d out of range", c)
+		}
+		clock = int64(c)
+	}
+	return dst, clock, r.done("Edges")
 }
 
 // EdgesAck acknowledges a batch with the session's cumulative watermark.

@@ -28,7 +28,7 @@ func TestFrameRoundTrip(t *testing.T) {
 
 func TestFrameChecksumDetectsEveryBitFlip(t *testing.T) {
 	var buf bytes.Buffer
-	payload := AppendEdges(nil, []core.Edge{{Label: 0x1000, Instrs: 7}, {Label: 0x1008, Instrs: 3}})
+	payload := AppendEdges(nil, []core.Edge{{Label: 0x1000, Instrs: 7}, {Label: 0x1008, Instrs: 3}}, NoClock)
 	if err := WriteFrame(&buf, payload); err != nil {
 		t.Fatalf("WriteFrame: %v", err)
 	}
@@ -117,14 +117,17 @@ func TestEdgesRoundTrip(t *testing.T) {
 		{Label: 0x3ffff0, Instrs: 9}, // negative delta
 		{Label: 0, Instrs: 0},
 	}
-	payload := AppendEdges(nil, edges)
+	payload := AppendEdges(nil, edges, 96)
 	typ, body, err := ParseFrame(payload)
 	if err != nil || typ != FrameEdges {
 		t.Fatalf("ParseFrame: %v %v", typ, err)
 	}
-	got, err := ParseEdges(body, nil)
+	got, clock, err := ParseEdges(body, nil)
 	if err != nil {
 		t.Fatalf("ParseEdges: %v", err)
+	}
+	if clock != 96 {
+		t.Fatalf("clock %d, want 96", clock)
 	}
 	if len(got) != len(edges) {
 		t.Fatalf("len %d, want %d", len(got), len(edges))
@@ -139,12 +142,12 @@ func TestEdgesRoundTrip(t *testing.T) {
 func TestParseEdgesRejectsForgedCount(t *testing.T) {
 	// A count far beyond the bytes present must fail before allocating.
 	body := []byte{0xff, 0xff, 0x3} // uvarint 65535 with no edge bytes
-	if _, err := ParseEdges(body, nil); err == nil {
+	if _, _, err := ParseEdges(body, nil); err == nil {
 		t.Fatal("forged count accepted")
 	}
-	big := AppendEdges(nil, make([]core.Edge, 8))[1:]
+	big := AppendEdges(nil, make([]core.Edge, 8), NoClock)[1:]
 	big[0] = 0xff // corrupt the count upward
-	if _, err := ParseEdges(big, nil); err == nil {
+	if _, _, err := ParseEdges(big, nil); err == nil {
 		t.Fatal("corrupt count accepted")
 	}
 }
@@ -157,7 +160,7 @@ func TestParsersSurviveMutation(t *testing.T) {
 	hello := Hello{Version: 1, Tenant: "t"}
 	open := Open{Image: "img", Resume: "s01"}
 	sm := StatsMsg{Final: core.NTE, Watermark: 4}
-	edges := AppendEdges(nil, []core.Edge{{Label: 5, Instrs: 5}, {Label: 9, Instrs: 1}})
+	edges := AppendEdges(nil, []core.Edge{{Label: 5, Instrs: 5}, {Label: 9, Instrs: 1}}, 2)
 	seeds := [][]byte{
 		hello.Append(nil), open.Append(nil), sm.Append(nil), edges,
 		AppendError(nil, errf(CodeInternal, "x")),
@@ -179,7 +182,7 @@ func TestParsersSurviveMutation(t *testing.T) {
 			case FrameOpenAck:
 				_, perr = ParseOpenAck(body)
 			case FrameEdges:
-				_, perr = ParseEdges(body, nil)
+				_, _, perr = ParseEdges(body, nil)
 			case FrameEdgesAck:
 				_, perr = ParseEdgesAck(body)
 			case FrameStats:
@@ -215,5 +218,50 @@ func TestErrorTaxonomy(t *testing.T) {
 	}
 	if (&Error{Code: CodeCorrupt}).Temporary() != true {
 		t.Fatal("corruption must be temporary (reconnect + resume recovers)")
+	}
+}
+
+// TestTraceContextOptionalFields: the Src trace-context fields on Open and
+// OpenAck, and the stream clock on Edges, round-trip — and bodies written
+// by pre-trace-context peers (no trailing field) still parse, with the
+// zero/absent value.
+func TestTraceContextOptionalFields(t *testing.T) {
+	o := Open{Image: "img", Resume: "s01", Src: 0xdeadbeef}
+	_, body, err := ParseFrame(o.Append(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, perr := ParseOpen(body)
+	if perr != nil || got != o {
+		t.Fatalf("Open round trip: %+v, %v", got, perr)
+	}
+	// Legacy body: same layout minus the trailing Src uvarint.
+	legacy := Open{Image: "img", Resume: "s01"}
+	full := legacy.Append(nil)
+	_, body, _ = ParseFrame(full[:len(full)-1]) // strip the one-byte Src 0
+	if got, perr := ParseOpen(body); perr != nil || got != legacy {
+		t.Fatalf("legacy Open: %+v, %v", got, perr)
+	}
+
+	a := OpenAck{Session: "s01", Gen: 3, Watermark: 128, Src: 1<<32 - 1}
+	_, body, err = ParseFrame(a.Append(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, perr := ParseOpenAck(body); perr != nil || got != a {
+		t.Fatalf("OpenAck round trip: %+v, %v", got, perr)
+	}
+	lack := OpenAck{Session: "s01", Gen: 3, Watermark: 128}
+	full = lack.Append(nil)
+	_, body, _ = ParseFrame(full[:len(full)-1])
+	if got, perr := ParseOpenAck(body); perr != nil || got != lack {
+		t.Fatalf("legacy OpenAck: %+v, %v", got, perr)
+	}
+
+	// Edges without a clock parses to the NoClock sentinel.
+	_, body, _ = ParseFrame(AppendEdges(nil, []core.Edge{{Label: 4, Instrs: 2}}, NoClock))
+	_, clock, perr := ParseEdges(body, nil)
+	if perr != nil || clock != NoClock {
+		t.Fatalf("clockless Edges: clock %d, %v", clock, perr)
 	}
 }

@@ -28,11 +28,15 @@ go test -race -run 'Parallel' . ./internal/core
 go test -run='^$' -bench=. -benchtime=1x ./...
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=10s ./internal/core
 go test -run='^$' -fuzz=FuzzDecodeEvents -fuzztime=10s ./internal/obs
+go test -run='^$' -fuzz=FuzzDecodeFlight -fuzztime=10s ./internal/obs
 
 # Serving-layer gate: the wire/session/breaker suites and the chaos matrix
-# under the race detector, then the teaserve smoke — a live server replayed
-# through every injected wire-fault class, requiring byte-exact stats or
-# structured errors (DESIGN.md §13).
+# under the race detector — including the flight-recorder suffix check, which
+# requires every fault-class kill to leave a decodable post-mortem artifact —
+# then the teaserve smoke: a live server replayed through every injected
+# wire-fault class, requiring byte-exact stats or structured errors
+# (DESIGN.md §13), plus the quota-kill flight leg fetched over the admin
+# HTTP surface (DESIGN.md §17).
 go test -race ./internal/serve/... ./internal/faultinject
 go run ./cmd/teaserve -smoke
 echo "ci: serve gate ok"
@@ -133,6 +137,9 @@ echo "ci: stride gate ok"
 # must stay at their BENCH_obs.json numbers — in particular every compiled
 # kernel (batch and stride) stays exactly zero allocs/edge in both modes —
 # and enabling the layer must not regress past its own checked-in baseline.
+# The serve-session rows ride the same gate: a full wire Replay per pass,
+# session events off (DisableSessionEvents) vs on, so the cost of the
+# session event stream is regression-tested alongside the replay kernels.
 go run ./cmd/teabench -obsbench "$bin/obs.json" -target 300000 -bench mcf
 go run ./scripts/benchdiff -base BENCH_obs.json -new "$bin/obs.json" -gate 30 -zero-allocs compiled
 # Same claims where the stride kernel actually fuses: on 901.steady the

@@ -201,7 +201,10 @@ func writeWireCorpus() error {
 		{"openack", (&serve.OpenAck{Session: "s00000001", Gen: 1, Watermark: 128}).Append(nil)},
 		{"edges", serve.AppendEdges(nil, []core.Edge{
 			{Label: 0x400, Instrs: 12}, {Label: 0x41c, Instrs: 3}, {Label: 0x400, Instrs: 12},
-		})},
+		}, serve.NoClock)},
+		{"edges-clock", serve.AppendEdges(nil, []core.Edge{
+			{Label: 0x400, Instrs: 12}, {Label: 0x41c, Instrs: 3},
+		}, 128)},
 		{"edgesack", (&serve.EdgesAck{Watermark: 131}).Append(nil)},
 		{"stats", (&serve.StatsMsg{Stats: stats, Final: core.NTE, Watermark: 1000}).Append(nil)},
 		{"error", serve.AppendError(nil, &serve.Error{Code: serve.CodeBackpressure, Msg: "corpus", RetryAfter: 50 * time.Millisecond})},

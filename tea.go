@@ -467,6 +467,9 @@ type (
 	ObsRegistry = obs.Registry
 	// ObsEvent is one ring-buffer trace event.
 	ObsEvent = obs.Event
+	// FlightRecord is one post-mortem flight-recorder artifact: the event
+	// suffix that led up to a trip plus a frozen registry snapshot.
+	FlightRecord = obs.FlightRecord
 )
 
 // NewObs creates an observability context with the full TEA metric set
@@ -483,6 +486,14 @@ func EncodeEvents(events []ObsEvent) []byte { return obs.EncodeEvents(events) }
 
 // DecodeEvents parses a binary event log produced by EncodeEvents.
 func DecodeEvents(data []byte) ([]ObsEvent, error) { return obs.DecodeEvents(data) }
+
+// EncodeFlight serializes one flight-recorder artifact into the binary form
+// served at /debug/flight/<seq> and decoded by `teadump -flight`.
+func EncodeFlight(rec FlightRecord) []byte { return obs.EncodeFlight(rec) }
+
+// DecodeFlight parses a flight artifact produced by EncodeFlight, fully
+// validating the embedded event log.
+func DecodeFlight(data []byte) (FlightRecord, error) { return obs.DecodeFlight(data) }
 
 // SequentialReplayObs is SequentialReplay with observability: identical
 // stats and final state, plus events, counters and histograms recorded
